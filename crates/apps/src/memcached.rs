@@ -1,0 +1,220 @@
+//! memcached model — the paper's running example (Listing 1).
+//!
+//! Stages: `epoll` → `socket_read` → `memcached_processing` →
+//! `socket_send`, with per-connection batching on the first two and two
+//! execution paths (`memcached_read`, `memcached_write`) that traverse the
+//! same stages but may draw from different processing-time distributions.
+//!
+//! Calibration: memcached must *not* be the bottleneck of the 2-tier
+//! application at any evaluated thread count (§IV-A observes that giving
+//! memcached more resources does not raise throughput): ≈20 µs of CPU per
+//! request per thread puts one thread at ≈50 kQPS, comfortably above the
+//! 35 kQPS a 4-process NGINX front end sustains.
+
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::StageId;
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+
+/// Execution-path indices of the memcached model.
+pub mod paths {
+    /// GET: ≈20 µs per request.
+    pub const READ: usize = 0;
+    /// SET: slightly heavier processing.
+    pub const WRITE: usize = 1;
+}
+
+/// Stage indices of the memcached model.
+pub mod stages {
+    /// Event harvesting across connections.
+    pub const EPOLL: usize = 0;
+    /// Drain requests from one ready connection.
+    pub const SOCKET_READ: usize = 1;
+    /// Hash-table lookup (GET).
+    pub const PROCESSING: usize = 2;
+    /// Hash-table update (SET).
+    pub const WRITE_PROCESSING: usize = 3;
+    /// Response send.
+    pub const SOCKET_SEND: usize = 4;
+}
+
+/// Reference DVFS frequency, GHz.
+pub const REF_FREQ_GHZ: f64 = 2.6;
+
+/// Memory-bound fraction: memcached scales sub-linearly with frequency.
+pub const FREQ_ALPHA: f64 = 0.7;
+
+/// Builds the memcached service model of Listing 1.
+///
+/// # Examples
+///
+/// ```
+/// let m = uqsim_apps::memcached::service_model();
+/// assert!(m.validate().is_ok());
+/// assert_eq!(m.paths.len(), 2);
+/// ```
+pub fn service_model() -> ServiceModel {
+    let single = |mean: f64, cv: f64| {
+        ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean, cv), REF_FREQ_GHZ)
+            .with_freq_alpha(FREQ_ALPHA)
+    };
+    let stages = vec![
+        StageSpec::new(
+            "epoll",
+            QueueDiscipline::Epoll { batch_per_conn: 16 },
+            ServiceTimeModel::batched(
+                Distribution::constant(4e-6),
+                Distribution::exponential(1.5e-6),
+                REF_FREQ_GHZ,
+            )
+            .with_freq_alpha(FREQ_ALPHA),
+        ),
+        StageSpec::new(
+            "socket_read",
+            QueueDiscipline::Socket { batch: 8 },
+            ServiceTimeModel::batched(
+                Distribution::constant(1e-6),
+                Distribution::exponential(1.8e-6),
+                REF_FREQ_GHZ,
+            )
+            // "socket_read's processing time is proportional to the number
+            // of bytes read from socket" (§III-B).
+            .with_per_byte(2e-9)
+            .with_freq_alpha(FREQ_ALPHA),
+        ),
+        StageSpec::new("memcached_processing", QueueDiscipline::Single, single(9e-6, 0.5)),
+        StageSpec::new("memcached_write", QueueDiscipline::Single, single(11e-6, 0.5)),
+        StageSpec::new(
+            "socket_send",
+            QueueDiscipline::Single,
+            single(4e-6, 0.3).with_per_byte(1.5e-9),
+        ),
+    ];
+    let s = |i: usize| StageId::from_raw(i as u32);
+    let paths = vec![
+        ExecPath::new(
+            "memcached_read",
+            vec![s(stages::EPOLL), s(stages::SOCKET_READ), s(stages::PROCESSING), s(stages::SOCKET_SEND)],
+        ),
+        ExecPath::new(
+            "memcached_write",
+            vec![
+                s(stages::EPOLL),
+                s(stages::SOCKET_READ),
+                s(stages::WRITE_PROCESSING),
+                s(stages::SOCKET_SEND),
+            ],
+        ),
+    ];
+    ServiceModel::new("memcached", stages, paths)
+}
+
+/// The model rendered in the JSON shape of the paper's Listing 1 (stage
+/// list with queue types and batching flags, plus the two paths).
+pub fn listing1_json() -> String {
+    let m = service_model();
+    let stages: Vec<serde_json::Value> = m
+        .stages
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let (queue_type, batching, parameter) = match s.queue {
+                uqsim_core::stage::QueueDiscipline::Epoll { batch_per_conn } => {
+                    ("epoll", true, serde_json::json!([serde_json::Value::Null, batch_per_conn]))
+                }
+                uqsim_core::stage::QueueDiscipline::Socket { batch } => {
+                    ("socket", true, serde_json::json!([batch]))
+                }
+                uqsim_core::stage::QueueDiscipline::Single => {
+                    ("single", false, serde_json::Value::Null)
+                }
+            };
+            serde_json::json!({
+                "stage_name": s.name,
+                "stage_id": i,
+                "queue_type": queue_type,
+                "batching": batching,
+                "queue_parameter": parameter,
+            })
+        })
+        .collect();
+    let paths: Vec<serde_json::Value> = m
+        .paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            serde_json::json!({
+                "path_id": i,
+                "path_name": p.name,
+                "stages": p.stages.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            })
+        })
+        .collect();
+    serde_json::to_string_pretty(&serde_json::json!({
+        "service_name": m.name,
+        "stages": stages,
+        "paths": paths,
+    }))
+    .expect("model serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_is_valid() {
+        assert!(service_model().validate().is_ok());
+    }
+
+    #[test]
+    fn path_constants_match_names() {
+        let m = service_model();
+        assert_eq!(m.path_index("memcached_read"), Some(paths::READ));
+        assert_eq!(m.path_index("memcached_write"), Some(paths::WRITE));
+    }
+
+    #[test]
+    fn read_budget_is_light() {
+        // One thread must sustain well over 35 kQPS (so it never binds the
+        // 2-tier app with a 4-process NGINX): ≈20us/req → ≈50 kQPS.
+        let m = service_model();
+        let total: f64 = m.paths[paths::READ]
+            .stages
+            .iter()
+            .map(|&s| m.stages[s.index()].service.mean(1))
+            .sum();
+        assert!(total < 25e-6, "read budget {}us too heavy", total * 1e6);
+        assert!(total > 15e-6, "read budget {}us implausibly light", total * 1e6);
+    }
+
+    #[test]
+    fn both_paths_share_stage_skeleton() {
+        // Listing 1: read and write consist of the same stages in the same
+        // order (only the processing distribution differs).
+        let m = service_model();
+        assert_eq!(m.paths[paths::READ].stages.len(), m.paths[paths::WRITE].stages.len());
+        assert_eq!(m.paths[paths::READ].stages[0], m.paths[paths::WRITE].stages[0]);
+        assert_eq!(m.paths[paths::READ].stages[1], m.paths[paths::WRITE].stages[1]);
+        assert_eq!(m.paths[paths::READ].stages[3], m.paths[paths::WRITE].stages[3]);
+    }
+
+    #[test]
+    fn listing1_json_matches_paper_shape() {
+        let json = listing1_json();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["service_name"], "memcached");
+        assert_eq!(v["stages"][0]["stage_name"], "epoll");
+        assert_eq!(v["stages"][0]["queue_type"], "epoll");
+        assert_eq!(v["stages"][0]["batching"], true);
+        assert_eq!(v["paths"][0]["path_name"], "memcached_read");
+        assert_eq!(v["paths"][1]["path_name"], "memcached_write");
+    }
+
+    #[test]
+    fn frequency_scaling_is_sublinear() {
+        let m = service_model();
+        let proc = &m.stages[stages::PROCESSING].service;
+        assert!((proc.freq_alpha - FREQ_ALPHA).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! MongoDB model, plus the disk substrate it depends on.
+//!
+//! The paper uses MongoDB as the persistent tier of the 3-tier application
+//! and as its example of probabilistic execution paths: a query is either a
+//! (memory) hit or a miss that performs disk I/O (§III-B). We model the CPU
+//! side as a mongod service and the I/O side as a separate single-stage
+//! *disk* service whose "cores" are I/O channels — disk waits therefore
+//! queue without occupying mongod's CPU, matching how a blocking read
+//! behaves.
+//!
+//! Calibration: the 3-tier application must be disk-bound (§IV-A: "the
+//! 3-tier application is primarily bottlenecked by the disk I/O bandwidth
+//! of MongoDB"): with a 20% miss ratio and ≈2.5 ms per disk read over two
+//! channels, the end-to-end service saturates around 4 kQPS — far below
+//! the NGINX front end's 70 kQPS.
+
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::StageId;
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+
+/// Execution-path indices of the mongod model.
+pub mod paths {
+    /// Parse and plan a query, then issue the read.
+    pub const QUERY: usize = 0;
+    /// Assemble and send the response after data is available.
+    pub const RESPOND: usize = 1;
+}
+
+/// Execution-path indices of the disk model.
+pub mod disk_paths {
+    /// One random read.
+    pub const READ: usize = 0;
+}
+
+/// Reference DVFS frequency, GHz.
+pub const REF_FREQ_GHZ: f64 = 2.6;
+
+/// Builds the mongod (CPU-side) service model.
+///
+/// # Examples
+///
+/// ```
+/// let m = uqsim_apps::mongodb::service_model();
+/// assert!(m.validate().is_ok());
+/// ```
+pub fn service_model() -> ServiceModel {
+    let single = |mean: f64, cv: f64| {
+        ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean, cv), REF_FREQ_GHZ)
+    };
+    let stages = vec![
+        StageSpec::new(
+            "epoll",
+            QueueDiscipline::Epoll { batch_per_conn: 16 },
+            ServiceTimeModel::batched(
+                Distribution::constant(4e-6),
+                Distribution::exponential(2e-6),
+                REF_FREQ_GHZ,
+            ),
+        ),
+        StageSpec::new("query_proc", QueueDiscipline::Single, single(120e-6, 0.6)),
+        StageSpec::new("respond_proc", QueueDiscipline::Single, single(60e-6, 0.5)),
+        StageSpec::new("socket_send", QueueDiscipline::Single, single(5e-6, 0.3)),
+    ];
+    let s = |i: usize| StageId::from_raw(i as u32);
+    let paths = vec![
+        ExecPath::new("query", vec![s(0), s(1), s(3)]),
+        ExecPath::new("respond", vec![s(0), s(2), s(3)]),
+    ];
+    ServiceModel::new("mongod", stages, paths)
+}
+
+/// Builds the disk substrate: a single-stage service whose instance cores
+/// represent I/O channels (queue depth).
+///
+/// `mean_read_s` is the mean random-read latency (default suggestion:
+/// 2.5 ms for the paper's 7.2k-RPM SATA drives).
+///
+/// # Examples
+///
+/// ```
+/// let d = uqsim_apps::mongodb::disk_model(2.5e-3);
+/// assert!(d.validate().is_ok());
+/// ```
+pub fn disk_model(mean_read_s: f64) -> ServiceModel {
+    // Disk time does not scale with CPU frequency.
+    let service =
+        ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean_read_s, 0.6), REF_FREQ_GHZ)
+            .with_freq_alpha(0.0);
+    ServiceModel::new(
+        "disk",
+        vec![StageSpec::new("disk_read", QueueDiscipline::Single, service)],
+        vec![ExecPath::new("read", vec![StageId::from_raw(0)])],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_valid() {
+        assert!(service_model().validate().is_ok());
+        assert!(disk_model(2.5e-3).validate().is_ok());
+    }
+
+    #[test]
+    fn path_constants_match_names() {
+        let m = service_model();
+        assert_eq!(m.path_index("query"), Some(paths::QUERY));
+        assert_eq!(m.path_index("respond"), Some(paths::RESPOND));
+        assert_eq!(disk_model(1e-3).path_index("read"), Some(disk_paths::READ));
+    }
+
+    #[test]
+    fn disk_dominates_cpu_cost() {
+        let m = service_model();
+        let cpu: f64 = m.paths[paths::QUERY]
+            .stages
+            .iter()
+            .chain(m.paths[paths::RESPOND].stages.iter())
+            .map(|&s| m.stages[s.index()].service.mean(1))
+            .sum();
+        let disk = disk_model(2.5e-3).stages[0].service.mean(1);
+        assert!(disk > 10.0 * cpu, "disk {disk}s should dominate cpu {cpu}s");
+    }
+
+    #[test]
+    fn disk_is_frequency_insensitive() {
+        let d = disk_model(2.5e-3);
+        assert_eq!(d.stages[0].service.freq_alpha, 0.0);
+    }
+}

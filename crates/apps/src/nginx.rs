@@ -1,0 +1,164 @@
+//! NGINX model.
+//!
+//! The paper models NGINX with an `epoll` stage plus handler processing
+//! (§IV-E), used in three roles across the evaluation:
+//!
+//! * **web server** serving a small static page (load-balancing and fanout
+//!   experiments, Figs. 7–10),
+//! * **front end** of the 2-/3-tier applications: parse the client request,
+//!   query the cache/database tiers, compose the response (Figs. 4–6),
+//! * **proxy**: forward to a backend and relay the response (Figs. 7, 9).
+//!
+//! Calibration: §IV-B reports that four single-core NGINX web servers
+//! behind a load balancer saturate at 35 kQPS, i.e. ≈114 µs of CPU per
+//! request per core. The stage parameters below reproduce that budget,
+//! split so the fixed epoll cost amortizes under batching.
+
+use uqsim_core::dist::Distribution;
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+use uqsim_core::ids::StageId;
+
+/// Execution-path indices of the NGINX model.
+pub mod paths {
+    /// Serve a small static page (web-server role): ≈110 µs.
+    pub const SERVE: usize = 0;
+    /// Parse an incoming client request and query a downstream tier: ≈47 µs.
+    pub const RECV_QUERY: usize = 1;
+    /// Compose and send the final response: ≈57 µs.
+    pub const RESPOND: usize = 2;
+    /// Cheap forwarding hop (proxy role, miss-path orchestration): ≈23 µs.
+    pub const FORWARD: usize = 3;
+    /// Relay a backend response to the client (proxy role): ≈18 µs.
+    pub const PROXY_RESPOND: usize = 4;
+}
+
+/// Stage indices of the NGINX model.
+pub mod stages {
+    /// The `epoll` event-harvesting stage (batching).
+    pub const EPOLL: usize = 0;
+    /// Static-page handler.
+    pub const SERVE: usize = 1;
+    /// Request parsing.
+    pub const PARSE: usize = 2;
+    /// Response composition.
+    pub const COMPOSE: usize = 3;
+    /// Proxy-style forward.
+    pub const FORWARD: usize = 4;
+    /// Proxy-style response relay.
+    pub const PROXY_RESPOND: usize = 5;
+    /// Socket send.
+    pub const SEND: usize = 6;
+}
+
+/// Reference DVFS frequency the model was "profiled" at, GHz.
+pub const REF_FREQ_GHZ: f64 = 2.6;
+
+/// Builds the NGINX service model.
+///
+/// # Examples
+///
+/// ```
+/// let m = uqsim_apps::nginx::service_model();
+/// assert!(m.validate().is_ok());
+/// assert_eq!(m.path_index("serve_page"), Some(uqsim_apps::nginx::paths::SERVE));
+/// ```
+pub fn service_model() -> ServiceModel {
+    let single = |mean: f64, cv: f64| {
+        ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean, cv), REF_FREQ_GHZ)
+    };
+    let stages = vec![
+        StageSpec::new(
+            "epoll",
+            QueueDiscipline::Epoll { batch_per_conn: 16 },
+            ServiceTimeModel::batched(
+                Distribution::constant(5e-6),
+                Distribution::exponential(3e-6),
+                REF_FREQ_GHZ,
+            ),
+        ),
+        StageSpec::new("serve", QueueDiscipline::Single, single(100e-6, 0.7)),
+        StageSpec::new("parse", QueueDiscipline::Single, single(38e-6, 0.7)),
+        StageSpec::new("compose", QueueDiscipline::Single, single(48e-6, 0.7)),
+        StageSpec::new("forward", QueueDiscipline::Single, single(14e-6, 0.5)),
+        StageSpec::new("proxy_respond", QueueDiscipline::Single, single(9e-6, 0.5)),
+        StageSpec::new(
+            "socket_send",
+            QueueDiscipline::Single,
+            single(6e-6, 0.3).with_per_byte(1.5e-9),
+        ),
+    ];
+    let s = |i: usize| StageId::from_raw(i as u32);
+    let paths = vec![
+        ExecPath::new("serve_page", vec![s(stages::EPOLL), s(stages::SERVE), s(stages::SEND)]),
+        ExecPath::new("recv_query", vec![s(stages::EPOLL), s(stages::PARSE), s(stages::SEND)]),
+        ExecPath::new("respond", vec![s(stages::EPOLL), s(stages::COMPOSE), s(stages::SEND)]),
+        ExecPath::new("forward", vec![s(stages::EPOLL), s(stages::FORWARD), s(stages::SEND)]),
+        ExecPath::new(
+            "proxy_respond",
+            vec![s(stages::EPOLL), s(stages::PROXY_RESPOND), s(stages::SEND)],
+        ),
+    ];
+    ServiceModel::new("nginx", stages, paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_is_valid() {
+        assert!(service_model().validate().is_ok());
+    }
+
+    #[test]
+    fn path_constants_match_names() {
+        let m = service_model();
+        assert_eq!(m.path_index("serve_page"), Some(paths::SERVE));
+        assert_eq!(m.path_index("recv_query"), Some(paths::RECV_QUERY));
+        assert_eq!(m.path_index("respond"), Some(paths::RESPOND));
+        assert_eq!(m.path_index("forward"), Some(paths::FORWARD));
+        assert_eq!(m.path_index("proxy_respond"), Some(paths::PROXY_RESPOND));
+    }
+
+    #[test]
+    fn webserver_budget_near_114us() {
+        // LB calibration: ≈114 µs/request/core for the serve_page path at
+        // batch size 1 (§IV-B: 4 servers saturate at 35 kQPS).
+        let m = service_model();
+        let total: f64 = m.paths[paths::SERVE]
+            .stages
+            .iter()
+            .map(|&s| m.stages[s.index()].service.mean(1))
+            .sum();
+        assert!(
+            (total - 114e-6).abs() < 15e-6,
+            "serve_page budget {}us should be ~114us",
+            total * 1e6
+        );
+    }
+
+    #[test]
+    fn front_end_budget_near_114us() {
+        // 2-tier: recv_query + respond on the same worker must also land
+        // near the 114us/request budget so 8 workers saturate at ~70 kQPS.
+        let m = service_model();
+        let budget: f64 = [paths::RECV_QUERY, paths::RESPOND]
+            .iter()
+            .flat_map(|&p| m.paths[p].stages.iter())
+            .map(|&s| m.stages[s.index()].service.mean(1))
+            .sum();
+        assert!(
+            (budget - 114e-6).abs() < 15e-6,
+            "front-end budget {}us should be ~114us",
+            budget * 1e6
+        );
+    }
+
+    #[test]
+    fn epoll_amortizes() {
+        let m = service_model();
+        let epoll = &m.stages[stages::EPOLL].service;
+        assert!(epoll.mean(16) / 16.0 < epoll.mean(1) / 2.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! The "noisy reference" mode that stands in for the paper's real-system
+//! measurements.
+//!
+//! §V-B lists the effects the real testbed exhibits that µqSim does not
+//! model: request timeouts and reconnections, TCP/IP contention, and OS
+//! interference from scheduling and context switching. To obtain a
+//! meaningfully distinct "real system" comparator for the validation
+//! experiments and Table III, we inject exactly those effects: every stage
+//! distribution becomes a mixture in which a small fraction of invocations
+//! is inflated by an interference multiplier, and a rare fraction pays a
+//! millisecond-scale timeout/retry penalty.
+
+use uqsim_core::dist::Distribution;
+use uqsim_core::service::ServiceModel;
+
+/// Parameters of the injected noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseProfile {
+    /// Probability that an invocation suffers OS interference.
+    pub interference_prob: f64,
+    /// Multiplier applied to interfered invocations.
+    pub interference_scale: f64,
+    /// Probability of a timeout/reconnect penalty.
+    pub timeout_prob: f64,
+    /// The penalty added on a timeout, seconds.
+    pub timeout_penalty_s: f64,
+}
+
+impl Default for NoiseProfile {
+    /// A mild profile tuned so the "real" curves sit slightly above and
+    /// jitter more than the clean simulation, as in Figs. 5–6 and 16.
+    /// Probabilities apply per distribution draw and a request triggers
+    /// several draws, so they are kept small.
+    fn default() -> Self {
+        NoiseProfile {
+            interference_prob: 0.015,
+            interference_scale: 3.0,
+            timeout_prob: 5e-4,
+            timeout_penalty_s: 1e-3,
+        }
+    }
+}
+
+impl NoiseProfile {
+    /// Wraps one distribution with this profile's noise.
+    pub fn apply(&self, d: &Distribution) -> Distribution {
+        let clean = 1.0 - self.interference_prob - self.timeout_prob;
+        assert!(clean > 0.0, "noise probabilities exceed 1");
+        Distribution::Mixture {
+            components: vec![
+                (clean, d.clone()),
+                (self.interference_prob, d.scaled(self.interference_scale)),
+                (
+                    self.timeout_prob,
+                    Distribution::Shifted {
+                        offset: self.timeout_penalty_s,
+                        inner: Box::new(d.clone()),
+                    },
+                ),
+            ],
+        }
+    }
+
+    /// Returns a copy of `model` with every stage's service times noised.
+    pub fn noisy_service(&self, model: &ServiceModel) -> ServiceModel {
+        let mut out = model.clone();
+        for stage in &mut out.stages {
+            stage.service.base = self.apply(&stage.service.base);
+            stage.service.per_job = self.apply(&stage.service.per_job);
+            for entry in &mut stage.service.freq_table {
+                entry.1 = self.apply(&entry.1);
+                entry.2 = self.apply(&entry.2);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memcached;
+
+    #[test]
+    fn noisy_model_is_valid_and_slower() {
+        let clean = memcached::service_model();
+        let noisy = NoiseProfile::default().noisy_service(&clean);
+        assert!(noisy.validate().is_ok());
+        // Mean grows: interference and timeouts only add time.
+        let mean = |m: &ServiceModel| -> f64 {
+            m.stages.iter().map(|s| s.service.mean(1)).sum()
+        };
+        assert!(mean(&noisy) > mean(&clean));
+    }
+
+    #[test]
+    fn noise_increases_mean_by_expected_amount() {
+        let p = NoiseProfile {
+            interference_prob: 0.1,
+            interference_scale: 3.0,
+            timeout_prob: 0.0,
+            timeout_penalty_s: 0.0,
+        };
+        let d = Distribution::constant(10e-6);
+        let noisy = p.apply(&d);
+        // E = 0.9*10 + 0.1*30 = 12us.
+        assert!((noisy.mean() - 12e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn absurd_probabilities_panic() {
+        let p = NoiseProfile {
+            interference_prob: 0.9,
+            interference_scale: 2.0,
+            timeout_prob: 0.2,
+            timeout_penalty_s: 1e-3,
+        };
+        let _ = p.apply(&Distribution::constant(1e-6));
+    }
+
+    #[test]
+    fn zero_noise_preserves_mean() {
+        let p = NoiseProfile {
+            interference_prob: 0.0,
+            interference_scale: 1.0,
+            timeout_prob: 0.0,
+            timeout_penalty_s: 0.0,
+        };
+        let d = Distribution::exponential(5e-5);
+        assert!((p.apply(&d).mean() - d.mean()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper artifact implemented by
+//! [`uqsim_bench::experiments::fig05`]. Pass `--quick` for a fast pass.
+
+fn main() {
+    let opts = uqsim_bench::RunOpts::from_args();
+    if let Err(e) = uqsim_bench::experiments::fig05::run(&opts) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Ablations of the design choices DESIGN.md calls out: what each µqSim
+//! modeling feature contributes.
+//!
+//! * **Batching** — disable epoll amortization (batch = 1) and watch the
+//!   single-tier NGINX saturate earlier: the BigHouse error mechanism
+//!   reproduced *inside* µqSim.
+//! * **Network service** — disable irq-core modeling in the 16-way load
+//!   balancer: saturation moves up to the pure-webserver limit, erasing
+//!   the sub-linear scaling of Fig. 8.
+//! * **Connection-pool size** — sweep the 2-tier pool and watch tail
+//!   latency fall as pool-exhaustion backpressure disappears.
+//! * **Execution model** — memcached as Simple vs MultiThreaded at equal
+//!   cores: the thread abstraction adds context-switch overhead.
+
+use crate::{linear_loads, measure, print_series, saturation_qps, RunOpts};
+use uqsim_apps::scenarios::{
+    load_balanced, two_tier, CommonOpts, LoadBalancedConfig, TwoTierConfig,
+};
+use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+use uqsim_core::client::{ArrivalProcess, ClientSpec, RequestMix};
+use uqsim_core::ids::PathNodeId;
+use uqsim_core::machine::MachineSpec;
+use uqsim_core::path::{InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType};
+use uqsim_core::service::ServiceModel;
+use uqsim_core::stage::QueueDiscipline;
+use uqsim_core::time::SimDuration;
+use uqsim_core::SimResult;
+
+/// Summary numbers of all ablations, for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Summary {
+    /// Saturation with epoll batching on / off (single NGINX).
+    pub batching_on_sat: f64,
+    /// See [`Summary::batching_on_sat`].
+    pub batching_off_sat: f64,
+    /// LB-16 saturation with / without irq-core network processing.
+    pub network_on_sat: f64,
+    /// See [`Summary::network_on_sat`].
+    pub network_off_sat: f64,
+    /// p99 at pool sizes 4 and 64 under load.
+    pub pool4_p99: f64,
+    /// See [`Summary::pool4_p99`].
+    pub pool64_p99: f64,
+}
+
+/// Strips all batch amortization: every stage serves one job per
+/// invocation and pays the full fixed cost each time. (Note that
+/// `Epoll {{ batch_per_conn: 1 }}` would *not* do this — one epoll
+/// invocation still harvests a job from every active connection.)
+fn no_batching(mut model: ServiceModel) -> ServiceModel {
+    for stage in &mut model.stages {
+        stage.queue = QueueDiscipline::Single;
+    }
+    model
+}
+
+fn build_memcached_with(
+    model: ServiceModel,
+    qps: f64,
+    common: &CommonOpts,
+) -> SimResult<uqsim_core::Simulator> {
+    let mut b = ScenarioBuilder::new(common.seed);
+    b.warmup(common.warmup);
+    // Passthrough networking isolates the batching effect: with irq cores
+    // enabled, their own ~240 kQPS ceiling confounds the comparison.
+    let mut machine = MachineSpec::xeon("host", 4);
+    machine.network = uqsim_core::machine::NetworkSpec::passthrough(20e-6);
+    let m = b.add_machine(machine);
+    let s = b.add_service(model);
+    let i = b.add_instance(
+        "memcached",
+        s,
+        m,
+        4,
+        ExecSpec::MultiThreaded { threads: 4, ctx_switch: SimDuration::from_micros(2) },
+    )?;
+    finish_single_mc(b, s, i, qps)
+}
+
+/// Runs all ablations.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures.
+pub fn run(opts: &RunOpts) -> SimResult<Summary> {
+    println!("# Ablations — what each modeling feature contributes");
+    let n = if opts.duration.as_secs_f64() < 2.0 { 5 } else { 8 };
+
+    // --- 1. epoll/socket batching ------------------------------------------
+    // memcached's fixed per-invocation costs are ~25% of its tiny request
+    // budget, so disabling batch amortization visibly moves its saturation
+    // point (for NGINX the fixed share is only ~4%).
+    let loads = linear_loads(140_000.0, 280_000.0, n);
+    let on = crate::sweep(&loads, opts, |q| {
+        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
+        build_memcached_with(uqsim_apps::memcached::service_model(), q, &common)
+    })?;
+    let off = crate::sweep(&loads, opts, |q| {
+        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
+        build_memcached_with(no_batching(uqsim_apps::memcached::service_model()), q, &common)
+    })?;
+    print_series("memcached 4t, batching ON", &on);
+    print_series("memcached 4t, batching OFF (batch=1)", &off);
+    let (batching_on_sat, batching_off_sat) =
+        (saturation_qps(&on, 50e-3), saturation_qps(&off, 50e-3));
+    println!("batching ablation: ON saturates at {batching_on_sat:.0} qps, OFF at {batching_off_sat:.0} qps\n");
+
+    // --- 2. network (irq) processing --------------------------------------
+    let loads = linear_loads(40_000.0, 150_000.0, n);
+    let net_on = crate::sweep(&loads, opts, |q| {
+        let mut cfg = LoadBalancedConfig::new(16, q);
+        cfg.common.warmup = opts.warmup;
+        load_balanced(&cfg)
+    })?;
+    // Disable irq modeling by zeroing the irq cores on both machines.
+    let net_off = crate::sweep(&loads, opts, |q| {
+        let mut cfg = LoadBalancedConfig::new(16, q);
+        cfg.common.warmup = opts.warmup;
+        build_lb_without_network(&cfg)
+    })?;
+    // Kernel-bypass (DPDK-style) networking — the paper's future work: no
+    // irq cores, a small poll-mode cost folded into the wire latency.
+    let net_dpdk = crate::sweep(&loads, opts, |q| {
+        let mut cfg = LoadBalancedConfig::new(16, q);
+        cfg.common.warmup = opts.warmup;
+        build_lb_dpdk(&cfg)
+    })?;
+    print_series("LB x16, network processing ON", &net_on);
+    print_series("LB x16, network processing OFF", &net_off);
+    print_series("LB x16, DPDK kernel-bypass", &net_dpdk);
+    let (network_on_sat, network_off_sat) =
+        (saturation_qps(&net_on, 50e-3), saturation_qps(&net_off, 50e-3));
+    println!(
+        "network ablation: kernel saturates at {network_on_sat:.0} qps, ideal at {network_off_sat:.0} qps, dpdk at {:.0} qps\n",
+        saturation_qps(&net_dpdk, 50e-3)
+    );
+
+    // --- 3. connection-pool size ------------------------------------------
+    println!("## 2-tier at 50 kQPS vs pool size");
+    println!("{:>10} {:>9} {:>9}", "pool", "mean_ms", "p99_ms");
+    let mut pool4_p99 = 0.0;
+    let mut pool64_p99 = 0.0;
+    for pool in [4usize, 8, 16, 32, 64] {
+        let mut cfg = TwoTierConfig::at_qps(50_000.0);
+        cfg.pool_size = pool;
+        cfg.common.warmup = opts.warmup;
+        let p = measure(two_tier(&cfg)?, 50_000.0, opts);
+        println!("{:>10} {:>9.3} {:>9.3}", pool, p.latency.mean * 1e3, p.latency.p99 * 1e3);
+        if pool == 4 {
+            pool4_p99 = p.latency.p99;
+        }
+        if pool == 64 {
+            pool64_p99 = p.latency.p99;
+        }
+    }
+    println!();
+
+    // --- 4. execution model -------------------------------------------------
+    println!("## memcached 4 cores: Simple vs MultiThreaded (single-tier, 150 kQPS)");
+    for (label, threads) in [("simple", None), ("multithreaded 4t", Some(4)), ("multithreaded 16t", Some(16))] {
+        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
+        let sim = match threads {
+            None => build_simple_memcached(150_000.0, &common)?,
+            Some(t) => build_mt_memcached(150_000.0, 4, t, &common)?,
+        };
+        let p = measure(sim, 150_000.0, opts);
+        println!(
+            "{label:>18}: mean {:.3}ms p99 {:.3}ms achieved {:.0}",
+            p.latency.mean * 1e3,
+            p.latency.p99 * 1e3,
+            p.achieved_qps
+        );
+    }
+
+    Ok(Summary {
+        batching_on_sat,
+        batching_off_sat,
+        network_on_sat,
+        network_off_sat,
+        pool4_p99,
+        pool64_p99,
+    })
+}
+
+fn build_lb_without_network(cfg: &LoadBalancedConfig) -> SimResult<uqsim_core::Simulator> {
+    // Rebuild the LB scenario with passthrough networking.
+    use uqsim_core::machine::NetworkSpec;
+    let mut pm = MachineSpec::xeon("proxy-host", cfg.proxy_procs);
+    pm.network = NetworkSpec::passthrough(20e-6);
+    let mut wm = MachineSpec::xeon("ws-host", cfg.scale_out);
+    wm.network = NetworkSpec::passthrough(20e-6);
+    build_lb_with_machines(cfg, pm, wm)
+}
+
+fn build_lb_dpdk(cfg: &LoadBalancedConfig) -> SimResult<uqsim_core::Simulator> {
+    build_lb_with_machines(
+        cfg,
+        MachineSpec::xeon_dpdk("proxy-host", cfg.proxy_procs),
+        MachineSpec::xeon_dpdk("ws-host", cfg.scale_out),
+    )
+}
+
+fn build_lb_with_machines(
+    cfg: &LoadBalancedConfig,
+    proxy_machine: MachineSpec,
+    ws_machine: MachineSpec,
+) -> SimResult<uqsim_core::Simulator> {
+    let mut b = ScenarioBuilder::new(cfg.common.seed);
+    b.warmup(cfg.common.warmup);
+    let m_proxy = b.add_machine(proxy_machine);
+    let m_ws = b.add_machine(ws_machine);
+    let s = b.add_service(uqsim_apps::nginx::service_model());
+    let i_proxy = b.add_instance("proxy", s, m_proxy, cfg.proxy_procs, ExecSpec::Simple)?;
+    let mut servers = Vec::new();
+    for k in 0..cfg.scale_out {
+        let i = b.add_instance(format!("ws{k}"), s, m_ws, 1, ExecSpec::Simple)?;
+        b.add_pool(i_proxy, i, cfg.pool_size)?;
+        servers.push(i);
+    }
+    let mk = |name: &str, target, link, children| PathNodeSpec {
+        name: name.into(),
+        target,
+        children,
+        link,
+        block_thread_until: None,
+        pin_thread_of: None,
+    };
+    let nodes = vec![
+        mk(
+            "fwd",
+            NodeTarget::Service {
+                service: s,
+                instance: InstanceSelect::Fixed { instance: i_proxy },
+                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::FORWARD },
+            },
+            LinkKind::Request,
+            vec![PathNodeId::from_raw(1)],
+        ),
+        mk(
+            "serve",
+            NodeTarget::Service {
+                service: s,
+                instance: InstanceSelect::RoundRobin { instances: servers },
+                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::SERVE },
+            },
+            LinkKind::Request,
+            vec![PathNodeId::from_raw(2)],
+        ),
+        mk(
+            "respond",
+            NodeTarget::Service {
+                service: s,
+                instance: InstanceSelect::SameAsNode { node: PathNodeId::from_raw(0) },
+                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::PROXY_RESPOND },
+            },
+            LinkKind::ReplyToParent,
+            vec![PathNodeId::from_raw(3)],
+        ),
+        PathNodeSpec::client_sink(PathNodeId::from_raw(0)),
+    ];
+    let ty = b.add_request_type(RequestType::new("get", nodes, PathNodeId::from_raw(0)))?;
+    b.add_client(
+        ClientSpec {
+            name: "c".into(),
+            connections: cfg.connections,
+            arrivals: cfg.arrivals.clone(),
+            mix: RequestMix::single(ty),
+            request_size: uqsim_core::dist::Distribution::constant(612.0),
+            closed_loop: None,
+            timeout_s: None,
+        },
+        vec![i_proxy],
+    );
+    b.build()
+}
+
+fn build_simple_memcached(qps: f64, common: &CommonOpts) -> SimResult<uqsim_core::Simulator> {
+    let mut b = ScenarioBuilder::new(common.seed);
+    b.warmup(common.warmup);
+    let m = b.add_machine(MachineSpec::xeon("host", 8));
+    let s = b.add_service(uqsim_apps::memcached::service_model());
+    let i = b.add_instance("memcached", s, m, 4, ExecSpec::Simple)?;
+    finish_single_mc(b, s, i, qps)
+}
+
+fn build_mt_memcached(
+    qps: f64,
+    cores: usize,
+    threads: usize,
+    common: &CommonOpts,
+) -> SimResult<uqsim_core::Simulator> {
+    let mut b = ScenarioBuilder::new(common.seed);
+    b.warmup(common.warmup);
+    let m = b.add_machine(MachineSpec::xeon("host", cores + 4));
+    let s = b.add_service(uqsim_apps::memcached::service_model());
+    let i = b.add_instance(
+        "memcached",
+        s,
+        m,
+        cores,
+        ExecSpec::MultiThreaded { threads, ctx_switch: SimDuration::from_micros(2) },
+    )?;
+    finish_single_mc(b, s, i, qps)
+}
+
+fn finish_single_mc(
+    mut b: ScenarioBuilder,
+    s: uqsim_core::ids::ServiceId,
+    i: uqsim_core::ids::InstanceId,
+    qps: f64,
+) -> SimResult<uqsim_core::Simulator> {
+    let node = PathNodeSpec {
+        name: "get".into(),
+        target: NodeTarget::Service {
+            service: s,
+            instance: InstanceSelect::Fixed { instance: i },
+            exec_path: PathSelect::Fixed { index: uqsim_apps::memcached::paths::READ },
+        },
+        children: vec![PathNodeId::from_raw(1)],
+        link: LinkKind::Request,
+        block_thread_until: None,
+        pin_thread_of: None,
+    };
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b.add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))?;
+    b.add_client(
+        ClientSpec {
+            name: "c".into(),
+            connections: 1024,
+            arrivals: ArrivalProcess::poisson(qps),
+            mix: RequestMix::single(ty),
+            request_size: uqsim_core::dist::Distribution::constant(512.0),
+            closed_loop: None,
+            timeout_s: None,
+        },
+        vec![i],
+    );
+    b.build()
+}

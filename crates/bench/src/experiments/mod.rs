@@ -1,0 +1,16 @@
+//! One module per regenerated table/figure. Each exposes a `run` returning
+//! the measured data (so tests can assert shapes) and printing the
+//! rows/series the paper reports.
+
+pub mod ablations;
+pub mod fig05;
+pub mod fig06;
+pub mod fig08;
+pub mod fig10;
+pub mod fig12a;
+pub mod fig12b;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod table3;

@@ -1,0 +1,223 @@
+//! # uqsim-bench
+//!
+//! The experiment harness: load sweeps, saturation detection, table
+//! printing, the paper's reference anchors, and the power-management
+//! experiment driver. Each `src/bin/figXX_*.rs` binary regenerates one
+//! table or figure of the evaluation; see EXPERIMENTS.md at the repository
+//! root for the full index and recorded outputs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use uqsim_core::metrics::LatencySummary;
+use uqsim_core::time::SimDuration;
+use uqsim_core::{SimResult, Simulator};
+
+pub mod experiments;
+pub mod power_experiment;
+pub mod reference;
+
+/// One measured point of a load–latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load, requests/second.
+    pub offered_qps: f64,
+    /// Achieved post-warmup throughput, requests/second.
+    pub achieved_qps: f64,
+    /// End-to-end latency over post-warmup completions.
+    pub latency: LatencySummary,
+}
+
+impl LoadPoint {
+    /// True if the system kept up with the offered load (within 5%).
+    pub fn kept_up(&self) -> bool {
+        self.achieved_qps >= 0.95 * self.offered_qps
+    }
+}
+
+/// Harness-wide run options.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Simulated measurement duration per point (after warmup).
+    pub duration: SimDuration,
+    /// Simulated warmup per point.
+    pub warmup: SimDuration,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts { duration: SimDuration::from_secs(4), warmup: SimDuration::from_secs(1) }
+    }
+}
+
+impl RunOpts {
+    /// Reads `--quick` from the process arguments (or `UQSIM_QUICK=1` from
+    /// the environment) and shortens runs accordingly.
+    pub fn from_args() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick")
+            || std::env::var("UQSIM_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            RunOpts { duration: SimDuration::from_millis(1500), warmup: SimDuration::from_millis(500) }
+        } else {
+            RunOpts::default()
+        }
+    }
+
+    /// Total simulated time per point.
+    pub fn total(&self) -> SimDuration {
+        self.warmup + self.duration
+    }
+}
+
+/// Runs a built simulator for `opts.total()` and summarizes one point.
+///
+/// The simulator must have been built with `warmup` matching `opts.warmup`
+/// (the scenario builders take it via `CommonOpts`).
+pub fn measure(mut sim: Simulator, offered_qps: f64, opts: &RunOpts) -> LoadPoint {
+    sim.run_for(opts.total());
+    let latency = sim.latency_summary();
+    let achieved = latency.count as f64 / opts.duration.as_secs_f64();
+    LoadPoint { offered_qps, achieved_qps: achieved, latency }
+}
+
+/// Sweeps a list of offered loads through a scenario constructor.
+///
+/// # Errors
+///
+/// Propagates the first scenario-construction failure.
+pub fn sweep(
+    loads: &[f64],
+    opts: &RunOpts,
+    mut build: impl FnMut(f64) -> SimResult<Simulator>,
+) -> SimResult<Vec<LoadPoint>> {
+    let mut out = Vec::with_capacity(loads.len());
+    for &qps in loads {
+        let sim = build(qps)?;
+        out.push(measure(sim, qps, opts));
+    }
+    Ok(out)
+}
+
+/// The offered load at which the system stops keeping up (or the tail
+/// exceeds `p99_limit_s`), linearly interpreted as "the previous point
+/// still held". Returns the last offered load if no point saturated.
+pub fn saturation_qps(points: &[LoadPoint], p99_limit_s: f64) -> f64 {
+    for (i, p) in points.iter().enumerate() {
+        if !p.kept_up() || p.latency.p99 > p99_limit_s {
+            return if i == 0 { p.offered_qps } else { points[i - 1].offered_qps };
+        }
+    }
+    points.last().map(|p| p.offered_qps).unwrap_or(0.0)
+}
+
+/// Prints a load–latency series as an aligned table.
+pub fn print_series(label: &str, points: &[LoadPoint]) {
+    println!("## {label}");
+    println!(
+        "{:>12} {:>13} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "offered_qps", "achieved_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "kept_up"
+    );
+    for p in points {
+        println!(
+            "{:>12.0} {:>13.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
+            p.offered_qps,
+            p.achieved_qps,
+            p.latency.mean * 1e3,
+            p.latency.p50 * 1e3,
+            p.latency.p95 * 1e3,
+            p.latency.p99 * 1e3,
+            if p.kept_up() { "yes" } else { "NO" },
+        );
+    }
+}
+
+/// Mean absolute deviation between two series' means and p99s (the
+/// sim-vs-real deviation statistic of §IV-A), over points where both kept
+/// up *and* stayed out of the saturation knee (p99 under 20 ms) —
+/// pre-saturation, as the paper measures.
+pub fn deviation_ms(a: &[LoadPoint], b: &[LoadPoint]) -> (f64, f64) {
+    let pairs: Vec<(&LoadPoint, &LoadPoint)> = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| {
+            x.kept_up() && y.kept_up() && x.latency.p99 < 20e-3 && y.latency.p99 < 20e-3
+        })
+        .collect();
+    if pairs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = pairs.len() as f64;
+    let mean_dev =
+        pairs.iter().map(|(x, y)| (x.latency.mean - y.latency.mean).abs()).sum::<f64>() / n;
+    let tail_dev =
+        pairs.iter().map(|(x, y)| (x.latency.p99 - y.latency.p99).abs()).sum::<f64>() / n;
+    (mean_dev * 1e3, tail_dev * 1e3)
+}
+
+/// Geometrically spaced loads from `lo` to `hi` (inclusive-ish).
+pub fn geometric_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && lo > 0.0 && hi > lo);
+    let ratio = (hi / lo).powf(1.0 / (n - 1) as f64);
+    (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
+}
+
+/// Linearly spaced loads from `lo` to `hi` inclusive.
+pub fn linear_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2);
+    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(offered: f64, achieved: f64, p99: f64) -> LoadPoint {
+        LoadPoint {
+            offered_qps: offered,
+            achieved_qps: achieved,
+            latency: LatencySummary {
+                count: 100,
+                mean: p99 / 2.0,
+                p50: p99 / 2.0,
+                p95: p99 * 0.9,
+                p99,
+                max: p99,
+            },
+        }
+    }
+
+    #[test]
+    fn saturation_detects_throughput_collapse() {
+        let pts = vec![point(10.0, 10.0, 1e-3), point(20.0, 19.9, 1e-3), point(30.0, 22.0, 1e-3)];
+        assert_eq!(saturation_qps(&pts, 1.0), 20.0);
+    }
+
+    #[test]
+    fn saturation_detects_tail_blowup() {
+        let pts = vec![point(10.0, 10.0, 1e-3), point(20.0, 20.0, 0.5)];
+        assert_eq!(saturation_qps(&pts, 0.1), 10.0);
+    }
+
+    #[test]
+    fn saturation_none_returns_last() {
+        let pts = vec![point(10.0, 10.0, 1e-3), point(20.0, 20.0, 1e-3)];
+        assert_eq!(saturation_qps(&pts, 1.0), 20.0);
+    }
+
+    #[test]
+    fn deviation_ignores_saturated_points() {
+        let a = vec![point(10.0, 10.0, 2e-3), point(20.0, 12.0, 50e-3)];
+        let b = vec![point(10.0, 10.0, 3e-3), point(20.0, 20.0, 1e-3)];
+        let (_, tail) = deviation_ms(&a, &b);
+        assert!((tail - 1.0).abs() < 1e-9, "only the first pair counts: {tail}");
+    }
+
+    #[test]
+    fn load_spacings() {
+        let g = geometric_loads(1.0, 100.0, 3);
+        assert!((g[1] - 10.0).abs() < 1e-9);
+        let l = linear_loads(0.0, 10.0, 3);
+        assert_eq!(l, vec![0.0, 5.0, 10.0]);
+    }
+}

@@ -1,0 +1,338 @@
+//! `uqsim` — run a simulation scenario described entirely in JSON.
+//!
+//! ```text
+//! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
+//! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>] [--seed <n>]
+//! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
+//! uqsim validate <scenario.json>
+//! uqsim split <scenario.json> <dir>
+//! uqsim example
+//! ```
+//!
+//! Every command accepting `<scenario.json>` also accepts a *directory* in
+//! the paper's Table I layout (`machines.json`, `services.json`,
+//! `graph.json`, `path.json`, `client.json`, optional `sim.json`); `split`
+//! converts a single-file scenario into that layout.
+//!
+//! `run` executes the scenario and prints a latency/throughput summary
+//! (machine-readable with `--json`). `sweep` re-runs the scenario at a list
+//! of offered loads (scaling every client's rate schedule) and prints the
+//! load–latency table. `trace` samples distributed-tracing-style request
+//! traces and prints them as JSON lines. `validate` parses and builds
+//! without running. `example` prints a complete scenario file to start
+//! from; more elaborate ones ship under `crates/cli/configs/`.
+
+use std::path::Path;
+use std::process::ExitCode;
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::time::SimDuration;
+
+const EXAMPLE: &str = include_str!("../configs/quickstart.json");
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json]\n  \
+         uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
+         uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
+         uqsim validate <scenario.json|dir>\n  uqsim split <scenario.json> <dir>\n  uqsim example"
+    );
+    ExitCode::from(2)
+}
+
+/// Loads a scenario from a single file or a Table I directory.
+fn load(path: &Path) -> Result<ScenarioConfig, uqsim_core::SimError> {
+    if path.is_dir() {
+        ScenarioConfig::from_dir(path)
+    } else {
+        ScenarioConfig::from_file(path)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example") => {
+            println!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        Some("split") => {
+            let (Some(src), Some(dst)) = (args.get(1), args.get(2)) else { return usage() };
+            match load(Path::new(src)).and_then(|c| c.write_dir(Path::new(dst))) {
+                Ok(()) => {
+                    println!("wrote Table I layout to {dst}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("validate") => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load(Path::new(path)).and_then(|c| c.build()) {
+                Ok(sim) => {
+                    println!(
+                        "ok: {} instances, {} pending events at t=0",
+                        sim.instance_count(),
+                        sim.live_requests()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("invalid: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("sweep") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut duration = 5.0f64;
+            let mut loads: Vec<f64> = Vec::new();
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--loads" => {
+                        let Some(list) = args.get(i + 1) else { return usage() };
+                        loads = list.split(',').filter_map(|x| x.parse().ok()).collect();
+                        i += 2;
+                    }
+                    _ => return usage(),
+                }
+            }
+            if loads.is_empty() {
+                return usage();
+            }
+            match sweep(Path::new(path), &loads, duration) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("trace") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut duration = 2.0f64;
+            let mut every = 100u64;
+            let mut max = 20usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--every" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        every = v;
+                        i += 2;
+                    }
+                    "--max" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        max = v;
+                        i += 2;
+                    }
+                    _ => return usage(),
+                }
+            }
+            match trace(Path::new(path), duration, every, max) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("run") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let mut duration = 5.0f64;
+            let mut json = false;
+            let mut seed = None;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = Some(v);
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    _ => return usage(),
+                }
+            }
+            match run(Path::new(path), duration, seed, json) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn run(
+    path: &Path,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+) -> Result<(), uqsim_core::SimError> {
+    let mut cfg = load(path)?;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let mut sim = cfg.build()?;
+    sim.run_for(SimDuration::from_secs_f64(duration_s));
+    let s = sim.latency_summary();
+    let measured_span = duration_s - cfg.warmup_s;
+    let throughput = s.count as f64 / measured_span.max(f64::EPSILON);
+    if json {
+        let out = serde_json::json!({
+            "duration_s": duration_s,
+            "warmup_s": cfg.warmup_s,
+            "generated": sim.generated(),
+            "completed": sim.completed(),
+            "throughput_qps": throughput,
+            "latency_s": {
+                "count": s.count, "mean": s.mean, "p50": s.p50,
+                "p95": s.p95, "p99": s.p99, "max": s.max,
+            },
+            "events_processed": sim.events_processed(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("summary serializes"));
+    } else {
+        println!("simulated {duration_s}s (warmup {}s)", cfg.warmup_s);
+        println!("requests: generated {}, completed {}", sim.generated(), sim.completed());
+        println!("throughput: {throughput:.0} req/s over the measured window");
+        println!(
+            "latency: mean {:.3}ms p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms max {:.3}ms ({} samples)",
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3,
+            s.max * 1e3,
+            s.count
+        );
+        println!("engine: {} events processed", sim.events_processed());
+    }
+    Ok(())
+}
+
+/// Runs the scenario once per offered load, scaling every client's rate
+/// schedule so the configured rates act as a load *shape*.
+fn sweep(path: &Path, loads: &[f64], duration_s: f64) -> Result<(), uqsim_core::SimError> {
+    let base = load(path)?;
+    println!(
+        "{:>12} {:>13} {:>9} {:>9} {:>9} {:>9}",
+        "offered_qps", "achieved_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"
+    );
+    for &qps in loads {
+        let mut cfg = base.clone();
+        for client in &mut cfg.clients {
+            match &mut client.arrivals {
+                uqsim_core::client::ArrivalProcess::Poisson { schedule }
+                | uqsim_core::client::ArrivalProcess::Uniform { schedule } => {
+                    for seg in &mut schedule.segments {
+                        seg.1 = qps;
+                    }
+                }
+                // Replayed traces have no rate to scale; leave them as-is.
+                uqsim_core::client::ArrivalProcess::Trace { .. } => {}
+            }
+        }
+        let mut sim = cfg.build()?;
+        sim.run_for(SimDuration::from_secs_f64(duration_s));
+        let s = sim.latency_summary();
+        let achieved = s.count as f64 / (duration_s - cfg.warmup_s).max(f64::EPSILON);
+        println!(
+            "{:>12.0} {:>13.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            qps,
+            achieved,
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3
+        );
+    }
+    Ok(())
+}
+
+/// Runs the scenario with tracing enabled and prints sampled request
+/// traces as JSON lines.
+fn trace(path: &Path, duration_s: f64, every: u64, max: usize) -> Result<(), uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let mut sim = cfg.build()?;
+    sim.enable_tracing(every.max(1), max);
+    sim.run_for(SimDuration::from_secs_f64(duration_s));
+    for t in sim.traces() {
+        println!("{}", serde_json::to_string(t).expect("trace serializes"));
+    }
+    eprintln!("{} traces over {} completed requests", sim.traces().len(), sim.completed());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bundled_quickstart_builds_and_runs() {
+        let cfg = ScenarioConfig::from_json(EXAMPLE).unwrap();
+        let mut sim = cfg.build().unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.completed() > 100);
+    }
+
+    #[test]
+    fn bundled_social_network_builds_and_runs() {
+        // Exercises block_thread_until / pin_thread_of / reply_via purely
+        // from JSON.
+        let text = include_str!("../configs/social_network.json");
+        let cfg = ScenarioConfig::from_json(text).unwrap();
+        let mut sim = cfg.build().unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        assert!(sim.completed() > 10_000, "completed {}", sim.completed());
+        let s = sim.latency_summary();
+        assert!(s.p99 < 20e-3, "p99 {}", s.p99);
+        assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+    }
+
+    #[test]
+    fn bundled_two_tier_builds_and_runs() {
+        let text = include_str!("../configs/two_tier.json");
+        let cfg = ScenarioConfig::from_json(text).unwrap();
+        let mut sim = cfg.build().unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.completed() > 1_000, "completed {}", sim.completed());
+        let s = sim.latency_summary();
+        assert!(s.p99 < 10e-3, "p99 {}", s.p99);
+    }
+}

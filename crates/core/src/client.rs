@@ -1,0 +1,484 @@
+//! Workload clients (`client.json`): open-loop and closed-loop load
+//! generation, request mixes, and time-varying (diurnal) rate schedules.
+//!
+//! The paper's validation uses an open-loop generator (a modified `wrk2`)
+//! with exponentially distributed inter-arrival times, a fixed number of
+//! connections, and — for the power-management study — a diurnal load
+//! pattern (Fig. 15).
+
+use crate::dist::Distribution;
+use crate::ids::RequestTypeId;
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant request-rate schedule (QPS over time).
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_core::client::RateSchedule;
+/// use uqsim_core::time::SimTime;
+///
+/// let sched = RateSchedule::diurnal(1_000.0, 10_000.0, 60.0, 6);
+/// assert!(sched.rate_at(SimTime::ZERO) >= 1_000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSchedule {
+    /// `(start_time_seconds, rate_qps)` segments, ascending by time. The
+    /// first segment must start at 0; the last lasts forever.
+    pub segments: Vec<(f64, f64)>,
+}
+
+impl RateSchedule {
+    /// A constant rate.
+    pub fn constant(qps: f64) -> Self {
+        RateSchedule { segments: vec![(0.0, qps)] }
+    }
+
+    /// A sinusoid-sampled diurnal pattern between `min_qps` and `max_qps`:
+    /// one full period lasts `period_s` seconds, discretized into `steps`
+    /// piecewise-constant segments per period (repeating indefinitely is
+    /// represented by two full periods; extend as needed).
+    pub fn diurnal(min_qps: f64, max_qps: f64, period_s: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "diurnal needs at least 2 steps");
+        let mut segments = Vec::new();
+        // Two periods so minute-scale power experiments see the full swing
+        // more than once.
+        for k in 0..(2 * steps) {
+            let t = k as f64 * period_s / steps as f64;
+            let phase = 2.0 * std::f64::consts::PI * (k as f64 % steps as f64) / steps as f64;
+            // Start at the trough, rise to the peak mid-period.
+            let level = min_qps + (max_qps - min_qps) * 0.5 * (1.0 - phase.cos());
+            segments.push((t, level));
+        }
+        RateSchedule { segments }
+    }
+
+    /// Validates the schedule.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if empty, rates are non-positive, or times are not
+    /// ascending starting at 0.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err("rate schedule is empty".into());
+        }
+        if self.segments[0].0 != 0.0 {
+            return Err("rate schedule must start at t=0".into());
+        }
+        let mut prev = -1.0;
+        for &(t, r) in &self.segments {
+            if !(t.is_finite() && t > prev) {
+                return Err(format!("segment times must be ascending, got {t}"));
+            }
+            if !(r.is_finite() && r > 0.0) {
+                return Err(format!("rate must be positive, got {r}"));
+            }
+            prev = t;
+        }
+        Ok(())
+    }
+
+    /// The rate in effect at `time`.
+    pub fn rate_at(&self, time: SimTime) -> f64 {
+        let t = time.as_secs_f64();
+        let mut rate = self.segments[0].1;
+        for &(start, r) in &self.segments {
+            if start <= t {
+                rate = r;
+            } else {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// The peak rate across all segments.
+    pub fn peak(&self) -> f64 {
+        self.segments.iter().map(|s| s.1).fold(0.0, f64::max)
+    }
+}
+
+/// The arrival process of an open-loop client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ArrivalProcess {
+    /// Poisson arrivals: exponential gaps with mean `1/rate(t)`.
+    Poisson {
+        /// The (possibly time-varying) rate.
+        schedule: RateSchedule,
+    },
+    /// Deterministic arrivals at exactly `rate(t)` QPS.
+    Uniform {
+        /// The (possibly time-varying) rate.
+        schedule: RateSchedule,
+    },
+    /// Replay of a recorded arrival trace: absolute timestamps in seconds,
+    /// ascending. Generation stops after the last timestamp.
+    Trace {
+        /// Arrival instants, seconds since simulation start.
+        timestamps: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Poisson arrivals at a constant rate.
+    pub fn poisson(qps: f64) -> Self {
+        ArrivalProcess::Poisson { schedule: RateSchedule::constant(qps) }
+    }
+
+    /// Samples the gap until the next arrival after `now`.
+    ///
+    /// Equivalent to [`ArrivalProcess::gap_after`] with `issued = 0`; only
+    /// correct for the stochastic processes, not for traces.
+    pub fn next_gap<R: Rng + ?Sized>(&self, now: SimTime, rng: &mut R) -> SimDuration {
+        self.gap_after(0, now, rng).unwrap_or(SimDuration::MAX)
+    }
+
+    /// The time of the first arrival (counted from simulation start), or
+    /// `None` for an empty trace.
+    pub fn first_arrival<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<SimDuration> {
+        match self {
+            ArrivalProcess::Trace { timestamps } => {
+                timestamps.first().map(|&t| SimDuration::from_secs_f64(t))
+            }
+            _ => self.gap_after(0, SimTime::ZERO, rng),
+        }
+    }
+
+    /// The gap from arrival number `issued` (0-based, just generated at
+    /// `now`) to the next one; `None` when the workload is exhausted
+    /// (trace replay only).
+    pub fn gap_after<R: Rng + ?Sized>(
+        &self,
+        issued: u64,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Option<SimDuration> {
+        match self {
+            ArrivalProcess::Poisson { schedule } => {
+                let rate = schedule.rate_at(now);
+                Some(SimDuration::from_secs_f64(crate::rng::sample_exponential(rng, 1.0 / rate)))
+            }
+            ArrivalProcess::Uniform { schedule } => {
+                Some(SimDuration::from_secs_f64(1.0 / schedule.rate_at(now)))
+            }
+            ArrivalProcess::Trace { timestamps } => {
+                let cur = *timestamps.get(issued as usize)?;
+                let next = *timestamps.get(issued as usize + 1)?;
+                Some(SimDuration::from_secs_f64(next - cur))
+            }
+        }
+    }
+
+    /// The underlying schedule, for rate-based processes.
+    pub fn schedule(&self) -> Option<&RateSchedule> {
+        match self {
+            ArrivalProcess::Poisson { schedule } | ArrivalProcess::Uniform { schedule } => {
+                Some(schedule)
+            }
+            ArrivalProcess::Trace { .. } => None,
+        }
+    }
+
+    /// Validates the process.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for invalid schedules or non-ascending traces.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            ArrivalProcess::Poisson { schedule } | ArrivalProcess::Uniform { schedule } => {
+                schedule.validate()
+            }
+            ArrivalProcess::Trace { timestamps } => {
+                if timestamps.is_empty() {
+                    return Err("arrival trace is empty".into());
+                }
+                let mut prev = -1.0;
+                for &t in timestamps {
+                    if !(t.is_finite() && t >= 0.0 && t >= prev) {
+                        return Err(format!("trace timestamps must be ascending, got {t}"));
+                    }
+                    prev = t;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A weighted mix of request types issued by a client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestMix {
+    /// `(request_type, probability)` entries; probabilities sum to 1.
+    pub entries: Vec<(RequestTypeId, f64)>,
+}
+
+impl RequestMix {
+    /// A single request type.
+    pub fn single(ty: RequestTypeId) -> Self {
+        RequestMix { entries: vec![(ty, 1.0)] }
+    }
+
+    /// A weighted mix (weights are normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or total weight is not positive.
+    pub fn weighted(entries: Vec<(RequestTypeId, f64)>) -> Self {
+        assert!(!entries.is_empty(), "request mix must not be empty");
+        let total: f64 = entries.iter().map(|e| e.1).sum();
+        assert!(total > 0.0, "request mix weights must be positive");
+        RequestMix {
+            entries: entries.into_iter().map(|(t, w)| (t, w / total)).collect(),
+        }
+    }
+
+    /// Draws a request type.
+    pub fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> RequestTypeId {
+        let mut u: f64 = rng.gen();
+        for &(ty, p) in &self.entries {
+            if u < p {
+                return ty;
+            }
+            u -= p;
+        }
+        self.entries.last().expect("mix is non-empty").0
+    }
+
+    /// Validates the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if empty or probabilities do not sum to 1.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.entries.is_empty() {
+            return Err("request mix is empty".into());
+        }
+        let total: f64 = self.entries.iter().map(|e| e.1).sum();
+        if (total - 1.0).abs() > 1e-6 {
+            return Err(format!("request mix probabilities sum to {total}"));
+        }
+        Ok(())
+    }
+}
+
+/// Closed-loop operation: a fixed population of users, each issuing its
+/// next request one think time after the previous response arrives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoop {
+    /// Concurrent users (each keeps at most one request in flight).
+    pub users: usize,
+    /// Think time between a response and the next request, seconds.
+    pub think_time: Distribution,
+}
+
+impl ClosedLoop {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on zero users or an invalid think-time.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.users == 0 {
+            return Err("closed loop needs at least one user".into());
+        }
+        self.think_time.validate()
+    }
+}
+
+/// Static description of one workload client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientSpec {
+    /// Client name.
+    pub name: String,
+    /// Number of connections to the root service (each HTTP/1.1-blocking).
+    pub connections: usize,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// The request mix.
+    pub mix: RequestMix,
+    /// Request payload sizes in bytes (the paper's validation uses
+    /// exponentially distributed value sizes).
+    #[serde(default = "default_request_size")]
+    pub request_size: Distribution,
+    /// Closed-loop operation; when set, `arrivals` is ignored and `users`
+    /// self-clocked requests circulate instead.
+    #[serde(default)]
+    pub closed_loop: Option<ClosedLoop>,
+    /// Client-side timeout, seconds, measured from request generation.
+    /// Timed-out requests are counted separately and excluded from the
+    /// latency summary (the wrk2 error convention).
+    #[serde(default)]
+    pub timeout_s: Option<f64>,
+}
+
+fn default_request_size() -> Distribution {
+    Distribution::constant(512.0)
+}
+
+impl ClientSpec {
+    /// An open-loop Poisson client, like the paper's modified `wrk2` with
+    /// 320 connections.
+    pub fn open_loop(name: impl Into<String>, qps: f64, connections: usize, ty: RequestTypeId) -> Self {
+        ClientSpec {
+            name: name.into(),
+            connections,
+            arrivals: ArrivalProcess::poisson(qps),
+            mix: RequestMix::single(ty),
+            request_size: default_request_size(),
+            closed_loop: None,
+            timeout_s: None,
+        }
+    }
+
+    /// A closed-loop client: `users` concurrent users with the given think
+    /// time.
+    pub fn closed_loop(
+        name: impl Into<String>,
+        users: usize,
+        think_time: Distribution,
+        connections: usize,
+        ty: RequestTypeId,
+    ) -> Self {
+        ClientSpec {
+            name: name.into(),
+            connections,
+            arrivals: ArrivalProcess::poisson(1.0), // unused in closed loop
+            mix: RequestMix::single(ty),
+            request_size: default_request_size(),
+            closed_loop: Some(ClosedLoop { users, think_time }),
+            timeout_s: None,
+        }
+    }
+
+    /// Sets the request payload-size distribution (bytes).
+    pub fn with_request_size(mut self, size: Distribution) -> Self {
+        self.request_size = size;
+        self
+    }
+
+    /// Sets the client-side timeout.
+    pub fn with_timeout(mut self, timeout_s: f64) -> Self {
+        self.timeout_s = Some(timeout_s);
+        self
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the client and the invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.connections == 0 {
+            return Err(format!("client {}: zero connections", self.name));
+        }
+        self.arrivals.validate().map_err(|e| format!("client {}: {e}", self.name))?;
+        self.request_size.validate().map_err(|e| format!("client {}: {e}", self.name))?;
+        if let Some(cl) = &self.closed_loop {
+            cl.validate().map_err(|e| format!("client {}: {e}", self.name))?;
+        }
+        if let Some(t) = self.timeout_s {
+            if !(t.is_finite() && t > 0.0) {
+                return Err(format!("client {}: timeout must be positive, got {t}", self.name));
+            }
+        }
+        self.mix.validate().map_err(|e| format!("client {}: {e}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngFactory;
+
+    #[test]
+    fn constant_schedule() {
+        let s = RateSchedule::constant(1000.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.rate_at(SimTime::ZERO), 1000.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(1e6)), 1000.0);
+        assert_eq!(s.peak(), 1000.0);
+    }
+
+    #[test]
+    fn piecewise_schedule_lookup() {
+        let s = RateSchedule { segments: vec![(0.0, 100.0), (10.0, 200.0), (20.0, 50.0)] };
+        assert!(s.validate().is_ok());
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(5.0)), 100.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(10.0)), 200.0);
+        assert_eq!(s.rate_at(SimTime::from_secs_f64(25.0)), 50.0);
+        assert_eq!(s.peak(), 200.0);
+    }
+
+    #[test]
+    fn schedule_validation() {
+        assert!(RateSchedule { segments: vec![] }.validate().is_err());
+        assert!(RateSchedule { segments: vec![(1.0, 10.0)] }.validate().is_err());
+        assert!(RateSchedule { segments: vec![(0.0, 0.0)] }.validate().is_err());
+        assert!(RateSchedule { segments: vec![(0.0, 10.0), (0.0, 20.0)] }.validate().is_err());
+    }
+
+    #[test]
+    fn diurnal_swings_between_bounds() {
+        let s = RateSchedule::diurnal(1000.0, 9000.0, 60.0, 12);
+        assert!(s.validate().is_ok());
+        let rates: Vec<f64> = s.segments.iter().map(|x| x.1).collect();
+        let lo = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = rates.iter().cloned().fold(0.0, f64::max);
+        assert!((lo - 1000.0).abs() < 1.0, "trough {lo}");
+        assert!((hi - 9000.0).abs() / 9000.0 < 0.05, "peak {hi}");
+    }
+
+    #[test]
+    fn poisson_gaps_average_to_rate() {
+        let p = ArrivalProcess::poisson(10_000.0);
+        let mut rng = RngFactory::new(2).stream("client", 0);
+        let n = 100_000;
+        let total: f64 =
+            (0..n).map(|_| p.next_gap(SimTime::ZERO, &mut rng).as_secs_f64()).sum();
+        let mean_gap = total / n as f64;
+        assert!((mean_gap - 1e-4).abs() / 1e-4 < 0.02, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn uniform_gaps_are_exact() {
+        let p = ArrivalProcess::Uniform { schedule: RateSchedule::constant(1000.0) };
+        let mut rng = RngFactory::new(2).stream("client", 1);
+        assert_eq!(p.next_gap(SimTime::ZERO, &mut rng), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn mix_choose_respects_weights() {
+        let mix = RequestMix::weighted(vec![
+            (RequestTypeId::from_raw(0), 3.0),
+            (RequestTypeId::from_raw(1), 1.0),
+        ]);
+        assert!(mix.validate().is_ok());
+        let mut rng = RngFactory::new(3).stream("mix", 0);
+        let n = 100_000;
+        let ones = (0..n).filter(|_| mix.choose(&mut rng).raw() == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.01, "type-1 fraction {frac}");
+    }
+
+    #[test]
+    fn client_spec_validation() {
+        let ok = ClientSpec::open_loop("c", 1000.0, 320, RequestTypeId::from_raw(0));
+        assert!(ok.validate().is_ok());
+        let mut bad = ok.clone();
+        bad.connections = 0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ClientSpec::open_loop("wrk2", 5000.0, 320, RequestTypeId::from_raw(0));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ClientSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,663 @@
+//! Declarative JSON configuration (the paper's Table I inputs).
+//!
+//! µqSim's user interface is a set of JSON files: `service.json` (one per
+//! microservice model), `machines.json`, `graph.json` (deployment),
+//! `path.json` (request DAGs), and `client.json` (load). This module defines
+//! serde mirrors of those inputs and a [`ScenarioConfig`] that lowers onto
+//! [`ScenarioBuilder`] — so a scenario can
+//! be authored either in code or entirely as data.
+//!
+//! Names (strings) are used for cross-references in the files and resolved
+//! to ids at build time.
+
+use crate::builder::{ExecSpec, ScenarioBuilder};
+use crate::client::{ArrivalProcess, ClientSpec, RequestMix};
+use crate::error::{SimError, SimResult};
+use crate::ids::{InstanceId, PathNodeId, RequestTypeId, ServiceId};
+use crate::machine::MachineSpec;
+use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType};
+use crate::service::ServiceModel;
+use crate::sim::Simulator;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// `graph.json`: one deployed instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceConfig {
+    /// Instance name (referenced by paths and pools).
+    pub name: String,
+    /// Service model name.
+    pub service: String,
+    /// Machine name.
+    pub machine: String,
+    /// Dedicated cores.
+    pub cores: usize,
+    /// Execution model.
+    pub exec: ExecConfig,
+}
+
+/// Execution-model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ExecConfig {
+    /// One worker per core, shared queues.
+    Simple,
+    /// Explicit threads with a context-switch cost.
+    MultiThreaded {
+        /// Worker thread count.
+        threads: usize,
+        /// Context-switch overhead, seconds.
+        #[serde(default)]
+        ctx_switch_s: f64,
+    },
+}
+
+/// `graph.json`: one connection pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Upstream instance name.
+    pub up: String,
+    /// Downstream instance name.
+    pub down: String,
+    /// Pool size (connections).
+    pub size: usize,
+}
+
+/// `path.json`: one node of a request DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathNodeConfig {
+    /// Node name (unique within the request type).
+    pub name: String,
+    /// Target: `{"type": "client_sink"}` or a service execution.
+    pub target: NodeTargetConfig,
+    /// Child node names.
+    #[serde(default)]
+    pub children: Vec<String>,
+    /// Link kind: `request` (default), `reply_to_parent`, or
+    /// `{"reply": "<node>"}`.
+    #[serde(default)]
+    pub link: LinkConfig,
+    /// Hold the executing thread until the named node arrives back.
+    #[serde(default)]
+    pub block_thread_until: Option<String>,
+    /// Execute on the same thread as the named node.
+    #[serde(default)]
+    pub pin_thread_of: Option<String>,
+}
+
+/// Target configuration for a path node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum NodeTargetConfig {
+    /// Run on an instance of a service.
+    Service {
+        /// Service name (for validation).
+        service: String,
+        /// Instance selection.
+        instance: InstanceSelectConfig,
+        /// Execution path name within the service, or `null` for
+        /// probabilistic selection.
+        #[serde(default)]
+        exec_path: Option<String>,
+    },
+    /// The client sink.
+    ClientSink,
+}
+
+/// Instance selection configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum InstanceSelectConfig {
+    /// A fixed instance by name.
+    Fixed {
+        /// Instance name.
+        name: String,
+    },
+    /// Round-robin over named instances.
+    RoundRobin {
+        /// Instance names.
+        names: Vec<String>,
+    },
+    /// Same instance as an earlier node.
+    SameAsNode {
+        /// Node name.
+        node: String,
+    },
+}
+
+/// Link configuration.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LinkConfig {
+    /// Fresh request edge.
+    #[default]
+    Request,
+    /// Reply on the sending parent's entry connection.
+    ReplyToParent,
+    /// Reply on the named node's entry connection.
+    Reply {
+        /// Node name.
+        of: String,
+    },
+    /// Per-parent reply routing: `(parent node name, entry-connection node
+    /// name)` pairs.
+    ReplyVia {
+        /// The routing map.
+        entries: Vec<(String, String)>,
+    },
+}
+
+/// `path.json`: one request type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestTypeConfig {
+    /// Request type name.
+    pub name: String,
+    /// Nodes; the first is the root.
+    pub nodes: Vec<PathNodeConfig>,
+}
+
+/// `client.json`: one workload client.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClientConfig {
+    /// Client name.
+    pub name: String,
+    /// Connection count.
+    pub connections: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// `(request type name, weight)` mix.
+    pub mix: Vec<(String, f64)>,
+    /// Root instance names the client connects to.
+    pub roots: Vec<String>,
+    /// Request payload sizes in bytes (defaults to 512-byte constants).
+    #[serde(default = "default_request_size")]
+    pub request_size: crate::dist::Distribution,
+    /// Closed-loop operation (overrides `arrivals`).
+    #[serde(default)]
+    pub closed_loop: Option<crate::client::ClosedLoop>,
+    /// Client-side timeout, seconds.
+    #[serde(default)]
+    pub timeout_s: Option<f64>,
+}
+
+fn default_request_size() -> crate::dist::Distribution {
+    crate::dist::Distribution::constant(512.0)
+}
+
+/// The complete scenario: the union of all of Table I's inputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Master seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Warmup, seconds.
+    #[serde(default = "default_warmup")]
+    pub warmup_s: f64,
+    /// Windowed-stats width, seconds (optional).
+    #[serde(default)]
+    pub window_s: Option<f64>,
+    /// `machines.json`.
+    pub machines: Vec<MachineSpec>,
+    /// The `service.json` files.
+    pub services: Vec<ServiceModel>,
+    /// `graph.json`: deployment.
+    pub instances: Vec<InstanceConfig>,
+    /// `graph.json`: pools.
+    #[serde(default)]
+    pub pools: Vec<PoolConfig>,
+    /// `path.json`.
+    pub request_types: Vec<RequestTypeConfig>,
+    /// `client.json`.
+    pub clients: Vec<ClientConfig>,
+}
+
+fn default_seed() -> u64 {
+    1
+}
+fn default_warmup() -> f64 {
+    1.0
+}
+
+impl ScenarioConfig {
+    /// Parses a scenario from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] on parse failure.
+    pub fn from_json(json: &str) -> SimResult<Self> {
+        serde_json::from_str(json).map_err(|e| SimError::Config {
+            source_name: "scenario".into(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Loads a scenario from a JSON file.
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors.
+    pub fn from_file(path: &Path) -> SimResult<Self> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| SimError::Config {
+            source_name: path.display().to_string(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Loads a scenario from a directory in the paper's Table I layout:
+    ///
+    /// * `machines.json` — `[MachineSpec, ...]`
+    /// * `services.json` — `[ServiceModel, ...]` (the `service.json` files,
+    ///   collected)
+    /// * `graph.json` — `{ "instances": [...], "pools": [...] }`
+    /// * `path.json` — `[RequestTypeConfig, ...]`
+    /// * `client.json` — `[ClientConfig, ...]`
+    /// * `sim.json` — optional `{ "seed", "warmup_s", "window_s" }`
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O or parse errors naming the offending file.
+    pub fn from_dir(dir: &Path) -> SimResult<Self> {
+        fn load<T: serde::de::DeserializeOwned>(dir: &Path, name: &str) -> SimResult<T> {
+            let path = dir.join(name);
+            let text = std::fs::read_to_string(&path)?;
+            serde_json::from_str(&text).map_err(|e| SimError::Config {
+                source_name: path.display().to_string(),
+                detail: e.to_string(),
+            })
+        }
+
+        #[derive(Deserialize)]
+        struct GraphFile {
+            instances: Vec<InstanceConfig>,
+            #[serde(default)]
+            pools: Vec<PoolConfig>,
+        }
+        #[derive(Deserialize, Default)]
+        struct SimFile {
+            #[serde(default = "default_seed")]
+            seed: u64,
+            #[serde(default = "default_warmup")]
+            warmup_s: f64,
+            #[serde(default)]
+            window_s: Option<f64>,
+        }
+
+        let machines: Vec<MachineSpec> = load(dir, "machines.json")?;
+        let services: Vec<ServiceModel> = load(dir, "services.json")?;
+        let graph: GraphFile = load(dir, "graph.json")?;
+        let request_types: Vec<RequestTypeConfig> = load(dir, "path.json")?;
+        let clients: Vec<ClientConfig> = load(dir, "client.json")?;
+        let sim: SimFile = if dir.join("sim.json").exists() {
+            load(dir, "sim.json")?
+        } else {
+            SimFile { seed: default_seed(), warmup_s: default_warmup(), window_s: None }
+        };
+        Ok(ScenarioConfig {
+            seed: sim.seed,
+            warmup_s: sim.warmup_s,
+            window_s: sim.window_s,
+            machines,
+            services,
+            instances: graph.instances,
+            pools: graph.pools,
+            request_types,
+            clients,
+        })
+    }
+
+    /// Writes the scenario to a directory in the Table I layout (the
+    /// inverse of [`ScenarioConfig::from_dir`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors.
+    pub fn write_dir(&self, dir: &Path) -> SimResult<()> {
+        std::fs::create_dir_all(dir)?;
+        let write = |name: &str, value: serde_json::Value| -> SimResult<()> {
+            let text = serde_json::to_string_pretty(&value).expect("config serializes");
+            std::fs::write(dir.join(name), text)?;
+            Ok(())
+        };
+        write("machines.json", serde_json::to_value(&self.machines).expect("serializes"))?;
+        write("services.json", serde_json::to_value(&self.services).expect("serializes"))?;
+        write(
+            "graph.json",
+            serde_json::json!({ "instances": self.instances, "pools": self.pools }),
+        )?;
+        write("path.json", serde_json::to_value(&self.request_types).expect("serializes"))?;
+        write("client.json", serde_json::to_value(&self.clients).expect("serializes"))?;
+        write(
+            "sim.json",
+            serde_json::json!({
+                "seed": self.seed, "warmup_s": self.warmup_s, "window_s": self.window_s
+            }),
+        )?;
+        Ok(())
+    }
+
+    /// Serializes the scenario to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serializes")
+    }
+
+    /// Lowers the configuration onto a builder and constructs the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for dangling names or structurally invalid inputs.
+    pub fn build(&self) -> SimResult<Simulator> {
+        let mut b = ScenarioBuilder::new(self.seed);
+        b.warmup(SimDuration::from_secs_f64(self.warmup_s));
+        if let Some(w) = self.window_s {
+            b.window(SimDuration::from_secs_f64(w));
+        }
+
+        let mut machine_ids = HashMap::new();
+        for m in &self.machines {
+            let id = b.add_machine(m.clone());
+            machine_ids.insert(m.name.clone(), id);
+        }
+        let mut service_ids: HashMap<String, ServiceId> = HashMap::new();
+        for s in &self.services {
+            let id = b.add_service(s.clone());
+            service_ids.insert(s.name.clone(), id);
+        }
+        let mut instance_ids: HashMap<String, InstanceId> = HashMap::new();
+        for i in &self.instances {
+            let svc = *service_ids.get(&i.service).ok_or_else(|| SimError::UnknownEntity {
+                kind: "service",
+                name: i.service.clone(),
+            })?;
+            let mach = *machine_ids.get(&i.machine).ok_or_else(|| SimError::UnknownEntity {
+                kind: "machine",
+                name: i.machine.clone(),
+            })?;
+            let exec = match i.exec {
+                ExecConfig::Simple => ExecSpec::Simple,
+                ExecConfig::MultiThreaded { threads, ctx_switch_s } => ExecSpec::MultiThreaded {
+                    threads,
+                    ctx_switch: SimDuration::from_secs_f64(ctx_switch_s),
+                },
+            };
+            let id = b.add_instance(i.name.clone(), svc, mach, i.cores, exec)?;
+            instance_ids.insert(i.name.clone(), id);
+        }
+        for p in &self.pools {
+            let up = *instance_ids.get(&p.up).ok_or_else(|| SimError::UnknownEntity {
+                kind: "instance",
+                name: p.up.clone(),
+            })?;
+            let down = *instance_ids.get(&p.down).ok_or_else(|| SimError::UnknownEntity {
+                kind: "instance",
+                name: p.down.clone(),
+            })?;
+            b.add_pool(up, down, p.size)?;
+        }
+        let mut type_ids: HashMap<String, RequestTypeId> = HashMap::new();
+        for t in &self.request_types {
+            let ty = lower_request_type(t, &service_ids, &instance_ids, &self.services)?;
+            let id = b.add_request_type(ty)?;
+            type_ids.insert(t.name.clone(), id);
+        }
+        for c in &self.clients {
+            let mut entries = Vec::new();
+            for (name, w) in &c.mix {
+                let id = *type_ids.get(name).ok_or_else(|| SimError::UnknownEntity {
+                    kind: "request type",
+                    name: name.clone(),
+                })?;
+                entries.push((id, *w));
+            }
+            let mut roots = Vec::new();
+            for r in &c.roots {
+                roots.push(*instance_ids.get(r).ok_or_else(|| SimError::UnknownEntity {
+                    kind: "instance",
+                    name: r.clone(),
+                })?);
+            }
+            let spec = ClientSpec {
+                name: c.name.clone(),
+                connections: c.connections,
+                arrivals: c.arrivals.clone(),
+                mix: RequestMix::weighted(entries),
+                request_size: c.request_size.clone(),
+                closed_loop: c.closed_loop.clone(),
+                timeout_s: c.timeout_s,
+            };
+            b.add_client(spec, roots);
+        }
+        b.build()
+    }
+}
+
+fn lower_request_type(
+    t: &RequestTypeConfig,
+    service_ids: &HashMap<String, ServiceId>,
+    instance_ids: &HashMap<String, InstanceId>,
+    services: &[ServiceModel],
+) -> SimResult<RequestType> {
+    let node_ids: HashMap<&str, PathNodeId> = t
+        .nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.name.as_str(), PathNodeId::from_raw(i as u32)))
+        .collect();
+    let lookup_node = |name: &str| -> SimResult<PathNodeId> {
+        node_ids.get(name).copied().ok_or_else(|| SimError::UnknownEntity {
+            kind: "path node",
+            name: name.to_string(),
+        })
+    };
+    let mut nodes = Vec::with_capacity(t.nodes.len());
+    for n in &t.nodes {
+        let target = match &n.target {
+            NodeTargetConfig::ClientSink => NodeTarget::ClientSink,
+            NodeTargetConfig::Service { service, instance, exec_path } => {
+                let svc = *service_ids.get(service).ok_or_else(|| SimError::UnknownEntity {
+                    kind: "service",
+                    name: service.clone(),
+                })?;
+                let isel = match instance {
+                    InstanceSelectConfig::Fixed { name } => {
+                        InstanceSelect::Fixed { instance: *instance_ids.get(name).ok_or_else(
+                            || SimError::UnknownEntity { kind: "instance", name: name.clone() },
+                        )? }
+                    }
+                    InstanceSelectConfig::RoundRobin { names } => {
+                        let mut v = Vec::new();
+                        for name in names {
+                            v.push(*instance_ids.get(name).ok_or_else(|| {
+                                SimError::UnknownEntity { kind: "instance", name: name.clone() }
+                            })?);
+                        }
+                        InstanceSelect::RoundRobin { instances: v }
+                    }
+                    InstanceSelectConfig::SameAsNode { node } => {
+                        InstanceSelect::SameAsNode { node: lookup_node(node)? }
+                    }
+                };
+                let psel = match exec_path {
+                    None => PathSelect::Probabilistic,
+                    Some(p) => {
+                        let model = &services[svc.index()];
+                        let index =
+                            model.path_index(p).ok_or_else(|| SimError::UnknownEntity {
+                                kind: "execution path",
+                                name: format!("{}.{}", service, p),
+                            })?;
+                        PathSelect::Fixed { index }
+                    }
+                };
+                NodeTarget::Service { service: svc, instance: isel, exec_path: psel }
+            }
+        };
+        let link = match &n.link {
+            LinkConfig::Request => LinkKind::Request,
+            LinkConfig::ReplyToParent => LinkKind::ReplyToParent,
+            LinkConfig::Reply { of } => LinkKind::Reply { of: lookup_node(of)? },
+            LinkConfig::ReplyVia { entries } => {
+                let mut mapped = Vec::with_capacity(entries.len());
+                for (parent, of) in entries {
+                    mapped.push((lookup_node(parent)?, lookup_node(of)?));
+                }
+                LinkKind::ReplyVia { entries: mapped }
+            }
+        };
+        let mut children = Vec::new();
+        for c in &n.children {
+            children.push(lookup_node(c)?);
+        }
+        let block_thread_until =
+            n.block_thread_until.as_deref().map(lookup_node).transpose()?;
+        let pin_thread_of = n.pin_thread_of.as_deref().map(lookup_node).transpose()?;
+        nodes.push(PathNodeSpec {
+            name: n.name.clone(),
+            target,
+            children,
+            link,
+            block_thread_until,
+            pin_thread_of,
+        });
+    }
+    Ok(RequestType::new(t.name.clone(), nodes, PathNodeId::from_raw(0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal but complete scenario covering every config section.
+    fn example_json() -> String {
+        r#"{
+            "seed": 7,
+            "warmup_s": 0.2,
+            "machines": [{
+                "name": "m0", "cores": 6,
+                "dvfs": { "levels_ghz": [2.6] },
+                "network": {
+                    "irq_cores": 0,
+                    "rx_time": { "type": "constant", "value": 0.0 },
+                    "wire_latency": { "type": "constant", "value": 0.00001 }
+                }
+            }],
+            "services": [{
+                "name": "api",
+                "stages": [{
+                    "name": "proc",
+                    "queue": { "type": "single" },
+                    "service": {
+                        "base": { "type": "constant", "value": 0.0 },
+                        "per_job": { "type": "exponential", "mean": 0.0001 },
+                        "ref_freq_ghz": 2.6,
+                        "freq_alpha": 1.0
+                    }
+                }],
+                "paths": [{ "name": "default", "stages": [0] }]
+            }],
+            "instances": [{
+                "name": "api0", "service": "api", "machine": "m0",
+                "cores": 2, "exec": { "type": "simple" }
+            }],
+            "request_types": [{
+                "name": "get",
+                "nodes": [
+                    {
+                        "name": "front",
+                        "target": {
+                            "type": "service", "service": "api",
+                            "instance": { "type": "fixed", "name": "api0" },
+                            "exec_path": "default"
+                        },
+                        "children": ["sink"]
+                    },
+                    { "name": "sink", "target": { "type": "client_sink" },
+                      "link": { "reply": { "of": "front" } } }
+                ]
+            }],
+            "clients": [{
+                "name": "wrk", "connections": 64,
+                "arrivals": { "type": "poisson",
+                              "schedule": { "segments": [[0.0, 2000.0]] } },
+                "mix": [["get", 1.0]],
+                "roots": ["api0"]
+            }]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn parses_and_builds() {
+        let cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        let mut sim = cfg.build().unwrap();
+        sim.run_for(SimDuration::from_secs(1));
+        assert!(sim.completed() > 1_000, "completed {}", sim.completed());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_config() {
+        let cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        let json = cfg.to_json();
+        let back = ScenarioConfig::from_json(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.instances[0].service = "nope".into();
+        assert!(cfg.build().is_err());
+
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.clients[0].roots = vec!["nope".into()];
+        assert!(cfg.build().is_err());
+
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.clients[0].mix = vec![("nope".into(), 1.0)];
+        assert!(cfg.build().is_err());
+    }
+
+    #[test]
+    fn bad_json_is_a_config_error() {
+        let err = ScenarioConfig::from_json("{not json").unwrap_err();
+        assert!(matches!(err, SimError::Config { .. }));
+    }
+
+    #[test]
+    fn dir_layout_roundtrips() {
+        let cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        let dir = std::env::temp_dir().join(format!("uqsim-cfg-{}", std::process::id()));
+        cfg.write_dir(&dir).unwrap();
+        for f in ["machines.json", "services.json", "graph.json", "path.json", "client.json", "sim.json"] {
+            assert!(dir.join(f).exists(), "{f} missing");
+        }
+        let back = ScenarioConfig::from_dir(&dir).unwrap();
+        assert_eq!(back, cfg);
+        let mut sim = back.build().unwrap();
+        sim.run_for(crate::time::SimDuration::from_millis(500));
+        assert!(sim.completed() > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dir_layout_missing_file_is_descriptive() {
+        let dir = std::env::temp_dir().join(format!("uqsim-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = ScenarioConfig::from_dir(&dir).unwrap_err();
+        assert!(matches!(err, SimError::Io(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_exec_path_name_rejected() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        if let NodeTargetConfig::Service { exec_path, .. } =
+            &mut cfg.request_types[0].nodes[0].target
+        {
+            *exec_path = Some("missing".into());
+        }
+        assert!(cfg.build().is_err());
+    }
+}

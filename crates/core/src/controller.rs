@@ -1,0 +1,78 @@
+//! Control-plane hooks: periodic controllers that observe latency statistics
+//! and actuate cluster knobs (DVFS).
+//!
+//! The power-management study (§V-B) plugs in as a [`Controller`]: every
+//! decision interval it receives the end-to-end and per-tier tail latencies
+//! observed since its previous tick and may change per-instance frequencies.
+
+use crate::ids::InstanceId;
+use crate::metrics::LatencySummary;
+use crate::time::{SimDuration, SimTime};
+
+/// Statistics handed to a controller at each tick, covering the interval
+/// since its previous tick.
+#[derive(Debug, Clone)]
+pub struct TickStats {
+    /// End-to-end request latency over the interval.
+    pub end_to_end: LatencySummary,
+    /// Per-instance residence latency (queueing + service across the
+    /// instance's nodes) over the interval, indexed by instance.
+    pub per_instance: Vec<LatencySummary>,
+}
+
+/// An actuation a controller may request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ControlAction {
+    /// Set every core of `instance` to `freq_ghz` (snapped to the machine's
+    /// DVFS levels).
+    SetInstanceFreq {
+        /// Target instance.
+        instance: InstanceId,
+        /// Requested frequency, GHz.
+        freq_ghz: f64,
+    },
+}
+
+/// A periodic controller.
+///
+/// Implementations are registered with
+/// [`Simulator::add_controller`](crate::sim::Simulator::add_controller) and
+/// ticked by the engine; each tick returns the actions to apply and the
+/// delay until the next tick.
+pub trait Controller: std::fmt::Debug {
+    /// Delay from registration to the first tick.
+    fn first_tick(&self) -> SimDuration;
+
+    /// One decision. Returns the actions to apply now and the delay until
+    /// the next tick.
+    fn tick(&mut self, now: SimTime, stats: &TickStats) -> (Vec<ControlAction>, SimDuration);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A controller is usable as a boxed trait object.
+    #[derive(Debug)]
+    struct Noop;
+
+    impl Controller for Noop {
+        fn first_tick(&self) -> SimDuration {
+            SimDuration::from_millis(100)
+        }
+        fn tick(&mut self, _now: SimTime, _stats: &TickStats) -> (Vec<ControlAction>, SimDuration) {
+            (Vec::new(), SimDuration::from_millis(100))
+        }
+    }
+
+    #[test]
+    fn controller_is_object_safe() {
+        let mut c: Box<dyn Controller> = Box::new(Noop);
+        let stats =
+            TickStats { end_to_end: LatencySummary::empty(), per_instance: vec![] };
+        let (actions, next) = c.tick(SimTime::ZERO, &stats);
+        assert!(actions.is_empty());
+        assert_eq!(next, SimDuration::from_millis(100));
+        assert_eq!(c.first_tick(), SimDuration::from_millis(100));
+    }
+}

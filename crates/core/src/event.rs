@@ -1,0 +1,261 @@
+//! The discrete-event core: event kinds, deterministic ordering, and the
+//! pending-event queue.
+//!
+//! Every state change in the simulator is driven by popping the earliest
+//! event from a priority queue (Fig. 2 of the paper). Ties in time are broken
+//! by a monotonically increasing sequence number, which makes runs with the
+//! same seed bit-for-bit reproducible.
+
+use crate::ids::{ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, ThreadId};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Where a network packet is headed once processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketDest {
+    /// Deliver the job to a microservice instance (enters its stage queues).
+    Instance(InstanceId),
+    /// Deliver a finished response back to the issuing client.
+    Client(ClientId),
+}
+
+/// A unit of network traffic: one job moving between machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// The job being carried.
+    pub job: JobId,
+    /// Destination endpoint.
+    pub dest: PacketDest,
+    /// True for same-machine (loopback) traffic, which bypasses the
+    /// interrupt-processing cores.
+    pub local: bool,
+}
+
+/// All event kinds the simulator understands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An open-loop client emits its next request.
+    ClientArrival {
+        /// The client that fires.
+        client: ClientId,
+    },
+    /// A packet finished its wire flight and arrives at the destination
+    /// machine's network-processing service (or directly at the instance if
+    /// network processing is disabled on that machine).
+    NetDelivery {
+        /// The packet in flight.
+        packet: Packet,
+    },
+    /// An interrupt-handling core on `machine` finished processing a packet.
+    NetDone {
+        /// Machine whose network service completed work.
+        machine: MachineId,
+        /// Index into the network service's in-service slots.
+        slot: usize,
+    },
+    /// A worker thread finished the service time of its current stage batch.
+    StageDone {
+        /// Instance owning the thread.
+        instance: InstanceId,
+        /// The thread that finished.
+        thread: ThreadId,
+    },
+    /// A completed response reaches the client (records end-to-end latency).
+    DeliverToClient {
+        /// The finished request.
+        request: RequestId,
+    },
+    /// A client-side timeout deadline for a request.
+    RequestTimeout {
+        /// The possibly-still-running request.
+        request: RequestId,
+    },
+    /// Set the DVFS frequency of one core or a whole machine.
+    DvfsSet {
+        /// Target machine.
+        machine: MachineId,
+        /// Target core; `None` applies to every core of the machine.
+        core: Option<CoreId>,
+        /// New frequency in GHz (snapped to the machine's allowed levels).
+        freq_ghz: f64,
+    },
+    /// A registered controller (e.g. the power manager) takes a decision.
+    ControllerTick {
+        /// Which controller.
+        controller: ControllerId,
+    },
+    /// Stop the simulation when popped.
+    Stop,
+}
+
+/// An event with its scheduled time and tie-breaking sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledEvent {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Monotone insertion counter; breaks ties deterministically.
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Eq for ScheduledEvent {}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-event priority queue.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_core::event::{EventKind, EventQueue};
+/// use uqsim_core::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_nanos(20), EventKind::Stop);
+/// q.schedule(SimTime::from_nanos(10), EventKind::Stop);
+/// assert_eq!(q.pop().unwrap().time, SimTime::from_nanos(10));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`. Events at equal times fire in the order
+    /// they were scheduled.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(ScheduledEvent { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events ever scheduled (a simulator throughput statistic).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stop_at(q: &mut EventQueue, ns: u64) {
+        q.schedule(SimTime::from_nanos(ns), EventKind::Stop);
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        stop_at(&mut q, 30);
+        stop_at(&mut q, 10);
+        stop_at(&mut q, 20);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(0) });
+        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(1) });
+        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(2) });
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::ClientArrival { client } => client.raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        stop_at(&mut q, 42);
+        stop_at(&mut q, 7);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(7)));
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 7);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            stop_at(&mut q, i);
+        }
+        q.pop();
+        assert_eq!(q.scheduled_total(), 5);
+    }
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q = EventQueue::new();
+        assert!(q.pop().is_none());
+        assert!(q.peek_time().is_none());
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+
+    // Property: for any interleaving of schedule times, pops are sorted by
+    // (time, seq).
+    #[test]
+    fn pops_sorted_property() {
+        use rand::Rng;
+        let mut rng = crate::rng::RngFactory::new(3).stream("evq", 0);
+        let mut q = EventQueue::new();
+        for _ in 0..1000 {
+            stop_at(&mut q, rng.gen_range(0..100));
+        }
+        let mut prev = (SimTime::ZERO, 0u64);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!((e.time, e.seq) >= prev, "out of order pop");
+            prev = (e.time, e.seq);
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+}

@@ -1,0 +1,208 @@
+//! Typed identifiers for simulation entities.
+//!
+//! Every arena-stored entity (machines, cores, service instances, threads,
+//! connections, requests, jobs, …) is addressed by a dedicated newtype index.
+//! The newtypes prevent cross-arena mixups at compile time (C-NEWTYPE) while
+//! compiling down to plain integers.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn from_raw(raw: u32) -> Self {
+                $name(raw)
+            }
+
+            /// The raw index value.
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The raw index as a `usize`, for arena addressing.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a physical machine in the cluster.
+    MachineId
+);
+define_id!(
+    /// Identifies a core *within* a machine (machine-local index).
+    CoreId
+);
+define_id!(
+    /// Identifies a microservice model (the reusable `service.json` template).
+    ServiceId
+);
+define_id!(
+    /// Identifies a deployed instance of a microservice.
+    InstanceId
+);
+define_id!(
+    /// Identifies an execution stage within a microservice model.
+    StageId
+);
+define_id!(
+    /// Identifies an intra-microservice execution path (sequence of stages).
+    ExecPathId
+);
+define_id!(
+    /// Identifies a worker thread *within* an instance (instance-local index).
+    ThreadId
+);
+define_id!(
+    /// Identifies a network connection endpoint pair.
+    ConnectionId
+);
+define_id!(
+    /// Identifies a connection pool between two tiers.
+    PoolId
+);
+define_id!(
+    /// Identifies a node in the inter-microservice path DAG (template-local).
+    PathNodeId
+);
+define_id!(
+    /// Identifies a request-type template (one inter-microservice path DAG).
+    RequestTypeId
+);
+define_id!(
+    /// Identifies a workload client.
+    ClientId
+);
+define_id!(
+    /// Identifies a registered control-plane controller (e.g. power manager).
+    ControllerId
+);
+
+/// Identifies one end-user request in flight. 64-bit so ids never wrap in
+/// long experiments; the low bits index a recycled slot and the high bits
+/// hold a generation counter to catch stale references.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RequestId {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+impl RequestId {
+    /// Creates a request id from a slot and generation.
+    pub const fn new(slot: u32, generation: u32) -> Self {
+        RequestId { slot, generation }
+    }
+
+    /// Arena slot of this request.
+    pub const fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// Reuse generation of the slot at the time this id was minted.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RequestId({}.{})", self.slot, self.generation)
+    }
+}
+
+/// Identifies one job: a request's visit to one path node. Same slot +
+/// generation scheme as [`RequestId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId {
+    pub(crate) slot: u32,
+    pub(crate) generation: u32,
+}
+
+impl JobId {
+    /// Creates a job id from a slot and generation.
+    pub const fn new(slot: u32, generation: u32) -> Self {
+        JobId { slot, generation }
+    }
+
+    /// Arena slot of this job.
+    pub const fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// Reuse generation of the slot at the time this id was minted.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JobId({}.{})", self.slot, self.generation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        let m = MachineId::from_raw(3);
+        assert_eq!(m.raw(), 3);
+        assert_eq!(m.index(), 3);
+        assert_eq!(usize::from(m), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(InstanceId::from_raw(7).to_string(), "InstanceId(7)");
+        assert_eq!(RequestId::new(1, 2).to_string(), "RequestId(1.2)");
+        assert_eq!(JobId::new(4, 0).to_string(), "JobId(4.0)");
+    }
+
+    #[test]
+    fn generation_distinguishes_recycled_slots() {
+        let a = RequestId::new(5, 0);
+        let b = RequestId::new(5, 1);
+        assert_ne!(a, b);
+        assert_eq!(a.slot(), b.slot());
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(CoreId::from_raw(0));
+        set.insert(CoreId::from_raw(1));
+        assert_eq!(set.len(), 2);
+        assert!(CoreId::from_raw(0) < CoreId::from_raw(1));
+    }
+
+    #[test]
+    fn serde_transparent() {
+        let j = serde_json::to_string(&StageId::from_raw(9)).unwrap();
+        assert_eq!(j, "9");
+    }
+}

@@ -1,0 +1,277 @@
+//! Runtime stage queues.
+//!
+//! Each deployed stage owns a [`StageQueue`] matching its declared
+//! [`QueueDiscipline`]: a plain FIFO, or
+//! per-connection subqueues with socket- or epoll-style batching. Batch
+//! assembly follows §III-B of the paper:
+//!
+//! * **epoll**: one invocation returns the first `N` jobs of *each* active
+//!   subqueue;
+//! * **socket**: one invocation returns the first `N` jobs of a *single*
+//!   ready connection (connections served round-robin);
+//! * **single**: one job per invocation.
+
+use crate::ids::{ConnectionId, JobId};
+use crate::stage::QueueDiscipline;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A runtime queue for one stage instance.
+#[derive(Debug, Clone)]
+pub enum StageQueue {
+    /// Plain FIFO.
+    Single {
+        /// Waiting jobs.
+        q: VecDeque<JobId>,
+    },
+    /// Per-connection subqueues with a batching mode.
+    PerConn {
+        /// Jobs per connection. `BTreeMap` keeps iteration deterministic.
+        subqueues: BTreeMap<ConnectionId, VecDeque<JobId>>,
+        /// Ready (non-empty) connections in arrival/rotation order.
+        active: VecDeque<ConnectionId>,
+        /// `Socket { batch }` or `Epoll { batch_per_conn }`.
+        mode: QueueDiscipline,
+        /// Cached total job count.
+        len: usize,
+    },
+}
+
+impl StageQueue {
+    /// Creates the queue matching a discipline.
+    pub fn new(discipline: QueueDiscipline) -> Self {
+        match discipline {
+            QueueDiscipline::Single => StageQueue::Single { q: VecDeque::new() },
+            mode @ (QueueDiscipline::Socket { .. } | QueueDiscipline::Epoll { .. }) => {
+                StageQueue::PerConn {
+                    subqueues: BTreeMap::new(),
+                    active: VecDeque::new(),
+                    mode,
+                    len: 0,
+                }
+            }
+        }
+    }
+
+    /// Enqueues a job. `conn` selects the subqueue for per-connection
+    /// disciplines and is ignored for `Single`.
+    pub fn push(&mut self, job: JobId, conn: ConnectionId) {
+        match self {
+            StageQueue::Single { q } => q.push_back(job),
+            StageQueue::PerConn { subqueues, active, len, .. } => {
+                let sub = subqueues.entry(conn).or_default();
+                if sub.is_empty() {
+                    active.push_back(conn);
+                }
+                sub.push_back(job);
+                *len += 1;
+            }
+        }
+    }
+
+    /// Total queued jobs.
+    pub fn len(&self) -> usize {
+        match self {
+            StageQueue::Single { q } => q.len(),
+            StageQueue::PerConn { len, .. } => *len,
+        }
+    }
+
+    /// True if no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assembles the next batch according to the discipline, removing the
+    /// jobs from the queue. Returns an empty vector if nothing is queued.
+    pub fn assemble_batch(&mut self) -> Vec<JobId> {
+        match self {
+            StageQueue::Single { q } => q.pop_front().into_iter().collect(),
+            StageQueue::PerConn { subqueues, active, mode, len } => {
+                let mut out = Vec::new();
+                match *mode {
+                    QueueDiscipline::Epoll { batch_per_conn } => {
+                        // Harvest up to N from every active connection.
+                        let mut still_active = VecDeque::new();
+                        while let Some(conn) = active.pop_front() {
+                            let sub = subqueues.get_mut(&conn).expect("active conn has subqueue");
+                            for _ in 0..batch_per_conn {
+                                match sub.pop_front() {
+                                    Some(j) => out.push(j),
+                                    None => break,
+                                }
+                            }
+                            if !sub.is_empty() {
+                                still_active.push_back(conn);
+                            }
+                        }
+                        *active = still_active;
+                    }
+                    QueueDiscipline::Socket { batch } => {
+                        // Drain up to N from one ready connection, rotating.
+                        if let Some(conn) = active.pop_front() {
+                            let sub = subqueues.get_mut(&conn).expect("active conn has subqueue");
+                            for _ in 0..batch {
+                                match sub.pop_front() {
+                                    Some(j) => out.push(j),
+                                    None => break,
+                                }
+                            }
+                            if !sub.is_empty() {
+                                active.push_back(conn);
+                            }
+                        }
+                    }
+                    QueueDiscipline::Single => unreachable!("PerConn never holds Single"),
+                }
+                *len -= out.len();
+                out
+            }
+        }
+    }
+
+    /// Drops any empty subqueues (housekeeping for long runs with ephemeral
+    /// connections). No-op for `Single`.
+    pub fn compact(&mut self) {
+        if let StageQueue::PerConn { subqueues, .. } = self {
+            subqueues.retain(|_, q| !q.is_empty());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn j(n: u32) -> JobId {
+        JobId::new(n, 0)
+    }
+    fn c(n: u32) -> ConnectionId {
+        ConnectionId::from_raw(n)
+    }
+
+    #[test]
+    fn single_is_fifo_one_at_a_time() {
+        let mut q = StageQueue::new(QueueDiscipline::Single);
+        q.push(j(1), c(0));
+        q.push(j(2), c(9));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.assemble_batch(), vec![j(1)]);
+        assert_eq!(q.assemble_batch(), vec![j(2)]);
+        assert!(q.assemble_batch().is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn epoll_harvests_every_active_connection() {
+        let mut q = StageQueue::new(QueueDiscipline::Epoll { batch_per_conn: 2 });
+        // conn0: 3 jobs, conn1: 1 job, conn2: 2 jobs
+        q.push(j(1), c(0));
+        q.push(j(2), c(0));
+        q.push(j(3), c(0));
+        q.push(j(4), c(1));
+        q.push(j(5), c(2));
+        q.push(j(6), c(2));
+        let batch = q.assemble_batch();
+        // Up to 2 per conn, in activation order: conn0 → (1,2), conn1 → (4), conn2 → (5,6)
+        assert_eq!(batch, vec![j(1), j(2), j(4), j(5), j(6)]);
+        assert_eq!(q.len(), 1);
+        // Remaining job on conn0 comes in the next harvest.
+        assert_eq!(q.assemble_batch(), vec![j(3)]);
+    }
+
+    #[test]
+    fn socket_drains_one_connection_round_robin() {
+        let mut q = StageQueue::new(QueueDiscipline::Socket { batch: 2 });
+        q.push(j(1), c(0));
+        q.push(j(2), c(0));
+        q.push(j(3), c(0));
+        q.push(j(4), c(1));
+        // First call: 2 jobs from conn0; conn0 rotates behind conn1.
+        assert_eq!(q.assemble_batch(), vec![j(1), j(2)]);
+        assert_eq!(q.assemble_batch(), vec![j(4)]);
+        assert_eq!(q.assemble_batch(), vec![j(3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn reactivation_after_drain() {
+        let mut q = StageQueue::new(QueueDiscipline::Epoll { batch_per_conn: 4 });
+        q.push(j(1), c(0));
+        assert_eq!(q.assemble_batch(), vec![j(1)]);
+        // Re-push on the same conn reactivates it.
+        q.push(j(2), c(0));
+        assert_eq!(q.assemble_batch(), vec![j(2)]);
+    }
+
+    #[test]
+    fn len_tracks_across_operations() {
+        let mut q = StageQueue::new(QueueDiscipline::Socket { batch: 3 });
+        for i in 0..10 {
+            q.push(j(i), c(i % 3));
+        }
+        assert_eq!(q.len(), 10);
+        let mut popped = 0;
+        while !q.is_empty() {
+            popped += q.assemble_batch().len();
+        }
+        assert_eq!(popped, 10);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn compact_removes_empty_subqueues() {
+        let mut q = StageQueue::new(QueueDiscipline::Epoll { batch_per_conn: 8 });
+        for i in 0..100 {
+            q.push(j(i), c(i));
+        }
+        while !q.is_empty() {
+            q.assemble_batch();
+        }
+        q.compact();
+        if let StageQueue::PerConn { subqueues, .. } = &q {
+            assert!(subqueues.is_empty());
+        } else {
+            panic!("expected PerConn");
+        }
+    }
+
+    #[test]
+    fn empty_batch_from_empty_queue() {
+        let mut q = StageQueue::new(QueueDiscipline::Epoll { batch_per_conn: 2 });
+        assert!(q.assemble_batch().is_empty());
+        let mut q = StageQueue::new(QueueDiscipline::Socket { batch: 2 });
+        assert!(q.assemble_batch().is_empty());
+    }
+
+    // Property test: no job is lost or duplicated under random operations.
+    #[test]
+    fn conservation_property() {
+        use rand::Rng;
+        let mut rng = crate::rng::RngFactory::new(8).stream("queue", 0);
+        for mode in [
+            QueueDiscipline::Single,
+            QueueDiscipline::Socket { batch: 3 },
+            QueueDiscipline::Epoll { batch_per_conn: 2 },
+        ] {
+            let mut q = StageQueue::new(mode);
+            let mut pushed = Vec::new();
+            let mut popped = Vec::new();
+            let mut next = 0u32;
+            for _ in 0..2000 {
+                if rng.gen_bool(0.6) {
+                    q.push(j(next), c(rng.gen_range(0..5)));
+                    pushed.push(j(next));
+                    next += 1;
+                } else {
+                    popped.extend(q.assemble_batch());
+                }
+            }
+            while !q.is_empty() {
+                popped.extend(q.assemble_batch());
+            }
+            pushed.sort();
+            popped.sort();
+            assert_eq!(pushed, popped, "conservation violated for {mode:?}");
+        }
+    }
+}

@@ -1,0 +1,1280 @@
+//! The simulator: cluster state, event handlers, and the run loop.
+//!
+//! Construct a [`Simulator`] with
+//! [`ScenarioBuilder`](crate::builder::ScenarioBuilder), then drive it with
+//! [`Simulator::run_for`]. All behavior described in DESIGN.md §4 lives
+//! here: network processing on irq cores, per-thread stage queues with
+//! epoll/socket batching, connection-pool backpressure, fan-in
+//! synchronization, thread blocking, and DVFS-aware service times.
+
+use crate::connection::{Connection, ConnectionPool, UpEndpoint};
+use crate::controller::{ControlAction, Controller, TickStats};
+use crate::event::{EventKind, EventQueue, Packet, PacketDest};
+use crate::ids::{
+    ClientId, ConnectionId, ControllerId, InstanceId, JobId, MachineId, PathNodeId, PoolId,
+    RequestId, ServiceId, StageId, ThreadId,
+};
+use crate::job::{JobArena, RequestArena};
+use crate::machine::{Core, MachineSpec};
+use crate::metrics::{LatencyRecorder, LatencySummary, WindowStats, WindowedRecorder};
+use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathSelect, RequestType};
+use crate::queue::StageQueue;
+use crate::service::ServiceModel;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use std::collections::{HashMap, VecDeque};
+
+/// Global simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed for all random streams.
+    pub seed: u64,
+    /// Completions before this time are excluded from the latency summary.
+    pub warmup: SimDuration,
+    /// If set, also collect fixed-width windowed latency series.
+    pub window: Option<SimDuration>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 1, warmup: SimDuration::from_secs(1), window: None }
+    }
+}
+
+/// Execution model of an instance (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// Jobs dispatch straight onto the instance's cores; one implicit
+    /// worker per core; stage queues shared.
+    Simple,
+    /// Explicit worker threads contending for the instance's cores, with a
+    /// context-switch penalty and support for thread blocking; stage queues
+    /// are per-thread (connections are bound to threads).
+    MultiThreaded {
+        /// Context-switch overhead in nanoseconds, charged when a core runs
+        /// a different thread than it ran last.
+        ctx_switch_ns: u64,
+    },
+}
+
+/// A batch of jobs a thread is currently servicing through one stage.
+#[derive(Debug, Clone)]
+pub(crate) struct Batch {
+    pub(crate) stage: StageId,
+    pub(crate) jobs: Vec<JobId>,
+}
+
+/// Runtime state of one worker thread.
+#[derive(Debug)]
+pub(crate) struct ThreadRt {
+    pub(crate) running: Option<Batch>,
+    /// Number of outstanding synchronous calls blocking this thread.
+    pub(crate) block_depth: u32,
+    pub(crate) queue_set: usize,
+    pub(crate) held_core: Option<usize>,
+}
+
+impl ThreadRt {
+    fn is_idle(&self) -> bool {
+        self.running.is_none() && self.block_depth == 0
+    }
+}
+
+/// Runtime state of one deployed instance.
+#[derive(Debug)]
+pub(crate) struct InstanceRt {
+    pub(crate) name: String,
+    pub(crate) service: ServiceId,
+    pub(crate) machine: MachineId,
+    /// Machine-local core indices owned by this instance.
+    pub(crate) cores: Vec<usize>,
+    pub(crate) exec: ExecModel,
+    pub(crate) threads: Vec<ThreadRt>,
+    /// `[queue_set][stage]`; one set shared (Simple) or one per thread.
+    pub(crate) queue_sets: Vec<Vec<StageQueue>>,
+    pub(crate) shared_queues: bool,
+    /// Round-robin counter for binding new connections to threads.
+    pub(crate) rr_thread: usize,
+    pub(crate) batches_dispatched: u64,
+    pub(crate) jobs_processed: u64,
+    /// Per-stage aggregates (indexed by stage).
+    pub(crate) stage_agg: Vec<StageAgg>,
+    /// When true, per-invocation service times are recorded per stage.
+    pub(crate) profiling: bool,
+    /// Profiled invocation durations (seconds) per stage.
+    pub(crate) stage_samples: Vec<Vec<f64>>,
+}
+
+/// Internal per-stage counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StageAgg {
+    pub(crate) invocations: u64,
+    pub(crate) jobs: u64,
+    pub(crate) busy_ns: u64,
+}
+
+/// Observability snapshot of one stage of one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Batch invocations executed.
+    pub invocations: u64,
+    /// Jobs processed across all invocations.
+    pub jobs: u64,
+    /// Mean batch size (`jobs / invocations`).
+    pub mean_batch: f64,
+    /// Total busy time spent in this stage.
+    pub busy: SimDuration,
+}
+
+impl InstanceRt {
+    /// Total queued jobs across all queue sets and stages.
+    fn queue_depth(&self) -> usize {
+        self.queue_sets.iter().flatten().map(StageQueue::len).sum()
+    }
+}
+
+/// Runtime state of one machine.
+#[derive(Debug)]
+pub(crate) struct MachineRt {
+    pub(crate) spec: MachineSpec,
+    pub(crate) cores: Vec<Core>,
+    /// Machine-local indices of the irq cores.
+    pub(crate) irq_cores: Vec<usize>,
+    pub(crate) net_queue: VecDeque<Packet>,
+    /// One in-service slot per irq core.
+    pub(crate) net_slots: Vec<Option<Packet>>,
+    pub(crate) net_packets: u64,
+}
+
+/// Runtime state of one client.
+#[derive(Debug)]
+pub(crate) struct ClientRt {
+    pub(crate) spec: crate::client::ClientSpec,
+    pub(crate) conns: Vec<ConnectionId>,
+    pub(crate) next_conn: usize,
+    /// Arrivals generated so far (trace-replay cursor).
+    pub(crate) issued: u64,
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    pub(crate) cfg: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) events: EventQueue,
+    pub(crate) rng_service: SmallRng,
+    pub(crate) rng_arrival: SmallRng,
+    pub(crate) rng_path: SmallRng,
+    pub(crate) rng_network: SmallRng,
+    pub(crate) machines: Vec<MachineRt>,
+    pub(crate) services: Vec<ServiceModel>,
+    pub(crate) instances: Vec<InstanceRt>,
+    pub(crate) conns: Vec<Connection>,
+    pub(crate) pools: Vec<ConnectionPool>,
+    /// `(up_instance, down_instance) → pool`.
+    pub(crate) pool_lookup: HashMap<(u32, u32), PoolId>,
+    /// Free ephemeral connections per `(up_instance, down_instance)`.
+    pub(crate) eph_free: HashMap<(u32, u32), Vec<ConnectionId>>,
+    pub(crate) request_types: Vec<RequestType>,
+    /// Per type, per node: does a job arriving at this node unblock the
+    /// thread pinned by some earlier node's `block_thread_until`?
+    pub(crate) unblocks_thread: Vec<Vec<bool>>,
+    /// Per type, per node: round-robin instance-selection counters.
+    pub(crate) rr_instance: Vec<Vec<usize>>,
+    pub(crate) clients: Vec<ClientRt>,
+    pub(crate) requests: RequestArena,
+    pub(crate) jobs: JobArena,
+    pub(crate) controllers: Vec<Option<Box<dyn Controller>>>,
+    // Metrics.
+    pub(crate) e2e: LatencyRecorder,
+    pub(crate) per_type: Vec<LatencyRecorder>,
+    pub(crate) windowed: Option<WindowedRecorder>,
+    pub(crate) interval_e2e: Vec<f64>,
+    pub(crate) interval_instance: Vec<Vec<f64>>,
+    pub(crate) instance_residency: Vec<LatencyRecorder>,
+    pub(crate) generated: u64,
+    pub(crate) completed: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) completed_after_timeout: u64,
+    pub(crate) events_processed: u64,
+    pub(crate) stopped: bool,
+    pub(crate) tracing: Option<TraceConfig>,
+    pub(crate) traces: Vec<RequestTrace>,
+}
+
+/// Request-tracing configuration.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct TraceConfig {
+    pub(crate) sample_every: u64,
+    pub(crate) capacity: usize,
+}
+
+/// One traced span: a request's visit to one path node.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct SpanRecord {
+    /// Path-node name.
+    pub node: String,
+    /// Instance name the node executed on (empty for the client sink).
+    pub instance: String,
+    /// When the job entered the instance.
+    pub enter: SimTime,
+    /// When the node's execution finished.
+    pub exit: SimTime,
+}
+
+/// A sampled end-to-end request trace (distributed-tracing style).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct RequestTrace {
+    /// Request-type name.
+    pub request_type: String,
+    /// When the client generated the request.
+    pub submitted: SimTime,
+    /// When the response reached the client.
+    pub completed: SimTime,
+    /// Per-node spans, in node-id order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field("instances", &self.instances.len())
+            .field("pending_events", &self.events.len())
+            .field("generated", &self.generated)
+            .field("completed", &self.completed)
+            .finish()
+    }
+}
+
+impl Simulator {
+    // ------------------------------------------------------------------
+    // Public driving API
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The configuration this simulator was built with.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs until `deadline` (simulated), then stops. In-flight requests at
+    /// the deadline are abandoned (open-loop steady-state convention).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.events.schedule(deadline, EventKind::Stop);
+        self.stopped = false;
+        while !self.stopped {
+            let Some(ev) = self.events.pop() else { break };
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            self.events_processed += 1;
+            self.handle(ev.kind);
+        }
+    }
+
+    /// Runs for `duration` of simulated time from now.
+    pub fn run_for(&mut self, duration: SimDuration) {
+        self.run_until(self.now + duration);
+    }
+
+    /// Registers a controller; its first tick fires `first_tick()` from now.
+    pub fn add_controller(&mut self, controller: Box<dyn Controller>) -> ControllerId {
+        let id = ControllerId::from_raw(self.controllers.len() as u32);
+        let first = controller.first_tick();
+        self.controllers.push(Some(controller));
+        self.events.schedule(self.now + first, EventKind::ControllerTick { controller: id });
+        id
+    }
+
+    /// Sets every core of `instance` to `freq_ghz`, snapped to the owning
+    /// machine's DVFS levels. Returns the snapped frequency.
+    pub fn set_instance_freq(&mut self, instance: InstanceId, freq_ghz: f64) -> f64 {
+        let inst = &self.instances[instance.index()];
+        let m = inst.machine.index();
+        let snapped = self.machines[m].spec.dvfs.snap(freq_ghz);
+        let cores = inst.cores.clone();
+        for c in cores {
+            self.machines[m].cores[c].freq_ghz = snapped;
+        }
+        snapped
+    }
+
+    /// Current frequency of `instance` (its first core), GHz.
+    pub fn instance_freq(&self, instance: InstanceId) -> f64 {
+        let inst = &self.instances[instance.index()];
+        self.machines[inst.machine.index()].cores[inst.cores[0]].freq_ghz
+    }
+
+    // ------------------------------------------------------------------
+    // Public metrics API
+    // ------------------------------------------------------------------
+
+    /// End-to-end latency summary over post-warmup completions.
+    pub fn latency_summary(&self) -> LatencySummary {
+        self.e2e.summary()
+    }
+
+    /// Raw post-warmup end-to-end latency samples (seconds).
+    pub fn latency_samples(&self) -> &[f64] {
+        self.e2e.samples()
+    }
+
+    /// Post-warmup residence-latency summary for one instance.
+    pub fn instance_residency(&self, instance: InstanceId) -> LatencySummary {
+        self.instance_residency[instance.index()].summary()
+    }
+
+    /// Post-warmup end-to-end latency summary for one request type — e.g.
+    /// cache hits vs. misses of the 3-tier application.
+    pub fn type_latency_summary(&self, ty: crate::ids::RequestTypeId) -> LatencySummary {
+        self.per_type[ty.index()].summary()
+    }
+
+    /// Resolves a request type by name.
+    pub fn request_type_by_name(&self, name: &str) -> Option<crate::ids::RequestTypeId> {
+        self.request_types
+            .iter()
+            .position(|t| t.name == name)
+            .map(|i| crate::ids::RequestTypeId::from_raw(i as u32))
+    }
+
+    /// The windowed latency series, if window collection was enabled.
+    pub fn window_series(&self) -> Option<&[WindowStats]> {
+        self.windowed.as_ref().map(|w| w.finished())
+    }
+
+    /// Requests generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests whose client-side timeout fired before completion.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts
+    }
+
+    /// Timed-out requests that later completed anyway (excluded from the
+    /// latency summary).
+    pub fn completed_after_timeout(&self) -> u64 {
+        self.completed_after_timeout
+    }
+
+    /// Enables request tracing: every `sample_every`-th completion is
+    /// recorded (up to `capacity` traces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn enable_tracing(&mut self, sample_every: u64, capacity: usize) {
+        assert!(sample_every > 0, "sample_every must be positive");
+        self.tracing = Some(TraceConfig { sample_every, capacity });
+        self.traces.reserve(capacity.min(4096));
+    }
+
+    /// The traces recorded so far.
+    pub fn traces(&self) -> &[RequestTrace] {
+        &self.traces
+    }
+
+    /// Starts recording per-invocation service times for every stage of
+    /// `instance` — the paper's profiling step: the samples can be turned
+    /// into [`Histogram`](crate::histogram::Histogram)s and fed back as
+    /// empirical service-time distributions.
+    pub fn enable_stage_profiling(&mut self, instance: InstanceId) {
+        self.instances[instance.index()].profiling = true;
+    }
+
+    /// The profiled invocation durations (seconds) of one stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range for the instance's service.
+    pub fn stage_profile(&self, instance: InstanceId, stage: usize) -> &[f64] {
+        &self.instances[instance.index()].stage_samples[stage]
+    }
+
+    /// Schedules a DVFS change at a future simulated time (a cluster
+    /// administration operation, §III-A). `core` of `None` retunes the
+    /// whole machine.
+    pub fn schedule_dvfs(
+        &mut self,
+        at: SimTime,
+        machine: MachineId,
+        core: Option<crate::ids::CoreId>,
+        freq_ghz: f64,
+    ) {
+        self.events.schedule(at, EventKind::DvfsSet { machine, core, freq_ghz });
+    }
+
+    /// Energy consumed by `machine` so far, joules: accumulated dynamic
+    /// (cubic-in-frequency) energy plus static power over elapsed time.
+    pub fn machine_energy_j(&self, machine: MachineId) -> f64 {
+        let m = &self.machines[machine.index()];
+        let dynamic: f64 = m.cores.iter().map(|c| c.dyn_energy_j).sum();
+        let static_j = m.spec.power.idle_w * m.cores.len() as f64 * self.now.as_secs_f64();
+        dynamic + static_j
+    }
+
+    /// Total energy consumed by the whole cluster so far, joules.
+    pub fn cluster_energy_j(&self) -> f64 {
+        (0..self.machines.len())
+            .map(|m| self.machine_energy_j(MachineId::from_raw(m as u32)))
+            .sum()
+    }
+
+    /// Free connections and waiting jobs of every pool, in pool order —
+    /// direct visibility into connection-pool backpressure.
+    pub fn pool_stats(&self) -> Vec<(InstanceId, InstanceId, usize, usize)> {
+        self.pools
+            .iter()
+            .map(|p| (p.up_instance, p.down_instance, p.free_count(), p.waiter_count()))
+            .collect()
+    }
+
+    /// Requests currently in flight.
+    pub fn live_requests(&self) -> usize {
+        self.requests.live()
+    }
+
+    /// Jobs currently in flight.
+    pub fn live_jobs(&self) -> usize {
+        self.jobs.live()
+    }
+
+    /// Events processed so far (simulator-speed statistic).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Number of deployed instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Resolves an instance by name.
+    pub fn instance_by_name(&self, name: &str) -> Option<InstanceId> {
+        self.instances
+            .iter()
+            .position(|i| i.name == name)
+            .map(|i| InstanceId::from_raw(i as u32))
+    }
+
+    /// Mean core utilization of an instance since time zero.
+    pub fn instance_utilization(&self, instance: InstanceId) -> f64 {
+        let inst = &self.instances[instance.index()];
+        if self.now == SimTime::ZERO || inst.cores.is_empty() {
+            return 0.0;
+        }
+        let m = &self.machines[inst.machine.index()];
+        let busy: u64 = inst.cores.iter().map(|&c| m.cores[c].busy_ns).sum();
+        busy as f64 / (self.now.as_nanos() as f64 * inst.cores.len() as f64)
+    }
+
+    /// Mean irq-core utilization of a machine since time zero.
+    pub fn network_utilization(&self, machine: MachineId) -> f64 {
+        let m = &self.machines[machine.index()];
+        if self.now == SimTime::ZERO || m.irq_cores.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = m.irq_cores.iter().map(|&c| m.cores[c].busy_ns).sum();
+        busy as f64 / (self.now.as_nanos() as f64 * m.irq_cores.len() as f64)
+    }
+
+    /// Total jobs currently queued at an instance.
+    pub fn instance_queue_depth(&self, instance: InstanceId) -> usize {
+        self.instances[instance.index()].queue_depth()
+    }
+
+    /// Per-stage observability: invocation counts, mean batch sizes, and
+    /// busy time for each stage of `instance`. Mean batch size above 1 on
+    /// an epoll stage is direct evidence of batching amortization.
+    pub fn instance_stage_stats(&self, instance: InstanceId) -> Vec<StageStats> {
+        let inst = &self.instances[instance.index()];
+        let svc = &self.services[inst.service.index()];
+        inst.stage_agg
+            .iter()
+            .zip(&svc.stages)
+            .map(|(agg, spec)| StageStats {
+                name: spec.name.clone(),
+                invocations: agg.invocations,
+                jobs: agg.jobs,
+                mean_batch: if agg.invocations == 0 {
+                    0.0
+                } else {
+                    agg.jobs as f64 / agg.invocations as f64
+                },
+                busy: SimDuration::from_nanos(agg.busy_ns),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::ClientArrival { client } => self.on_client_arrival(client),
+            EventKind::NetDelivery { packet } => self.on_net_delivery(packet),
+            EventKind::NetDone { machine, slot } => self.on_net_done(machine, slot),
+            EventKind::StageDone { instance, thread } => self.on_stage_done(instance, thread),
+            EventKind::DeliverToClient { request } => self.on_deliver_to_client(request),
+            EventKind::DvfsSet { machine, core, freq_ghz } => {
+                let m = &mut self.machines[machine.index()];
+                let snapped = m.spec.dvfs.snap(freq_ghz);
+                match core {
+                    Some(c) => m.cores[c.index()].freq_ghz = snapped,
+                    None => {
+                        for c in &mut m.cores {
+                            c.freq_ghz = snapped;
+                        }
+                    }
+                }
+            }
+            EventKind::RequestTimeout { request } => self.on_request_timeout(request),
+            EventKind::ControllerTick { controller } => self.on_controller_tick(controller),
+            EventKind::Stop => self.stopped = true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    fn on_client_arrival(&mut self, client: ClientId) {
+        let c = client.index();
+        // Open-loop clients self-schedule the next arrival (unless a
+        // replayed trace is exhausted); closed-loop users reissue from
+        // on_deliver_to_client instead.
+        let issued = self.clients[c].issued;
+        self.clients[c].issued += 1;
+        if self.clients[c].spec.closed_loop.is_none() {
+            let gap = {
+                let cl = &self.clients[c];
+                cl.spec.arrivals.gap_after(issued, self.now, &mut self.rng_arrival)
+            };
+            if let Some(gap) = gap {
+                self.events.schedule(self.now + gap, EventKind::ClientArrival { client });
+            }
+        }
+
+        // Create the request.
+        let ty = self.clients[c].spec.mix.choose(&mut self.rng_path);
+        let node_count = self.request_types[ty.index()].nodes.len();
+        let rid = self.requests.alloc(ty, client, self.now, node_count);
+        let size = self.clients[c].spec.request_size.sample(&mut self.rng_path).max(0.0);
+        self.requests.get_mut(rid).expect("fresh request").size_bytes = size;
+        self.generated += 1;
+        if let Some(timeout_s) = self.clients[c].spec.timeout_s {
+            self.events.schedule(
+                self.now + SimDuration::from_secs_f64(timeout_s),
+                EventKind::RequestTimeout { request: rid },
+            );
+        }
+
+        // Assign a connection round-robin; queue behind it if busy.
+        let n_conns = self.clients[c].conns.len();
+        let ci = self.clients[c].next_conn;
+        self.clients[c].next_conn = (ci + 1) % n_conns;
+        let conn_id = self.clients[c].conns[ci];
+        self.requests.get_mut(rid).expect("fresh request").client_conn = Some(conn_id);
+        if self.conns[conn_id.index()].busy {
+            self.conns[conn_id.index()].pending.push_back(rid);
+        } else {
+            self.launch_request(rid, conn_id);
+        }
+    }
+
+    /// Writes a request onto its (free) client connection: creates the root
+    /// job and sends it over the network.
+    fn launch_request(&mut self, rid: RequestId, conn_id: ConnectionId) {
+        self.conns[conn_id.index()].busy = true;
+        let ty = {
+            let req = self.requests.get_mut(rid).expect("request exists");
+            req.launched = Some(self.now);
+            req.ty
+        };
+        let root = self.request_types[ty.index()].root;
+        let job = self.jobs.alloc(rid, root);
+        self.requests.get_mut(rid).expect("request exists").live_jobs += 1;
+        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn_id);
+        let dest = self.conns[conn_id.index()].down_instance;
+        self.send_job(job, None, dest);
+    }
+
+    fn on_deliver_to_client(&mut self, rid: RequestId) {
+        let (latency, conn_id, live_jobs, client, timed_out) = {
+            let req = self.requests.get(rid).expect("completing request exists");
+            (
+                self.now - req.submitted,
+                req.client_conn.expect("launched request has a connection"),
+                req.live_jobs,
+                req.client,
+                req.timed_out,
+            )
+        };
+        debug_assert_eq!(live_jobs, 0, "request completed with live jobs");
+        if timed_out {
+            // Already accounted as a timeout error; exclude from latency.
+            self.completed_after_timeout += 1;
+        } else {
+            self.e2e.record(self.now, latency);
+            let ty = self.requests.get(rid).expect("completing request exists").ty;
+            self.per_type[ty.index()].record(self.now, latency);
+            if let Some(w) = &mut self.windowed {
+                w.record(self.now, latency);
+            }
+            self.interval_e2e.push(latency.as_secs_f64());
+        }
+        self.completed += 1;
+        self.maybe_trace(rid);
+        self.requests.free(rid);
+
+        // Free the connection; launch the next queued request if any.
+        let next = {
+            let conn = &mut self.conns[conn_id.index()];
+            conn.busy = false;
+            conn.pending.pop_front()
+        };
+        if let Some(next_rid) = next {
+            self.launch_request(next_rid, conn_id);
+        }
+
+        // Closed-loop users reissue after a think time.
+        let think = self.clients[client.index()].spec.closed_loop.as_ref().map(|cl| {
+            SimDuration::from_secs_f64(cl.think_time.sample(&mut self.rng_arrival))
+        });
+        if let Some(think) = think {
+            self.events.schedule(self.now + think, EventKind::ClientArrival { client });
+        }
+    }
+
+    fn on_request_timeout(&mut self, rid: RequestId) {
+        // The request may have completed long ago; its slot id is then
+        // stale and the lookup simply misses.
+        if let Some(req) = self.requests.get_mut(rid) {
+            if !req.timed_out {
+                req.timed_out = true;
+                self.timeouts += 1;
+            }
+        }
+    }
+
+    /// Records a sampled trace of a completing request.
+    fn maybe_trace(&mut self, rid: RequestId) {
+        let Some(cfg) = self.tracing else { return };
+        if self.traces.len() >= cfg.capacity || !self.completed.is_multiple_of(cfg.sample_every) {
+            return;
+        }
+        let req = self.requests.get(rid).expect("completing request exists");
+        let ty = &self.request_types[req.ty.index()];
+        let spans = req
+            .nodes
+            .iter()
+            .zip(&ty.nodes)
+            .filter_map(|(nr, spec)| match (nr.enter, nr.exit) {
+                (Some(enter), Some(exit)) => Some(SpanRecord {
+                    node: spec.name.clone(),
+                    instance: nr
+                        .instance
+                        .map(|i| self.instances[i.index()].name.clone())
+                        .unwrap_or_default(),
+                    enter,
+                    exit,
+                }),
+                _ => None,
+            })
+            .collect();
+        self.traces.push(RequestTrace {
+            request_type: ty.name.clone(),
+            submitted: req.submitted,
+            completed: self.now,
+            spans,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Network
+    // ------------------------------------------------------------------
+
+    /// Sends a job from `from` (or a client, if `None`) to `dest`. Cross-
+    /// machine hops pay wire latency and the destination's interrupt
+    /// processing; same-machine hops pay only loopback latency.
+    fn send_job(&mut self, job: JobId, from: Option<InstanceId>, dest: InstanceId) {
+        let m = self.instances[dest.index()].machine.index();
+        let local = from
+            .map(|f| self.instances[f.index()].machine.index() == m)
+            .unwrap_or(false);
+        let net = &self.machines[m].spec.network;
+        let mut delay = if local {
+            net.loopback_latency.sample(&mut self.rng_network)
+        } else {
+            net.wire_latency.sample(&mut self.rng_network)
+        };
+        if !local {
+            if let Some(bw_gbps) = net.bandwidth_gbps {
+                let bytes = self
+                    .jobs
+                    .get(job)
+                    .and_then(|j| self.requests.get(j.request))
+                    .map(|r| r.size_bytes)
+                    .unwrap_or(0.0);
+                delay += bytes * 8.0 / (bw_gbps * 1e9);
+            }
+        }
+        self.events.schedule(
+            self.now + SimDuration::from_secs_f64(delay),
+            EventKind::NetDelivery {
+                packet: Packet { job, dest: PacketDest::Instance(dest), local },
+            },
+        );
+    }
+
+    fn on_net_delivery(&mut self, packet: Packet) {
+        match packet.dest {
+            PacketDest::Instance(inst) => {
+                let m = self.instances[inst.index()].machine.index();
+                if packet.local || self.machines[m].irq_cores.is_empty() {
+                    self.deliver_to_instance(packet.job, inst);
+                } else {
+                    self.machines[m].net_queue.push_back(packet);
+                    self.net_dispatch(m);
+                }
+            }
+            PacketDest::Client(_) => {
+                unreachable!("client deliveries use DeliverToClient directly")
+            }
+        }
+    }
+
+    fn net_dispatch(&mut self, m: usize) {
+        loop {
+            let machine = &mut self.machines[m];
+            if machine.net_queue.is_empty() {
+                break;
+            }
+            let Some(slot) = machine.net_slots.iter().position(Option::is_none) else { break };
+            let packet = machine.net_queue.pop_front().expect("checked non-empty");
+            machine.net_slots[slot] = Some(packet);
+            machine.net_packets += 1;
+            let core = machine.irq_cores[slot];
+            machine.cores[core].busy = true;
+            let rx = machine.spec.network.rx_time.sample(&mut self.rng_network);
+            let dur = SimDuration::from_secs_f64(rx);
+            machine.cores[core].busy_ns += dur.as_nanos();
+            let max_ghz = machine.spec.dvfs.max_ghz();
+            let freq = machine.cores[core].freq_ghz;
+            machine.cores[core].dyn_energy_j +=
+                dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
+            self.events.schedule(
+                self.now + dur,
+                EventKind::NetDone { machine: MachineId::from_raw(m as u32), slot },
+            );
+        }
+    }
+
+    fn on_net_done(&mut self, machine: MachineId, slot: usize) {
+        let m = machine.index();
+        let packet = self.machines[m].net_slots[slot].take().expect("slot was in service");
+        let core = self.machines[m].irq_cores[slot];
+        self.machines[m].cores[core].busy = false;
+        match packet.dest {
+            PacketDest::Instance(inst) => self.deliver_to_instance(packet.job, inst),
+            PacketDest::Client(_) => unreachable!("client deliveries bypass the net service"),
+        }
+        self.net_dispatch(m);
+    }
+
+    // ------------------------------------------------------------------
+    // Instance side
+    // ------------------------------------------------------------------
+
+    /// A job (post-network) arrives at its target instance: handle reply
+    /// connection release, fan-in merging, execution-path choice, thread
+    /// routing, and enqueue into the first stage.
+    fn deliver_to_instance(&mut self, job_id: JobId, inst_id: InstanceId) {
+        let (rid, node, conn) = {
+            let j = self.jobs.get(job_id).expect("delivered job exists");
+            (j.request, j.node, j.conn)
+        };
+        let ty = self.requests.get(rid).expect("job's request exists").ty;
+        let link = self.request_types[ty.index()].nodes[node.index()].link.clone();
+
+        // Replies release the connection that carried the original request.
+        if matches!(
+            link,
+            LinkKind::Reply { .. } | LinkKind::ReplyToParent | LinkKind::ReplyVia { .. }
+        ) {
+            if let Some(c) = conn {
+                self.release_conn(c);
+            }
+        }
+
+        // Fan-in: only the last arriving copy proceeds.
+        let fan_in = self.request_types[ty.index()].fan_in[node.index()].max(1);
+        {
+            let req = self.requests.get_mut(rid).expect("job's request exists");
+            let nr = &mut req.nodes[node.index()];
+            nr.arrivals += 1;
+            nr.entry_conn = conn;
+            if (nr.arrivals as usize) < fan_in {
+                req.live_jobs -= 1;
+                self.jobs.free(job_id);
+                return;
+            }
+            nr.enter = Some(self.now);
+        }
+
+        // Choose the intra-service execution path.
+        let inst_service = self.instances[inst_id.index()].service;
+        let exec_idx = match self.request_types[ty.index()].nodes[node.index()].target {
+            NodeTarget::Service { exec_path: PathSelect::Fixed { index }, .. } => index,
+            NodeTarget::Service { exec_path: PathSelect::Probabilistic, .. } => {
+                self.services[inst_service.index()].choose_path(&mut self.rng_path)
+            }
+            NodeTarget::ClientSink => unreachable!("sinks never execute on instances"),
+        };
+
+        // Route to a worker thread / queue set.
+        let pin = self.request_types[ty.index()].nodes[node.index()].pin_thread_of;
+        let shared = self.instances[inst_id.index()].shared_queues;
+        let thread_idx = if let Some(pn) = pin {
+            self.requests.get(rid).expect("request exists").nodes[pn.index()]
+                .thread
+                .expect("pinned node already executed")
+                .index()
+        } else if shared {
+            0
+        } else {
+            conn.and_then(|c| self.conns[c.index()].thread_at(inst_id))
+                .map(ThreadId::index)
+                .unwrap_or(0)
+        };
+        let set = if shared { 0 } else { thread_idx };
+
+        {
+            let j = self.jobs.get_mut(job_id).expect("delivered job exists");
+            j.exec_path = exec_idx;
+            j.stage_cursor = 0;
+            j.instance = Some(inst_id);
+        }
+        let first_stage =
+            self.services[inst_service.index()].paths[exec_idx].stages[0].index();
+        let conn_key = conn.expect("jobs always travel on a connection");
+        self.instances[inst_id.index()].queue_sets[set][first_stage].push(job_id, conn_key);
+
+        // Unblock the pinned thread waiting for this reply, if any.
+        if self.unblocks_thread[ty.index()][node.index()] {
+            let th = &mut self.instances[inst_id.index()].threads[thread_idx];
+            if th.block_depth > 0 {
+                th.block_depth -= 1;
+            }
+        }
+
+        self.dispatch_instance(inst_id);
+    }
+
+    /// Starts as much work as possible on an instance: idle threads pick the
+    /// latest non-empty stage of their queue set and run a batch on a free
+    /// core.
+    fn dispatch_instance(&mut self, inst_id: InstanceId) {
+        let i = inst_id.index();
+        loop {
+            // Find (thread, core, stage) without mutating.
+            let candidate = {
+                let inst = &self.instances[i];
+                let machine = &self.machines[inst.machine.index()];
+                let mut found = None;
+                for (t, th) in inst.threads.iter().enumerate() {
+                    if !th.is_idle() {
+                        continue;
+                    }
+                    let core_idx = match inst.exec {
+                        ExecModel::Simple => {
+                            let c = inst.cores[t];
+                            if machine.cores[c].busy {
+                                continue;
+                            }
+                            c
+                        }
+                        ExecModel::MultiThreaded { .. } => {
+                            match inst.cores.iter().copied().find(|&c| !machine.cores[c].busy) {
+                                Some(c) => c,
+                                // No free cores: no thread can start.
+                                None => break,
+                            }
+                        }
+                    };
+                    let set = &inst.queue_sets[th.queue_set];
+                    if let Some(stage) = (0..set.len()).rev().find(|&s| !set[s].is_empty()) {
+                        found = Some((t, core_idx, stage));
+                        break;
+                    }
+                }
+                found
+            };
+            let Some((t, core_idx, stage_idx)) = candidate else { break };
+
+            // Assemble the batch and start service.
+            let inst = &mut self.instances[i];
+            let set_idx = inst.threads[t].queue_set;
+            let jobs = inst.queue_sets[set_idx][stage_idx].assemble_batch();
+            debug_assert!(!jobs.is_empty(), "candidate stage had work");
+            let k = jobs.len();
+            let m = inst.machine.index();
+            let batch_bytes: f64 = jobs
+                .iter()
+                .filter_map(|&j| self.jobs.get(j))
+                .filter_map(|j| self.requests.get(j.request))
+                .map(|r| r.size_bytes)
+                .sum();
+            let core = &mut self.machines[m].cores[core_idx];
+            let freq = core.freq_ghz;
+            let ctx_ns = match inst.exec {
+                ExecModel::MultiThreaded { ctx_switch_ns }
+                    if core.last_thread != Some((i as u32, t as u32)) =>
+                {
+                    ctx_switch_ns
+                }
+                _ => 0,
+            };
+            let svc = &self.services[inst.service.index()];
+            let secs =
+                svc.stages[stage_idx].service.sample(&mut self.rng_service, k, batch_bytes, freq);
+            let dur = SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(ctx_ns);
+            core.busy = true;
+            core.last_thread = Some((i as u32, t as u32));
+            core.busy_ns += dur.as_nanos();
+            let machine = &mut self.machines[m];
+            let max_ghz = machine.spec.dvfs.max_ghz();
+            machine.cores[core_idx].dyn_energy_j +=
+                dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
+            for &j in &jobs {
+                let job = self.jobs.get_mut(j).expect("queued job exists");
+                job.thread = Some(ThreadId::from_raw(t as u32));
+                job.instance = Some(inst_id);
+            }
+            inst.threads[t].running =
+                Some(Batch { stage: StageId::from_raw(stage_idx as u32), jobs });
+            inst.threads[t].held_core = Some(core_idx);
+            inst.batches_dispatched += 1;
+            inst.stage_agg[stage_idx].invocations += 1;
+            inst.stage_agg[stage_idx].jobs += k as u64;
+            inst.stage_agg[stage_idx].busy_ns += dur.as_nanos();
+            if inst.profiling {
+                inst.stage_samples[stage_idx].push(secs);
+            }
+            self.events.schedule(
+                self.now + dur,
+                EventKind::StageDone { instance: inst_id, thread: ThreadId::from_raw(t as u32) },
+            );
+        }
+    }
+
+    fn on_stage_done(&mut self, inst_id: InstanceId, thread: ThreadId) {
+        let i = inst_id.index();
+        let t = thread.index();
+        let batch =
+            self.instances[i].threads[t].running.take().expect("StageDone for running thread");
+        let core_idx =
+            self.instances[i].threads[t].held_core.take().expect("running thread holds a core");
+        let m = self.instances[i].machine.index();
+        self.machines[m].cores[core_idx].busy = false;
+        self.instances[i].jobs_processed += batch.jobs.len() as u64;
+
+        let sid = self.instances[i].service.index();
+        for &job_id in &batch.jobs {
+            let (cursor, exec_path, conn) = {
+                let job = self.jobs.get_mut(job_id).expect("batch job exists");
+                debug_assert_eq!(
+                    self.services[sid].paths[job.exec_path].stages[job.stage_cursor],
+                    batch.stage,
+                    "job was batched at a stage it is not at"
+                );
+                job.stage_cursor += 1;
+                (job.stage_cursor, job.exec_path, job.conn)
+            };
+            let stages = &self.services[sid].paths[exec_path].stages;
+            if cursor < stages.len() {
+                let next_stage = stages[cursor].index();
+                let set = self.instances[i].threads[t].queue_set;
+                self.instances[i].queue_sets[set][next_stage]
+                    .push(job_id, conn.expect("executing job has a connection"));
+            } else {
+                self.complete_node(job_id, inst_id, thread);
+            }
+        }
+        self.dispatch_instance(inst_id);
+    }
+
+    /// A job finished the last stage of its node: record residency, handle
+    /// thread blocking, and fan out to children.
+    fn complete_node(&mut self, job_id: JobId, inst_id: InstanceId, thread: ThreadId) {
+        let job = self.jobs.free(job_id);
+        let rid = job.request;
+        let node = job.node;
+
+        let ty = {
+            let req = self.requests.get_mut(rid).expect("job's request exists");
+            let nr = &mut req.nodes[node.index()];
+            nr.exit = Some(self.now);
+            nr.instance = Some(inst_id);
+            nr.thread = Some(thread);
+            if let Some(enter) = nr.enter {
+                let residency = self.now - enter;
+                self.interval_instance[inst_id.index()].push(residency.as_secs_f64());
+                self.instance_residency[inst_id.index()].record(self.now, residency);
+            }
+            req.live_jobs -= 1;
+            req.ty
+        };
+
+        let spec = &self.request_types[ty.index()].nodes[node.index()];
+        let children = spec.children.clone();
+        let blocks = spec.block_thread_until.is_some();
+        if blocks {
+            self.instances[inst_id.index()].threads[thread.index()].block_depth += 1;
+        }
+
+        for child in children {
+            self.fan_out(rid, node, child, inst_id, thread, job.conn);
+        }
+    }
+
+    /// Sends one fan-out copy from `parent` (just completed on
+    /// `sender_inst`/`sender_thread`, having entered on `parent_conn`) to
+    /// `child`.
+    fn fan_out(
+        &mut self,
+        rid: RequestId,
+        parent: PathNodeId,
+        child: PathNodeId,
+        sender_inst: InstanceId,
+        sender_thread: ThreadId,
+        parent_conn: Option<ConnectionId>,
+    ) {
+        let ty = self.requests.get(rid).expect("request exists").ty;
+        let fan_in = self.request_types[ty.index()].fan_in[child.index()].max(1);
+        let (target, link) = {
+            let spec = &self.request_types[ty.index()].nodes[child.index()];
+            (spec.target.clone(), spec.link.clone())
+        };
+
+        match target {
+            NodeTarget::ClientSink => {
+                let fire = {
+                    let req = self.requests.get_mut(rid).expect("request exists");
+                    let nr = &mut req.nodes[child.index()];
+                    nr.arrivals += 1;
+                    (nr.arrivals as usize) == fan_in
+                };
+                if fire {
+                    let m = self.instances[sender_inst.index()].machine.index();
+                    let wire =
+                        self.machines[m].spec.network.wire_latency.sample(&mut self.rng_network);
+                    self.events.schedule(
+                        self.now + SimDuration::from_secs_f64(wire),
+                        EventKind::DeliverToClient { request: rid },
+                    );
+                }
+            }
+            NodeTarget::Service { instance, .. } => {
+                let dest = self.resolve_instance(&instance, rid, ty, child);
+                let job = self.jobs.alloc(rid, child);
+                self.requests.get_mut(rid).expect("request exists").live_jobs += 1;
+                match link {
+                    LinkKind::Request => {
+                        self.send_request_edge(job, sender_inst, sender_thread, dest);
+                    }
+                    LinkKind::ReplyToParent => {
+                        let conn = parent_conn.unwrap_or_else(|| {
+                            panic!("reply_to_parent from node {parent} without an entry connection")
+                        });
+                        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+                        self.send_job(job, Some(sender_inst), dest);
+                    }
+                    LinkKind::Reply { of } => {
+                        let conn = self.requests.get(rid).expect("request exists").nodes
+                            [of.index()]
+                        .entry_conn
+                        .expect("reply references an entered node");
+                        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+                        self.send_job(job, Some(sender_inst), dest);
+                    }
+                    LinkKind::ReplyVia { entries } => {
+                        let of = entries
+                            .iter()
+                            .find(|(p, _)| *p == parent)
+                            .unwrap_or_else(|| {
+                                panic!("reply_via map has no entry for parent {parent}")
+                            })
+                            .1;
+                        let conn = self.requests.get(rid).expect("request exists").nodes
+                            [of.index()]
+                        .entry_conn
+                        .expect("reply_via references an entered node");
+                        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+                        self.send_job(job, Some(sender_inst), dest);
+                    }
+                }
+            }
+        }
+    }
+
+    fn resolve_instance(
+        &mut self,
+        select: &InstanceSelect,
+        rid: RequestId,
+        ty: crate::ids::RequestTypeId,
+        node: PathNodeId,
+    ) -> InstanceId {
+        match select {
+            InstanceSelect::Fixed { instance } => *instance,
+            InstanceSelect::RoundRobin { instances } => {
+                let ctr = &mut self.rr_instance[ty.index()][node.index()];
+                let inst = instances[*ctr % instances.len()];
+                *ctr += 1;
+                inst
+            }
+            InstanceSelect::SameAsNode { node: n } => self
+                .requests
+                .get(rid)
+                .expect("request exists")
+                .nodes[n.index()]
+            .instance
+            .expect("referenced node already executed"),
+        }
+    }
+
+    /// Sends a request-edge copy: acquire a pooled connection (waiting if
+    /// exhausted) or an ephemeral connection if no pool is configured.
+    fn send_request_edge(
+        &mut self,
+        job: JobId,
+        sender_inst: InstanceId,
+        sender_thread: ThreadId,
+        dest: InstanceId,
+    ) {
+        let key = (sender_inst.raw(), dest.raw());
+        if let Some(&pool_id) = self.pool_lookup.get(&key) {
+            let acquired = self.pools[pool_id.index()].acquire(sender_thread, &self.conns);
+            match acquired {
+                Some(conn) => {
+                    self.conns[conn.index()].busy = true;
+                    self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+                    self.send_job(job, Some(sender_inst), dest);
+                }
+                None => {
+                    self.pools[pool_id.index()].enqueue_waiter(job);
+                }
+            }
+        } else {
+            // Ephemeral unbounded connection; prefer one bound to the
+            // sending thread so the reply returns to the right worker.
+            let conn = self.acquire_ephemeral(sender_inst, sender_thread, dest);
+            self.conns[conn.index()].busy = true;
+            self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+            self.send_job(job, Some(sender_inst), dest);
+        }
+    }
+
+    fn acquire_ephemeral(
+        &mut self,
+        sender_inst: InstanceId,
+        sender_thread: ThreadId,
+        dest: InstanceId,
+    ) -> ConnectionId {
+        let key = (sender_inst.raw(), dest.raw());
+        if let Some(free) = self.eph_free.get_mut(&key) {
+            if let Some(pos) = free.iter().position(|&c| {
+                matches!(
+                    self.conns[c.index()].up,
+                    UpEndpoint::Instance { thread, .. } if thread == sender_thread
+                )
+            }) {
+                return free.swap_remove(pos);
+            }
+            if let Some(c) = free.pop() {
+                return c;
+            }
+        }
+        // Create a new connection, binding the downstream thread round-robin.
+        let down_inst = &mut self.instances[dest.index()];
+        let dt = down_inst.rr_thread % down_inst.threads.len();
+        down_inst.rr_thread += 1;
+        let id = ConnectionId::from_raw(self.conns.len() as u32);
+        self.conns.push(Connection::new(
+            UpEndpoint::Instance { instance: sender_inst, thread: sender_thread },
+            dest,
+            ThreadId::from_raw(dt as u32),
+        ));
+        id
+    }
+
+    /// Releases a pooled or ephemeral connection after its reply was
+    /// delivered. Pool releases may immediately hand the connection to a
+    /// waiting job.
+    fn release_conn(&mut self, conn_id: ConnectionId) {
+        self.conns[conn_id.index()].busy = false;
+        let pool = self.conns[conn_id.index()].pool;
+        if let Some(pid) = pool {
+            if let Some((job, c)) = self.pools[pid.index()].release(conn_id) {
+                self.conns[c.index()].busy = true;
+                self.jobs.get_mut(job).expect("waiting job exists").conn = Some(c);
+                let dest = self.pools[pid.index()].down_instance;
+                let up = self.pools[pid.index()].up_instance;
+                self.send_job(job, Some(up), dest);
+            }
+        } else {
+            match self.conns[conn_id.index()].up {
+                UpEndpoint::Instance { instance, .. } => {
+                    let key = (instance.raw(), self.conns[conn_id.index()].down_instance.raw());
+                    self.eph_free.entry(key).or_default().push(conn_id);
+                }
+                UpEndpoint::Client(_) => {
+                    // Client connections are released in on_deliver_to_client.
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Controllers
+    // ------------------------------------------------------------------
+
+    fn on_controller_tick(&mut self, id: ControllerId) {
+        let mut ctrl = self.controllers[id.index()].take().expect("controller registered");
+        let stats = TickStats {
+            end_to_end: LatencySummary::from_samples(&self.interval_e2e),
+            per_instance: self
+                .interval_instance
+                .iter()
+                .map(|v| LatencySummary::from_samples(v))
+                .collect(),
+        };
+        self.interval_e2e.clear();
+        for v in &mut self.interval_instance {
+            v.clear();
+        }
+        let (actions, next) = ctrl.tick(self.now, &stats);
+        self.controllers[id.index()] = Some(ctrl);
+        for action in actions {
+            match action {
+                ControlAction::SetInstanceFreq { instance, freq_ghz } => {
+                    self.set_instance_freq(instance, freq_ghz);
+                }
+            }
+        }
+        self.events.schedule(self.now + next, EventKind::ControllerTick { controller: id });
+    }
+}

@@ -1,0 +1,497 @@
+//! Integration tests of the extended client and observability features:
+//! closed-loop load generation, client-side timeouts, request tracing,
+//! per-stage statistics, payload-size-dependent costs, and NIC bandwidth.
+
+use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+use uqsim_core::client::{ClientSpec, RequestMix};
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::{InstanceId, PathNodeId, StageId};
+use uqsim_core::machine::{DvfsSpec, MachineSpec, NetworkSpec};
+use uqsim_core::path::{PathNodeSpec, RequestType};
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+use uqsim_core::time::SimDuration;
+use uqsim_core::Simulator;
+
+/// A single-instance scenario with one epoll-fronted two-stage service.
+fn build(spec: ClientSpec, service_mean: f64, cores: usize) -> Simulator {
+    let mut b = ScenarioBuilder::new(9);
+    b.warmup(SimDuration::from_millis(200));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(10e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![
+            StageSpec::new(
+                "epoll",
+                QueueDiscipline::Epoll { batch_per_conn: 16 },
+                ServiceTimeModel::batched(
+                    Distribution::constant(4e-6),
+                    Distribution::constant(1e-6),
+                    2.6,
+                ),
+            ),
+            StageSpec::new(
+                "proc",
+                QueueDiscipline::Single,
+                ServiceTimeModel::per_job(Distribution::exponential(service_mean), 2.6),
+            ),
+        ],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0), StageId::from_raw(1)])],
+    ));
+    let i = b.add_instance("svc0", s, m, cores, ExecSpec::Simple).unwrap();
+    let mut node = PathNodeSpec::request("svc", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .unwrap();
+    let mut spec = spec;
+    spec.mix = RequestMix::single(ty);
+    b.add_client(spec, vec![i]);
+    b.build().unwrap()
+}
+
+#[test]
+fn closed_loop_throughput_follows_littles_law() {
+    // N users, think Z, service-ish response time R: X = N / (Z + R).
+    let users = 8;
+    let think = 2e-3;
+    let service = 100e-6;
+    let spec = ClientSpec::closed_loop(
+        "users",
+        users,
+        Distribution::constant(think),
+        64,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
+    let mut sim = build(spec, service, 4);
+    sim.run_for(SimDuration::from_secs(10));
+    let x = sim.latency_summary().count as f64 / 9.8;
+    let r = sim.latency_summary().mean;
+    let expect = users as f64 / (think + r);
+    assert!(
+        (x - expect).abs() / expect < 0.05,
+        "closed-loop throughput {x} vs Little's law {expect}"
+    );
+}
+
+#[test]
+fn closed_loop_bounds_in_flight_work() {
+    // Even with an absurdly slow server, a closed loop never piles up more
+    // than `users` requests.
+    let spec = ClientSpec::closed_loop(
+        "users",
+        5,
+        Distribution::constant(1e-4),
+        16,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
+    let mut sim = build(spec, 50e-3, 1);
+    sim.run_for(SimDuration::from_secs(5));
+    assert!(sim.live_requests() <= 5, "in flight {}", sim.live_requests());
+    assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+}
+
+#[test]
+fn timeouts_fire_only_in_overload() {
+    let make = |qps: f64| {
+        ClientSpec::open_loop("c", qps, 64, uqsim_core::ids::RequestTypeId::from_raw(0))
+            .with_timeout(20e-3)
+    };
+    // Light load (mu = 10k on 2 cores): no timeouts.
+    let mut calm = build(make(4_000.0), 100e-6, 2);
+    calm.run_for(SimDuration::from_secs(3));
+    assert_eq!(calm.timeouts(), 0, "no timeouts below saturation");
+
+    // Heavy overload: most requests exceed 20ms from submission.
+    let mut hot = build(make(40_000.0), 100e-6, 2);
+    hot.run_for(SimDuration::from_secs(3));
+    assert!(hot.timeouts() > 1_000, "timeouts {}", hot.timeouts());
+    // Timed-out requests that eventually finish are excluded from latency.
+    assert!(hot.completed_after_timeout() > 0);
+    assert!(hot.latency_summary().max <= 21e-3 || hot.latency_summary().count > 0);
+}
+
+#[test]
+fn traces_record_spans_in_order() {
+    let spec = ClientSpec::open_loop("c", 2_000.0, 64, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let mut sim = build(spec, 100e-6, 2);
+    sim.enable_tracing(10, 100);
+    sim.run_for(SimDuration::from_secs(2));
+    let traces = sim.traces();
+    assert!(!traces.is_empty() && traces.len() <= 100);
+    for t in traces {
+        assert_eq!(t.request_type, "get");
+        assert_eq!(t.spans.len(), 1, "one service node per request");
+        let span = &t.spans[0];
+        assert_eq!(span.instance, "svc0");
+        assert!(t.submitted <= span.enter);
+        assert!(span.enter <= span.exit);
+        assert!(span.exit <= t.completed);
+    }
+    // Traces are serializable (export format).
+    let json = serde_json::to_string(&traces[0]).unwrap();
+    assert!(json.contains("svc0"));
+}
+
+#[test]
+fn stage_stats_show_batching_under_load() {
+    let spec = ClientSpec::open_loop("c", 15_000.0, 256, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let mut sim = build(spec, 100e-6, 2);
+    sim.run_for(SimDuration::from_secs(2));
+    let stats = sim.instance_stage_stats(InstanceId::from_raw(0));
+    assert_eq!(stats.len(), 2);
+    assert_eq!(stats[0].name, "epoll");
+    assert!(stats[0].invocations > 0);
+    assert!(stats[0].jobs >= stats[0].invocations);
+    // At 75% utilization the epoll stage visibly batches.
+    assert!(
+        stats[0].mean_batch > 1.05,
+        "epoll should batch under load: mean batch {}",
+        stats[0].mean_batch
+    );
+    // Single-discipline stage never batches.
+    assert!((stats[1].mean_batch - 1.0).abs() < 1e-9);
+    assert!(stats[1].busy > SimDuration::ZERO);
+}
+
+#[test]
+fn request_sizes_slow_byte_proportional_stages() {
+    // Same scenario, but the proc stage charges 50ns/byte; big payloads
+    // must raise the mean latency accordingly.
+    let run = |bytes: f64| {
+        let mut b = ScenarioBuilder::new(4);
+        b.warmup(SimDuration::from_millis(200));
+        let m = b.add_machine(MachineSpec {
+            name: "m".into(),
+            cores: 2,
+            dvfs: DvfsSpec::fixed(2.6),
+            network: NetworkSpec::passthrough(0.0),
+            power: Default::default(),
+        });
+        let s = b.add_service(ServiceModel::new(
+            "svc",
+            vec![StageSpec::new(
+                "read",
+                QueueDiscipline::Single,
+                ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6)
+                    .with_per_byte(50e-9),
+            )],
+            vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+        ));
+        let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+        let mut node = PathNodeSpec::request("svc", s, i);
+        node.children = vec![PathNodeId::from_raw(1)];
+        let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+        let ty = b
+            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .unwrap();
+        b.add_client(
+            ClientSpec::open_loop("c", 1_000.0, 64, ty)
+                .with_request_size(Distribution::constant(bytes)),
+            vec![i],
+        );
+        let mut sim = b.build().unwrap();
+        sim.run_for(SimDuration::from_secs(3));
+        sim.latency_summary().mean
+    };
+    let small = run(100.0); // +5us
+    let large = run(4_000.0); // +200us
+    assert!(
+        large - small > 150e-6,
+        "4KB payloads must add ~195us over 100B: {small} vs {large}"
+    );
+}
+
+#[test]
+fn nic_bandwidth_adds_transmission_time() {
+    let run = |bandwidth: Option<f64>| {
+        let mut b = ScenarioBuilder::new(4);
+        b.warmup(SimDuration::from_millis(100));
+        let mut net = NetworkSpec::passthrough(10e-6);
+        net.bandwidth_gbps = bandwidth;
+        let m = b.add_machine(MachineSpec {
+            name: "m".into(),
+            cores: 2,
+            dvfs: DvfsSpec::fixed(2.6),
+            network: net,
+            power: Default::default(),
+        });
+        let s = b.add_service(ServiceModel::new(
+            "svc",
+            vec![StageSpec::new(
+                "proc",
+                QueueDiscipline::Single,
+                ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6),
+            )],
+            vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+        ));
+        let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+        let mut node = PathNodeSpec::request("svc", s, i);
+        node.children = vec![PathNodeId::from_raw(1)];
+        let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+        let ty = b
+            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .unwrap();
+        b.add_client(
+            ClientSpec::open_loop("c", 500.0, 64, ty)
+                .with_request_size(Distribution::constant(12_500.0)), // 100 kbit
+            vec![i],
+        );
+        let mut sim = b.build().unwrap();
+        sim.run_for(SimDuration::from_secs(2));
+        sim.latency_summary().mean
+    };
+    let infinite = run(None);
+    let one_gbps = run(Some(1.0)); // 100kbit / 1Gbps = 100us extra
+    assert!(
+        one_gbps - infinite > 80e-6,
+        "1Gbps must add ~100us for 12.5KB: {infinite} vs {one_gbps}"
+    );
+}
+
+#[test]
+fn stage_profiling_feeds_back_as_empirical_model() {
+    // The paper's histogram pipeline: profile a running stage, build a
+    // histogram, and use it as an empirical service-time distribution.
+    let spec = ClientSpec::open_loop("c", 5_000.0, 128, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let mut sim = build(spec, 80e-6, 2);
+    sim.enable_stage_profiling(InstanceId::from_raw(0));
+    sim.run_for(SimDuration::from_secs(2));
+    let samples = sim.stage_profile(InstanceId::from_raw(0), 1);
+    assert!(samples.len() > 1_000, "profiled {} invocations", samples.len());
+    let emp_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    assert!((emp_mean - 80e-6).abs() / 80e-6 < 0.1, "profiled mean {emp_mean}");
+
+    // Round trip through a histogram.
+    let h = uqsim_core::histogram::Histogram::from_samples(samples, 100).unwrap();
+    assert!((h.mean() - emp_mean).abs() / emp_mean < 0.05);
+    let d = Distribution::Empirical { histogram: h };
+    assert!(d.validate().is_ok());
+
+    // A simulator driven by the empirical distribution lands in the same
+    // latency regime as the parametric original.
+    let spec2 =
+        ClientSpec::open_loop("c", 5_000.0, 128, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let mut b = ScenarioBuilder::new(10);
+    b.warmup(SimDuration::from_millis(200));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 2,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(10e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(d, 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+    let mut node = PathNodeSpec::request("svc", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .unwrap();
+    let mut spec2 = spec2;
+    spec2.mix = RequestMix::single(ty);
+    b.add_client(spec2, vec![i]);
+    let mut sim2 = b.build().unwrap();
+    sim2.run_for(SimDuration::from_secs(2));
+    let a = sim.latency_summary().mean;
+    let b2 = sim2.latency_summary().mean;
+    assert!((a - b2).abs() / a < 0.35, "parametric {a} vs empirical {b2}");
+}
+
+#[test]
+fn scheduled_dvfs_slows_the_service() {
+    let spec = ClientSpec::open_loop("c", 2_000.0, 64, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let mut sim = build(spec, 100e-6, 2);
+    // The machine is fixed-frequency (2.6 only), so snapping keeps 2.6;
+    // use instance freq setter semantics instead via schedule on a DVFS-
+    // capable scenario.
+    let mut b = ScenarioBuilder::new(3);
+    b.warmup(SimDuration::from_millis(100));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 2,
+        dvfs: DvfsSpec::range(1.3, 2.6, 1.3),
+        network: NetworkSpec::passthrough(0.0),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::constant(100e-6), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+    let mut node = PathNodeSpec::request("svc", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .unwrap();
+    b.add_client(
+        ClientSpec::open_loop("c", 1_000.0, 64, ty),
+        vec![i],
+    );
+    let mut slow = b.build().unwrap();
+    slow.schedule_dvfs(
+        uqsim_core::time::SimTime::from_secs_f64(0.0),
+        uqsim_core::ids::MachineId::from_raw(0),
+        None,
+        1.3,
+    );
+    slow.run_for(SimDuration::from_secs(2));
+    // At 1.3 GHz the 100us (at 2.6) service takes 200us.
+    let p50 = slow.latency_summary().p50;
+    assert!(p50 > 180e-6, "halved frequency must double service time: p50 {p50}");
+
+    // Sanity on the untouched scenario.
+    sim.run_for(SimDuration::from_secs(1));
+    assert!(sim.latency_summary().p50 < 180e-6);
+}
+
+#[test]
+fn pool_stats_report_backpressure() {
+    // Build a two-instance chain with a tiny pool and overload it.
+    let mut b = ScenarioBuilder::new(6);
+    b.warmup(SimDuration::from_millis(100));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 4,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(5e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::exponential(200e-6), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let front = b.add_instance("front", s, m, 1, ExecSpec::Simple).unwrap();
+    let back = b.add_instance("back", s, m, 1, ExecSpec::Simple).unwrap();
+    b.add_pool(front, back, 2).unwrap();
+    let mut n0 = PathNodeSpec::request("front", s, front);
+    n0.children = vec![PathNodeId::from_raw(1)];
+    let mut n1 = PathNodeSpec::request("back", s, back);
+    n1.children = vec![PathNodeId::from_raw(2)];
+    let mut n2 = PathNodeSpec::reply_to_parent("front_reply", s, PathNodeId::from_raw(0));
+    n2.children = vec![PathNodeId::from_raw(3)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new("r", vec![n0, n1, n2, sink], PathNodeId::from_raw(0)))
+        .unwrap();
+    b.add_client(ClientSpec::open_loop("c", 6_000.0, 512, ty), vec![front]);
+    let mut sim = b.build().unwrap();
+    sim.run_for(SimDuration::from_secs(1));
+    let stats = sim.pool_stats();
+    assert_eq!(stats.len(), 1);
+    let (up, down, free, waiters) = stats[0];
+    assert_eq!(up, front);
+    assert_eq!(down, back);
+    // The back tier (5k capacity at 200us) is overloaded at 6k: the pool
+    // of 2 connections is exhausted and jobs wait.
+    assert_eq!(free, 0, "pool should be exhausted");
+    assert!(waiters > 0, "jobs should be waiting for connections");
+}
+
+#[test]
+fn energy_accounting_is_cubic_in_frequency() {
+    // Two identical runs at max and at half frequency: the same number of
+    // requests costs 2x the busy time but (1/2)^3 the dynamic power, so
+    // the dynamic energy at half frequency is 1/4 of the max-frequency
+    // energy; total energy (with the static floor) must decrease.
+    let run = |freq: f64| {
+        let mut b = ScenarioBuilder::new(12);
+        b.warmup(SimDuration::from_millis(100));
+        let m = b.add_machine(MachineSpec {
+            name: "m".into(),
+            cores: 2,
+            dvfs: DvfsSpec::range(1.3, 2.6, 1.3),
+            network: NetworkSpec::passthrough(0.0),
+            power: uqsim_core::machine::PowerModel { idle_w: 2.0, dyn_w: 8.0 },
+        });
+        let s = b.add_service(ServiceModel::new(
+            "svc",
+            vec![StageSpec::new(
+                "proc",
+                QueueDiscipline::Single,
+                ServiceTimeModel::per_job(Distribution::constant(100e-6), 2.6),
+            )],
+            vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+        ));
+        let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+        let mut node = PathNodeSpec::request("svc", s, i);
+        node.children = vec![PathNodeId::from_raw(1)];
+        let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+        let ty = b
+            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .unwrap();
+        b.add_client(ClientSpec::open_loop("c", 1_000.0, 64, ty), vec![i]);
+        let mut sim = b.build().unwrap();
+        sim.set_instance_freq(InstanceId::from_raw(0), freq);
+        sim.run_for(SimDuration::from_secs(2));
+        (sim.cluster_energy_j(), sim.completed())
+    };
+    let (e_fast, n_fast) = run(2.6);
+    let (e_slow, n_slow) = run(1.3);
+    // Same work completed.
+    assert!((n_fast as f64 - n_slow as f64).abs() / (n_fast as f64) < 0.02);
+    // Static floor: 2 cores * 2W * 2s = 8J in both runs.
+    let static_j = 8.0;
+    let dyn_fast = e_fast - static_j;
+    let dyn_slow = e_slow - static_j;
+    // Busy time doubles, dynamic power is 1/8 => dynamic energy ~ 1/4.
+    let ratio = dyn_slow / dyn_fast;
+    assert!(
+        (ratio - 0.25).abs() < 0.05,
+        "dynamic energy ratio {ratio} should be ~0.25 (fast {dyn_fast}J, slow {dyn_slow}J)"
+    );
+    assert!(e_slow < e_fast, "DVFS must save energy");
+}
+
+#[test]
+fn trace_replay_reproduces_exact_arrivals() {
+    use uqsim_core::client::ArrivalProcess;
+    // Five arrivals at known instants; generation must stop afterwards.
+    let timestamps = vec![0.010, 0.020, 0.025, 0.100, 0.500];
+    let mut spec =
+        ClientSpec::open_loop("replay", 1.0, 8, uqsim_core::ids::RequestTypeId::from_raw(0));
+    spec.arrivals = ArrivalProcess::Trace { timestamps: timestamps.clone() };
+    let mut sim = build(spec, 10e-6, 2);
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(sim.generated(), timestamps.len() as u64, "one request per trace entry");
+    assert_eq!(sim.completed(), timestamps.len() as u64);
+    // Running longer generates nothing more.
+    sim.run_for(SimDuration::from_secs(2));
+    assert_eq!(sim.generated(), timestamps.len() as u64);
+}
+
+#[test]
+fn trace_validation_rejects_bad_traces() {
+    use uqsim_core::client::ArrivalProcess;
+    assert!(ArrivalProcess::Trace { timestamps: vec![] }.validate().is_err());
+    assert!(ArrivalProcess::Trace { timestamps: vec![1.0, 0.5] }.validate().is_err());
+    assert!(ArrivalProcess::Trace { timestamps: vec![-1.0] }.validate().is_err());
+    assert!(ArrivalProcess::Trace { timestamps: vec![0.0, 0.0, 1.0] }.validate().is_ok());
+}

@@ -1,0 +1,15 @@
+//! Anchor crate for the repository-root `examples/` directory.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p uqsim-examples --example quickstart
+//! cargo run --release -p uqsim-examples --example social_network
+//! cargo run --release -p uqsim-examples --example power_management
+//! cargo run --release -p uqsim-examples --example fanout_tail
+//! cargo run --release -p uqsim-examples --example json_scenario
+//! cargo run --release -p uqsim-examples --example social_mix
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

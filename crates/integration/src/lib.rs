@@ -1,0 +1,83 @@
+//! Anchor crate for the repository-root `tests/` directory, plus shared
+//! scenario helpers used by several integration suites.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+use uqsim_core::client::ClientSpec;
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::{PathNodeId, StageId};
+use uqsim_core::machine::{DvfsSpec, MachineSpec, NetworkSpec};
+use uqsim_core::path::{PathNodeSpec, RequestType};
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+use uqsim_core::time::SimDuration;
+use uqsim_core::{SimResult, Simulator};
+
+/// Builds a bare G/G/k station: one single-stage service on `servers`
+/// cores, ideal (zero-cost) networking, and effectively unlimited client
+/// concurrency — the setup queueing-theory closed forms apply to.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures.
+pub fn station(
+    qps: f64,
+    service: Distribution,
+    servers: usize,
+    seed: u64,
+    warmup: SimDuration,
+) -> SimResult<Simulator> {
+    let mut b = ScenarioBuilder::new(seed);
+    b.warmup(warmup);
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: servers,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(0.0),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "station",
+        vec![StageSpec::new(
+            "serve",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(service, 2.6),
+        )],
+        vec![ExecPath::new("serve", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("station0", s, m, servers, ExecSpec::Simple)?;
+    let mut node = PathNodeSpec::request("serve", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b.add_request_type(RequestType::new("r", vec![node, sink], PathNodeId::from_raw(0)))?;
+    b.add_client(ClientSpec::open_loop("c", qps, 1_000_000, ty), vec![i]);
+    b.build()
+}
+
+/// Erlang-C probability of waiting in an M/M/k queue with offered load
+/// `a = lambda/mu` and `k` servers.
+pub fn erlang_c(k: usize, a: f64) -> f64 {
+    let mut term = 1.0; // a^0 / 0!
+    let mut sum = term;
+    for n in 1..k {
+        term *= a / n as f64;
+        sum += term;
+    }
+    let tail = term * a / k as f64 / (1.0 - a / k as f64);
+    tail / (sum + tail)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erlang_c_known_values() {
+        // M/M/1: C = rho.
+        assert!((erlang_c(1, 0.5) - 0.5).abs() < 1e-12);
+        // M/M/2 at rho=0.5 (a=1): C = 1/3.
+        assert!((erlang_c(2, 1.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

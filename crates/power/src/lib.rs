@@ -1,0 +1,508 @@
+//! # uqsim-power
+//!
+//! The QoS-aware power-management algorithm of the µqSim paper (§V-B,
+//! Algorithm 1), implemented as a
+//! [`Controller`] that plugs into the
+//! simulator.
+//!
+//! The algorithm divides the end-to-end tail-latency space below the QoS
+//! target into *buckets*. Each bucket accumulates per-tier latency tuples
+//! observed while the end-to-end QoS was met, and a preference weight that
+//! grows on success and shrinks on violation. At runtime the manager picks
+//! a tuple from a (preference-weighted) bucket as the **per-tier QoS
+//! target**: if the end-to-end tail is met it slows down *at most one* tier
+//! — the one with the most latency slack — and if QoS is violated it speeds
+//! up every tier above its per-tier target and remembers the failing tuple
+//! so it is never re-inserted.
+//!
+//! ```
+//! use uqsim_power::{PowerManager, PowerManagerConfig};
+//! use uqsim_core::ids::InstanceId;
+//! use uqsim_core::time::SimDuration;
+//!
+//! let cfg = PowerManagerConfig {
+//!     qos_target_s: 5e-3,
+//!     interval: SimDuration::from_millis(100),
+//!     tiers: vec![InstanceId::from_raw(0), InstanceId::from_raw(1)],
+//!     levels_ghz: vec![1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6],
+//!     ..PowerManagerConfig::default()
+//! };
+//! let (manager, trace) = PowerManager::new(cfg);
+//! // sim.add_controller(Box::new(manager));
+//! // ... after the run: trace.violation_rate(), trace.entries()
+//! # let _ = trace;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+use uqsim_core::controller::{ControlAction, Controller, TickStats};
+use uqsim_core::ids::InstanceId;
+use uqsim_core::rng::RngFactory;
+use uqsim_core::time::{SimDuration, SimTime};
+
+/// Configuration of the power manager.
+#[derive(Debug, Clone)]
+pub struct PowerManagerConfig {
+    /// End-to-end p99 QoS target, seconds (the paper uses 5 ms).
+    pub qos_target_s: f64,
+    /// Decision interval (the paper evaluates 0.1 s, 0.5 s, 1 s).
+    pub interval: SimDuration,
+    /// The tiers under control, in path order.
+    pub tiers: Vec<InstanceId>,
+    /// Allowed DVFS levels, GHz ascending (shared by all tiers).
+    pub levels_ghz: Vec<f64>,
+    /// Number of latency buckets below the QoS target.
+    pub num_buckets: usize,
+    /// Re-pick the target bucket after this many consecutive met-QoS
+    /// cycles (Algorithm 1 line 10).
+    pub explore_every: u32,
+    /// Minimum time between slow-down probes. Algorithm 1 "periodically
+    /// selects a tier with high latency slack to slow down" — the probing
+    /// period is a property of the policy, not of the decision interval,
+    /// so short intervals gain faster *recovery* without extra risk.
+    pub slowdown_period: SimDuration,
+    /// Minimum time between *exploratory* probes: when no tier shows
+    /// positive slack, the manager still periodically "tests whether more
+    /// aggressive power management settings are acceptable" (§V-B) by
+    /// stepping down the tier with the lowest observed tail. Failed probes
+    /// are how the failing-tuple lists get populated.
+    pub probe_period: SimDuration,
+    /// Maximum tuples retained per bucket.
+    pub max_tuples: usize,
+    /// RNG seed for bucket selection.
+    pub seed: u64,
+}
+
+impl Default for PowerManagerConfig {
+    fn default() -> Self {
+        PowerManagerConfig {
+            qos_target_s: 5e-3,
+            interval: SimDuration::from_millis(100),
+            tiers: Vec::new(),
+            levels_ghz: vec![1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6],
+            num_buckets: 10,
+            explore_every: 8,
+            slowdown_period: SimDuration::from_secs(1),
+            probe_period: SimDuration::from_secs(5),
+            max_tuples: 64,
+            seed: 1,
+        }
+    }
+}
+
+/// One decision-interval record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerTraceEntry {
+    /// Decision time.
+    pub time: SimTime,
+    /// End-to-end p99 over the interval, seconds.
+    pub e2e_p99: f64,
+    /// Per-tier p99 over the interval, seconds (same order as `tiers`).
+    pub per_tier_p99: Vec<f64>,
+    /// Per-tier frequency chosen *after* this decision, GHz.
+    pub freqs_ghz: Vec<f64>,
+    /// Whether this interval violated the QoS target.
+    pub violated: bool,
+    /// Requests observed in the interval.
+    pub samples: usize,
+}
+
+/// Shared handle to the decision trace, usable after the simulation run.
+#[derive(Debug, Clone)]
+pub struct TraceHandle(Rc<RefCell<Vec<PowerTraceEntry>>>);
+
+impl TraceHandle {
+    /// A snapshot of all recorded entries.
+    pub fn entries(&self) -> Vec<PowerTraceEntry> {
+        self.0.borrow().clone()
+    }
+
+    /// Fraction of non-empty intervals that violated QoS (Table III).
+    pub fn violation_rate(&self) -> f64 {
+        let entries = self.0.borrow();
+        let counted: Vec<_> = entries.iter().filter(|e| e.samples > 0).collect();
+        if counted.is_empty() {
+            return 0.0;
+        }
+        counted.iter().filter(|e| e.violated).count() as f64 / counted.len() as f64
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    preference: f64,
+    tuples: Vec<Vec<f64>>,
+    failing: Vec<Vec<f64>>,
+}
+
+/// The Algorithm 1 controller.
+#[derive(Debug)]
+pub struct PowerManager {
+    cfg: PowerManagerConfig,
+    rng: SmallRng,
+    buckets: Vec<Bucket>,
+    /// `(bucket, per-tier QoS tuple)` currently targeted.
+    target: Option<(usize, Vec<f64>)>,
+    /// Current per-tier frequency, GHz.
+    freqs: Vec<f64>,
+    met_cycles: u32,
+    last_slowdown: SimTime,
+    last_probe: SimTime,
+    trace: Rc<RefCell<Vec<PowerTraceEntry>>>,
+}
+
+/// True if `a` is component-wise at least as relaxed as `b`.
+fn no_tighter(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x >= y)
+}
+
+impl PowerManager {
+    /// Creates a manager and the trace handle for post-run analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers` or `levels_ghz` is empty, or `num_buckets` is 0.
+    pub fn new(cfg: PowerManagerConfig) -> (PowerManager, TraceHandle) {
+        assert!(!cfg.tiers.is_empty(), "power manager needs at least one tier");
+        assert!(!cfg.levels_ghz.is_empty(), "power manager needs DVFS levels");
+        assert!(cfg.num_buckets > 0, "need at least one bucket");
+        let trace = Rc::new(RefCell::new(Vec::new()));
+        let max = *cfg.levels_ghz.last().expect("levels non-empty");
+        let manager = PowerManager {
+            rng: RngFactory::new(cfg.seed).stream("power", 0),
+            buckets: vec![
+                Bucket { preference: 1.0, tuples: Vec::new(), failing: Vec::new() };
+                cfg.num_buckets
+            ],
+            target: None,
+            freqs: vec![max; cfg.tiers.len()],
+            met_cycles: 0,
+            last_slowdown: SimTime::ZERO,
+            last_probe: SimTime::ZERO,
+            trace: Rc::clone(&trace),
+            cfg,
+        };
+        (manager, TraceHandle(trace))
+    }
+
+    fn bucket_of(&self, e2e_p99: f64) -> usize {
+        let frac = (e2e_p99 / self.cfg.qos_target_s).clamp(0.0, 0.999_999);
+        (frac * self.cfg.num_buckets as f64) as usize
+    }
+
+    /// Weighted-preference choice among buckets with recorded tuples.
+    fn choose_target(&mut self) {
+        let total: f64 = self
+            .buckets
+            .iter()
+            .filter(|b| !b.tuples.is_empty())
+            .map(|b| b.preference)
+            .sum();
+        if total <= 0.0 {
+            self.target = None;
+            return;
+        }
+        let mut pick = self.rng.gen::<f64>() * total;
+        for (i, b) in self.buckets.iter().enumerate() {
+            if b.tuples.is_empty() {
+                continue;
+            }
+            if pick < b.preference {
+                let t = self.rng.gen_range(0..b.tuples.len());
+                self.target = Some((i, b.tuples[t].clone()));
+                return;
+            }
+            pick -= b.preference;
+        }
+        self.target = None;
+    }
+
+    fn step_down(&self, f: f64) -> f64 {
+        self.cfg
+            .levels_ghz
+            .iter()
+            .copied()
+            .rev()
+            .find(|&l| l < f - 1e-9)
+            .unwrap_or(f)
+    }
+
+    fn step_up(&self, f: f64) -> f64 {
+        self.cfg.levels_ghz.iter().copied().find(|&l| l > f + 1e-9).unwrap_or(f)
+    }
+
+    /// The per-tier latency targets in effect (falls back to an equal split
+    /// of the end-to-end budget before any bucket has data).
+    fn tier_targets(&self) -> Vec<f64> {
+        match &self.target {
+            Some((_, t)) => t.clone(),
+            None => {
+                let share = self.cfg.qos_target_s / self.cfg.tiers.len() as f64;
+                vec![share; self.cfg.tiers.len()]
+            }
+        }
+    }
+}
+
+impl Controller for PowerManager {
+    fn first_tick(&self) -> SimDuration {
+        self.cfg.interval
+    }
+
+    fn tick(&mut self, now: SimTime, stats: &TickStats) -> (Vec<ControlAction>, SimDuration) {
+        let e2e = stats.end_to_end;
+        let per_tier: Vec<f64> = self
+            .cfg
+            .tiers
+            .iter()
+            .map(|t| stats.per_instance[t.index()].p99)
+            .collect();
+
+        if e2e.count == 0 {
+            // No traffic this interval: hold everything.
+            self.trace.borrow_mut().push(PowerTraceEntry {
+                time: now,
+                e2e_p99: 0.0,
+                per_tier_p99: per_tier,
+                freqs_ghz: self.freqs.clone(),
+                violated: false,
+                samples: 0,
+            });
+            return (Vec::new(), self.cfg.interval);
+        }
+
+        let violated = e2e.p99 >= self.cfg.qos_target_s;
+        let mut actions = Vec::new();
+        if !violated {
+            // --- QoS met (Algorithm 1 lines 5–14) -----------------------
+            let b = self.bucket_of(e2e.p99);
+            let bucket = &mut self.buckets[b];
+            if !bucket.failing.iter().any(|f| no_tighter(&per_tier, f)) {
+                bucket.tuples.push(per_tier.clone());
+                if bucket.tuples.len() > self.cfg.max_tuples {
+                    bucket.tuples.remove(0);
+                }
+            }
+            bucket.preference = (bucket.preference * 1.15).min(100.0);
+            self.met_cycles += 1;
+            if self.met_cycles >= self.cfg.explore_every {
+                self.met_cycles = 0;
+                self.choose_target();
+            }
+            // Slow down at most one tier: the one with the most slack —
+            // probing at most once per slowdown period.
+            let may_probe = now.saturating_since(self.last_slowdown) >= self.cfg.slowdown_period
+                || self.last_slowdown == SimTime::ZERO;
+            let targets = self.tier_targets();
+            let mut best: Option<(usize, f64)> = None;
+            for (i, (&obs, &tgt)) in per_tier.iter().zip(&targets).enumerate() {
+                let slack = tgt - obs;
+                if slack > 0.0
+                    && self.freqs[i] > self.cfg.levels_ghz[0] + 1e-9
+                    && best.map(|(_, s)| slack > s).unwrap_or(true)
+                {
+                    best = Some((i, slack));
+                }
+            }
+            if !may_probe {
+                best = None;
+            } else if best.is_none()
+                && now.saturating_since(self.last_probe) >= self.cfg.probe_period
+            {
+                // Exploratory probe: no slack anywhere, but periodically
+                // test a more aggressive setting on the least-loaded tier.
+                let candidate = per_tier
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| self.freqs[*i] > self.cfg.levels_ghz[0] + 1e-9)
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("latencies are finite"))
+                    .map(|(i, _)| i);
+                if let Some(i) = candidate {
+                    self.last_probe = now;
+                    best = Some((i, 0.0));
+                }
+            }
+            if let Some((i, _)) = best {
+                self.last_slowdown = now;
+                let f = self.step_down(self.freqs[i]);
+                if (f - self.freqs[i]).abs() > 1e-9 {
+                    self.freqs[i] = f;
+                    actions.push(ControlAction::SetInstanceFreq {
+                        instance: self.cfg.tiers[i],
+                        freq_ghz: f,
+                    });
+                }
+            }
+        } else {
+            // --- QoS violated (Algorithm 1 lines 15–21) -----------------
+            let b = self.bucket_of(e2e.p99.min(self.cfg.qos_target_s * 0.999));
+            self.buckets[b].preference = (self.buckets[b].preference * 0.6).max(0.01);
+            if let Some((tb, tgt)) = self.target.take() {
+                let bucket = &mut self.buckets[tb];
+                bucket.failing.push(tgt);
+                if bucket.failing.len() > self.cfg.max_tuples {
+                    bucket.failing.remove(0);
+                }
+            }
+            self.choose_target();
+            self.met_cycles = 0;
+            // Speed up every tier above its per-tier target; jump straight
+            // to max on severe violations.
+            let severe = e2e.p99 > 2.0 * self.cfg.qos_target_s;
+            let targets = self.tier_targets();
+            let max = *self.cfg.levels_ghz.last().expect("levels non-empty");
+            for (i, (&obs, &tgt)) in per_tier.iter().zip(&targets).enumerate() {
+                if obs > tgt || severe {
+                    let f = if severe { max } else { self.step_up(self.freqs[i]) };
+                    if (f - self.freqs[i]).abs() > 1e-9 {
+                        self.freqs[i] = f;
+                        actions.push(ControlAction::SetInstanceFreq {
+                            instance: self.cfg.tiers[i],
+                            freq_ghz: f,
+                        });
+                    }
+                }
+            }
+        }
+
+        self.trace.borrow_mut().push(PowerTraceEntry {
+            time: now,
+            e2e_p99: e2e.p99,
+            per_tier_p99: per_tier,
+            freqs_ghz: self.freqs.clone(),
+            violated,
+            samples: e2e.count,
+        });
+        (actions, self.cfg.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uqsim_core::metrics::LatencySummary;
+
+    fn stats(e2e_p99: f64, count: usize, tiers: &[f64]) -> TickStats {
+        let mk = |p99: f64, count: usize| LatencySummary {
+            count,
+            mean: p99 / 2.0,
+            p50: p99 / 2.0,
+            p95: p99 * 0.9,
+            p99,
+            max: p99 * 1.2,
+        };
+        TickStats {
+            end_to_end: mk(e2e_p99, count),
+            per_instance: tiers.iter().map(|&p| mk(p, count)).collect(),
+        }
+    }
+
+    fn manager(interval_ms: u64) -> (PowerManager, TraceHandle) {
+        PowerManager::new(PowerManagerConfig {
+            qos_target_s: 5e-3,
+            interval: SimDuration::from_millis(interval_ms),
+            tiers: vec![InstanceId::from_raw(0), InstanceId::from_raw(1)],
+            levels_ghz: vec![1.2, 1.6, 2.0, 2.6],
+            ..PowerManagerConfig::default()
+        })
+    }
+
+    #[test]
+    fn slows_one_tier_when_qos_met_with_slack() {
+        let (mut m, _t) = manager(100);
+        let s = stats(1e-3, 100, &[0.3e-3, 0.2e-3]);
+        let (actions, next) = m.tick(SimTime::from_secs_f64(0.1), &s);
+        assert_eq!(next, SimDuration::from_millis(100));
+        assert_eq!(actions.len(), 1, "slows down exactly one tier");
+        match actions[0] {
+            ControlAction::SetInstanceFreq { freq_ghz, .. } => assert!(freq_ghz < 2.6),
+        }
+    }
+
+    #[test]
+    fn speeds_up_on_violation() {
+        let (mut m, _t) = manager(100);
+        // Drive both tiers down first.
+        for k in 1..=6 {
+            let s = stats(1e-3, 100, &[0.3e-3, 0.2e-3]);
+            m.tick(SimTime::from_secs_f64(0.1 * k as f64), &s);
+        }
+        assert!(m.freqs.iter().any(|&f| f < 2.6));
+        // Severe violation → everything back to max.
+        let s = stats(20e-3, 100, &[10e-3, 9e-3]);
+        let (actions, _) = m.tick(SimTime::from_secs_f64(1.0), &s);
+        assert!(!actions.is_empty());
+        assert!(m.freqs.iter().all(|&f| (f - 2.6).abs() < 1e-9));
+    }
+
+    #[test]
+    fn empty_interval_holds_frequencies() {
+        let (mut m, t) = manager(100);
+        let s = stats(0.0, 0, &[0.0, 0.0]);
+        let (actions, _) = m.tick(SimTime::from_secs_f64(0.1), &s);
+        assert!(actions.is_empty());
+        assert_eq!(t.entries().len(), 1);
+        assert_eq!(t.violation_rate(), 0.0, "empty intervals do not count");
+    }
+
+    #[test]
+    fn violation_rate_counts_only_nonempty() {
+        let (mut m, t) = manager(100);
+        m.tick(SimTime::from_secs_f64(0.1), &stats(1e-3, 10, &[1e-3, 1e-3]));
+        m.tick(SimTime::from_secs_f64(0.2), &stats(9e-3, 10, &[4e-3, 4e-3]));
+        m.tick(SimTime::from_secs_f64(0.3), &stats(0.0, 0, &[0.0, 0.0]));
+        assert!((t.violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failing_tuples_block_reinsertion() {
+        let (mut m, _t) = manager(100);
+        // Record a success in bucket of 1ms.
+        m.tick(SimTime::from_secs_f64(0.1), &stats(1e-3, 10, &[0.5e-3, 0.4e-3]));
+        let b = m.bucket_of(1e-3);
+        assert_eq!(m.buckets[b].tuples.len(), 1);
+        // Make that tuple the target, then violate: it becomes failing.
+        m.target = Some((b, vec![0.5e-3, 0.4e-3]));
+        m.tick(SimTime::from_secs_f64(0.2), &stats(9e-3, 10, &[4e-3, 4e-3]));
+        assert_eq!(m.buckets[b].failing.len(), 1);
+        // A no-more-relaxed observation is rejected.
+        m.tick(SimTime::from_secs_f64(0.3), &stats(1e-3, 10, &[0.6e-3, 0.5e-3]));
+        assert_eq!(m.buckets[b].tuples.len(), 1, "relaxed tuple must not be inserted");
+        // A strictly tighter observation is accepted.
+        m.tick(SimTime::from_secs_f64(0.4), &stats(1e-3, 10, &[0.3e-3, 0.2e-3]));
+        assert_eq!(m.buckets[b].tuples.len(), 2);
+    }
+
+    #[test]
+    fn preferences_move_with_outcomes() {
+        let (mut m, _t) = manager(100);
+        let b_good = m.bucket_of(1e-3);
+        let before = m.buckets[b_good].preference;
+        m.tick(SimTime::from_secs_f64(0.1), &stats(1e-3, 10, &[0.5e-3, 0.5e-3]));
+        assert!(m.buckets[b_good].preference > before);
+        let b_bad = m.bucket_of(4.999e-3);
+        let before_bad = m.buckets[b_bad].preference;
+        m.tick(SimTime::from_secs_f64(0.2), &stats(6e-3, 10, &[3e-3, 3e-3]));
+        assert!(m.buckets[b_bad].preference < before_bad);
+    }
+
+    #[test]
+    fn bucket_index_clamps() {
+        let (m, _t) = manager(100);
+        assert_eq!(m.bucket_of(0.0), 0);
+        assert_eq!(m.bucket_of(4.99e-3), m.cfg.num_buckets - 1);
+        assert_eq!(m.bucket_of(100.0), m.cfg.num_buckets - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tier")]
+    fn empty_tiers_panics() {
+        let _ = PowerManager::new(PowerManagerConfig::default());
+    }
+}

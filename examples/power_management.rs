@@ -1,0 +1,58 @@
+//! QoS-aware power management (the paper's §V-B): Algorithm 1 drives
+//! per-tier DVFS of the 2-tier application under a diurnal load, keeping
+//! the end-to-end p99 under a 5 ms target while lowering frequencies when
+//! there is slack.
+//!
+//! ```text
+//! cargo run --release -p uqsim-examples --example power_management
+//! ```
+
+use uqsim_apps::scenarios::{two_tier, TwoTierConfig};
+use uqsim_core::client::{ArrivalProcess, RateSchedule};
+use uqsim_core::time::SimDuration;
+use uqsim_power::{PowerManager, PowerManagerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let interval = SimDuration::from_millis(100);
+    let mut cfg = TwoTierConfig::at_qps(40_000.0);
+    cfg.arrivals = ArrivalProcess::Poisson {
+        schedule: RateSchedule::diurnal(8_000.0, 40_000.0, 30.0, 12),
+    };
+    cfg.common.window = Some(interval);
+    let mut sim = two_tier(&cfg)?;
+
+    let nginx = sim.instance_by_name("nginx").expect("deployed");
+    let mc = sim.instance_by_name("memcached").expect("deployed");
+    let (manager, trace) = PowerManager::new(PowerManagerConfig {
+        qos_target_s: 5e-3,
+        interval,
+        tiers: vec![nginx, mc],
+        levels_ghz: (0..15).map(|i| 1.2 + 0.1 * i as f64).collect(),
+        ..PowerManagerConfig::default()
+    });
+    sim.add_controller(Box::new(manager));
+    sim.run_for(SimDuration::from_secs(60));
+
+    println!("{:>8} {:>9} {:>9} {:>9} {:>9}", "time_s", "p99_ms", "f_nginx", "f_mc", "violated");
+    for e in trace.entries().iter().step_by(20).filter(|e| e.samples > 0) {
+        println!(
+            "{:>8.1} {:>9.3} {:>9.1} {:>9.1} {:>9}",
+            e.time.as_secs_f64(),
+            e.e2e_p99 * 1e3,
+            e.freqs_ghz[0],
+            e.freqs_ghz[1],
+            if e.violated { "YES" } else { "" }
+        );
+    }
+    println!(
+        "\nQoS target 5ms | violation rate: {:.1}% | final freqs: nginx {:.1} GHz, memcached {:.1} GHz",
+        trace.violation_rate() * 100.0,
+        sim.instance_freq(nginx),
+        sim.instance_freq(mc),
+    );
+    println!(
+        "Frequencies drop in the diurnal trough and rise toward the peak; the\n\
+         discrete DVFS levels keep the converged tail well below the 5ms target."
+    );
+    Ok(())
+}

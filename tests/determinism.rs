@@ -1,0 +1,96 @@
+//! Reproducibility: for any scenario, the same seed must produce
+//! bit-identical metrics, and different seeds must differ. This is what
+//! makes simulation studies auditable.
+
+use uqsim_apps::scenarios::{
+    fanout, social_network, three_tier, two_tier, FanoutConfig, SocialNetworkConfig,
+    ThreeTierConfig, TwoTierConfig,
+};
+use uqsim_core::time::SimDuration;
+use uqsim_core::Simulator;
+
+fn fingerprint(mut sim: Simulator) -> String {
+    sim.run_for(SimDuration::from_secs(2));
+    let s = sim.latency_summary();
+    format!(
+        "{}/{}/{:.12e}/{:.12e}/{:.12e}/{}",
+        sim.generated(),
+        sim.completed(),
+        s.mean,
+        s.p99,
+        s.max,
+        sim.events_processed()
+    )
+}
+
+fn assert_deterministic(build: impl Fn(u64) -> Simulator, name: &str) {
+    let a = fingerprint(build(42));
+    let b = fingerprint(build(42));
+    assert_eq!(a, b, "{name}: same seed must reproduce exactly");
+    let c = fingerprint(build(43));
+    assert_ne!(a, c, "{name}: different seeds must differ");
+}
+
+#[test]
+fn two_tier_is_deterministic() {
+    assert_deterministic(
+        |seed| {
+            let mut cfg = TwoTierConfig::at_qps(20_000.0);
+            cfg.common.seed = seed;
+            two_tier(&cfg).unwrap()
+        },
+        "two_tier",
+    );
+}
+
+#[test]
+fn three_tier_is_deterministic() {
+    assert_deterministic(
+        |seed| {
+            let mut cfg = ThreeTierConfig::at_qps(2_000.0);
+            cfg.common.seed = seed;
+            three_tier(&cfg).unwrap()
+        },
+        "three_tier",
+    );
+}
+
+#[test]
+fn fanout_is_deterministic() {
+    assert_deterministic(
+        |seed| {
+            let mut cfg = FanoutConfig::new(8, 3_000.0);
+            cfg.common.seed = seed;
+            fanout(&cfg).unwrap()
+        },
+        "fanout",
+    );
+}
+
+#[test]
+fn social_network_is_deterministic() {
+    assert_deterministic(
+        |seed| {
+            let mut cfg = SocialNetworkConfig::at_qps(5_000.0);
+            cfg.common.seed = seed;
+            social_network(&cfg).unwrap()
+        },
+        "social_network",
+    );
+}
+
+#[test]
+fn determinism_survives_run_segmentation() {
+    // Running 2s in one call equals running 4 x 0.5s.
+    let cfg = TwoTierConfig::at_qps(15_000.0);
+    let mut whole = two_tier(&cfg).unwrap();
+    whole.run_for(SimDuration::from_secs(2));
+
+    let mut parts = two_tier(&cfg).unwrap();
+    for _ in 0..4 {
+        parts.run_for(SimDuration::from_millis(500));
+    }
+    assert_eq!(whole.generated(), parts.generated());
+    assert_eq!(whole.completed(), parts.completed());
+    assert_eq!(whole.latency_summary(), parts.latency_summary());
+}
