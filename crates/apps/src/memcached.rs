@@ -82,8 +82,16 @@ pub fn service_model() -> ServiceModel {
             .with_per_byte(2e-9)
             .with_freq_alpha(FREQ_ALPHA),
         ),
-        StageSpec::new("memcached_processing", QueueDiscipline::Single, single(9e-6, 0.5)),
-        StageSpec::new("memcached_write", QueueDiscipline::Single, single(11e-6, 0.5)),
+        StageSpec::new(
+            "memcached_processing",
+            QueueDiscipline::Single,
+            single(9e-6, 0.5),
+        ),
+        StageSpec::new(
+            "memcached_write",
+            QueueDiscipline::Single,
+            single(11e-6, 0.5),
+        ),
         StageSpec::new(
             "socket_send",
             QueueDiscipline::Single,
@@ -94,7 +102,12 @@ pub fn service_model() -> ServiceModel {
     let paths = vec![
         ExecPath::new(
             "memcached_read",
-            vec![s(stages::EPOLL), s(stages::SOCKET_READ), s(stages::PROCESSING), s(stages::SOCKET_SEND)],
+            vec![
+                s(stages::EPOLL),
+                s(stages::SOCKET_READ),
+                s(stages::PROCESSING),
+                s(stages::SOCKET_SEND),
+            ],
         ),
         ExecPath::new(
             "memcached_write",
@@ -119,9 +132,11 @@ pub fn listing1_json() -> String {
         .enumerate()
         .map(|(i, s)| {
             let (queue_type, batching, parameter) = match s.queue {
-                uqsim_core::stage::QueueDiscipline::Epoll { batch_per_conn } => {
-                    ("epoll", true, serde_json::json!([serde_json::Value::Null, batch_per_conn]))
-                }
+                uqsim_core::stage::QueueDiscipline::Epoll { batch_per_conn } => (
+                    "epoll",
+                    true,
+                    serde_json::json!([serde_json::Value::Null, batch_per_conn]),
+                ),
                 uqsim_core::stage::QueueDiscipline::Socket { batch } => {
                     ("socket", true, serde_json::json!([batch]))
                 }
@@ -185,7 +200,11 @@ mod tests {
             .map(|&s| m.stages[s.index()].service.mean(1))
             .sum();
         assert!(total < 25e-6, "read budget {}us too heavy", total * 1e6);
-        assert!(total > 15e-6, "read budget {}us implausibly light", total * 1e6);
+        assert!(
+            total > 15e-6,
+            "read budget {}us implausibly light",
+            total * 1e6
+        );
     }
 
     #[test]
@@ -193,10 +212,22 @@ mod tests {
         // Listing 1: read and write consist of the same stages in the same
         // order (only the processing distribution differs).
         let m = service_model();
-        assert_eq!(m.paths[paths::READ].stages.len(), m.paths[paths::WRITE].stages.len());
-        assert_eq!(m.paths[paths::READ].stages[0], m.paths[paths::WRITE].stages[0]);
-        assert_eq!(m.paths[paths::READ].stages[1], m.paths[paths::WRITE].stages[1]);
-        assert_eq!(m.paths[paths::READ].stages[3], m.paths[paths::WRITE].stages[3]);
+        assert_eq!(
+            m.paths[paths::READ].stages.len(),
+            m.paths[paths::WRITE].stages.len()
+        );
+        assert_eq!(
+            m.paths[paths::READ].stages[0],
+            m.paths[paths::WRITE].stages[0]
+        );
+        assert_eq!(
+            m.paths[paths::READ].stages[1],
+            m.paths[paths::WRITE].stages[1]
+        );
+        assert_eq!(
+            m.paths[paths::READ].stages[3],
+            m.paths[paths::WRITE].stages[3]
+        );
     }
 
     #[test]

@@ -84,12 +84,18 @@ pub fn service_model() -> ServiceModel {
 /// ```
 pub fn disk_model(mean_read_s: f64) -> ServiceModel {
     // Disk time does not scale with CPU frequency.
-    let service =
-        ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean_read_s, 0.6), REF_FREQ_GHZ)
-            .with_freq_alpha(0.0);
+    let service = ServiceTimeModel::per_job(
+        Distribution::lognormal_mean_cv(mean_read_s, 0.6),
+        REF_FREQ_GHZ,
+    )
+    .with_freq_alpha(0.0);
     ServiceModel::new(
         "disk",
-        vec![StageSpec::new("disk_read", QueueDiscipline::Single, service)],
+        vec![StageSpec::new(
+            "disk_read",
+            QueueDiscipline::Single,
+            service,
+        )],
         vec![ExecPath::new("read", vec![StageId::from_raw(0)])],
     )
 }

@@ -15,9 +15,9 @@
 //! split so the fixed epoll cost amortizes under batching.
 
 use uqsim_core::dist::Distribution;
+use uqsim_core::ids::StageId;
 use uqsim_core::service::{ExecPath, ServiceModel};
 use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
-use uqsim_core::ids::StageId;
 
 /// Execution-path indices of the NGINX model.
 pub mod paths {
@@ -90,10 +90,22 @@ pub fn service_model() -> ServiceModel {
     ];
     let s = |i: usize| StageId::from_raw(i as u32);
     let paths = vec![
-        ExecPath::new("serve_page", vec![s(stages::EPOLL), s(stages::SERVE), s(stages::SEND)]),
-        ExecPath::new("recv_query", vec![s(stages::EPOLL), s(stages::PARSE), s(stages::SEND)]),
-        ExecPath::new("respond", vec![s(stages::EPOLL), s(stages::COMPOSE), s(stages::SEND)]),
-        ExecPath::new("forward", vec![s(stages::EPOLL), s(stages::FORWARD), s(stages::SEND)]),
+        ExecPath::new(
+            "serve_page",
+            vec![s(stages::EPOLL), s(stages::SERVE), s(stages::SEND)],
+        ),
+        ExecPath::new(
+            "recv_query",
+            vec![s(stages::EPOLL), s(stages::PARSE), s(stages::SEND)],
+        ),
+        ExecPath::new(
+            "respond",
+            vec![s(stages::EPOLL), s(stages::COMPOSE), s(stages::SEND)],
+        ),
+        ExecPath::new(
+            "forward",
+            vec![s(stages::EPOLL), s(stages::FORWARD), s(stages::SEND)],
+        ),
         ExecPath::new(
             "proxy_respond",
             vec![s(stages::EPOLL), s(stages::PROXY_RESPOND), s(stages::SEND)],

@@ -87,9 +87,7 @@ mod tests {
         let noisy = NoiseProfile::default().noisy_service(&clean);
         assert!(noisy.validate().is_ok());
         // Mean grows: interference and timeouts only add time.
-        let mean = |m: &ServiceModel| -> f64 {
-            m.stages.iter().map(|s| s.service.mean(1)).sum()
-        };
+        let mean = |m: &ServiceModel| -> f64 { m.stages.iter().map(|s| s.service.mean(1)).sum() };
         assert!(mean(&noisy) > mean(&clean));
     }
 

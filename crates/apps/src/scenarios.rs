@@ -38,7 +38,12 @@ pub struct CommonOpts {
 
 impl Default for CommonOpts {
     fn default() -> Self {
-        CommonOpts { seed: 42, warmup: SimDuration::from_secs(1), window: None, noise: None }
+        CommonOpts {
+            seed: 42,
+            warmup: SimDuration::from_secs(1),
+            window: None,
+            noise: None,
+        }
     }
 }
 
@@ -154,9 +159,30 @@ pub fn two_tier(cfg: &TwoTierConfig) -> SimResult<Simulator> {
     b.add_pool(i_nginx, i_mc, cfg.pool_size)?;
 
     let nodes = vec![
-        service_node("nginx_recv", s_nginx, fixed(i_nginx), nginx::paths::RECV_QUERY, LinkKind::Request, vec![nid(1)]),
-        service_node("mc_get", s_mc, fixed(i_mc), memcached::paths::READ, LinkKind::Request, vec![nid(2)]),
-        service_node("nginx_respond", s_nginx, same_as(0), nginx::paths::RESPOND, LinkKind::ReplyToParent, vec![nid(3)]),
+        service_node(
+            "nginx_recv",
+            s_nginx,
+            fixed(i_nginx),
+            nginx::paths::RECV_QUERY,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
+        service_node(
+            "mc_get",
+            s_mc,
+            fixed(i_mc),
+            memcached::paths::READ,
+            LinkKind::Request,
+            vec![nid(2)],
+        ),
+        service_node(
+            "nginx_respond",
+            s_nginx,
+            same_as(0),
+            nginx::paths::RESPOND,
+            LinkKind::ReplyToParent,
+            vec![nid(3)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty = b.add_request_type(RequestType::new("get", nodes, nid(0)))?;
@@ -253,17 +279,37 @@ pub fn three_tier(cfg: &ThreeTierConfig) -> SimResult<Simulator> {
             ctx_switch: SimDuration::from_micros(2),
         },
     )?;
-    let i_mongo =
-        b.add_instance("mongod", s_mongo, m_db, cfg.mongod_cores, ExecSpec::Simple)?;
+    let i_mongo = b.add_instance("mongod", s_mongo, m_db, cfg.mongod_cores, ExecSpec::Simple)?;
     let i_disk = b.add_instance("disk", s_disk, m_db, cfg.disk_channels, ExecSpec::Simple)?;
     b.add_pool(i_nginx, i_mc, cfg.pool_size)?;
     b.add_pool(i_nginx, i_mongo, cfg.pool_size)?;
 
     // Cache hit: client → nginx → memcached → nginx → client.
     let hit_nodes = vec![
-        service_node("nginx_recv", s_nginx, fixed(i_nginx), nginx::paths::RECV_QUERY, LinkKind::Request, vec![nid(1)]),
-        service_node("mc_get", s_mc, fixed(i_mc), memcached::paths::READ, LinkKind::Request, vec![nid(2)]),
-        service_node("nginx_respond", s_nginx, same_as(0), nginx::paths::RESPOND, LinkKind::ReplyToParent, vec![nid(3)]),
+        service_node(
+            "nginx_recv",
+            s_nginx,
+            fixed(i_nginx),
+            nginx::paths::RECV_QUERY,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
+        service_node(
+            "mc_get",
+            s_mc,
+            fixed(i_mc),
+            memcached::paths::READ,
+            LinkKind::Request,
+            vec![nid(2)],
+        ),
+        service_node(
+            "nginx_respond",
+            s_nginx,
+            same_as(0),
+            nginx::paths::RESPOND,
+            LinkKind::ReplyToParent,
+            vec![nid(3)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty_hit = b.add_request_type(RequestType::new("get_hit", hit_nodes, nid(0)))?;
@@ -271,15 +317,78 @@ pub fn three_tier(cfg: &ThreeTierConfig) -> SimResult<Simulator> {
     // Cache miss: nginx queries memcached (miss), then MongoDB (which does
     // a disk read), then write-allocates into memcached, then responds.
     let miss_nodes = vec![
-        service_node("nginx_recv", s_nginx, fixed(i_nginx), nginx::paths::RECV_QUERY, LinkKind::Request, vec![nid(1)]),
-        service_node("mc_get_miss", s_mc, fixed(i_mc), memcached::paths::READ, LinkKind::Request, vec![nid(2)]),
-        service_node("nginx_miss", s_nginx, same_as(0), nginx::paths::FORWARD, LinkKind::ReplyToParent, vec![nid(3)]),
-        service_node("mongo_query", s_mongo, fixed(i_mongo), mongodb::paths::QUERY, LinkKind::Request, vec![nid(4)]),
-        service_node("disk_read", s_disk, fixed(i_disk), mongodb::disk_paths::READ, LinkKind::Request, vec![nid(5)]),
-        service_node("mongo_respond", s_mongo, same_as(3), mongodb::paths::RESPOND, LinkKind::ReplyToParent, vec![nid(6)]),
-        service_node("nginx_writeback", s_nginx, same_as(0), nginx::paths::FORWARD, LinkKind::Reply { of: nid(3) }, vec![nid(7)]),
-        service_node("mc_set", s_mc, fixed(i_mc), memcached::paths::WRITE, LinkKind::Request, vec![nid(8)]),
-        service_node("nginx_respond", s_nginx, same_as(0), nginx::paths::RESPOND, LinkKind::ReplyToParent, vec![nid(9)]),
+        service_node(
+            "nginx_recv",
+            s_nginx,
+            fixed(i_nginx),
+            nginx::paths::RECV_QUERY,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
+        service_node(
+            "mc_get_miss",
+            s_mc,
+            fixed(i_mc),
+            memcached::paths::READ,
+            LinkKind::Request,
+            vec![nid(2)],
+        ),
+        service_node(
+            "nginx_miss",
+            s_nginx,
+            same_as(0),
+            nginx::paths::FORWARD,
+            LinkKind::ReplyToParent,
+            vec![nid(3)],
+        ),
+        service_node(
+            "mongo_query",
+            s_mongo,
+            fixed(i_mongo),
+            mongodb::paths::QUERY,
+            LinkKind::Request,
+            vec![nid(4)],
+        ),
+        service_node(
+            "disk_read",
+            s_disk,
+            fixed(i_disk),
+            mongodb::disk_paths::READ,
+            LinkKind::Request,
+            vec![nid(5)],
+        ),
+        service_node(
+            "mongo_respond",
+            s_mongo,
+            same_as(3),
+            mongodb::paths::RESPOND,
+            LinkKind::ReplyToParent,
+            vec![nid(6)],
+        ),
+        service_node(
+            "nginx_writeback",
+            s_nginx,
+            same_as(0),
+            nginx::paths::FORWARD,
+            LinkKind::Reply { of: nid(3) },
+            vec![nid(7)],
+        ),
+        service_node(
+            "mc_set",
+            s_mc,
+            fixed(i_mc),
+            memcached::paths::WRITE,
+            LinkKind::Request,
+            vec![nid(8)],
+        ),
+        service_node(
+            "nginx_respond",
+            s_nginx,
+            same_as(0),
+            nginx::paths::RESPOND,
+            LinkKind::ReplyToParent,
+            vec![nid(9)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty_miss = b.add_request_type(RequestType::new("get_miss", miss_nodes, nid(0)))?;
@@ -359,7 +468,14 @@ pub fn load_balanced(cfg: &LoadBalancedConfig) -> SimResult<Simulator> {
         servers.push(i);
     }
     let nodes = vec![
-        service_node("proxy_fwd", s_nginx, fixed(i_proxy), nginx::paths::FORWARD, LinkKind::Request, vec![nid(1)]),
+        service_node(
+            "proxy_fwd",
+            s_nginx,
+            fixed(i_proxy),
+            nginx::paths::FORWARD,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
         service_node(
             "serve",
             s_nginx,
@@ -368,7 +484,14 @@ pub fn load_balanced(cfg: &LoadBalancedConfig) -> SimResult<Simulator> {
             LinkKind::Request,
             vec![nid(2)],
         ),
-        service_node("proxy_respond", s_nginx, same_as(0), nginx::paths::PROXY_RESPOND, LinkKind::ReplyToParent, vec![nid(3)]),
+        service_node(
+            "proxy_respond",
+            s_nginx,
+            same_as(0),
+            nginx::paths::PROXY_RESPOND,
+            LinkKind::ReplyToParent,
+            vec![nid(3)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty = b.add_request_type(RequestType::new("get_page", nodes, nid(0)))?;
@@ -529,10 +652,20 @@ pub fn thrift_hello(cfg: &ThriftHelloConfig) -> SimResult<Simulator> {
         s,
         m,
         cfg.workers,
-        ExecSpec::MultiThreaded { threads: cfg.workers, ctx_switch: SimDuration::from_micros(2) },
+        ExecSpec::MultiThreaded {
+            threads: cfg.workers,
+            ctx_switch: SimDuration::from_micros(2),
+        },
     )?;
     let nodes = vec![
-        service_node("hello", s, fixed(i), thrift::paths::HANDLE, LinkKind::Request, vec![nid(1)]),
+        service_node(
+            "hello",
+            s,
+            fixed(i),
+            thrift::paths::HANDLE,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty = b.add_request_type(RequestType::new("hello", nodes, nid(0)))?;
@@ -568,7 +701,14 @@ pub fn single_nginx(qps: f64, common: &CommonOpts) -> SimResult<Simulator> {
     let s = b.add_service(common.model(nginx::service_model()));
     let i = b.add_instance("nginx", s, m, 1, ExecSpec::Simple)?;
     let nodes = vec![
-        service_node("serve", s, fixed(i), nginx::paths::SERVE, LinkKind::Request, vec![nid(1)]),
+        service_node(
+            "serve",
+            s,
+            fixed(i),
+            nginx::paths::SERVE,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty = b.add_request_type(RequestType::new("get_page", nodes, nid(0)))?;
@@ -602,10 +742,20 @@ pub fn single_memcached(qps: f64, threads: usize, common: &CommonOpts) -> SimRes
         s,
         m,
         threads,
-        ExecSpec::MultiThreaded { threads, ctx_switch: SimDuration::from_micros(2) },
+        ExecSpec::MultiThreaded {
+            threads,
+            ctx_switch: SimDuration::from_micros(2),
+        },
     )?;
     let nodes = vec![
-        service_node("get", s, fixed(i), memcached::paths::READ, LinkKind::Request, vec![nid(1)]),
+        service_node(
+            "get",
+            s,
+            fixed(i),
+            memcached::paths::READ,
+            LinkKind::Request,
+            vec![nid(1)],
+        ),
         PathNodeSpec::client_sink(nid(0)),
     ];
     let ty = b.add_request_type(RequestType::new("get", nodes, nid(0)))?;
@@ -672,17 +822,38 @@ pub fn social_network(cfg: &SocialNetworkConfig) -> SimResult<Simulator> {
     let mut b = cfg.common.builder();
     let m_front = b.add_machine(MachineSpec::xeon("frontend-host", cfg.frontend_cores + 4));
     let m_back = b.add_machine(MachineSpec::xeon("backend-host", 9 + 4));
-    let s_front = b.add_service(cfg.common.model(thrift::service_model("frontend", 30e-6, 18e-6)));
-    let s_user = b.add_service(cfg.common.model(thrift::service_model("user_service", 20e-6, 12e-6)));
-    let s_post = b.add_service(cfg.common.model(thrift::service_model("post_service", 22e-6, 12e-6)));
-    let s_media = b.add_service(cfg.common.model(thrift::service_model("media_service", 24e-6, 12e-6)));
+    let s_front = b.add_service(
+        cfg.common
+            .model(thrift::service_model("frontend", 30e-6, 18e-6)),
+    );
+    let s_user = b.add_service(cfg.common.model(thrift::service_model(
+        "user_service",
+        20e-6,
+        12e-6,
+    )));
+    let s_post = b.add_service(cfg.common.model(thrift::service_model(
+        "post_service",
+        22e-6,
+        12e-6,
+    )));
+    let s_media = b.add_service(cfg.common.model(thrift::service_model(
+        "media_service",
+        24e-6,
+        12e-6,
+    )));
     let s_mc = b.add_service(cfg.common.model(memcached::service_model()));
 
     let mt = |threads: usize| ExecSpec::MultiThreaded {
         threads,
         ctx_switch: SimDuration::from_micros(2),
     };
-    let i_front = b.add_instance("frontend", s_front, m_front, cfg.frontend_cores, mt(cfg.frontend_threads))?;
+    let i_front = b.add_instance(
+        "frontend",
+        s_front,
+        m_front,
+        cfg.frontend_cores,
+        mt(cfg.frontend_threads),
+    )?;
     let i_user = b.add_instance("user", s_user, m_back, 2, mt(8))?;
     let i_post = b.add_instance("post", s_post, m_back, 2, mt(8))?;
     let i_media = b.add_instance("media", s_media, m_back, 2, mt(8))?;
@@ -710,17 +881,66 @@ pub fn social_network(cfg: &SocialNetworkConfig) -> SimResult<Simulator> {
     // 10 M2  media compose    (pin 8)
     // 11 J2  frontend compose (pin 0)
     // 12 sink
-    let mut f1 = service_node("F1", s_front, fixed(i_front), thrift::paths::HANDLE, LinkKind::Request, vec![nid(1), nid(4)]);
+    let mut f1 = service_node(
+        "F1",
+        s_front,
+        fixed(i_front),
+        thrift::paths::HANDLE,
+        LinkKind::Request,
+        vec![nid(1), nid(4)],
+    );
     f1.block_thread_until = Some(nid(7));
-    let mut u1 = service_node("U1", s_user, fixed(i_user), thrift::paths::HANDLE, LinkKind::Request, vec![nid(2)]);
+    let mut u1 = service_node(
+        "U1",
+        s_user,
+        fixed(i_user),
+        thrift::paths::HANDLE,
+        LinkKind::Request,
+        vec![nid(2)],
+    );
     u1.block_thread_until = Some(nid(3));
-    let um = service_node("UM", s_mc, fixed(i_user_mc), memcached::paths::READ, LinkKind::Request, vec![nid(3)]);
-    let mut u2 = service_node("U2", s_user, same_as(1), thrift::paths::COMPOSE, LinkKind::ReplyToParent, vec![nid(7)]);
+    let um = service_node(
+        "UM",
+        s_mc,
+        fixed(i_user_mc),
+        memcached::paths::READ,
+        LinkKind::Request,
+        vec![nid(3)],
+    );
+    let mut u2 = service_node(
+        "U2",
+        s_user,
+        same_as(1),
+        thrift::paths::COMPOSE,
+        LinkKind::ReplyToParent,
+        vec![nid(7)],
+    );
     u2.pin_thread_of = Some(nid(1));
-    let mut p1 = service_node("P1", s_post, fixed(i_post), thrift::paths::HANDLE, LinkKind::Request, vec![nid(5)]);
+    let mut p1 = service_node(
+        "P1",
+        s_post,
+        fixed(i_post),
+        thrift::paths::HANDLE,
+        LinkKind::Request,
+        vec![nid(5)],
+    );
     p1.block_thread_until = Some(nid(6));
-    let pm = service_node("PM", s_mc, fixed(i_post_mc), memcached::paths::READ, LinkKind::Request, vec![nid(6)]);
-    let mut p2 = service_node("P2", s_post, same_as(4), thrift::paths::COMPOSE, LinkKind::ReplyToParent, vec![nid(7)]);
+    let pm = service_node(
+        "PM",
+        s_mc,
+        fixed(i_post_mc),
+        memcached::paths::READ,
+        LinkKind::Request,
+        vec![nid(6)],
+    );
+    let mut p2 = service_node(
+        "P2",
+        s_post,
+        same_as(4),
+        thrift::paths::COMPOSE,
+        LinkKind::ReplyToParent,
+        vec![nid(7)],
+    );
     p2.pin_thread_of = Some(nid(4));
     // J1 joins the replies of the user (via U2) and post (via P2)
     // subtrees; each copy travels back on the connection that entered that
@@ -730,15 +950,38 @@ pub fn social_network(cfg: &SocialNetworkConfig) -> SimResult<Simulator> {
         s_front,
         same_as(0),
         thrift::paths::COMPOSE,
-        LinkKind::ReplyVia { entries: vec![(nid(3), nid(1)), (nid(6), nid(4))] },
+        LinkKind::ReplyVia {
+            entries: vec![(nid(3), nid(1)), (nid(6), nid(4))],
+        },
         vec![nid(8)],
     );
     j1.pin_thread_of = Some(nid(0));
     j1.block_thread_until = Some(nid(11));
-    let mut m1 = service_node("M1", s_media, fixed(i_media), thrift::paths::HANDLE, LinkKind::Request, vec![nid(9)]);
+    let mut m1 = service_node(
+        "M1",
+        s_media,
+        fixed(i_media),
+        thrift::paths::HANDLE,
+        LinkKind::Request,
+        vec![nid(9)],
+    );
     m1.block_thread_until = Some(nid(10));
-    let mm = service_node("MM", s_mc, fixed(i_media_mc), memcached::paths::READ, LinkKind::Request, vec![nid(10)]);
-    let mut m2 = service_node("M2", s_media, same_as(8), thrift::paths::COMPOSE, LinkKind::ReplyToParent, vec![nid(11)]);
+    let mm = service_node(
+        "MM",
+        s_mc,
+        fixed(i_media_mc),
+        memcached::paths::READ,
+        LinkKind::Request,
+        vec![nid(10)],
+    );
+    let mut m2 = service_node(
+        "M2",
+        s_media,
+        same_as(8),
+        thrift::paths::COMPOSE,
+        LinkKind::ReplyToParent,
+        vec![nid(11)],
+    );
     m2.pin_thread_of = Some(nid(8));
     // J2 receives the media subtree's reply on the connection that entered
     // M1 (the frontend → media pool connection).
@@ -792,7 +1035,12 @@ pub struct SocialMix {
 
 impl Default for SocialMix {
     fn default() -> Self {
-        SocialMix { read: 0.65, read_miss: 0.15, compose: 0.15, browse: 0.05 }
+        SocialMix {
+            read: 0.65,
+            read_miss: 0.15,
+            compose: 0.15,
+            browse: 0.05,
+        }
     }
 }
 
@@ -852,10 +1100,25 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
     let mut b = cfg.common.builder();
     let m_front = b.add_machine(MachineSpec::xeon("frontend-host", cfg.frontend_cores + 4));
     let m_back = b.add_machine(MachineSpec::xeon("backend-host", 13 + 4));
-    let s_front = b.add_service(cfg.common.model(thrift::service_model("frontend", 30e-6, 18e-6)));
-    let s_user = b.add_service(cfg.common.model(thrift::service_model("user_service", 20e-6, 12e-6)));
-    let s_post = b.add_service(cfg.common.model(thrift::service_model("post_service", 22e-6, 12e-6)));
-    let s_media = b.add_service(cfg.common.model(thrift::service_model("media_service", 24e-6, 12e-6)));
+    let s_front = b.add_service(
+        cfg.common
+            .model(thrift::service_model("frontend", 30e-6, 18e-6)),
+    );
+    let s_user = b.add_service(cfg.common.model(thrift::service_model(
+        "user_service",
+        20e-6,
+        12e-6,
+    )));
+    let s_post = b.add_service(cfg.common.model(thrift::service_model(
+        "post_service",
+        22e-6,
+        12e-6,
+    )));
+    let s_media = b.add_service(cfg.common.model(thrift::service_model(
+        "media_service",
+        24e-6,
+        12e-6,
+    )));
     let s_mc = b.add_service(cfg.common.model(memcached::service_model()));
     let s_mongo = b.add_service(cfg.common.model(mongodb::service_model()));
     let s_disk = b.add_service(cfg.common.model(mongodb::disk_model(cfg.disk_read_s)));
@@ -864,7 +1127,13 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
         threads,
         ctx_switch: SimDuration::from_micros(2),
     };
-    let i_front = b.add_instance("frontend", s_front, m_front, cfg.frontend_cores, mt(cfg.frontend_threads))?;
+    let i_front = b.add_instance(
+        "frontend",
+        s_front,
+        m_front,
+        cfg.frontend_cores,
+        mt(cfg.frontend_threads),
+    )?;
     let i_user = b.add_instance("user", s_user, m_back, 2, mt(8))?;
     let i_post = b.add_instance("post", s_post, m_back, 2, mt(8))?;
     let i_media = b.add_instance("media", s_media, m_back, 2, mt(8))?;
@@ -893,23 +1162,56 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
         let f1 = d.add(svc_node("F1", s_front, i_front, handle));
         let u1 = d.add(svc_node("U1", s_user, i_user, handle));
         let um = d.add(svc_node("UM", s_mc, i_user_mc, memcached::paths::READ));
-        let u2 = d.add(PathNodeSpec::reply_to_parent("U2", s_user, u1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
+        let u2 = d.add(
+            PathNodeSpec::reply_to_parent("U2", s_user, u1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
         let p1 = d.add(svc_node("P1", s_post, i_post, handle));
         let pm = d.add(svc_node("PM", s_mc, i_post_mc, memcached::paths::READ));
-        let p2 = d.add(PathNodeSpec::reply_to_parent("P2", s_post, p1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
+        let p2 = d.add(
+            PathNodeSpec::reply_to_parent("P2", s_post, p1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
         let j1 = d.add(service_node(
-            "J1", s_front, same_as(0), compose,
-            LinkKind::ReplyVia { entries: vec![(u2, u1), (p2, p1)] }, Vec::new(),
+            "J1",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::ReplyVia {
+                entries: vec![(u2, u1), (p2, p1)],
+            },
+            Vec::new(),
         ));
         let m1 = d.add(svc_node("M1", s_media, i_media, handle));
         let mm = d.add(svc_node("MM", s_mc, i_media_mc, memcached::paths::READ));
-        let m2 = d.add(PathNodeSpec::reply_to_parent("M2", s_media, m1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
-        let j2 = d.add(service_node("J2", s_front, same_as(0), compose, LinkKind::Reply { of: m1 }, Vec::new()));
+        let m2 = d.add(
+            PathNodeSpec::reply_to_parent("M2", s_media, m1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
+        let j2 = d.add(service_node(
+            "J2",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::Reply { of: m1 },
+            Vec::new(),
+        ));
         let sink = d.add(PathNodeSpec::client_sink(f1));
-        for (a, bb) in [(f1, u1), (f1, p1), (u1, um), (um, u2), (u2, j1), (p1, pm), (pm, p2), (p2, j1), (j1, m1), (m1, mm), (mm, m2), (m2, j2), (j2, sink)] {
+        for (a, bb) in [
+            (f1, u1),
+            (f1, p1),
+            (u1, um),
+            (um, u2),
+            (u2, j1),
+            (p1, pm),
+            (pm, p2),
+            (p2, j1),
+            (j1, m1),
+            (m1, mm),
+            (mm, m2),
+            (m2, j2),
+            (j2, sink),
+        ] {
             d.link(a, bb);
         }
         d.node_mut(f1).block_thread_until = Some(j1);
@@ -931,33 +1233,77 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
         let f1 = d.add(svc_node("F1", s_front, i_front, handle));
         let u1 = d.add(svc_node("U1", s_user, i_user, handle));
         let um = d.add(svc_node("UM", s_mc, i_user_mc, memcached::paths::READ));
-        let u2 = d.add(PathNodeSpec::reply_to_parent("U2", s_user, u1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
+        let u2 = d.add(
+            PathNodeSpec::reply_to_parent("U2", s_user, u1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
         let p1 = d.add(svc_node("P1", s_post, i_post, handle));
         let pm = d.add(svc_node("PM_miss", s_mc, i_post_mc, memcached::paths::READ));
         // The post worker resumes on the miss reply and queries MongoDB.
-        let pm1 = d.add(PathNodeSpec::reply_to_parent("Pq", s_post, p1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
+        let pm1 = d.add(
+            PathNodeSpec::reply_to_parent("Pq", s_post, p1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
         let g1 = d.add(svc_node("G1", s_mongo, i_mongo, mongodb::paths::QUERY));
         let disk = d.add(svc_node("D", s_disk, i_disk, mongodb::disk_paths::READ));
-        let g2 = d.add(PathNodeSpec::reply_to_parent("G2", s_mongo, g1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: mongodb::paths::RESPOND }));
-        let p2 = d.add(service_node("P2", s_post, same_as(4), compose, LinkKind::Reply { of: g1 }, Vec::new()));
+        let g2 = d.add(
+            PathNodeSpec::reply_to_parent("G2", s_mongo, g1).with_exec_path(
+                uqsim_core::path::PathSelect::Fixed {
+                    index: mongodb::paths::RESPOND,
+                },
+            ),
+        );
+        let p2 = d.add(service_node(
+            "P2",
+            s_post,
+            same_as(4),
+            compose,
+            LinkKind::Reply { of: g1 },
+            Vec::new(),
+        ));
         let j1 = d.add(service_node(
-            "J1", s_front, same_as(0), compose,
-            LinkKind::ReplyVia { entries: vec![(u2, u1), (p2, p1)] }, Vec::new(),
+            "J1",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::ReplyVia {
+                entries: vec![(u2, u1), (p2, p1)],
+            },
+            Vec::new(),
         ));
         let m1 = d.add(svc_node("M1", s_media, i_media, handle));
         let mm = d.add(svc_node("MM", s_mc, i_media_mc, memcached::paths::READ));
-        let m2 = d.add(PathNodeSpec::reply_to_parent("M2", s_media, m1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
-        let j2 = d.add(service_node("J2", s_front, same_as(0), compose, LinkKind::Reply { of: m1 }, Vec::new()));
+        let m2 = d.add(
+            PathNodeSpec::reply_to_parent("M2", s_media, m1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
+        let j2 = d.add(service_node(
+            "J2",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::Reply { of: m1 },
+            Vec::new(),
+        ));
         let sink = d.add(PathNodeSpec::client_sink(f1));
         for (a, bb) in [
-            (f1, u1), (f1, p1),
-            (u1, um), (um, u2), (u2, j1),
-            (p1, pm), (pm, pm1), (pm1, g1), (g1, disk), (disk, g2), (g2, p2), (p2, j1),
-            (j1, m1), (m1, mm), (mm, m2), (m2, j2), (j2, sink),
+            (f1, u1),
+            (f1, p1),
+            (u1, um),
+            (um, u2),
+            (u2, j1),
+            (p1, pm),
+            (pm, pm1),
+            (pm1, g1),
+            (g1, disk),
+            (disk, g2),
+            (g2, p2),
+            (p2, j1),
+            (j1, m1),
+            (m1, mm),
+            (mm, m2),
+            (m2, j2),
+            (j2, sink),
         ] {
             d.link(a, bb);
         }
@@ -985,9 +1331,18 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
         let f1 = d.add(svc_node("F1", s_front, i_front, handle));
         let p1 = d.add(svc_node("P1", s_post, i_post, handle));
         let pw = d.add(svc_node("PW", s_mc, i_post_mc, memcached::paths::WRITE));
-        let p2 = d.add(PathNodeSpec::reply_to_parent("P2", s_post, p1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
-        let j = d.add(service_node("J", s_front, same_as(0), compose, LinkKind::Reply { of: p1 }, Vec::new()));
+        let p2 = d.add(
+            PathNodeSpec::reply_to_parent("P2", s_post, p1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
+        let j = d.add(service_node(
+            "J",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::Reply { of: p1 },
+            Vec::new(),
+        ));
         let sink = d.add(PathNodeSpec::client_sink(f1));
         for (a, bb) in [(f1, p1), (p1, pw), (pw, p2), (p2, j), (j, sink)] {
             d.link(a, bb);
@@ -1005,9 +1360,18 @@ pub fn social_network_full(cfg: &SocialNetworkFullConfig) -> SimResult<Simulator
         let f1 = d.add(svc_node("F1", s_front, i_front, handle));
         let u1 = d.add(svc_node("U1", s_user, i_user, handle));
         let um = d.add(svc_node("UM", s_mc, i_user_mc, memcached::paths::READ));
-        let u2 = d.add(PathNodeSpec::reply_to_parent("U2", s_user, u1)
-            .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }));
-        let j = d.add(service_node("J", s_front, same_as(0), compose, LinkKind::Reply { of: u1 }, Vec::new()));
+        let u2 = d.add(
+            PathNodeSpec::reply_to_parent("U2", s_user, u1)
+                .with_exec_path(uqsim_core::path::PathSelect::Fixed { index: compose }),
+        );
+        let j = d.add(service_node(
+            "J",
+            s_front,
+            same_as(0),
+            compose,
+            LinkKind::Reply { of: u1 },
+            Vec::new(),
+        ));
         let sink = d.add(PathNodeSpec::client_sink(f1));
         for (a, bb) in [(f1, u1), (u1, um), (um, u2), (u2, j), (j, sink)] {
             d.link(a, bb);
@@ -1118,7 +1482,8 @@ pub fn tail_at_scale(cfg: &TailAtScaleConfig) -> SimResult<Simulator> {
     let s_disp = b.add_service(cfg.common.model(dispatcher_model));
     let s_fast = b.add_service(cfg.common.model(leaf_model("leaf", cfg.mean_service_s)));
     let s_slow = b.add_service(
-        cfg.common.model(leaf_model("slow_leaf", cfg.mean_service_s * cfg.slowdown)),
+        cfg.common
+            .model(leaf_model("slow_leaf", cfg.mean_service_s * cfg.slowdown)),
     );
     let i_disp = b.add_instance("dispatcher", s_disp, m_disp, 4, ExecSpec::Simple)?;
     let n_slow = (cfg.slow_fraction * n as f64).round() as usize;
@@ -1140,9 +1505,23 @@ pub fn tail_at_scale(cfg: &TailAtScaleConfig) -> SimResult<Simulator> {
     )];
     for (k, &leaf) in leaves.iter().enumerate() {
         let svc = if k < n_slow { s_slow } else { s_fast };
-        nodes.push(service_node(&format!("leaf{k}"), svc, fixed(leaf), 0, LinkKind::Request, vec![nid(join)]));
+        nodes.push(service_node(
+            &format!("leaf{k}"),
+            svc,
+            fixed(leaf),
+            0,
+            LinkKind::Request,
+            vec![nid(join)],
+        ));
     }
-    nodes.push(service_node("join", s_disp, same_as(0), 0, LinkKind::ReplyToParent, vec![nid(sink)]));
+    nodes.push(service_node(
+        "join",
+        s_disp,
+        same_as(0),
+        0,
+        LinkKind::ReplyToParent,
+        vec![nid(sink)],
+    ));
     nodes.push(PathNodeSpec::client_sink(nid(0)));
     let ty = b.add_request_type(RequestType::new("fanout", nodes, nid(0)))?;
     b.add_client(
@@ -1211,10 +1590,16 @@ mod tests {
 
     #[test]
     fn load_balanced_scales() {
-        let s4 = quick(load_balanced(&LoadBalancedConfig::new(4, 30_000.0)).unwrap(), 3);
+        let s4 = quick(
+            load_balanced(&LoadBalancedConfig::new(4, 30_000.0)).unwrap(),
+            3,
+        );
         let t4 = s4.completed() as f64 / s4.now().as_secs_f64();
         assert!(t4 > 0.95 * 30_000.0, "4-way at 30k: {t4}");
-        let s8 = quick(load_balanced(&LoadBalancedConfig::new(8, 60_000.0)).unwrap(), 3);
+        let s8 = quick(
+            load_balanced(&LoadBalancedConfig::new(8, 60_000.0)).unwrap(),
+            3,
+        );
         let t8 = s8.completed() as f64 / s8.now().as_secs_f64();
         assert!(t8 > 0.95 * 60_000.0, "8-way at 60k: {t8}");
     }
@@ -1231,7 +1616,10 @@ mod tests {
 
     #[test]
     fn thrift_hello_low_load_under_100us() {
-        let sim = quick(thrift_hello(&ThriftHelloConfig::at_qps(5_000.0)).unwrap(), 3);
+        let sim = quick(
+            thrift_hello(&ThriftHelloConfig::at_qps(5_000.0)).unwrap(),
+            3,
+        );
         let s = sim.latency_summary();
         assert!(s.mean < 150e-6, "mean {}us", s.mean * 1e6);
         assert!(s.p50 < 100e-6, "p50 {}us", s.p50 * 1e6);
@@ -1239,17 +1627,26 @@ mod tests {
 
     #[test]
     fn thrift_hello_saturates_past_50k() {
-        let ok = quick(thrift_hello(&ThriftHelloConfig::at_qps(45_000.0)).unwrap(), 3);
+        let ok = quick(
+            thrift_hello(&ThriftHelloConfig::at_qps(45_000.0)).unwrap(),
+            3,
+        );
         let t = ok.completed() as f64 / ok.now().as_secs_f64();
         assert!(t > 0.95 * 45_000.0, "tput {t}");
-        let over = quick(thrift_hello(&ThriftHelloConfig::at_qps(70_000.0)).unwrap(), 3);
+        let over = quick(
+            thrift_hello(&ThriftHelloConfig::at_qps(70_000.0)).unwrap(),
+            3,
+        );
         let t_over = over.completed() as f64 / over.now().as_secs_f64();
         assert!(t_over < 60_000.0, "overload tput {t_over}");
     }
 
     #[test]
     fn social_network_completes_and_blocks_threads() {
-        let sim = quick(social_network(&SocialNetworkConfig::at_qps(5_000.0)).unwrap(), 3);
+        let sim = quick(
+            social_network(&SocialNetworkConfig::at_qps(5_000.0)).unwrap(),
+            3,
+        );
         let tput = sim.completed() as f64 / sim.now().as_secs_f64();
         assert!((tput - 5_000.0).abs() / 5_000.0 < 0.06, "tput {tput}");
         // Two sequential synchronous phases: latency well above a single
@@ -1271,7 +1668,12 @@ mod tests {
         assert!((frac - 0.2).abs() < 0.03, "miss fraction {frac}");
         // Misses pay the disk read; hits stay sub-millisecond at this load.
         assert!(hit_s.p50 < 1e-3, "hit p50 {}", hit_s.p50);
-        assert!(miss_s.p50 > hit_s.p50 + 1.5e-3, "miss {} vs hit {}", miss_s.p50, hit_s.p50);
+        assert!(
+            miss_s.p50 > hit_s.p50 + 1.5e-3,
+            "miss {} vs hit {}",
+            miss_s.p50,
+            hit_s.p50
+        );
     }
 
     #[test]
@@ -1297,7 +1699,10 @@ mod tests {
         let browse = sim.request_type_by_name("browse_user").unwrap();
         assert!(sim.type_latency_summary(browse).p50 < hit_s.p50);
         // Conservation still holds with four interleaved DAG shapes.
-        assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+        assert_eq!(
+            sim.generated(),
+            sim.completed() + sim.live_requests() as u64
+        );
     }
 
     #[test]
@@ -1315,8 +1720,14 @@ mod tests {
 
     #[test]
     fn tail_at_scale_slow_leaves_dominate() {
-        let clean = quick(tail_at_scale(&TailAtScaleConfig::new(50, 0.0, 60.0)).unwrap(), 8);
-        let slow = quick(tail_at_scale(&TailAtScaleConfig::new(50, 0.02, 60.0)).unwrap(), 8);
+        let clean = quick(
+            tail_at_scale(&TailAtScaleConfig::new(50, 0.0, 60.0)).unwrap(),
+            8,
+        );
+        let slow = quick(
+            tail_at_scale(&TailAtScaleConfig::new(50, 0.02, 60.0)).unwrap(),
+            8,
+        );
         // One slow leaf out of 50 drags p99 toward the 10x regime.
         assert!(
             slow.latency_summary().p99 > 2.0 * clean.latency_summary().p99,
@@ -1330,7 +1741,10 @@ mod tests {
     fn single_tier_scenarios_run() {
         let n = quick(single_nginx(5_000.0, &CommonOpts::default()).unwrap(), 2);
         assert!(n.completed() > 4_000);
-        let m = quick(single_memcached(20_000.0, 4, &CommonOpts::default()).unwrap(), 2);
+        let m = quick(
+            single_memcached(20_000.0, 4, &CommonOpts::default()).unwrap(),
+            2,
+        );
         assert!(m.completed() > 15_000);
     }
 

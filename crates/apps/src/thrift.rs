@@ -36,14 +36,26 @@ pub const REF_FREQ_GHZ: f64 = 2.6;
 /// assert!(m.validate().is_ok());
 /// assert_eq!(m.name, "user_service");
 /// ```
-pub fn service_model(name: impl Into<String>, handle_mean_s: f64, compose_mean_s: f64) -> ServiceModel {
+pub fn service_model(
+    name: impl Into<String>,
+    handle_mean_s: f64,
+    compose_mean_s: f64,
+) -> ServiceModel {
     let single = |mean: f64, cv: f64| {
         ServiceTimeModel::per_job(Distribution::lognormal_mean_cv(mean, cv), REF_FREQ_GHZ)
     };
     let stages = vec![
         StageSpec::new("socket_read", QueueDiscipline::Single, single(4e-6, 0.3)),
-        StageSpec::new("handler", QueueDiscipline::Single, single(handle_mean_s, 0.6)),
-        StageSpec::new("compose", QueueDiscipline::Single, single(compose_mean_s, 0.5)),
+        StageSpec::new(
+            "handler",
+            QueueDiscipline::Single,
+            single(handle_mean_s, 0.6),
+        ),
+        StageSpec::new(
+            "compose",
+            QueueDiscipline::Single,
+            single(compose_mean_s, 0.5),
+        ),
         StageSpec::new("socket_send", QueueDiscipline::Single, single(4e-6, 0.3)),
     ];
     let s = |i: usize| StageId::from_raw(i as u32);
@@ -85,6 +97,10 @@ mod tests {
             .iter()
             .map(|&s| m.stages[s.index()].service.mean(1))
             .sum();
-        assert!((total - 20e-6).abs() < 3e-6, "budget {}us should be ~20us", total * 1e6);
+        assert!(
+            (total - 20e-6).abs() < 3e-6,
+            "budget {}us should be ~20us",
+            total * 1e6
+        );
     }
 }

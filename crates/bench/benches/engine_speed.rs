@@ -17,13 +17,17 @@ fn bench_two_tier(c: &mut Criterion) {
         let mut probe = two_tier(&TwoTierConfig::at_qps(qps)).expect("scenario builds");
         probe.run_for(SimDuration::from_millis(500));
         g.throughput(Throughput::Elements(probe.events_processed()));
-        g.bench_with_input(BenchmarkId::new("sim_500ms", qps as u64), &qps, |b, &qps| {
-            b.iter(|| {
-                let mut sim = two_tier(&TwoTierConfig::at_qps(qps)).expect("scenario builds");
-                sim.run_for(SimDuration::from_millis(500));
-                sim.completed()
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("sim_500ms", qps as u64),
+            &qps,
+            |b, &qps| {
+                b.iter(|| {
+                    let mut sim = two_tier(&TwoTierConfig::at_qps(qps)).expect("scenario builds");
+                    sim.run_for(SimDuration::from_millis(500));
+                    sim.completed()
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -8,18 +8,54 @@ fn main() {
     let opts = RunOpts::from_args();
     type Step = Box<dyn Fn(&RunOpts) -> Result<(), uqsim_core::SimError>>;
     let steps: Vec<(&str, Step)> = vec![
-        ("fig05", Box::new(|o: &RunOpts| ex::fig05::run(o).map(|_| ()))),
-        ("fig06", Box::new(|o: &RunOpts| ex::fig06::run(o).map(|_| ()))),
-        ("fig08", Box::new(|o: &RunOpts| ex::fig08::run(o).map(|_| ()))),
-        ("fig10", Box::new(|o: &RunOpts| ex::fig10::run(o).map(|_| ()))),
-        ("fig12a", Box::new(|o: &RunOpts| ex::fig12a::run(o).map(|_| ()))),
-        ("fig12b", Box::new(|o: &RunOpts| ex::fig12b::run(o).map(|_| ()))),
-        ("fig13", Box::new(|o: &RunOpts| ex::fig13::run(o).map(|_| ()))),
-        ("fig14", Box::new(|o: &RunOpts| ex::fig14::run(o).map(|_| ()))),
-        ("fig15", Box::new(|o: &RunOpts| ex::fig15::run(o).map(|_| ()))),
-        ("fig16", Box::new(|o: &RunOpts| ex::fig16::run(o).map(|_| ()))),
-        ("table3", Box::new(|o: &RunOpts| ex::table3::run(o).map(|_| ()))),
-        ("ablations", Box::new(|o: &RunOpts| ex::ablations::run(o).map(|_| ()))),
+        (
+            "fig05",
+            Box::new(|o: &RunOpts| ex::fig05::run(o).map(|_| ())),
+        ),
+        (
+            "fig06",
+            Box::new(|o: &RunOpts| ex::fig06::run(o).map(|_| ())),
+        ),
+        (
+            "fig08",
+            Box::new(|o: &RunOpts| ex::fig08::run(o).map(|_| ())),
+        ),
+        (
+            "fig10",
+            Box::new(|o: &RunOpts| ex::fig10::run(o).map(|_| ())),
+        ),
+        (
+            "fig12a",
+            Box::new(|o: &RunOpts| ex::fig12a::run(o).map(|_| ())),
+        ),
+        (
+            "fig12b",
+            Box::new(|o: &RunOpts| ex::fig12b::run(o).map(|_| ())),
+        ),
+        (
+            "fig13",
+            Box::new(|o: &RunOpts| ex::fig13::run(o).map(|_| ())),
+        ),
+        (
+            "fig14",
+            Box::new(|o: &RunOpts| ex::fig14::run(o).map(|_| ())),
+        ),
+        (
+            "fig15",
+            Box::new(|o: &RunOpts| ex::fig15::run(o).map(|_| ())),
+        ),
+        (
+            "fig16",
+            Box::new(|o: &RunOpts| ex::fig16::run(o).map(|_| ())),
+        ),
+        (
+            "table3",
+            Box::new(|o: &RunOpts| ex::table3::run(o).map(|_| ())),
+        ),
+        (
+            "ablations",
+            Box::new(|o: &RunOpts| ex::ablations::run(o).map(|_| ())),
+        ),
     ];
     for (name, step) in steps {
         println!("\n========== {name} ==========");

@@ -20,7 +20,9 @@ use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
 use uqsim_core::client::{ArrivalProcess, ClientSpec, RequestMix};
 use uqsim_core::ids::PathNodeId;
 use uqsim_core::machine::MachineSpec;
-use uqsim_core::path::{InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType};
+use uqsim_core::path::{
+    InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType,
+};
 use uqsim_core::service::ServiceModel;
 use uqsim_core::stage::QueueDiscipline;
 use uqsim_core::time::SimDuration;
@@ -72,7 +74,10 @@ fn build_memcached_with(
         s,
         m,
         4,
-        ExecSpec::MultiThreaded { threads: 4, ctx_switch: SimDuration::from_micros(2) },
+        ExecSpec::MultiThreaded {
+            threads: 4,
+            ctx_switch: SimDuration::from_micros(2),
+        },
     )?;
     finish_single_mc(b, s, i, qps)
 }
@@ -84,7 +89,11 @@ fn build_memcached_with(
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Summary> {
     println!("# Ablations — what each modeling feature contributes");
-    let n = if opts.duration.as_secs_f64() < 2.0 { 5 } else { 8 };
+    let n = if opts.duration.as_secs_f64() < 2.0 {
+        5
+    } else {
+        8
+    };
 
     // --- 1. epoll/socket batching ------------------------------------------
     // memcached's fixed per-invocation costs are ~25% of its tiny request
@@ -92,12 +101,22 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
     // point (for NGINX the fixed share is only ~4%).
     let loads = linear_loads(140_000.0, 280_000.0, n);
     let on = crate::sweep(&loads, opts, |q| {
-        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
+        let common = CommonOpts {
+            warmup: opts.warmup,
+            ..Default::default()
+        };
         build_memcached_with(uqsim_apps::memcached::service_model(), q, &common)
     })?;
     let off = crate::sweep(&loads, opts, |q| {
-        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
-        build_memcached_with(no_batching(uqsim_apps::memcached::service_model()), q, &common)
+        let common = CommonOpts {
+            warmup: opts.warmup,
+            ..Default::default()
+        };
+        build_memcached_with(
+            no_batching(uqsim_apps::memcached::service_model()),
+            q,
+            &common,
+        )
     })?;
     print_series("memcached 4t, batching ON", &on);
     print_series("memcached 4t, batching OFF (batch=1)", &off);
@@ -128,8 +147,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
     print_series("LB x16, network processing ON", &net_on);
     print_series("LB x16, network processing OFF", &net_off);
     print_series("LB x16, DPDK kernel-bypass", &net_dpdk);
-    let (network_on_sat, network_off_sat) =
-        (saturation_qps(&net_on, 50e-3), saturation_qps(&net_off, 50e-3));
+    let (network_on_sat, network_off_sat) = (
+        saturation_qps(&net_on, 50e-3),
+        saturation_qps(&net_off, 50e-3),
+    );
     println!(
         "network ablation: kernel saturates at {network_on_sat:.0} qps, ideal at {network_off_sat:.0} qps, dpdk at {:.0} qps\n",
         saturation_qps(&net_dpdk, 50e-3)
@@ -145,7 +166,12 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
         cfg.pool_size = pool;
         cfg.common.warmup = opts.warmup;
         let p = measure(two_tier(&cfg)?, 50_000.0, opts);
-        println!("{:>10} {:>9.3} {:>9.3}", pool, p.latency.mean * 1e3, p.latency.p99 * 1e3);
+        println!(
+            "{:>10} {:>9.3} {:>9.3}",
+            pool,
+            p.latency.mean * 1e3,
+            p.latency.p99 * 1e3
+        );
         if pool == 4 {
             pool4_p99 = p.latency.p99;
         }
@@ -157,8 +183,15 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
 
     // --- 4. execution model -------------------------------------------------
     println!("## memcached 4 cores: Simple vs MultiThreaded (single-tier, 150 kQPS)");
-    for (label, threads) in [("simple", None), ("multithreaded 4t", Some(4)), ("multithreaded 16t", Some(16))] {
-        let common = CommonOpts { warmup: opts.warmup, ..Default::default() };
+    for (label, threads) in [
+        ("simple", None),
+        ("multithreaded 4t", Some(4)),
+        ("multithreaded 16t", Some(16)),
+    ] {
+        let common = CommonOpts {
+            warmup: opts.warmup,
+            ..Default::default()
+        };
         let sim = match threads {
             None => build_simple_memcached(150_000.0, &common)?,
             Some(t) => build_mt_memcached(150_000.0, 4, t, &common)?,
@@ -231,7 +264,9 @@ fn build_lb_with_machines(
             NodeTarget::Service {
                 service: s,
                 instance: InstanceSelect::Fixed { instance: i_proxy },
-                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::FORWARD },
+                exec_path: PathSelect::Fixed {
+                    index: uqsim_apps::nginx::paths::FORWARD,
+                },
             },
             LinkKind::Request,
             vec![PathNodeId::from_raw(1)],
@@ -241,7 +276,9 @@ fn build_lb_with_machines(
             NodeTarget::Service {
                 service: s,
                 instance: InstanceSelect::RoundRobin { instances: servers },
-                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::SERVE },
+                exec_path: PathSelect::Fixed {
+                    index: uqsim_apps::nginx::paths::SERVE,
+                },
             },
             LinkKind::Request,
             vec![PathNodeId::from_raw(2)],
@@ -250,8 +287,12 @@ fn build_lb_with_machines(
             "respond",
             NodeTarget::Service {
                 service: s,
-                instance: InstanceSelect::SameAsNode { node: PathNodeId::from_raw(0) },
-                exec_path: PathSelect::Fixed { index: uqsim_apps::nginx::paths::PROXY_RESPOND },
+                instance: InstanceSelect::SameAsNode {
+                    node: PathNodeId::from_raw(0),
+                },
+                exec_path: PathSelect::Fixed {
+                    index: uqsim_apps::nginx::paths::PROXY_RESPOND,
+                },
             },
             LinkKind::ReplyToParent,
             vec![PathNodeId::from_raw(3)],
@@ -298,7 +339,10 @@ fn build_mt_memcached(
         s,
         m,
         cores,
-        ExecSpec::MultiThreaded { threads, ctx_switch: SimDuration::from_micros(2) },
+        ExecSpec::MultiThreaded {
+            threads,
+            ctx_switch: SimDuration::from_micros(2),
+        },
     )?;
     finish_single_mc(b, s, i, qps)
 }
@@ -314,7 +358,9 @@ fn finish_single_mc(
         target: NodeTarget::Service {
             service: s,
             instance: InstanceSelect::Fixed { instance: i },
-            exec_path: PathSelect::Fixed { index: uqsim_apps::memcached::paths::READ },
+            exec_path: PathSelect::Fixed {
+                index: uqsim_apps::memcached::paths::READ,
+            },
         },
         children: vec![PathNodeId::from_raw(1)],
         link: LinkKind::Request,
@@ -322,7 +368,11 @@ fn finish_single_mc(
         pin_thread_of: None,
     };
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
-    let ty = b.add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))?;
+    let ty = b.add_request_type(RequestType::new(
+        "get",
+        vec![node, sink],
+        PathNodeId::from_raw(0),
+    ))?;
     b.add_client(
         ClientSpec {
             name: "c".into(),

@@ -37,7 +37,15 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
     let mut out = Vec::new();
     for (np, mt) in configs {
         let hi = if np == 8 { 85_000.0 } else { 45_000.0 };
-        let loads = linear_loads(5_000.0, hi, if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 });
+        let loads = linear_loads(
+            5_000.0,
+            hi,
+            if opts.duration.as_secs_f64() < 2.0 {
+                5
+            } else {
+                9
+            },
+        );
         let build = |noise: bool| {
             let warmup = opts.warmup;
             move |qps: f64| {
@@ -55,7 +63,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
         let sim = crate::sweep(&loads, opts, build(false))?;
         let reference = crate::sweep(&loads, opts, build(true))?;
         print_series(&format!("nginx={np}p memcached={mt}t [simulated]"), &sim);
-        print_series(&format!("nginx={np}p memcached={mt}t [real-proxy: noisy reference]"), &reference);
+        print_series(
+            &format!("nginx={np}p memcached={mt}t [real-proxy: noisy reference]"),
+            &reference,
+        );
         let (mean_dev, tail_dev) = deviation_ms(&sim, &reference);
         println!(
             "saturation: sim {:.0} qps, ref {:.0} qps | pre-saturation deviation: mean {:.2}ms (paper: 0.17ms), p99 {:.2}ms (paper: 0.83ms)\n",
@@ -64,7 +75,12 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
             mean_dev,
             tail_dev
         );
-        out.push(ConfigResult { nginx_procs: np, memcached_threads: mt, sim, reference });
+        out.push(ConfigResult {
+            nginx_procs: np,
+            memcached_threads: mt,
+            sim,
+            reference,
+        });
     }
     println!(
         "paper shape check: saturation tracks the NGINX process count (8p ≈ 2x 4p);\n\

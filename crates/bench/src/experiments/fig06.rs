@@ -26,7 +26,15 @@ pub struct Result {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Result> {
     println!("# Fig. 6 — three-tier (NGINX-memcached-MongoDB) validation");
-    let loads = linear_loads(500.0, 5_500.0, if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 });
+    let loads = linear_loads(
+        500.0,
+        5_500.0,
+        if opts.duration.as_secs_f64() < 2.0 {
+            5
+        } else {
+            9
+        },
+    );
     let build = |noise: bool| {
         let warmup = opts.warmup;
         move |qps: f64| {
@@ -41,7 +49,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
     let sim = crate::sweep(&loads, opts, build(false))?;
     let reference = crate::sweep(&loads, opts, build(true))?;
     print_series("nginx=8p mc=2t mongod+disk [simulated]", &sim);
-    print_series("nginx=8p mc=2t mongod+disk [real-proxy: noisy reference]", &reference);
+    print_series(
+        "nginx=8p mc=2t mongod+disk [real-proxy: noisy reference]",
+        &reference,
+    );
     let (mean_dev, tail_dev) = deviation_ms(&sim, &reference);
     println!(
         "saturation: sim {:.0} qps, ref {:.0} qps | pre-saturation deviation: mean {:.2}ms (paper: 1.55ms), p99 {:.2}ms (paper: 2.32ms)",

@@ -26,7 +26,11 @@ pub struct ScaleResult {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Vec<ScaleResult>> {
     println!("# Fig. 8 — load balancing validation (p99 vs load)");
-    let n_points = if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 };
+    let n_points = if opts.duration.as_secs_f64() < 2.0 {
+        5
+    } else {
+        9
+    };
     let mut out = Vec::new();
     for (scale, reference) in crate::reference::LB_SATURATION {
         let loads = linear_loads(0.2 * reference, 1.25 * reference, n_points);
@@ -41,7 +45,11 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ScaleResult>> {
             "saturation: {:.0} qps (paper real system: {:.0} qps)\n",
             sat, reference
         );
-        out.push(ScaleResult { scale_out: scale, points, saturation_qps: sat });
+        out.push(ScaleResult {
+            scale_out: scale,
+            points,
+            saturation_qps: sat,
+        });
     }
     println!(
         "paper shape check: 4→8 scales linearly; 16 is sub-linear (irq cores saturate first)."

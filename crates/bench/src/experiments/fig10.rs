@@ -46,7 +46,9 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<FanoutResult>> {
         // Interactive saturation: the knee where p99 exceeds 10 ms.
         let sat = saturation_qps(&points, 10e-3);
         print_series(&format!("fanout {factor} [simulated]"), &points);
-        let knee = points.iter().find(|p| (p.offered_qps - 8_500.0).abs() < 1.0);
+        let knee = points
+            .iter()
+            .find(|p| (p.offered_qps - 8_500.0).abs() < 1.0);
         if let Some(k) = knee {
             println!(
                 "saturation: {:.0} qps | p99 near the knee (8.5 kQPS): {:.2} ms\n",
@@ -56,7 +58,11 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<FanoutResult>> {
         } else {
             println!("saturation: {:.0} qps\n", sat);
         }
-        out.push(FanoutResult { fanout: factor, points, saturation_qps: sat });
+        out.push(FanoutResult {
+            fanout: factor,
+            points,
+            saturation_qps: sat,
+        });
     }
     println!(
         "paper shape check: p99 at fixed load increases with the fanout factor, so the\n\

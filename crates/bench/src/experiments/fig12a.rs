@@ -27,7 +27,15 @@ pub struct Result {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Result> {
     println!("# Fig. 12a — Thrift hello-world RPC validation");
-    let loads = linear_loads(5_000.0, 60_000.0, if opts.duration.as_secs_f64() < 2.0 { 5 } else { 10 });
+    let loads = linear_loads(
+        5_000.0,
+        60_000.0,
+        if opts.duration.as_secs_f64() < 2.0 {
+            5
+        } else {
+            10
+        },
+    );
     let build = |noise: bool| {
         let warmup = opts.warmup;
         move |qps: f64| {

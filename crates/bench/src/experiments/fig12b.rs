@@ -26,7 +26,15 @@ pub struct Result {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Result> {
     println!("# Fig. 12b — social network validation");
-    let loads = linear_loads(2_000.0, 30_000.0, if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 });
+    let loads = linear_loads(
+        2_000.0,
+        30_000.0,
+        if opts.duration.as_secs_f64() < 2.0 {
+            5
+        } else {
+            9
+        },
+    );
     let build = |noise: bool| {
         let warmup = opts.warmup;
         move |qps: f64| {

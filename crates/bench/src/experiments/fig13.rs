@@ -79,15 +79,21 @@ fn empty_if_missing(points: Vec<LoadPoint>) -> Vec<LoadPoint> {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Vec<AppResult>> {
     println!("# Fig. 13 — µqSim vs BigHouse");
-    let n = if opts.duration.as_secs_f64() < 2.0 { 5 } else { 9 };
+    let n = if opts.duration.as_secs_f64() < 2.0 {
+        5
+    } else {
+        9
+    };
     let mut out = Vec::new();
 
     // --- single-process NGINX web server ---------------------------------
     {
         let loads = linear_loads(1_000.0, 11_000.0, n);
         let uqsim = crate::sweep(&loads, opts, |qps| {
-            let common =
-                scenarios::CommonOpts { warmup: opts.warmup, ..Default::default() };
+            let common = scenarios::CommonOpts {
+                warmup: opts.warmup,
+                ..Default::default()
+            };
             scenarios::single_nginx(qps, &common)
         })?;
         let bh_service =
@@ -95,8 +101,14 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<AppResult>> {
         let bighouse = empty_if_missing(bighouse_sweep(&loads, &bh_service, 1, opts));
         print_series("nginx 1 process [uqsim]", &uqsim);
         print_series("nginx 1 process [bighouse]", &bighouse);
-        let (su, sb) = (saturation_qps(&uqsim, 50e-3), saturation_qps(&bighouse, 50e-3));
-        println!("saturation: uqsim {:.0} qps vs bighouse {:.0} qps\n", su, sb);
+        let (su, sb) = (
+            saturation_qps(&uqsim, 50e-3),
+            saturation_qps(&bighouse, 50e-3),
+        );
+        println!(
+            "saturation: uqsim {:.0} qps vs bighouse {:.0} qps\n",
+            su, sb
+        );
         out.push(AppResult {
             app: "nginx",
             uqsim,
@@ -110,8 +122,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<AppResult>> {
     {
         let loads = linear_loads(10_000.0, 240_000.0, n);
         let uqsim = crate::sweep(&loads, opts, |qps| {
-            let common =
-                scenarios::CommonOpts { warmup: opts.warmup, ..Default::default() };
+            let common = scenarios::CommonOpts {
+                warmup: opts.warmup,
+                ..Default::default()
+            };
             scenarios::single_memcached(qps, 4, &common)
         })?;
         let bh_service = service_distribution_for(
@@ -122,8 +136,14 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<AppResult>> {
         let bighouse = empty_if_missing(bighouse_sweep(&loads, &bh_service, 4, opts));
         print_series("memcached 4 threads [uqsim]", &uqsim);
         print_series("memcached 4 threads [bighouse]", &bighouse);
-        let (su, sb) = (saturation_qps(&uqsim, 50e-3), saturation_qps(&bighouse, 50e-3));
-        println!("saturation: uqsim {:.0} qps vs bighouse {:.0} qps\n", su, sb);
+        let (su, sb) = (
+            saturation_qps(&uqsim, 50e-3),
+            saturation_qps(&bighouse, 50e-3),
+        );
+        println!(
+            "saturation: uqsim {:.0} qps vs bighouse {:.0} qps\n",
+            su, sb
+        );
         out.push(AppResult {
             app: "memcached",
             uqsim,

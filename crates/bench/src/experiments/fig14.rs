@@ -34,8 +34,11 @@ pub struct Cell {
 pub fn run(opts: &RunOpts) -> SimResult<Vec<Cell>> {
     println!("# Fig. 14 — tail at scale (p99 vs cluster size, per slow-server fraction)");
     let quick = opts.duration.as_secs_f64() < 2.0;
-    let sizes: &[usize] =
-        if quick { &[5, 20, 100, 300] } else { &[5, 10, 20, 50, 100, 200, 500, 1000] };
+    let sizes: &[usize] = if quick {
+        &[5, 20, 100, 300]
+    } else {
+        &[5, 10, 20, 50, 100, 200, 500, 1000]
+    };
     let fractions = [0.0, 0.001, 0.01, 0.05, 0.10];
     // Per-leaf utilization 0.06 on fast leaves and 0.6 on 10x-slow ones:
     // every leaf stays stable, but slow leaves dominate the fanout tail.

@@ -30,13 +30,18 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
     let (min_qps, max_qps, period) = (8_000.0, 40_000.0, if quick { 10.0 } else { 60.0 });
     let schedule = RateSchedule::diurnal(min_qps, max_qps, period, 12);
     let mut cfg = TwoTierConfig::at_qps(max_qps);
-    cfg.arrivals = ArrivalProcess::Poisson { schedule: schedule.clone() };
+    cfg.arrivals = ArrivalProcess::Poisson {
+        schedule: schedule.clone(),
+    };
     cfg.common.warmup = SimDuration::from_millis(0);
     cfg.common.window = Some(SimDuration::from_secs_f64(period / 24.0));
     let mut sim = two_tier(&cfg)?;
     sim.run_for(SimDuration::from_secs_f64(2.0 * period));
     let windows: Vec<WindowStats> = sim.window_series().unwrap_or(&[]).to_vec();
-    println!("{:>9} {:>12} {:>14} {:>9}", "time_s", "offered_qps", "achieved_qps", "p99_ms");
+    println!(
+        "{:>9} {:>12} {:>14} {:>9}",
+        "time_s", "offered_qps", "achieved_qps", "p99_ms"
+    );
     for w in &windows {
         let offered = schedule.rate_at(w.start);
         println!(
@@ -47,6 +52,11 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
             w.latency.p99 * 1e3
         );
     }
-    println!("paper shape check: achieved throughput tracks the diurnal swing between trough and peak.");
-    Ok(Result { schedule: schedule.segments, windows })
+    println!(
+        "paper shape check: achieved throughput tracks the diurnal swing between trough and peak."
+    );
+    Ok(Result {
+        schedule: schedule.segments,
+        windows,
+    })
 }

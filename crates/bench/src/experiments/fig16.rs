@@ -17,7 +17,10 @@ pub type Result = Vec<(f64, PowerRunResult, PowerRunResult)>;
 
 fn print_trace(label: &str, r: &PowerRunResult, stride: usize) {
     println!("## {label}");
-    println!("{:>9} {:>9} {:>10} {:>10} {:>9}", "time_s", "p99_ms", "f_nginx", "f_mc", "violated");
+    println!(
+        "{:>9} {:>9} {:>10} {:>10} {:>9}",
+        "time_s", "p99_ms", "f_nginx", "f_mc", "violated"
+    );
     for e in r.trace.iter().step_by(stride.max(1)) {
         if e.samples == 0 {
             continue;
@@ -33,7 +36,10 @@ fn print_trace(label: &str, r: &PowerRunResult, stride: usize) {
     }
     println!(
         "mean frequencies: {:?} GHz | violation rate {:.1}%",
-        r.mean_freqs_ghz.iter().map(|f| (f * 10.0).round() / 10.0).collect::<Vec<_>>(),
+        r.mean_freqs_ghz
+            .iter()
+            .map(|f| (f * 10.0).round() / 10.0)
+            .collect::<Vec<_>>(),
         r.violation_rate * 100.0
     );
 }
@@ -57,7 +63,11 @@ pub fn converged_tail(r: &PowerRunResult) -> f64 {
 pub fn run(opts: &RunOpts) -> SimResult<Result> {
     println!("# Fig. 16 — power management traces (Algorithm 1)");
     let quick = opts.duration.as_secs_f64() < 2.0;
-    let duration = if quick { SimDuration::from_secs(30) } else { SimDuration::from_secs(120) };
+    let duration = if quick {
+        SimDuration::from_secs(30)
+    } else {
+        SimDuration::from_secs(120)
+    };
     let period = if quick { 15.0 } else { 60.0 };
     let mut out = Vec::new();
     for interval_s in [0.1, 0.5, 1.0] {
@@ -68,11 +78,18 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
             ..PowerRunConfig::default()
         };
         let sim = power_run(&base)?;
-        let noisy = power_run(&PowerRunConfig { noisy: true, ..base.clone() })?;
+        let noisy = power_run(&PowerRunConfig {
+            noisy: true,
+            ..base.clone()
+        })?;
         let baseline_energy = crate::power_experiment::run_baseline(&base)?;
         let stride = (4.0 / interval_s) as usize;
         print_trace(&format!("interval {interval_s}s [simulated]"), &sim, stride);
-        print_trace(&format!("interval {interval_s}s [real-proxy: noisy reference]"), &noisy, stride);
+        print_trace(
+            &format!("interval {interval_s}s [real-proxy: noisy reference]"),
+            &noisy,
+            stride,
+        );
         println!(
             "converged tail: sim {:.2}ms, ref {:.2}ms (paper: ~2ms against a 5ms target)",
             converged_tail(&sim) * 1e3,

@@ -23,7 +23,11 @@ pub type Row = (f64, f64, f64);
 pub fn run(opts: &RunOpts) -> SimResult<Vec<Row>> {
     println!("# Table III — power management QoS violation rates");
     let quick = opts.duration.as_secs_f64() < 2.0;
-    let duration = if quick { SimDuration::from_secs(30) } else { SimDuration::from_secs(150) };
+    let duration = if quick {
+        SimDuration::from_secs(30)
+    } else {
+        SimDuration::from_secs(150)
+    };
     let period = if quick { 15.0 } else { 60.0 };
     let mut rows = Vec::new();
     println!(
@@ -43,7 +47,11 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<Row>> {
                 ..PowerRunConfig::default()
             };
             sim_rate += power_run(&base)?.violation_rate;
-            ref_rate += power_run(&PowerRunConfig { noisy: true, ..base })?.violation_rate;
+            ref_rate += power_run(&PowerRunConfig {
+                noisy: true,
+                ..base
+            })?
+            .violation_rate;
         }
         sim_rate /= seeds.len() as f64;
         ref_rate /= seeds.len() as f64;

@@ -47,7 +47,10 @@ pub struct RunOpts {
 
 impl Default for RunOpts {
     fn default() -> Self {
-        RunOpts { duration: SimDuration::from_secs(4), warmup: SimDuration::from_secs(1) }
+        RunOpts {
+            duration: SimDuration::from_secs(4),
+            warmup: SimDuration::from_secs(1),
+        }
     }
 }
 
@@ -56,9 +59,14 @@ impl RunOpts {
     /// the environment) and shortens runs accordingly.
     pub fn from_args() -> Self {
         let quick = std::env::args().any(|a| a == "--quick")
-            || std::env::var("UQSIM_QUICK").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("UQSIM_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         if quick {
-            RunOpts { duration: SimDuration::from_millis(1500), warmup: SimDuration::from_millis(500) }
+            RunOpts {
+                duration: SimDuration::from_millis(1500),
+                warmup: SimDuration::from_millis(500),
+            }
         } else {
             RunOpts::default()
         }
@@ -78,7 +86,11 @@ pub fn measure(mut sim: Simulator, offered_qps: f64, opts: &RunOpts) -> LoadPoin
     sim.run_for(opts.total());
     let latency = sim.latency_summary();
     let achieved = latency.count as f64 / opts.duration.as_secs_f64();
-    LoadPoint { offered_qps, achieved_qps: achieved, latency }
+    LoadPoint {
+        offered_qps,
+        achieved_qps: achieved,
+        latency,
+    }
 }
 
 /// Sweeps a list of offered loads through a scenario constructor.
@@ -105,7 +117,11 @@ pub fn sweep(
 pub fn saturation_qps(points: &[LoadPoint], p99_limit_s: f64) -> f64 {
     for (i, p) in points.iter().enumerate() {
         if !p.kept_up() || p.latency.p99 > p99_limit_s {
-            return if i == 0 { p.offered_qps } else { points[i - 1].offered_qps };
+            return if i == 0 {
+                p.offered_qps
+            } else {
+                points[i - 1].offered_qps
+            };
         }
     }
     points.last().map(|p| p.offered_qps).unwrap_or(0.0)
@@ -148,10 +164,16 @@ pub fn deviation_ms(a: &[LoadPoint], b: &[LoadPoint]) -> (f64, f64) {
         return (0.0, 0.0);
     }
     let n = pairs.len() as f64;
-    let mean_dev =
-        pairs.iter().map(|(x, y)| (x.latency.mean - y.latency.mean).abs()).sum::<f64>() / n;
-    let tail_dev =
-        pairs.iter().map(|(x, y)| (x.latency.p99 - y.latency.p99).abs()).sum::<f64>() / n;
+    let mean_dev = pairs
+        .iter()
+        .map(|(x, y)| (x.latency.mean - y.latency.mean).abs())
+        .sum::<f64>()
+        / n;
+    let tail_dev = pairs
+        .iter()
+        .map(|(x, y)| (x.latency.p99 - y.latency.p99).abs())
+        .sum::<f64>()
+        / n;
     (mean_dev * 1e3, tail_dev * 1e3)
 }
 
@@ -165,7 +187,9 @@ pub fn geometric_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// Linearly spaced loads from `lo` to `hi` inclusive.
 pub fn linear_loads(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2);
-    (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64).collect()
+    (0..n)
+        .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -189,7 +213,11 @@ mod tests {
 
     #[test]
     fn saturation_detects_throughput_collapse() {
-        let pts = vec![point(10.0, 10.0, 1e-3), point(20.0, 19.9, 1e-3), point(30.0, 22.0, 1e-3)];
+        let pts = vec![
+            point(10.0, 10.0, 1e-3),
+            point(20.0, 19.9, 1e-3),
+            point(30.0, 22.0, 1e-3),
+        ];
         assert_eq!(saturation_qps(&pts, 1.0), 20.0);
     }
 
@@ -210,7 +238,10 @@ mod tests {
         let a = vec![point(10.0, 10.0, 2e-3), point(20.0, 12.0, 50e-3)];
         let b = vec![point(10.0, 10.0, 3e-3), point(20.0, 20.0, 1e-3)];
         let (_, tail) = deviation_ms(&a, &b);
-        assert!((tail - 1.0).abs() < 1e-9, "only the first pair counts: {tail}");
+        assert!(
+            (tail - 1.0).abs() < 1e-9,
+            "only the first pair counts: {tail}"
+        );
     }
 
     #[test]

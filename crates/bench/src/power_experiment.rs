@@ -75,8 +75,12 @@ pub fn run(cfg: &PowerRunConfig) -> SimResult<PowerRunResult> {
         tt.common.noise = Some(NoiseProfile::default());
     }
     let mut sim = two_tier(&tt)?;
-    let nginx = sim.instance_by_name("nginx").expect("two_tier deploys nginx");
-    let mc = sim.instance_by_name("memcached").expect("two_tier deploys memcached");
+    let nginx = sim
+        .instance_by_name("nginx")
+        .expect("two_tier deploys nginx");
+    let mc = sim
+        .instance_by_name("memcached")
+        .expect("two_tier deploys memcached");
     let (manager, trace) = PowerManager::new(PowerManagerConfig {
         qos_target_s: cfg.qos_target_s,
         interval: cfg.interval,
@@ -118,9 +122,7 @@ fn summarize(trace: &TraceHandle, energy_j: f64) -> PowerRunResult {
     let counted: Vec<&PowerTraceEntry> = entries.iter().filter(|e| e.samples > 0).collect();
     let tiers = counted.first().map(|e| e.freqs_ghz.len()).unwrap_or(0);
     let mean_freqs_ghz = (0..tiers)
-        .map(|t| {
-            counted.iter().map(|e| e.freqs_ghz[t]).sum::<f64>() / counted.len().max(1) as f64
-        })
+        .map(|t| counted.iter().map(|e| e.freqs_ghz[t]).sum::<f64>() / counted.len().max(1) as f64)
         .collect();
     PowerRunResult {
         violation_rate: trace.violation_rate(),

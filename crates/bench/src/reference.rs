@@ -33,8 +33,11 @@ pub const THREE_TIER_TAIL_DEV_MS: f64 = 2.32;
 pub const TAIL_AT_SCALE_CRITICAL_CLUSTER: usize = 100;
 
 /// Table III: QoS violation rates — `(interval_s, simulated, real)`.
-pub const TABLE3_VIOLATION_RATES: [(f64, f64, f64); 3] =
-    [(0.1, 0.006, 0.015), (0.5, 0.022, 0.027), (1.0, 0.050, 0.060)];
+pub const TABLE3_VIOLATION_RATES: [(f64, f64, f64); 3] = [
+    (0.1, 0.006, 0.015),
+    (0.5, 0.022, 0.027),
+    (1.0, 0.050, 0.060),
+];
 
 /// §V-B: the QoS target of the power experiment.
 pub const POWER_QOS_TARGET_S: f64 = 5e-3;

@@ -150,7 +150,11 @@ impl BigHouse {
     fn schedule(&mut self, at: f64, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(Scheduled { time: at, seq, event }));
+        self.events.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            event,
+        }));
     }
 
     fn start_service(&mut self, server: usize, arrived: f64) {
@@ -237,7 +241,11 @@ pub fn run_converged(
     let mut means: Vec<f64> = Vec::new();
     loop {
         let seed = cfg.seed.wrapping_add(p99s.len() as u64);
-        let result = BigHouse::new(BigHouseConfig { seed, ..cfg.clone() }).run(horizon_s);
+        let result = BigHouse::new(BigHouseConfig {
+            seed,
+            ..cfg.clone()
+        })
+        .run(horizon_s);
         p99s.push(result.latency.p99);
         means.push(result.latency.mean);
         if p99s.len() >= 2 {
@@ -315,7 +323,11 @@ mod tests {
     fn mm1_matches_theory() {
         // W = 1/(mu - lambda) = 1/(2000-1000) = 1ms.
         let r = mm1(1_000.0, 2_000.0, 7);
-        assert!((r.latency.mean - 1e-3).abs() / 1e-3 < 0.08, "mean {}", r.latency.mean);
+        assert!(
+            (r.latency.mean - 1e-3).abs() / 1e-3 < 0.08,
+            "mean {}",
+            r.latency.mean
+        );
         assert!((r.throughput - 1_000.0).abs() / 1_000.0 < 0.05);
     }
 
@@ -394,8 +406,7 @@ mod tests {
         let loose = run_converged(&cfg, 4.0, 0.5, 32);
         let tight = run_converged(&cfg, 4.0, 0.02, 64);
         assert!(tight.instances >= loose.instances);
-        assert!(tight.p99_ci_half_width <= 0.02 * tight.p99_mean * 1.0001
-            || tight.instances == 64);
+        assert!(tight.p99_ci_half_width <= 0.02 * tight.p99_mean * 1.0001 || tight.instances == 64);
         // Converged p99 sits near the analytic M/M/1 p99 = ln(100)/(mu-l).
         let analytic = (100.0f64).ln() / 1_000.0;
         assert!(
@@ -441,7 +452,10 @@ mod tests {
                     ServiceTimeModel::per_job(Distribution::constant(20e-6), 2.6),
                 ),
             ],
-            vec![ExecPath::new("p", vec![StageId::from_raw(0), StageId::from_raw(1)])],
+            vec![ExecPath::new(
+                "p",
+                vec![StageId::from_raw(0), StageId::from_raw(1)],
+            )],
         )
     }
 }

@@ -4,6 +4,7 @@
 //! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
 //! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>] [--seed <n>]
 //! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
+//! uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] [--events <n>]
 //! uqsim validate <scenario.json>
 //! uqsim split <scenario.json> <dir>
 //! uqsim example
@@ -17,10 +18,14 @@
 //! `run` executes the scenario and prints a latency/throughput summary
 //! (machine-readable with `--json`). `sweep` re-runs the scenario at a list
 //! of offered loads (scaling every client's rate schedule) and prints the
-//! load–latency table. `trace` samples distributed-tracing-style request
-//! traces and prints them as JSON lines. `validate` parses and builds
-//! without running. `example` prints a complete scenario file to start
-//! from; more elaborate ones ship under `crates/cli/configs/`.
+//! load–latency table. `trace` with a positional path samples
+//! distributed-tracing-style request traces and prints them as JSON lines;
+//! `trace --config` instead records the full per-request span log, writes
+//! it as Chrome `trace_event` JSON (open the file in `about:tracing` or
+//! <https://ui.perfetto.dev>), and audits it against the simulator's
+//! invariants, exiting non-zero on any violation. `validate` parses and
+//! builds without running. `example` prints a complete scenario file to
+//! start from; more elaborate ones ship under `crates/cli/configs/`.
 
 use std::path::Path;
 use std::process::ExitCode;
@@ -34,6 +39,8 @@ fn usage() -> ExitCode {
         "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json]\n  \
          uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
          uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
+         uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] \
+         [--events <n>]\n  \
          uqsim validate <scenario.json|dir>\n  uqsim split <scenario.json> <dir>\n  uqsim example"
     );
     ExitCode::from(2)
@@ -56,7 +63,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("split") => {
-            let (Some(src), Some(dst)) = (args.get(1), args.get(2)) else { return usage() };
+            let (Some(src), Some(dst)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
             match load(Path::new(src)).and_then(|c| c.write_dir(Path::new(dst))) {
                 Ok(()) => {
                     println!("wrote Table I layout to {dst}");
@@ -69,7 +78,9 @@ fn main() -> ExitCode {
             }
         }
         Some("validate") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             match load(Path::new(path)).and_then(|c| c.build()) {
                 Ok(sim) => {
                     println!(
@@ -86,7 +97,9 @@ fn main() -> ExitCode {
             }
         }
         Some("sweep") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let mut duration = 5.0f64;
             let mut loads: Vec<f64> = Vec::new();
             let mut i = 2;
@@ -100,7 +113,9 @@ fn main() -> ExitCode {
                         i += 2;
                     }
                     "--loads" => {
-                        let Some(list) = args.get(i + 1) else { return usage() };
+                        let Some(list) = args.get(i + 1) else {
+                            return usage();
+                        };
                         loads = list.split(',').filter_map(|x| x.parse().ok()).collect();
                         i += 2;
                     }
@@ -119,13 +134,30 @@ fn main() -> ExitCode {
             }
         }
         Some("trace") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let mut positional = None;
+            let mut config = None;
+            let mut out = None;
             let mut duration = 2.0f64;
             let mut every = 100u64;
             let mut max = 20usize;
-            let mut i = 2;
+            let mut events = 1_000_000usize;
+            let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--config" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        config = Some(v.clone());
+                        i += 2;
+                    }
+                    "--out" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        out = Some(v.clone());
+                        i += 2;
+                    }
                     "--duration" => {
                         let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
                             return usage();
@@ -147,19 +179,49 @@ fn main() -> ExitCode {
                         max = v;
                         i += 2;
                     }
+                    "--events" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        events = v;
+                        i += 2;
+                    }
+                    flag if flag.starts_with("--") => return usage(),
+                    _ if positional.is_none() => {
+                        positional = Some(args[i].clone());
+                        i += 1;
+                    }
                     _ => return usage(),
                 }
             }
-            match trace(Path::new(path), duration, every, max) {
-                Ok(()) => ExitCode::SUCCESS,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    ExitCode::FAILURE
+            if let Some(config) = config {
+                // Chrome trace_event export with invariant auditing.
+                match chrome_export(Path::new(&config), duration, out.as_deref(), events) {
+                    Ok(true) => ExitCode::SUCCESS,
+                    Ok(false) => ExitCode::FAILURE,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            } else {
+                // Legacy JSON-lines sampled request traces.
+                let Some(path) = positional else {
+                    return usage();
+                };
+                match trace(Path::new(&path), duration, every, max) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        ExitCode::FAILURE
+                    }
                 }
             }
         }
         Some("run") => {
-            let Some(path) = args.get(1) else { return usage() };
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
             let mut duration = 5.0f64;
             let mut json = false;
             let mut seed = None;
@@ -227,10 +289,17 @@ fn run(
             },
             "events_processed": sim.events_processed(),
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("summary serializes"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("summary serializes")
+        );
     } else {
         println!("simulated {duration_s}s (warmup {}s)", cfg.warmup_s);
-        println!("requests: generated {}, completed {}", sim.generated(), sim.completed());
+        println!(
+            "requests: generated {}, completed {}",
+            sim.generated(),
+            sim.completed()
+        );
         println!("throughput: {throughput:.0} req/s over the measured window");
         println!(
             "latency: mean {:.3}ms p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms max {:.3}ms ({} samples)",
@@ -285,6 +354,49 @@ fn sweep(path: &Path, loads: &[f64], duration_s: f64) -> Result<(), uqsim_core::
     Ok(())
 }
 
+/// Runs the scenario with span tracing enabled, writes a Chrome
+/// `trace_event` JSON file (viewable in `about:tracing` or Perfetto), and
+/// audits the trace against the simulator's invariants. Returns whether the
+/// audit came back clean.
+fn chrome_export(
+    path: &Path,
+    duration_s: f64,
+    out: Option<&str>,
+    events: usize,
+) -> Result<bool, uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let mut sim = cfg.build()?;
+    sim.enable_span_tracing(events);
+    sim.run_for(SimDuration::from_secs_f64(duration_s));
+    let chrome = sim.chrome_trace().expect("span tracing is enabled");
+    let text = serde_json::to_string_pretty(&chrome).expect("trace serializes");
+    match out {
+        Some(file) => {
+            std::fs::write(file, text)?;
+            eprintln!("wrote {file}");
+        }
+        None => println!("{text}"),
+    }
+    let log = sim.span_log().expect("span tracing is enabled");
+    let report = sim.audit_trace().expect("span tracing is enabled");
+    eprintln!(
+        "trace: {} events ({} dropped), {} spans audited, {} completed requests",
+        log.len(),
+        log.dropped(),
+        report.spans_checked,
+        sim.completed()
+    );
+    if report.is_clean() {
+        eprintln!("audit: clean");
+    } else {
+        eprintln!("audit: {} violations", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+    }
+    Ok(report.is_clean())
+}
+
 /// Runs the scenario with tracing enabled and prints sampled request
 /// traces as JSON lines.
 fn trace(path: &Path, duration_s: f64, every: u64, max: usize) -> Result<(), uqsim_core::SimError> {
@@ -295,7 +407,11 @@ fn trace(path: &Path, duration_s: f64, every: u64, max: usize) -> Result<(), uqs
     for t in sim.traces() {
         println!("{}", serde_json::to_string(t).expect("trace serializes"));
     }
-    eprintln!("{} traces over {} completed requests", sim.traces().len(), sim.completed());
+    eprintln!(
+        "{} traces over {} completed requests",
+        sim.traces().len(),
+        sim.completed()
+    );
     Ok(())
 }
 
@@ -322,7 +438,10 @@ mod tests {
         assert!(sim.completed() > 10_000, "completed {}", sim.completed());
         let s = sim.latency_summary();
         assert!(s.p99 < 20e-3, "p99 {}", s.p99);
-        assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+        assert_eq!(
+            sim.generated(),
+            sim.completed() + sim.live_requests() as u64
+        );
     }
 
     #[test]
@@ -334,5 +453,43 @@ mod tests {
         assert!(sim.completed() > 1_000, "completed {}", sim.completed());
         let s = sim.latency_summary();
         assert!(s.p99 < 10e-3, "p99 {}", s.p99);
+    }
+
+    /// Runs one bundled config with span tracing on and asserts the trace
+    /// audit comes back with zero violations and the Chrome export is
+    /// well-formed.
+    fn audit_config(text: &str, secs: u64) {
+        let cfg = ScenarioConfig::from_json(text).unwrap();
+        let mut sim = cfg.build().unwrap();
+        sim.enable_span_tracing(2_000_000);
+        sim.run_for(SimDuration::from_secs(secs));
+        let log = sim.span_log().expect("tracing enabled");
+        assert_eq!(log.dropped(), 0, "event capacity too small for this test");
+        let report = sim.audit_trace().expect("tracing enabled");
+        assert!(report.is_clean(), "violations: {:#?}", report.violations);
+        assert!(report.spans_checked > 0, "no spans correlated");
+        let chrome = sim.chrome_trace().expect("tracing enabled");
+        let events = chrome["traceEvents"].as_array().expect("traceEvents array");
+        assert!(events.len() > 100, "only {} chrome events", events.len());
+        // Every event carries the mandatory Chrome trace_event keys.
+        for ev in events {
+            assert!(ev["ph"].as_str().is_some(), "event without ph: {ev}");
+            assert!(ev["pid"].as_u64().is_some(), "event without pid: {ev}");
+        }
+    }
+
+    #[test]
+    fn quickstart_trace_audits_clean() {
+        audit_config(EXAMPLE, 1);
+    }
+
+    #[test]
+    fn two_tier_trace_audits_clean() {
+        audit_config(include_str!("../configs/two_tier.json"), 1);
+    }
+
+    #[test]
+    fn social_network_trace_audits_clean() {
+        audit_config(include_str!("../configs/social_network.json"), 1);
     }
 }

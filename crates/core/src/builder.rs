@@ -12,7 +12,9 @@ use crate::client::ClientSpec;
 use crate::connection::{Connection, ConnectionPool, UpEndpoint};
 use crate::error::{SimError, SimResult};
 use crate::event::EventKind;
-use crate::ids::{ClientId, ConnectionId, InstanceId, MachineId, PoolId, RequestTypeId, ServiceId, ThreadId};
+use crate::ids::{
+    ClientId, ConnectionId, InstanceId, MachineId, PoolId, RequestTypeId, ServiceId, ThreadId,
+};
 use crate::job::{JobArena, RequestArena};
 use crate::machine::{Core, CoreOwner, MachineSpec};
 use crate::metrics::{LatencyRecorder, WindowedRecorder};
@@ -121,7 +123,10 @@ impl ScenarioBuilder {
     /// Creates a builder with the given master seed.
     pub fn new(seed: u64) -> Self {
         ScenarioBuilder {
-            cfg: SimConfig { seed, ..SimConfig::default() },
+            cfg: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
             machines: Vec::new(),
             services: Vec::new(),
             instances: Vec::new(),
@@ -173,21 +178,37 @@ impl ScenarioBuilder {
     ) -> SimResult<InstanceId> {
         let name = name.into();
         if service.index() >= self.services.len() {
-            return Err(SimError::UnknownEntity { kind: "service", name: service.to_string() });
+            return Err(SimError::UnknownEntity {
+                kind: "service",
+                name: service.to_string(),
+            });
         }
         if machine.index() >= self.machines.len() {
-            return Err(SimError::UnknownEntity { kind: "machine", name: machine.to_string() });
+            return Err(SimError::UnknownEntity {
+                kind: "machine",
+                name: machine.to_string(),
+            });
         }
         if cores == 0 {
-            return Err(SimError::InvalidScenario(format!("instance {name}: zero cores")));
+            return Err(SimError::InvalidScenario(format!(
+                "instance {name}: zero cores"
+            )));
         }
         if let ExecSpec::MultiThreaded { threads, .. } = exec {
             if threads == 0 {
-                return Err(SimError::InvalidScenario(format!("instance {name}: zero threads")));
+                return Err(SimError::InvalidScenario(format!(
+                    "instance {name}: zero threads"
+                )));
             }
         }
         let id = InstanceId::from_raw(self.instances.len() as u32);
-        self.instances.push(InstanceDef { name, service, machine, cores, exec });
+        self.instances.push(InstanceDef {
+            name,
+            service,
+            machine,
+            cores,
+            exec,
+        });
         Ok(id)
     }
 
@@ -205,10 +226,14 @@ impl ScenarioBuilder {
             });
         }
         if size == 0 {
-            return Err(SimError::InvalidScenario(format!("pool {up} -> {down}: zero size")));
+            return Err(SimError::InvalidScenario(format!(
+                "pool {up} -> {down}: zero size"
+            )));
         }
         if self.pools.iter().any(|p| p.up == up && p.down == down) {
-            return Err(SimError::InvalidScenario(format!("duplicate pool {up} -> {down}")));
+            return Err(SimError::InvalidScenario(format!(
+                "duplicate pool {up} -> {down}"
+            )));
         }
         let id = PoolId::from_raw(self.pools.len() as u32);
         self.pools.push(PoolDef { up, down, size });
@@ -260,7 +285,10 @@ impl ScenarioBuilder {
             }
             for &r in &c.roots {
                 if r.index() >= self.instances.len() {
-                    return Err(SimError::UnknownEntity { kind: "instance", name: r.to_string() });
+                    return Err(SimError::UnknownEntity {
+                        kind: "instance",
+                        name: r.to_string(),
+                    });
                 }
             }
             for &(ty, _) in &c.spec.mix.entries {
@@ -308,8 +336,7 @@ impl ScenarioBuilder {
         }
 
         // --- instances -------------------------------------------------
-        let mut next_free_core: Vec<usize> =
-            machines.iter().map(|m| m.irq_cores.len()).collect();
+        let mut next_free_core: Vec<usize> = machines.iter().map(|m| m.irq_cores.len()).collect();
         let mut instances: Vec<InstanceRt> = Vec::with_capacity(self.instances.len());
         for (idx, def) in self.instances.iter().enumerate() {
             let mi = def.machine.index();
@@ -332,15 +359,25 @@ impl ScenarioBuilder {
             let svc = &self.services[def.service.index()];
             let (exec, thread_count, shared) = match def.exec {
                 ExecSpec::Simple => (ExecModel::Simple, def.cores, true),
-                ExecSpec::MultiThreaded { threads, ctx_switch } => (
-                    ExecModel::MultiThreaded { ctx_switch_ns: ctx_switch.as_nanos() },
+                ExecSpec::MultiThreaded {
+                    threads,
+                    ctx_switch,
+                } => (
+                    ExecModel::MultiThreaded {
+                        ctx_switch_ns: ctx_switch.as_nanos(),
+                    },
                     threads,
                     false,
                 ),
             };
             let set_count = if shared { 1 } else { thread_count };
             let queue_sets = (0..set_count)
-                .map(|_| svc.stages.iter().map(|s| StageQueue::new(s.queue)).collect())
+                .map(|_| {
+                    svc.stages
+                        .iter()
+                        .map(|s| StageQueue::new(s.queue))
+                        .collect()
+                })
                 .collect();
             let threads = (0..thread_count)
                 .map(|t| ThreadRt {
@@ -413,7 +450,12 @@ impl ScenarioBuilder {
                 ));
                 ids.push(id);
             }
-            clients.push(ClientRt { spec: def.spec.clone(), conns: ids, next_conn: 0, issued: 0 });
+            clients.push(ClientRt {
+                spec: def.spec.clone(),
+                conns: ids,
+                next_conn: 0,
+                issued: 0,
+            });
         }
 
         // --- request type metadata -------------------------------------
@@ -430,8 +472,11 @@ impl ScenarioBuilder {
                 v
             })
             .collect();
-        let rr_instance: Vec<Vec<usize>> =
-            self.request_types.iter().map(|ty| vec![0; ty.nodes.len()]).collect();
+        let rr_instance: Vec<Vec<usize>> = self
+            .request_types
+            .iter()
+            .map(|ty| vec![0; ty.nodes.len()])
+            .collect();
 
         // --- rng streams & metrics -------------------------------------
         let factory = RngFactory::new(self.cfg.seed);
@@ -473,6 +518,7 @@ impl ScenarioBuilder {
             stopped: false,
             tracing: None,
             traces: Vec::new(),
+            span_log: None,
         };
 
         // Kick off the clients: one pending arrival per open-loop client,
@@ -481,8 +527,10 @@ impl ScenarioBuilder {
             let client = ClientId::from_raw(ci as u32);
             match sim.clients[ci].spec.closed_loop.clone() {
                 None => {
-                    if let Some(first) =
-                        sim.clients[ci].spec.arrivals.first_arrival(&mut sim.rng_arrival)
+                    if let Some(first) = sim.clients[ci]
+                        .spec
+                        .arrivals
+                        .first_arrival(&mut sim.rng_arrival)
                     {
                         sim.events
                             .schedule(SimTime::ZERO + first, EventKind::ClientArrival { client });
@@ -505,7 +553,10 @@ impl ScenarioBuilder {
     fn validate_request_types(&self) -> SimResult<()> {
         for ty in &self.request_types {
             for (ni, node) in ty.nodes.iter().enumerate() {
-                if let NodeTarget::Service { service, instance, .. } = &node.target {
+                if let NodeTarget::Service {
+                    service, instance, ..
+                } = &node.target
+                {
                     if service.index() >= self.services.len() {
                         return Err(SimError::UnknownEntity {
                             kind: "service",
@@ -513,10 +564,13 @@ impl ScenarioBuilder {
                         });
                     }
                     let check_inst = |i: InstanceId| -> SimResult<()> {
-                        let def = self.instances.get(i.index()).ok_or(SimError::UnknownEntity {
-                            kind: "instance",
-                            name: i.to_string(),
-                        })?;
+                        let def = self
+                            .instances
+                            .get(i.index())
+                            .ok_or(SimError::UnknownEntity {
+                                kind: "instance",
+                                name: i.to_string(),
+                            })?;
                         if def.service != *service {
                             return Err(SimError::InvalidScenario(format!(
                                 "request type {}: node {} targets service {} but instance {} runs {}",
@@ -560,7 +614,10 @@ impl ScenarioBuilder {
                         }
                     }
                 }
-                for n in [node.block_thread_until, node.pin_thread_of].into_iter().flatten() {
+                for n in [node.block_thread_until, node.pin_thread_of]
+                    .into_iter()
+                    .flatten()
+                {
                     if n.index() >= ty.nodes.len() {
                         return Err(SimError::InvalidScenario(format!(
                             "request type {}: node {ni} references missing node {n}",
@@ -617,7 +674,11 @@ mod tests {
         node.children = vec![PathNodeId::from_raw(1)];
         let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
         let ty = b
-            .add_request_type(RequestType::new("echo", vec![node, sink], PathNodeId::from_raw(0)))
+            .add_request_type(RequestType::new(
+                "echo",
+                vec![node, sink],
+                PathNodeId::from_raw(0),
+            ))
             .unwrap();
         b.add_client(ClientSpec::open_loop("c", qps, 10_000, ty), vec![inst]);
         b.build().unwrap()
@@ -702,7 +763,11 @@ mod tests {
         node.children = vec![PathNodeId::from_raw(1)];
         let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
         let ty = b
-            .add_request_type(RequestType::new("t", vec![node, sink], PathNodeId::from_raw(0)))
+            .add_request_type(RequestType::new(
+                "t",
+                vec![node, sink],
+                PathNodeId::from_raw(0),
+            ))
             .unwrap();
         b.add_client(ClientSpec::open_loop("c", 100.0, 8, ty), vec![inst_a]);
         assert!(b.build().is_err());

@@ -33,7 +33,9 @@ pub struct RateSchedule {
 impl RateSchedule {
     /// A constant rate.
     pub fn constant(qps: f64) -> Self {
-        RateSchedule { segments: vec![(0.0, qps)] }
+        RateSchedule {
+            segments: vec![(0.0, qps)],
+        }
     }
 
     /// A sinusoid-sampled diurnal pattern between `min_qps` and `max_qps`:
@@ -126,7 +128,9 @@ pub enum ArrivalProcess {
 impl ArrivalProcess {
     /// Poisson arrivals at a constant rate.
     pub fn poisson(qps: f64) -> Self {
-        ArrivalProcess::Poisson { schedule: RateSchedule::constant(qps) }
+        ArrivalProcess::Poisson {
+            schedule: RateSchedule::constant(qps),
+        }
     }
 
     /// Samples the gap until the next arrival after `now`.
@@ -160,7 +164,10 @@ impl ArrivalProcess {
         match self {
             ArrivalProcess::Poisson { schedule } => {
                 let rate = schedule.rate_at(now);
-                Some(SimDuration::from_secs_f64(crate::rng::sample_exponential(rng, 1.0 / rate)))
+                Some(SimDuration::from_secs_f64(crate::rng::sample_exponential(
+                    rng,
+                    1.0 / rate,
+                )))
             }
             ArrivalProcess::Uniform { schedule } => {
                 Some(SimDuration::from_secs_f64(1.0 / schedule.rate_at(now)))
@@ -220,7 +227,9 @@ pub struct RequestMix {
 impl RequestMix {
     /// A single request type.
     pub fn single(ty: RequestTypeId) -> Self {
-        RequestMix { entries: vec![(ty, 1.0)] }
+        RequestMix {
+            entries: vec![(ty, 1.0)],
+        }
     }
 
     /// A weighted mix (weights are normalized).
@@ -323,7 +332,12 @@ fn default_request_size() -> Distribution {
 impl ClientSpec {
     /// An open-loop Poisson client, like the paper's modified `wrk2` with
     /// 320 connections.
-    pub fn open_loop(name: impl Into<String>, qps: f64, connections: usize, ty: RequestTypeId) -> Self {
+    pub fn open_loop(
+        name: impl Into<String>,
+        qps: f64,
+        connections: usize,
+        ty: RequestTypeId,
+    ) -> Self {
         ClientSpec {
             name: name.into(),
             connections,
@@ -376,17 +390,27 @@ impl ClientSpec {
         if self.connections == 0 {
             return Err(format!("client {}: zero connections", self.name));
         }
-        self.arrivals.validate().map_err(|e| format!("client {}: {e}", self.name))?;
-        self.request_size.validate().map_err(|e| format!("client {}: {e}", self.name))?;
+        self.arrivals
+            .validate()
+            .map_err(|e| format!("client {}: {e}", self.name))?;
+        self.request_size
+            .validate()
+            .map_err(|e| format!("client {}: {e}", self.name))?;
         if let Some(cl) = &self.closed_loop {
-            cl.validate().map_err(|e| format!("client {}: {e}", self.name))?;
+            cl.validate()
+                .map_err(|e| format!("client {}: {e}", self.name))?;
         }
         if let Some(t) = self.timeout_s {
             if !(t.is_finite() && t > 0.0) {
-                return Err(format!("client {}: timeout must be positive, got {t}", self.name));
+                return Err(format!(
+                    "client {}: timeout must be positive, got {t}",
+                    self.name
+                ));
             }
         }
-        self.mix.validate().map_err(|e| format!("client {}: {e}", self.name))
+        self.mix
+            .validate()
+            .map_err(|e| format!("client {}: {e}", self.name))
     }
 }
 
@@ -406,7 +430,9 @@ mod tests {
 
     #[test]
     fn piecewise_schedule_lookup() {
-        let s = RateSchedule { segments: vec![(0.0, 100.0), (10.0, 200.0), (20.0, 50.0)] };
+        let s = RateSchedule {
+            segments: vec![(0.0, 100.0), (10.0, 200.0), (20.0, 50.0)],
+        };
         assert!(s.validate().is_ok());
         assert_eq!(s.rate_at(SimTime::from_secs_f64(5.0)), 100.0);
         assert_eq!(s.rate_at(SimTime::from_secs_f64(10.0)), 200.0);
@@ -417,9 +443,21 @@ mod tests {
     #[test]
     fn schedule_validation() {
         assert!(RateSchedule { segments: vec![] }.validate().is_err());
-        assert!(RateSchedule { segments: vec![(1.0, 10.0)] }.validate().is_err());
-        assert!(RateSchedule { segments: vec![(0.0, 0.0)] }.validate().is_err());
-        assert!(RateSchedule { segments: vec![(0.0, 10.0), (0.0, 20.0)] }.validate().is_err());
+        assert!(RateSchedule {
+            segments: vec![(1.0, 10.0)]
+        }
+        .validate()
+        .is_err());
+        assert!(RateSchedule {
+            segments: vec![(0.0, 0.0)]
+        }
+        .validate()
+        .is_err());
+        assert!(RateSchedule {
+            segments: vec![(0.0, 10.0), (0.0, 20.0)]
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -438,17 +476,23 @@ mod tests {
         let p = ArrivalProcess::poisson(10_000.0);
         let mut rng = RngFactory::new(2).stream("client", 0);
         let n = 100_000;
-        let total: f64 =
-            (0..n).map(|_| p.next_gap(SimTime::ZERO, &mut rng).as_secs_f64()).sum();
+        let total: f64 = (0..n)
+            .map(|_| p.next_gap(SimTime::ZERO, &mut rng).as_secs_f64())
+            .sum();
         let mean_gap = total / n as f64;
         assert!((mean_gap - 1e-4).abs() / 1e-4 < 0.02, "mean gap {mean_gap}");
     }
 
     #[test]
     fn uniform_gaps_are_exact() {
-        let p = ArrivalProcess::Uniform { schedule: RateSchedule::constant(1000.0) };
+        let p = ArrivalProcess::Uniform {
+            schedule: RateSchedule::constant(1000.0),
+        };
         let mut rng = RngFactory::new(2).stream("client", 1);
-        assert_eq!(p.next_gap(SimTime::ZERO, &mut rng), SimDuration::from_millis(1));
+        assert_eq!(
+            p.next_gap(SimTime::ZERO, &mut rng),
+            SimDuration::from_millis(1)
+        );
     }
 
     #[test]

@@ -293,7 +293,11 @@ impl ScenarioConfig {
         let sim: SimFile = if dir.join("sim.json").exists() {
             load(dir, "sim.json")?
         } else {
-            SimFile { seed: default_seed(), warmup_s: default_warmup(), window_s: None }
+            SimFile {
+                seed: default_seed(),
+                warmup_s: default_warmup(),
+                window_s: None,
+            }
         };
         Ok(ScenarioConfig {
             seed: sim.seed,
@@ -321,14 +325,26 @@ impl ScenarioConfig {
             std::fs::write(dir.join(name), text)?;
             Ok(())
         };
-        write("machines.json", serde_json::to_value(&self.machines).expect("serializes"))?;
-        write("services.json", serde_json::to_value(&self.services).expect("serializes"))?;
+        write(
+            "machines.json",
+            serde_json::to_value(&self.machines).expect("serializes"),
+        )?;
+        write(
+            "services.json",
+            serde_json::to_value(&self.services).expect("serializes"),
+        )?;
         write(
             "graph.json",
             serde_json::json!({ "instances": self.instances, "pools": self.pools }),
         )?;
-        write("path.json", serde_json::to_value(&self.request_types).expect("serializes"))?;
-        write("client.json", serde_json::to_value(&self.clients).expect("serializes"))?;
+        write(
+            "path.json",
+            serde_json::to_value(&self.request_types).expect("serializes"),
+        )?;
+        write(
+            "client.json",
+            serde_json::to_value(&self.clients).expect("serializes"),
+        )?;
         write(
             "sim.json",
             serde_json::json!({
@@ -367,17 +383,24 @@ impl ScenarioConfig {
         }
         let mut instance_ids: HashMap<String, InstanceId> = HashMap::new();
         for i in &self.instances {
-            let svc = *service_ids.get(&i.service).ok_or_else(|| SimError::UnknownEntity {
-                kind: "service",
-                name: i.service.clone(),
-            })?;
-            let mach = *machine_ids.get(&i.machine).ok_or_else(|| SimError::UnknownEntity {
-                kind: "machine",
-                name: i.machine.clone(),
-            })?;
+            let svc = *service_ids
+                .get(&i.service)
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "service",
+                    name: i.service.clone(),
+                })?;
+            let mach = *machine_ids
+                .get(&i.machine)
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "machine",
+                    name: i.machine.clone(),
+                })?;
             let exec = match i.exec {
                 ExecConfig::Simple => ExecSpec::Simple,
-                ExecConfig::MultiThreaded { threads, ctx_switch_s } => ExecSpec::MultiThreaded {
+                ExecConfig::MultiThreaded {
+                    threads,
+                    ctx_switch_s,
+                } => ExecSpec::MultiThreaded {
                     threads,
                     ctx_switch: SimDuration::from_secs_f64(ctx_switch_s),
                 },
@@ -386,14 +409,18 @@ impl ScenarioConfig {
             instance_ids.insert(i.name.clone(), id);
         }
         for p in &self.pools {
-            let up = *instance_ids.get(&p.up).ok_or_else(|| SimError::UnknownEntity {
-                kind: "instance",
-                name: p.up.clone(),
-            })?;
-            let down = *instance_ids.get(&p.down).ok_or_else(|| SimError::UnknownEntity {
-                kind: "instance",
-                name: p.down.clone(),
-            })?;
+            let up = *instance_ids
+                .get(&p.up)
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "instance",
+                    name: p.up.clone(),
+                })?;
+            let down = *instance_ids
+                .get(&p.down)
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "instance",
+                    name: p.down.clone(),
+                })?;
             b.add_pool(up, down, p.size)?;
         }
         let mut type_ids: HashMap<String, RequestTypeId> = HashMap::new();
@@ -446,58 +473,78 @@ fn lower_request_type(
         .map(|(i, n)| (n.name.as_str(), PathNodeId::from_raw(i as u32)))
         .collect();
     let lookup_node = |name: &str| -> SimResult<PathNodeId> {
-        node_ids.get(name).copied().ok_or_else(|| SimError::UnknownEntity {
-            kind: "path node",
-            name: name.to_string(),
-        })
+        node_ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownEntity {
+                kind: "path node",
+                name: name.to_string(),
+            })
     };
     let mut nodes = Vec::with_capacity(t.nodes.len());
     for n in &t.nodes {
         let target = match &n.target {
             NodeTargetConfig::ClientSink => NodeTarget::ClientSink,
-            NodeTargetConfig::Service { service, instance, exec_path } => {
-                let svc = *service_ids.get(service).ok_or_else(|| SimError::UnknownEntity {
-                    kind: "service",
-                    name: service.clone(),
-                })?;
+            NodeTargetConfig::Service {
+                service,
+                instance,
+                exec_path,
+            } => {
+                let svc = *service_ids
+                    .get(service)
+                    .ok_or_else(|| SimError::UnknownEntity {
+                        kind: "service",
+                        name: service.clone(),
+                    })?;
                 let isel = match instance {
-                    InstanceSelectConfig::Fixed { name } => {
-                        InstanceSelect::Fixed { instance: *instance_ids.get(name).ok_or_else(
-                            || SimError::UnknownEntity { kind: "instance", name: name.clone() },
-                        )? }
-                    }
+                    InstanceSelectConfig::Fixed { name } => InstanceSelect::Fixed {
+                        instance: *instance_ids.get(name).ok_or_else(|| {
+                            SimError::UnknownEntity {
+                                kind: "instance",
+                                name: name.clone(),
+                            }
+                        })?,
+                    },
                     InstanceSelectConfig::RoundRobin { names } => {
                         let mut v = Vec::new();
                         for name in names {
                             v.push(*instance_ids.get(name).ok_or_else(|| {
-                                SimError::UnknownEntity { kind: "instance", name: name.clone() }
+                                SimError::UnknownEntity {
+                                    kind: "instance",
+                                    name: name.clone(),
+                                }
                             })?);
                         }
                         InstanceSelect::RoundRobin { instances: v }
                     }
-                    InstanceSelectConfig::SameAsNode { node } => {
-                        InstanceSelect::SameAsNode { node: lookup_node(node)? }
-                    }
+                    InstanceSelectConfig::SameAsNode { node } => InstanceSelect::SameAsNode {
+                        node: lookup_node(node)?,
+                    },
                 };
                 let psel = match exec_path {
                     None => PathSelect::Probabilistic,
                     Some(p) => {
                         let model = &services[svc.index()];
-                        let index =
-                            model.path_index(p).ok_or_else(|| SimError::UnknownEntity {
-                                kind: "execution path",
-                                name: format!("{}.{}", service, p),
-                            })?;
+                        let index = model.path_index(p).ok_or_else(|| SimError::UnknownEntity {
+                            kind: "execution path",
+                            name: format!("{}.{}", service, p),
+                        })?;
                         PathSelect::Fixed { index }
                     }
                 };
-                NodeTarget::Service { service: svc, instance: isel, exec_path: psel }
+                NodeTarget::Service {
+                    service: svc,
+                    instance: isel,
+                    exec_path: psel,
+                }
             }
         };
         let link = match &n.link {
             LinkConfig::Request => LinkKind::Request,
             LinkConfig::ReplyToParent => LinkKind::ReplyToParent,
-            LinkConfig::Reply { of } => LinkKind::Reply { of: lookup_node(of)? },
+            LinkConfig::Reply { of } => LinkKind::Reply {
+                of: lookup_node(of)?,
+            },
             LinkConfig::ReplyVia { entries } => {
                 let mut mapped = Vec::with_capacity(entries.len());
                 for (parent, of) in entries {
@@ -510,8 +557,11 @@ fn lower_request_type(
         for c in &n.children {
             children.push(lookup_node(c)?);
         }
-        let block_thread_until =
-            n.block_thread_until.as_deref().map(lookup_node).transpose()?;
+        let block_thread_until = n
+            .block_thread_until
+            .as_deref()
+            .map(lookup_node)
+            .transpose()?;
         let pin_thread_of = n.pin_thread_of.as_deref().map(lookup_node).transpose()?;
         nodes.push(PathNodeSpec {
             name: n.name.clone(),
@@ -522,7 +572,11 @@ fn lower_request_type(
             pin_thread_of,
         });
     }
-    Ok(RequestType::new(t.name.clone(), nodes, PathNodeId::from_raw(0)))
+    Ok(RequestType::new(
+        t.name.clone(),
+        nodes,
+        PathNodeId::from_raw(0),
+    ))
 }
 
 #[cfg(test)]
@@ -630,7 +684,14 @@ mod tests {
         let cfg = ScenarioConfig::from_json(&example_json()).unwrap();
         let dir = std::env::temp_dir().join(format!("uqsim-cfg-{}", std::process::id()));
         cfg.write_dir(&dir).unwrap();
-        for f in ["machines.json", "services.json", "graph.json", "path.json", "client.json", "sim.json"] {
+        for f in [
+            "machines.json",
+            "services.json",
+            "graph.json",
+            "path.json",
+            "client.json",
+            "sim.json",
+        ] {
             assert!(dir.join(f).exists(), "{f} missing");
         }
         let back = ScenarioConfig::from_dir(&dir).unwrap();

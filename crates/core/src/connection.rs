@@ -49,7 +49,14 @@ pub struct Connection {
 impl Connection {
     /// Creates an idle connection.
     pub fn new(up: UpEndpoint, down_instance: InstanceId, down_thread: ThreadId) -> Self {
-        Connection { up, down_instance, down_thread, busy: false, pending: VecDeque::new(), pool: None }
+        Connection {
+            up,
+            down_instance,
+            down_thread,
+            busy: false,
+            pending: VecDeque::new(),
+            pool: None,
+        }
     }
 
     /// The worker thread bound to this connection at `instance`, if
@@ -58,7 +65,11 @@ impl Connection {
         if self.down_instance == instance {
             return Some(self.down_thread);
         }
-        if let UpEndpoint::Instance { instance: up, thread } = self.up {
+        if let UpEndpoint::Instance {
+            instance: up,
+            thread,
+        } = self.up
+        {
             if up == instance {
                 return Some(thread);
             }
@@ -85,9 +96,19 @@ pub struct ConnectionPool {
 
 impl ConnectionPool {
     /// Creates a pool over the given (already-created) connections, all free.
-    pub fn new(up_instance: InstanceId, down_instance: InstanceId, conns: Vec<ConnectionId>) -> Self {
+    pub fn new(
+        up_instance: InstanceId,
+        down_instance: InstanceId,
+        conns: Vec<ConnectionId>,
+    ) -> Self {
         let free = conns.iter().copied().collect();
-        ConnectionPool { up_instance, down_instance, conns, free, waiters: VecDeque::new() }
+        ConnectionPool {
+            up_instance,
+            down_instance,
+            conns,
+            free,
+            waiters: VecDeque::new(),
+        }
     }
 
     /// Acquires a free connection, preferring one whose upstream endpoint is
@@ -166,8 +187,14 @@ mod tests {
     #[test]
     fn thread_at_resolves_both_endpoints() {
         let c = conn(3, 7);
-        assert_eq!(c.thread_at(InstanceId::from_raw(1)), Some(ThreadId::from_raw(7)));
-        assert_eq!(c.thread_at(InstanceId::from_raw(0)), Some(ThreadId::from_raw(3)));
+        assert_eq!(
+            c.thread_at(InstanceId::from_raw(1)),
+            Some(ThreadId::from_raw(7))
+        );
+        assert_eq!(
+            c.thread_at(InstanceId::from_raw(0)),
+            Some(ThreadId::from_raw(3))
+        );
         assert_eq!(c.thread_at(InstanceId::from_raw(9)), None);
     }
 
@@ -179,14 +206,20 @@ mod tests {
             ThreadId::from_raw(2),
         );
         assert_eq!(c.thread_at(InstanceId::from_raw(0)), None);
-        assert_eq!(c.thread_at(InstanceId::from_raw(1)), Some(ThreadId::from_raw(2)));
+        assert_eq!(
+            c.thread_at(InstanceId::from_raw(1)),
+            Some(ThreadId::from_raw(2))
+        );
     }
 
     #[test]
     fn pool_acquire_prefers_matching_thread() {
         let table = vec![conn(0, 0), conn(1, 1), conn(1, 2)];
-        let mut pool =
-            ConnectionPool::new(InstanceId::from_raw(0), InstanceId::from_raw(1), vec![cid(0), cid(1), cid(2)]);
+        let mut pool = ConnectionPool::new(
+            InstanceId::from_raw(0),
+            InstanceId::from_raw(1),
+            vec![cid(0), cid(1), cid(2)],
+        );
         // Prefer thread 1 → gets conn 1 even though conn 0 is first.
         let got = pool.acquire(ThreadId::from_raw(1), &table).unwrap();
         assert_eq!(got, cid(1));
@@ -200,7 +233,11 @@ mod tests {
     #[test]
     fn pool_release_hands_to_waiter_first() {
         let table = vec![conn(0, 0)];
-        let mut pool = ConnectionPool::new(InstanceId::from_raw(0), InstanceId::from_raw(1), vec![cid(0)]);
+        let mut pool = ConnectionPool::new(
+            InstanceId::from_raw(0),
+            InstanceId::from_raw(1),
+            vec![cid(0)],
+        );
         let got = pool.acquire(ThreadId::from_raw(0), &table).unwrap();
         pool.enqueue_waiter(jid(42));
         pool.enqueue_waiter(jid(43));
@@ -216,7 +253,11 @@ mod tests {
 
     #[test]
     fn pool_counts() {
-        let mut pool = ConnectionPool::new(InstanceId::from_raw(0), InstanceId::from_raw(1), vec![cid(0), cid(1)]);
+        let mut pool = ConnectionPool::new(
+            InstanceId::from_raw(0),
+            InstanceId::from_raw(1),
+            vec![cid(0), cid(1)],
+        );
         assert_eq!(pool.free_count(), 2);
         assert_eq!(pool.waiter_count(), 0);
         pool.enqueue_waiter(jid(1));

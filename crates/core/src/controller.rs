@@ -68,8 +68,10 @@ mod tests {
     #[test]
     fn controller_is_object_safe() {
         let mut c: Box<dyn Controller> = Box::new(Noop);
-        let stats =
-            TickStats { end_to_end: LatencySummary::empty(), per_instance: vec![] };
+        let stats = TickStats {
+            end_to_end: LatencySummary::empty(),
+            per_instance: vec![],
+        };
         let (actions, next) = c.tick(SimTime::ZERO, &stats);
         assert!(actions.is_empty());
         assert_eq!(next, SimDuration::from_millis(100));

@@ -99,7 +99,10 @@ impl Distribution {
     pub fn lognormal_mean_cv(mean: f64, cv: f64) -> Self {
         let sigma2 = (1.0 + cv * cv).ln();
         let mu = mean.ln() - sigma2 / 2.0;
-        Distribution::LogNormal { mu, sigma: sigma2.sqrt() }
+        Distribution::LogNormal {
+            mu,
+            sigma: sigma2.sqrt(),
+        }
     }
 
     /// Validates parameters; call when accepting untrusted configuration.
@@ -196,7 +199,11 @@ impl Distribution {
                     }
                     u -= w;
                 }
-                components.last().expect("mixture validated non-empty").1.sample(rng)
+                components
+                    .last()
+                    .expect("mixture validated non-empty")
+                    .1
+                    .sample(rng)
             }
         }
     }
@@ -225,30 +232,41 @@ impl Distribution {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(&self, factor: f64) -> Distribution {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         match self {
-            Distribution::Constant { value } => Distribution::Constant { value: value * factor },
-            Distribution::Exponential { mean } => {
-                Distribution::Exponential { mean: mean * factor }
-            }
-            Distribution::Uniform { low, high } => {
-                Distribution::Uniform { low: low * factor, high: high * factor }
-            }
-            Distribution::LogNormal { mu, sigma } => {
-                Distribution::LogNormal { mu: mu + factor.ln(), sigma: *sigma }
-            }
-            Distribution::Pareto { x_min, alpha } => {
-                Distribution::Pareto { x_min: x_min * factor, alpha: *alpha }
-            }
-            Distribution::Empirical { histogram } => {
-                Distribution::Empirical { histogram: histogram.scaled(factor) }
-            }
+            Distribution::Constant { value } => Distribution::Constant {
+                value: value * factor,
+            },
+            Distribution::Exponential { mean } => Distribution::Exponential {
+                mean: mean * factor,
+            },
+            Distribution::Uniform { low, high } => Distribution::Uniform {
+                low: low * factor,
+                high: high * factor,
+            },
+            Distribution::LogNormal { mu, sigma } => Distribution::LogNormal {
+                mu: mu + factor.ln(),
+                sigma: *sigma,
+            },
+            Distribution::Pareto { x_min, alpha } => Distribution::Pareto {
+                x_min: x_min * factor,
+                alpha: *alpha,
+            },
+            Distribution::Empirical { histogram } => Distribution::Empirical {
+                histogram: histogram.scaled(factor),
+            },
             Distribution::Shifted { offset, inner } => Distribution::Shifted {
                 offset: offset * factor,
                 inner: Box::new(inner.scaled(factor)),
             },
             Distribution::Mixture { components } => Distribution::Mixture {
-                components: components.iter().map(|(w, d)| (*w, d.scaled(factor))).collect(),
+                components: components
+                    .iter()
+                    .map(|(w, d)| (*w, d.scaled(factor)))
+                    .collect(),
             },
         }
     }
@@ -290,7 +308,10 @@ mod tests {
             Distribution::exponential(1e-3),
             Distribution::uniform(1e-6, 3e-6),
             Distribution::lognormal_mean_cv(2e-4, 0.5),
-            Distribution::Pareto { x_min: 1e-4, alpha: 3.0 },
+            Distribution::Pareto {
+                x_min: 1e-4,
+                alpha: 3.0,
+            },
             Distribution::Shifted {
                 offset: 1e-5,
                 inner: Box::new(Distribution::exponential(1e-5)),
@@ -319,7 +340,10 @@ mod tests {
             Distribution::exponential(1e-3),
             Distribution::uniform(1e-6, 3e-6),
             Distribution::lognormal_mean_cv(2e-4, 0.5),
-            Distribution::Pareto { x_min: 1e-4, alpha: 3.0 },
+            Distribution::Pareto {
+                x_min: 1e-4,
+                alpha: 3.0,
+            },
         ];
         for d in cases {
             let s = d.scaled(2.5);
@@ -334,9 +358,16 @@ mod tests {
     fn validation_catches_bad_params() {
         assert!(Distribution::exponential(0.0).validate().is_err());
         assert!(Distribution::uniform(2.0, 1.0).validate().is_err());
-        assert!(Distribution::Pareto { x_min: 1.0, alpha: 1.0 }.validate().is_err());
+        assert!(Distribution::Pareto {
+            x_min: 1.0,
+            alpha: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Distribution::Constant { value: -1.0 }.validate().is_err());
-        assert!(Distribution::Mixture { components: vec![] }.validate().is_err());
+        assert!(Distribution::Mixture { components: vec![] }
+            .validate()
+            .is_err());
         assert!(Distribution::Mixture {
             components: vec![(0.4, Distribution::constant(1.0))]
         }
@@ -370,8 +401,8 @@ mod tests {
     fn empirical_distribution_survives_serde() {
         // Deserialized histograms must have a usable CDF (it is skipped in
         // serde and rebuilt on deserialization).
-        let h = crate::histogram::Histogram::from_bins(0.0, vec![(1e-6, 0.4), (2e-6, 0.6)])
-            .unwrap();
+        let h =
+            crate::histogram::Histogram::from_bins(0.0, vec![(1e-6, 0.4), (2e-6, 0.6)]).unwrap();
         let d = Distribution::Empirical { histogram: h };
         let json = serde_json::to_string(&d).unwrap();
         let back: Distribution = serde_json::from_str(&json).unwrap();
@@ -387,7 +418,10 @@ mod tests {
         let cases = vec![
             Distribution::exponential(1e-3),
             Distribution::lognormal_mean_cv(1e-4, 2.0),
-            Distribution::Pareto { x_min: 1e-5, alpha: 2.0 },
+            Distribution::Pareto {
+                x_min: 1e-5,
+                alpha: 2.0,
+            },
         ];
         let mut r = rng();
         for d in cases {

@@ -30,7 +30,10 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Config { source_name, detail } => {
+            SimError::Config {
+                source_name,
+                detail,
+            } => {
                 write!(f, "invalid configuration in {source_name}: {detail}")
             }
             SimError::UnknownEntity { kind, name } => {
@@ -66,7 +69,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_concise() {
-        let e = SimError::UnknownEntity { kind: "service", name: "nginx".into() };
+        let e = SimError::UnknownEntity {
+            kind: "service",
+            name: "nginx".into(),
+        };
         assert_eq!(e.to_string(), "unknown service: nginx");
         let e = SimError::InvalidScenario("path probabilities sum to 0.9".into());
         assert!(e.to_string().starts_with("invalid scenario"));

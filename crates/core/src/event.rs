@@ -6,7 +6,9 @@
 //! by a monotonically increasing sequence number, which makes runs with the
 //! same seed bit-for-bit reproducible.
 
-use crate::ids::{ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, ThreadId};
+use crate::ids::{
+    ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, ThreadId,
+};
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -105,7 +107,10 @@ impl Eq for ScheduledEvent {}
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -190,16 +195,33 @@ mod tests {
         stop_at(&mut q, 30);
         stop_at(&mut q, 10);
         stop_at(&mut q, 20);
-        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_nanos()).collect();
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_nanos())
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
     }
 
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(0) });
-        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(1) });
-        q.schedule(SimTime::from_nanos(5), EventKind::ClientArrival { client: ClientId::from_raw(2) });
+        q.schedule(
+            SimTime::from_nanos(5),
+            EventKind::ClientArrival {
+                client: ClientId::from_raw(0),
+            },
+        );
+        q.schedule(
+            SimTime::from_nanos(5),
+            EventKind::ClientArrival {
+                client: ClientId::from_raw(1),
+            },
+        );
+        q.schedule(
+            SimTime::from_nanos(5),
+            EventKind::ClientArrival {
+                client: ClientId::from_raw(2),
+            },
+        );
         let order: Vec<u32> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
                 EventKind::ClientArrival { client } => client.raw(),

@@ -100,13 +100,19 @@ impl Histogram {
             total += p;
         }
         if total <= 0.0 || (total - 1.0).abs() > 1e-6 {
-            return Err(HistogramError(format!("probabilities sum to {total}, expected 1")));
+            return Err(HistogramError(format!(
+                "probabilities sum to {total}, expected 1"
+            )));
         }
         let mut bins = bins;
         for b in &mut bins {
             b.1 /= total;
         }
-        let mut h = Histogram { start, bins, cdf: Vec::new() };
+        let mut h = Histogram {
+            start,
+            bins,
+            cdf: Vec::new(),
+        };
         h.rebuild_cdf();
         Ok(h)
     }
@@ -176,11 +182,18 @@ impl Histogram {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         debug_assert_eq!(self.cdf.len(), self.bins.len(), "cdf not rebuilt");
         let u: f64 = rng.gen();
-        let idx = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite")) {
+        let idx = match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.bins.len() - 1),
             Err(i) => i.min(self.bins.len() - 1),
         };
-        let lower = if idx == 0 { self.start } else { self.bins[idx - 1].0 };
+        let lower = if idx == 0 {
+            self.start
+        } else {
+            self.bins[idx - 1].0
+        };
         let upper = self.bins[idx].0;
         lower + (upper - lower) * rng.gen::<f64>()
     }
@@ -213,7 +226,10 @@ impl Histogram {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn scaled(&self, factor: f64) -> Histogram {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         let bins = self.bins.iter().map(|&(ub, p)| (ub * factor, p)).collect();
         Histogram::from_bins(self.start * factor, bins).expect("scaling preserves validity")
     }
@@ -264,8 +280,9 @@ mod tests {
     #[test]
     fn from_samples_roundtrips_mean() {
         let mut r = rng();
-        let samples: Vec<f64> =
-            (0..50_000).map(|_| crate::rng::sample_exponential(&mut r, 1e-3)).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| crate::rng::sample_exponential(&mut r, 1e-3))
+            .collect();
         let emp_mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let h = Histogram::from_samples(&samples, 200).unwrap();
         assert!((h.mean() - emp_mean).abs() / emp_mean < 0.05);
@@ -300,10 +317,11 @@ mod tests {
 
     #[test]
     fn serde_rejects_invalid_histograms() {
-        let err = serde_json::from_str::<Histogram>(
-            r#"{"start": 0.0, "bins": [[1.0, 0.5]]}"#,
+        let err = serde_json::from_str::<Histogram>(r#"{"start": 0.0, "bins": [[1.0, 0.5]]}"#);
+        assert!(
+            err.is_err(),
+            "probabilities summing to 0.5 must be rejected"
         );
-        assert!(err.is_err(), "probabilities summing to 0.5 must be rejected");
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! per child). Both live in generation-checked arenas so that long
 //! experiments (hundreds of millions of requests) run in bounded memory.
 
-use crate::ids::{ClientId, ConnectionId, InstanceId, JobId, PathNodeId, RequestId, RequestTypeId, ThreadId};
+use crate::ids::{
+    ClientId, ConnectionId, InstanceId, JobId, PathNodeId, RequestId, RequestTypeId, ThreadId,
+};
 use crate::time::SimTime;
 
 /// Per-path-node bookkeeping within a live request.
@@ -89,7 +91,12 @@ pub struct Arena<T> {
 
 impl<T> Default for Arena<T> {
     fn default() -> Self {
-        Arena { slots: Vec::new(), generations: Vec::new(), free: Vec::new(), live: 0 }
+        Arena {
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 }
 
@@ -326,7 +333,12 @@ mod tests {
     #[test]
     fn job_arena_typed_ids() {
         let mut reqs = RequestArena::new();
-        let rid = reqs.alloc(RequestTypeId::from_raw(0), ClientId::from_raw(0), SimTime::ZERO, 1);
+        let rid = reqs.alloc(
+            RequestTypeId::from_raw(0),
+            ClientId::from_raw(0),
+            SimTime::ZERO,
+            1,
+        );
         let mut jobs = JobArena::new();
         let jid = jobs.alloc(rid, PathNodeId::from_raw(0));
         assert_eq!(jobs.get(jid).unwrap().request, rid);
@@ -339,13 +351,22 @@ mod tests {
     fn many_alloc_free_cycles_bound_capacity() {
         let mut jobs = JobArena::new();
         let mut reqs = RequestArena::new();
-        let rid = reqs.alloc(RequestTypeId::from_raw(0), ClientId::from_raw(0), SimTime::ZERO, 1);
+        let rid = reqs.alloc(
+            RequestTypeId::from_raw(0),
+            ClientId::from_raw(0),
+            SimTime::ZERO,
+            1,
+        );
         for _ in 0..10_000 {
             let a = jobs.alloc(rid, PathNodeId::from_raw(0));
             let b = jobs.alloc(rid, PathNodeId::from_raw(0));
             jobs.free(a);
             jobs.free(b);
         }
-        assert!(jobs.0.capacity() <= 2, "capacity grew: {}", jobs.0.capacity());
+        assert!(
+            jobs.0.capacity() <= 2,
+            "capacity grew: {}",
+            jobs.0.capacity()
+        );
     }
 }

@@ -94,8 +94,10 @@ pub mod service;
 pub mod sim;
 pub mod stage;
 pub mod time;
+pub mod trace;
 
 pub use builder::{ExecSpec, ScenarioBuilder};
 pub use error::{SimError, SimResult};
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};
+pub use trace::{AuditReport, TraceAuditor, TraceLog};

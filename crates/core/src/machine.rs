@@ -49,7 +49,9 @@ pub struct DvfsSpec {
 impl DvfsSpec {
     /// A fixed-frequency machine.
     pub fn fixed(freq_ghz: f64) -> Self {
-        DvfsSpec { levels_ghz: vec![freq_ghz] }
+        DvfsSpec {
+            levels_ghz: vec![freq_ghz],
+        }
     }
 
     /// Levels from `min` to `max` in steps of `step` (all GHz), like the
@@ -90,12 +92,19 @@ impl DvfsSpec {
 
     /// The next level strictly below `freq_ghz`, if any.
     pub fn step_down(&self, freq_ghz: f64) -> Option<f64> {
-        self.levels_ghz.iter().copied().rev().find(|&f| f < freq_ghz - 1e-9)
+        self.levels_ghz
+            .iter()
+            .copied()
+            .rev()
+            .find(|&f| f < freq_ghz - 1e-9)
     }
 
     /// The next level strictly above `freq_ghz`, if any.
     pub fn step_up(&self, freq_ghz: f64) -> Option<f64> {
-        self.levels_ghz.iter().copied().find(|&f| f > freq_ghz + 1e-9)
+        self.levels_ghz
+            .iter()
+            .copied()
+            .find(|&f| f > freq_ghz + 1e-9)
     }
 
     /// Validates the spec.
@@ -196,7 +205,10 @@ pub struct PowerModel {
 impl Default for PowerModel {
     /// Roughly an E5-2660 v3: ≈105 W TDP over 10 cores, one-third static.
     fn default() -> Self {
-        PowerModel { idle_w: 2.5, dyn_w: 7.5 }
+        PowerModel {
+            idle_w: 2.5,
+            dyn_w: 7.5,
+        }
     }
 }
 
@@ -291,9 +303,15 @@ impl MachineSpec {
                 self.name, self.network.irq_cores, self.cores
             ));
         }
-        self.dvfs.validate().map_err(|e| format!("machine {}: {e}", self.name))?;
-        self.power.validate().map_err(|e| format!("machine {}: {e}", self.name))?;
-        self.network.validate().map_err(|e| format!("machine {}: {e}", self.name))
+        self.dvfs
+            .validate()
+            .map_err(|e| format!("machine {}: {e}", self.name))?;
+        self.power
+            .validate()
+            .map_err(|e| format!("machine {}: {e}", self.name))?;
+        self.network
+            .validate()
+            .map_err(|e| format!("machine {}: {e}", self.name))
     }
 }
 
@@ -331,8 +349,16 @@ mod tests {
     #[test]
     fn dvfs_validation() {
         assert!(DvfsSpec { levels_ghz: vec![] }.validate().is_err());
-        assert!(DvfsSpec { levels_ghz: vec![2.0, 1.0] }.validate().is_err());
-        assert!(DvfsSpec { levels_ghz: vec![-1.0] }.validate().is_err());
+        assert!(DvfsSpec {
+            levels_ghz: vec![2.0, 1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(DvfsSpec {
+            levels_ghz: vec![-1.0]
+        }
+        .validate()
+        .is_err());
         assert!(DvfsSpec::fixed(2.6).validate().is_ok());
     }
 
@@ -363,11 +389,19 @@ mod tests {
 
     #[test]
     fn power_model_is_cubic() {
-        let p = PowerModel { idle_w: 2.0, dyn_w: 8.0 };
+        let p = PowerModel {
+            idle_w: 2.0,
+            dyn_w: 8.0,
+        };
         assert!((p.dynamic_power_w(2.6, 2.6) - 8.0).abs() < 1e-12);
         assert!((p.dynamic_power_w(1.3, 2.6) - 1.0).abs() < 1e-12);
         assert!(p.validate().is_ok());
-        assert!(PowerModel { idle_w: -1.0, dyn_w: 1.0 }.validate().is_err());
+        assert!(PowerModel {
+            idle_w: -1.0,
+            dyn_w: 1.0
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

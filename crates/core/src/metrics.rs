@@ -32,7 +32,14 @@ pub struct LatencySummary {
 impl LatencySummary {
     /// The empty summary (all zeros).
     pub fn empty() -> Self {
-        LatencySummary { count: 0, mean: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 }
+        LatencySummary {
+            count: 0,
+            mean: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+            max: 0.0,
+        }
     }
 
     /// Computes a summary from unsorted samples (seconds). Sorts a copy.
@@ -54,7 +61,10 @@ impl LatencySummary {
         if sorted.is_empty() {
             return Self::empty();
         }
-        debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] <= w[1]),
+            "samples must be sorted"
+        );
         let count = sorted.len();
         let mean = sorted.iter().sum::<f64>() / count as f64;
         LatencySummary {
@@ -109,7 +119,11 @@ pub struct LatencyRecorder {
 impl LatencyRecorder {
     /// Creates a recorder that ignores completions before `warmup_until`.
     pub fn new(warmup_until: SimTime) -> Self {
-        LatencyRecorder { warmup_until, samples: Vec::new(), dropped_warmup: 0 }
+        LatencyRecorder {
+            warmup_until,
+            samples: Vec::new(),
+            dropped_warmup: 0,
+        }
     }
 
     /// Records a completion at `now` with the given end-to-end latency.
@@ -229,7 +243,12 @@ impl WindowedRecorder {
             let end = self.current_start + self.width;
             let latency = LatencySummary::from_samples(&self.current);
             let throughput = self.current.len() as f64 / self.width.as_secs_f64();
-            self.finished.push(WindowStats { start: self.current_start, end, latency, throughput });
+            self.finished.push(WindowStats {
+                start: self.current_start,
+                end,
+                latency,
+                throughput,
+            });
         }
         self.finished
     }

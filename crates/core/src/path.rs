@@ -125,11 +125,7 @@ pub struct PathNodeSpec {
 
 impl PathNodeSpec {
     /// A plain request node on a fixed instance running exec path 0.
-    pub fn request(
-        name: impl Into<String>,
-        service: ServiceId,
-        instance: InstanceId,
-    ) -> Self {
+    pub fn request(name: impl Into<String>, service: ServiceId, instance: InstanceId) -> Self {
         PathNodeSpec {
             name: name.into(),
             target: NodeTarget::Service {
@@ -227,7 +223,12 @@ pub struct RequestType {
 impl RequestType {
     /// Creates a request type; call [`RequestType::validate`] before use.
     pub fn new(name: impl Into<String>, nodes: Vec<PathNodeSpec>, root: PathNodeId) -> Self {
-        RequestType { name: name.into(), nodes, root, fan_in: Vec::new() }
+        RequestType {
+            name: name.into(),
+            nodes,
+            root,
+            fan_in: Vec::new(),
+        }
     }
 
     /// Validates the DAG and computes fan-in counts.
@@ -257,7 +258,10 @@ impl RequestType {
                 fan_in[c.index()] += 1;
             }
             if matches!(node.target, NodeTarget::ClientSink) && !node.children.is_empty() {
-                return Err(format!("request type {}: client sink has children", self.name));
+                return Err(format!(
+                    "request type {}: client sink has children",
+                    self.name
+                ));
             }
             match &node.link {
                 LinkKind::Reply { of } => {
@@ -371,7 +375,10 @@ pub struct RequestTypeBuilder {
 impl RequestTypeBuilder {
     /// Starts a builder; the first added node becomes the root.
     pub fn new(name: impl Into<String>) -> Self {
-        RequestTypeBuilder { name: name.into(), nodes: Vec::new() }
+        RequestTypeBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+        }
     }
 
     /// Adds a node (its `children` may be empty; wire edges with
@@ -509,7 +516,8 @@ mod tests {
     #[test]
     fn rejects_unreachable_node() {
         let mut t = chain();
-        t.nodes.push(PathNodeSpec::request("orphan", sid(0), iid(0)));
+        t.nodes
+            .push(PathNodeSpec::request("orphan", sid(0), iid(0)));
         assert!(t.validate().is_err());
     }
 

@@ -57,7 +57,12 @@ impl StageQueue {
     pub fn push(&mut self, job: JobId, conn: ConnectionId) {
         match self {
             StageQueue::Single { q } => q.push_back(job),
-            StageQueue::PerConn { subqueues, active, len, .. } => {
+            StageQueue::PerConn {
+                subqueues,
+                active,
+                len,
+                ..
+            } => {
                 let sub = subqueues.entry(conn).or_default();
                 if sub.is_empty() {
                     active.push_back(conn);
@@ -86,7 +91,12 @@ impl StageQueue {
     pub fn assemble_batch(&mut self) -> Vec<JobId> {
         match self {
             StageQueue::Single { q } => q.pop_front().into_iter().collect(),
-            StageQueue::PerConn { subqueues, active, mode, len } => {
+            StageQueue::PerConn {
+                subqueues,
+                active,
+                mode,
+                len,
+            } => {
                 let mut out = Vec::new();
                 match *mode {
                     QueueDiscipline::Epoll { batch_per_conn } => {

@@ -23,7 +23,10 @@ pub struct ExecPath {
 impl ExecPath {
     /// Creates a path from a name and stage indices.
     pub fn new(name: impl Into<String>, stages: Vec<StageId>) -> Self {
-        ExecPath { name: name.into(), stages }
+        ExecPath {
+            name: name.into(),
+            stages,
+        }
     }
 }
 
@@ -46,7 +49,12 @@ pub struct ServiceModel {
 impl ServiceModel {
     /// Creates a model; validate with [`ServiceModel::validate`].
     pub fn new(name: impl Into<String>, stages: Vec<StageSpec>, paths: Vec<ExecPath>) -> Self {
-        ServiceModel { name: name.into(), stages, paths, path_probabilities: None }
+        ServiceModel {
+            name: name.into(),
+            stages,
+            paths,
+            path_probabilities: None,
+        }
     }
 
     /// Sets the path-selection probabilities.

@@ -21,6 +21,10 @@ use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathSelect, RequestType}
 use crate::queue::StageQueue;
 use crate::service::ServiceModel;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{
+    AuditCounts, AuditReport, InstanceMeta, MachineMeta, RequestTypeMeta, TraceAuditor, TraceEvent,
+    TraceLog, TraceMeta,
+};
 use rand::rngs::SmallRng;
 use std::collections::{HashMap, VecDeque};
 
@@ -37,7 +41,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 1, warmup: SimDuration::from_secs(1), window: None }
+        SimConfig {
+            seed: 1,
+            warmup: SimDuration::from_secs(1),
+            window: None,
+        }
     }
 }
 
@@ -201,6 +209,9 @@ pub struct Simulator {
     pub(crate) stopped: bool,
     pub(crate) tracing: Option<TraceConfig>,
     pub(crate) traces: Vec<RequestTrace>,
+    /// Span/event recorder (see [`crate::trace`]); `None` keeps every
+    /// hot-path hook to a single branch.
+    pub(crate) span_log: Option<Box<TraceLog>>,
 }
 
 /// Request-tracing configuration.
@@ -287,7 +298,10 @@ impl Simulator {
         let id = ControllerId::from_raw(self.controllers.len() as u32);
         let first = controller.first_tick();
         self.controllers.push(Some(controller));
-        self.events.schedule(self.now + first, EventKind::ControllerTick { controller: id });
+        self.events.schedule(
+            self.now + first,
+            EventKind::ControllerTick { controller: id },
+        );
         id
     }
 
@@ -377,13 +391,100 @@ impl Simulator {
     /// Panics if `sample_every` is zero.
     pub fn enable_tracing(&mut self, sample_every: u64, capacity: usize) {
         assert!(sample_every > 0, "sample_every must be positive");
-        self.tracing = Some(TraceConfig { sample_every, capacity });
+        self.tracing = Some(TraceConfig {
+            sample_every,
+            capacity,
+        });
         self.traces.reserve(capacity.min(4096));
     }
 
     /// The traces recorded so far.
     pub fn traces(&self) -> &[RequestTrace] {
         &self.traces
+    }
+
+    /// Enables per-request span tracing (see [`crate::trace`]): every
+    /// request emission, network processing interval, stage enqueue, batch
+    /// service, pool interaction, fan-in arrival, and completion is
+    /// recorded, up to `capacity` events (further events are counted as
+    /// dropped). Tracing every hot-path site costs simulator speed; leave
+    /// it disabled for throughput experiments.
+    pub fn enable_span_tracing(&mut self, capacity: usize) {
+        self.span_log = Some(Box::new(TraceLog::new(capacity)));
+    }
+
+    /// The span log, if span tracing is enabled.
+    pub fn span_log(&self) -> Option<&TraceLog> {
+        self.span_log.as_deref()
+    }
+
+    /// Takes the span log out of the simulator (disabling further
+    /// recording).
+    pub fn take_span_log(&mut self) -> Option<TraceLog> {
+        self.span_log.take().map(|b| *b)
+    }
+
+    /// Entity names for rendering traces: machines, instances (with their
+    /// stage names), and request types (with their node names).
+    pub fn trace_meta(&self) -> TraceMeta {
+        TraceMeta {
+            machines: self
+                .machines
+                .iter()
+                .map(|m| MachineMeta {
+                    name: m.spec.name.clone(),
+                    cores: m.cores.len(),
+                })
+                .collect(),
+            instances: self
+                .instances
+                .iter()
+                .map(|i| InstanceMeta {
+                    name: i.name.clone(),
+                    machine: i.machine.raw(),
+                    stages: self.services[i.service.index()]
+                        .stages
+                        .iter()
+                        .map(|s| s.name.clone())
+                        .collect(),
+                })
+                .collect(),
+            request_types: self
+                .request_types
+                .iter()
+                .map(|t| RequestTypeMeta {
+                    name: t.name.clone(),
+                    nodes: t.nodes.iter().map(|n| n.name.clone()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the span log as Chrome `trace_event` JSON (viewable in
+    /// `about:tracing` or Perfetto), or `None` if span tracing is disabled.
+    pub fn chrome_trace(&self) -> Option<serde_json::Value> {
+        self.span_log
+            .as_deref()
+            .map(|log| crate::trace::chrome_trace(log, &self.trace_meta()))
+    }
+
+    /// Ground-truth counters for trace auditing.
+    pub fn audit_counts(&self) -> AuditCounts {
+        AuditCounts {
+            generated: self.generated,
+            completed: self.completed,
+            live_requests: self.requests.live() as u64,
+            timeouts: self.timeouts,
+            measured: self.e2e.len() as u64,
+        }
+    }
+
+    /// Audits the span log against the simulator's invariants (see
+    /// [`TraceAuditor`]), or `None` if span tracing is disabled.
+    pub fn audit_trace(&self) -> Option<AuditReport> {
+        self.span_log
+            .as_deref()
+            .map(|log| TraceAuditor::new().audit(log, &self.audit_counts()))
     }
 
     /// Starts recording per-invocation service times for every stage of
@@ -413,7 +514,14 @@ impl Simulator {
         core: Option<crate::ids::CoreId>,
         freq_ghz: f64,
     ) {
-        self.events.schedule(at, EventKind::DvfsSet { machine, core, freq_ghz });
+        self.events.schedule(
+            at,
+            EventKind::DvfsSet {
+                machine,
+                core,
+                freq_ghz,
+            },
+        );
     }
 
     /// Energy consumed by `machine` so far, joules: accumulated dynamic
@@ -437,7 +545,14 @@ impl Simulator {
     pub fn pool_stats(&self) -> Vec<(InstanceId, InstanceId, usize, usize)> {
         self.pools
             .iter()
-            .map(|p| (p.up_instance, p.down_instance, p.free_count(), p.waiter_count()))
+            .map(|p| {
+                (
+                    p.up_instance,
+                    p.down_instance,
+                    p.free_count(),
+                    p.waiter_count(),
+                )
+            })
             .collect()
     }
 
@@ -529,7 +644,11 @@ impl Simulator {
             EventKind::NetDone { machine, slot } => self.on_net_done(machine, slot),
             EventKind::StageDone { instance, thread } => self.on_stage_done(instance, thread),
             EventKind::DeliverToClient { request } => self.on_deliver_to_client(request),
-            EventKind::DvfsSet { machine, core, freq_ghz } => {
+            EventKind::DvfsSet {
+                machine,
+                core,
+                freq_ghz,
+            } => {
                 let m = &mut self.machines[machine.index()];
                 let snapped = m.spec.dvfs.snap(freq_ghz);
                 match core {
@@ -561,10 +680,13 @@ impl Simulator {
         if self.clients[c].spec.closed_loop.is_none() {
             let gap = {
                 let cl = &self.clients[c];
-                cl.spec.arrivals.gap_after(issued, self.now, &mut self.rng_arrival)
+                cl.spec
+                    .arrivals
+                    .gap_after(issued, self.now, &mut self.rng_arrival)
             };
             if let Some(gap) = gap {
-                self.events.schedule(self.now + gap, EventKind::ClientArrival { client });
+                self.events
+                    .schedule(self.now + gap, EventKind::ClientArrival { client });
             }
         }
 
@@ -572,9 +694,24 @@ impl Simulator {
         let ty = self.clients[c].spec.mix.choose(&mut self.rng_path);
         let node_count = self.request_types[ty.index()].nodes.len();
         let rid = self.requests.alloc(ty, client, self.now, node_count);
-        let size = self.clients[c].spec.request_size.sample(&mut self.rng_path).max(0.0);
-        self.requests.get_mut(rid).expect("fresh request").size_bytes = size;
+        let size = self.clients[c]
+            .spec
+            .request_size
+            .sample(&mut self.rng_path)
+            .max(0.0);
+        self.requests
+            .get_mut(rid)
+            .expect("fresh request")
+            .size_bytes = size;
         self.generated += 1;
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestEmitted {
+                request: rid,
+                request_type: ty,
+                client,
+                t: self.now,
+            });
+        }
         if let Some(timeout_s) = self.clients[c].spec.timeout_s {
             self.events.schedule(
                 self.now + SimDuration::from_secs_f64(timeout_s),
@@ -587,7 +724,10 @@ impl Simulator {
         let ci = self.clients[c].next_conn;
         self.clients[c].next_conn = (ci + 1) % n_conns;
         let conn_id = self.clients[c].conns[ci];
-        self.requests.get_mut(rid).expect("fresh request").client_conn = Some(conn_id);
+        self.requests
+            .get_mut(rid)
+            .expect("fresh request")
+            .client_conn = Some(conn_id);
         if self.conns[conn_id.index()].busy {
             self.conns[conn_id.index()].pending.push_back(rid);
         } else {
@@ -604,16 +744,26 @@ impl Simulator {
             req.launched = Some(self.now);
             req.ty
         };
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestLaunched {
+                request: rid,
+                conn: conn_id,
+                t: self.now,
+            });
+        }
         let root = self.request_types[ty.index()].root;
         let job = self.jobs.alloc(rid, root);
-        self.requests.get_mut(rid).expect("request exists").live_jobs += 1;
+        self.requests
+            .get_mut(rid)
+            .expect("request exists")
+            .live_jobs += 1;
         self.jobs.get_mut(job).expect("fresh job").conn = Some(conn_id);
         let dest = self.conns[conn_id.index()].down_instance;
         self.send_job(job, None, dest);
     }
 
     fn on_deliver_to_client(&mut self, rid: RequestId) {
-        let (latency, conn_id, live_jobs, client, timed_out) = {
+        let (latency, conn_id, live_jobs, client, timed_out, ty) = {
             let req = self.requests.get(rid).expect("completing request exists");
             (
                 self.now - req.submitted,
@@ -621,6 +771,7 @@ impl Simulator {
                 req.live_jobs,
                 req.client,
                 req.timed_out,
+                req.ty,
             )
         };
         debug_assert_eq!(live_jobs, 0, "request completed with live jobs");
@@ -629,7 +780,6 @@ impl Simulator {
             self.completed_after_timeout += 1;
         } else {
             self.e2e.record(self.now, latency);
-            let ty = self.requests.get(rid).expect("completing request exists").ty;
             self.per_type[ty.index()].record(self.now, latency);
             if let Some(w) = &mut self.windowed {
                 w.record(self.now, latency);
@@ -638,6 +788,16 @@ impl Simulator {
         }
         self.completed += 1;
         self.maybe_trace(rid);
+        let measured = !timed_out && self.now >= SimTime::ZERO + self.cfg.warmup;
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestCompleted {
+                request: rid,
+                request_type: ty,
+                timed_out,
+                measured,
+                t: self.now,
+            });
+        }
         self.requests.free(rid);
 
         // Free the connection; launch the next queued request if any.
@@ -651,11 +811,14 @@ impl Simulator {
         }
 
         // Closed-loop users reissue after a think time.
-        let think = self.clients[client.index()].spec.closed_loop.as_ref().map(|cl| {
-            SimDuration::from_secs_f64(cl.think_time.sample(&mut self.rng_arrival))
-        });
+        let think = self.clients[client.index()]
+            .spec
+            .closed_loop
+            .as_ref()
+            .map(|cl| SimDuration::from_secs_f64(cl.think_time.sample(&mut self.rng_arrival)));
         if let Some(think) = think {
-            self.events.schedule(self.now + think, EventKind::ClientArrival { client });
+            self.events
+                .schedule(self.now + think, EventKind::ClientArrival { client });
         }
     }
 
@@ -666,6 +829,12 @@ impl Simulator {
             if !req.timed_out {
                 req.timed_out = true;
                 self.timeouts += 1;
+                if let Some(log) = self.span_log.as_deref_mut() {
+                    log.record(TraceEvent::RequestTimeout {
+                        request: rid,
+                        t: self.now,
+                    });
+                }
             }
         }
     }
@@ -735,7 +904,11 @@ impl Simulator {
         self.events.schedule(
             self.now + SimDuration::from_secs_f64(delay),
             EventKind::NetDelivery {
-                packet: Packet { job, dest: PacketDest::Instance(dest), local },
+                packet: Packet {
+                    job,
+                    dest: PacketDest::Instance(dest),
+                    local,
+                },
             },
         );
     }
@@ -763,7 +936,9 @@ impl Simulator {
             if machine.net_queue.is_empty() {
                 break;
             }
-            let Some(slot) = machine.net_slots.iter().position(Option::is_none) else { break };
+            let Some(slot) = machine.net_slots.iter().position(Option::is_none) else {
+                break;
+            };
             let packet = machine.net_queue.pop_front().expect("checked non-empty");
             machine.net_slots[slot] = Some(packet);
             machine.net_packets += 1;
@@ -778,14 +953,28 @@ impl Simulator {
                 dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
             self.events.schedule(
                 self.now + dur,
-                EventKind::NetDone { machine: MachineId::from_raw(m as u32), slot },
+                EventKind::NetDone {
+                    machine: MachineId::from_raw(m as u32),
+                    slot,
+                },
             );
+            if let Some(log) = self.span_log.as_deref_mut() {
+                log.record(TraceEvent::NetRx {
+                    machine: MachineId::from_raw(m as u32),
+                    core: core as u32,
+                    job: packet.job,
+                    start: self.now,
+                    end: self.now + dur,
+                });
+            }
         }
     }
 
     fn on_net_done(&mut self, machine: MachineId, slot: usize) {
         let m = machine.index();
-        let packet = self.machines[m].net_slots[slot].take().expect("slot was in service");
+        let packet = self.machines[m].net_slots[slot]
+            .take()
+            .expect("slot was in service");
         let core = self.machines[m].irq_cores[slot];
         self.machines[m].cores[core].busy = false;
         match packet.dest {
@@ -808,7 +997,9 @@ impl Simulator {
             (j.request, j.node, j.conn)
         };
         let ty = self.requests.get(rid).expect("job's request exists").ty;
-        let link = self.request_types[ty.index()].nodes[node.index()].link.clone();
+        let link = self.request_types[ty.index()].nodes[node.index()]
+            .link
+            .clone();
 
         // Replies release the connection that carried the original request.
         if matches!(
@@ -822,26 +1013,48 @@ impl Simulator {
 
         // Fan-in: only the last arriving copy proceeds.
         let fan_in = self.request_types[ty.index()].fan_in[node.index()].max(1);
-        {
+        let (arrivals, fired) = {
             let req = self.requests.get_mut(rid).expect("job's request exists");
             let nr = &mut req.nodes[node.index()];
             nr.arrivals += 1;
             nr.entry_conn = conn;
-            if (nr.arrivals as usize) < fan_in {
+            let arrivals = nr.arrivals;
+            let fired = (arrivals as usize) >= fan_in;
+            if fired {
+                nr.enter = Some(self.now);
+            } else {
                 req.live_jobs -= 1;
-                self.jobs.free(job_id);
-                return;
             }
-            nr.enter = Some(self.now);
+            (arrivals, fired)
+        };
+        if fan_in > 1 {
+            if let Some(log) = self.span_log.as_deref_mut() {
+                log.record(TraceEvent::FanIn {
+                    request: rid,
+                    node,
+                    arrivals,
+                    fan_in: fan_in as u32,
+                    fired,
+                    t: self.now,
+                });
+            }
+        }
+        if !fired {
+            self.jobs.free(job_id);
+            return;
         }
 
         // Choose the intra-service execution path.
         let inst_service = self.instances[inst_id.index()].service;
         let exec_idx = match self.request_types[ty.index()].nodes[node.index()].target {
-            NodeTarget::Service { exec_path: PathSelect::Fixed { index }, .. } => index,
-            NodeTarget::Service { exec_path: PathSelect::Probabilistic, .. } => {
-                self.services[inst_service.index()].choose_path(&mut self.rng_path)
-            }
+            NodeTarget::Service {
+                exec_path: PathSelect::Fixed { index },
+                ..
+            } => index,
+            NodeTarget::Service {
+                exec_path: PathSelect::Probabilistic,
+                ..
+            } => self.services[inst_service.index()].choose_path(&mut self.rng_path),
             NodeTarget::ClientSink => unreachable!("sinks never execute on instances"),
         };
 
@@ -868,10 +1081,19 @@ impl Simulator {
             j.stage_cursor = 0;
             j.instance = Some(inst_id);
         }
-        let first_stage =
-            self.services[inst_service.index()].paths[exec_idx].stages[0].index();
+        let first_stage = self.services[inst_service.index()].paths[exec_idx].stages[0].index();
         let conn_key = conn.expect("jobs always travel on a connection");
         self.instances[inst_id.index()].queue_sets[set][first_stage].push(job_id, conn_key);
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::Enqueue {
+                job: job_id,
+                request: rid,
+                node,
+                instance: inst_id,
+                stage: StageId::from_raw(first_stage as u32),
+                t: self.now,
+            });
+        }
 
         // Unblock the pinned thread waiting for this reply, if any.
         if self.unblocks_thread[ty.index()][node.index()] {
@@ -923,7 +1145,9 @@ impl Simulator {
                 }
                 found
             };
-            let Some((t, core_idx, stage_idx)) = candidate else { break };
+            let Some((t, core_idx, stage_idx)) = candidate else {
+                break;
+            };
 
             // Assemble the batch and start service.
             let inst = &mut self.instances[i];
@@ -931,6 +1155,11 @@ impl Simulator {
             let jobs = inst.queue_sets[set_idx][stage_idx].assemble_batch();
             debug_assert!(!jobs.is_empty(), "candidate stage had work");
             let k = jobs.len();
+            let traced_jobs = if self.span_log.is_some() {
+                jobs.clone()
+            } else {
+                Vec::new()
+            };
             let m = inst.machine.index();
             let batch_bytes: f64 = jobs
                 .iter()
@@ -950,7 +1179,9 @@ impl Simulator {
             };
             let svc = &self.services[inst.service.index()];
             let secs =
-                svc.stages[stage_idx].service.sample(&mut self.rng_service, k, batch_bytes, freq);
+                svc.stages[stage_idx]
+                    .service
+                    .sample(&mut self.rng_service, k, batch_bytes, freq);
             let dur = SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(ctx_ns);
             core.busy = true;
             core.last_thread = Some((i as u32, t as u32));
@@ -964,8 +1195,10 @@ impl Simulator {
                 job.thread = Some(ThreadId::from_raw(t as u32));
                 job.instance = Some(inst_id);
             }
-            inst.threads[t].running =
-                Some(Batch { stage: StageId::from_raw(stage_idx as u32), jobs });
+            inst.threads[t].running = Some(Batch {
+                stage: StageId::from_raw(stage_idx as u32),
+                jobs,
+            });
             inst.threads[t].held_core = Some(core_idx);
             inst.batches_dispatched += 1;
             inst.stage_agg[stage_idx].invocations += 1;
@@ -976,40 +1209,76 @@ impl Simulator {
             }
             self.events.schedule(
                 self.now + dur,
-                EventKind::StageDone { instance: inst_id, thread: ThreadId::from_raw(t as u32) },
+                EventKind::StageDone {
+                    instance: inst_id,
+                    thread: ThreadId::from_raw(t as u32),
+                },
             );
+            if let Some(log) = self.span_log.as_deref_mut() {
+                log.record(TraceEvent::BatchStart {
+                    instance: inst_id,
+                    machine: MachineId::from_raw(m as u32),
+                    stage: StageId::from_raw(stage_idx as u32),
+                    thread: ThreadId::from_raw(t as u32),
+                    core: core_idx as u32,
+                    freq_ghz: freq,
+                    start: self.now,
+                    end: self.now + dur,
+                    jobs: traced_jobs,
+                });
+            }
         }
     }
 
     fn on_stage_done(&mut self, inst_id: InstanceId, thread: ThreadId) {
         let i = inst_id.index();
         let t = thread.index();
-        let batch =
-            self.instances[i].threads[t].running.take().expect("StageDone for running thread");
-        let core_idx =
-            self.instances[i].threads[t].held_core.take().expect("running thread holds a core");
+        let batch = self.instances[i].threads[t]
+            .running
+            .take()
+            .expect("StageDone for running thread");
+        let core_idx = self.instances[i].threads[t]
+            .held_core
+            .take()
+            .expect("running thread holds a core");
         let m = self.instances[i].machine.index();
         self.machines[m].cores[core_idx].busy = false;
         self.instances[i].jobs_processed += batch.jobs.len() as u64;
 
         let sid = self.instances[i].service.index();
         for &job_id in &batch.jobs {
-            let (cursor, exec_path, conn) = {
+            let (cursor, exec_path, conn, rid, node) = {
                 let job = self.jobs.get_mut(job_id).expect("batch job exists");
                 debug_assert_eq!(
-                    self.services[sid].paths[job.exec_path].stages[job.stage_cursor],
-                    batch.stage,
+                    self.services[sid].paths[job.exec_path].stages[job.stage_cursor], batch.stage,
                     "job was batched at a stage it is not at"
                 );
                 job.stage_cursor += 1;
-                (job.stage_cursor, job.exec_path, job.conn)
+                (
+                    job.stage_cursor,
+                    job.exec_path,
+                    job.conn,
+                    job.request,
+                    job.node,
+                )
             };
             let stages = &self.services[sid].paths[exec_path].stages;
             if cursor < stages.len() {
-                let next_stage = stages[cursor].index();
+                let next_stage_id = stages[cursor];
+                let next_stage = next_stage_id.index();
                 let set = self.instances[i].threads[t].queue_set;
                 self.instances[i].queue_sets[set][next_stage]
                     .push(job_id, conn.expect("executing job has a connection"));
+                if let Some(log) = self.span_log.as_deref_mut() {
+                    log.record(TraceEvent::Enqueue {
+                        job: job_id,
+                        request: rid,
+                        node,
+                        instance: inst_id,
+                        stage: next_stage_id,
+                        t: self.now,
+                    });
+                }
             } else {
                 self.complete_node(job_id, inst_id, thread);
             }
@@ -1038,6 +1307,16 @@ impl Simulator {
             req.live_jobs -= 1;
             req.ty
         };
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::NodeDone {
+                request: rid,
+                job: job_id,
+                node,
+                instance: inst_id,
+                thread,
+                t: self.now,
+            });
+        }
 
         let spec = &self.request_types[ty.index()].nodes[node.index()];
         let children = spec.children.clone();
@@ -1072,16 +1351,31 @@ impl Simulator {
 
         match target {
             NodeTarget::ClientSink => {
-                let fire = {
+                let (arrivals, fire) = {
                     let req = self.requests.get_mut(rid).expect("request exists");
                     let nr = &mut req.nodes[child.index()];
                     nr.arrivals += 1;
-                    (nr.arrivals as usize) == fan_in
+                    (nr.arrivals, (nr.arrivals as usize) == fan_in)
                 };
+                if fan_in > 1 {
+                    if let Some(log) = self.span_log.as_deref_mut() {
+                        log.record(TraceEvent::FanIn {
+                            request: rid,
+                            node: child,
+                            arrivals,
+                            fan_in: fan_in as u32,
+                            fired: fire,
+                            t: self.now,
+                        });
+                    }
+                }
                 if fire {
                     let m = self.instances[sender_inst.index()].machine.index();
-                    let wire =
-                        self.machines[m].spec.network.wire_latency.sample(&mut self.rng_network);
+                    let wire = self.machines[m]
+                        .spec
+                        .network
+                        .wire_latency
+                        .sample(&mut self.rng_network);
                     self.events.schedule(
                         self.now + SimDuration::from_secs_f64(wire),
                         EventKind::DeliverToClient { request: rid },
@@ -1091,7 +1385,10 @@ impl Simulator {
             NodeTarget::Service { instance, .. } => {
                 let dest = self.resolve_instance(&instance, rid, ty, child);
                 let job = self.jobs.alloc(rid, child);
-                self.requests.get_mut(rid).expect("request exists").live_jobs += 1;
+                self.requests
+                    .get_mut(rid)
+                    .expect("request exists")
+                    .live_jobs += 1;
                 match link {
                     LinkKind::Request => {
                         self.send_request_edge(job, sender_inst, sender_thread, dest);
@@ -1146,13 +1443,11 @@ impl Simulator {
                 *ctr += 1;
                 inst
             }
-            InstanceSelect::SameAsNode { node: n } => self
-                .requests
-                .get(rid)
-                .expect("request exists")
-                .nodes[n.index()]
-            .instance
-            .expect("referenced node already executed"),
+            InstanceSelect::SameAsNode { node: n } => {
+                self.requests.get(rid).expect("request exists").nodes[n.index()]
+                    .instance
+                    .expect("referenced node already executed")
+            }
         }
     }
 
@@ -1172,10 +1467,25 @@ impl Simulator {
                 Some(conn) => {
                     self.conns[conn.index()].busy = true;
                     self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
+                    if let Some(log) = self.span_log.as_deref_mut() {
+                        log.record(TraceEvent::PoolAcquire {
+                            pool: pool_id,
+                            conn,
+                            job,
+                            t: self.now,
+                        });
+                    }
                     self.send_job(job, Some(sender_inst), dest);
                 }
                 None => {
                     self.pools[pool_id.index()].enqueue_waiter(job);
+                    if let Some(log) = self.span_log.as_deref_mut() {
+                        log.record(TraceEvent::PoolBlock {
+                            pool: pool_id,
+                            job,
+                            t: self.now,
+                        });
+                    }
                 }
             }
         } else {
@@ -1214,7 +1524,10 @@ impl Simulator {
         down_inst.rr_thread += 1;
         let id = ConnectionId::from_raw(self.conns.len() as u32);
         self.conns.push(Connection::new(
-            UpEndpoint::Instance { instance: sender_inst, thread: sender_thread },
+            UpEndpoint::Instance {
+                instance: sender_inst,
+                thread: sender_thread,
+            },
             dest,
             ThreadId::from_raw(dt as u32),
         ));
@@ -1228,9 +1541,24 @@ impl Simulator {
         self.conns[conn_id.index()].busy = false;
         let pool = self.conns[conn_id.index()].pool;
         if let Some(pid) = pool {
+            if let Some(log) = self.span_log.as_deref_mut() {
+                log.record(TraceEvent::PoolRelease {
+                    pool: pid,
+                    conn: conn_id,
+                    t: self.now,
+                });
+            }
             if let Some((job, c)) = self.pools[pid.index()].release(conn_id) {
                 self.conns[c.index()].busy = true;
                 self.jobs.get_mut(job).expect("waiting job exists").conn = Some(c);
+                if let Some(log) = self.span_log.as_deref_mut() {
+                    log.record(TraceEvent::PoolGrant {
+                        pool: pid,
+                        conn: c,
+                        job,
+                        t: self.now,
+                    });
+                }
                 let dest = self.pools[pid.index()].down_instance;
                 let up = self.pools[pid.index()].up_instance;
                 self.send_job(job, Some(up), dest);
@@ -1238,7 +1566,10 @@ impl Simulator {
         } else {
             match self.conns[conn_id.index()].up {
                 UpEndpoint::Instance { instance, .. } => {
-                    let key = (instance.raw(), self.conns[conn_id.index()].down_instance.raw());
+                    let key = (
+                        instance.raw(),
+                        self.conns[conn_id.index()].down_instance.raw(),
+                    );
                     self.eph_free.entry(key).or_default().push(conn_id);
                 }
                 UpEndpoint::Client(_) => {
@@ -1253,7 +1584,9 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn on_controller_tick(&mut self, id: ControllerId) {
-        let mut ctrl = self.controllers[id.index()].take().expect("controller registered");
+        let mut ctrl = self.controllers[id.index()]
+            .take()
+            .expect("controller registered");
         let stats = TickStats {
             end_to_end: LatencySummary::from_samples(&self.interval_e2e),
             per_instance: self
@@ -1275,6 +1608,9 @@ impl Simulator {
                 }
             }
         }
-        self.events.schedule(self.now + next, EventKind::ControllerTick { controller: id });
+        self.events.schedule(
+            self.now + next,
+            EventKind::ControllerTick { controller: id },
+        );
     }
 }

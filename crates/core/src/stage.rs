@@ -111,7 +111,12 @@ impl ServiceTimeModel {
     }
 
     /// Adds an explicit per-frequency override.
-    pub fn with_freq_entry(mut self, freq_ghz: f64, base: Distribution, per_job: Distribution) -> Self {
+    pub fn with_freq_entry(
+        mut self,
+        freq_ghz: f64,
+        base: Distribution,
+        per_job: Distribution,
+    ) -> Self {
         self.freq_table.push((freq_ghz, base, per_job));
         self
     }
@@ -125,13 +130,22 @@ impl ServiceTimeModel {
         self.base.validate()?;
         self.per_job.validate()?;
         if !(self.ref_freq_ghz.is_finite() && self.ref_freq_ghz > 0.0) {
-            return Err(format!("ref_freq_ghz must be positive, got {}", self.ref_freq_ghz));
+            return Err(format!(
+                "ref_freq_ghz must be positive, got {}",
+                self.ref_freq_ghz
+            ));
         }
         if !(self.freq_alpha.is_finite() && self.freq_alpha >= 0.0) {
-            return Err(format!("freq_alpha must be non-negative, got {}", self.freq_alpha));
+            return Err(format!(
+                "freq_alpha must be non-negative, got {}",
+                self.freq_alpha
+            ));
         }
         if !(self.per_byte.is_finite() && self.per_byte >= 0.0) {
-            return Err(format!("per_byte must be non-negative, got {}", self.per_byte));
+            return Err(format!(
+                "per_byte must be non-negative, got {}",
+                self.per_byte
+            ));
         }
         for (f, b, p) in &self.freq_table {
             if !(f.is_finite() && *f > 0.0) {
@@ -164,8 +178,10 @@ impl ServiceTimeModel {
             (self.ref_freq_ghz / freq_ghz).powf(self.freq_alpha)
         };
         let byte_cost = self.per_byte * batch_bytes;
-        if let Some((_, base, per_job)) =
-            self.freq_table.iter().find(|(f, _, _)| (f - freq_ghz).abs() < 1e-3)
+        if let Some((_, base, per_job)) = self
+            .freq_table
+            .iter()
+            .find(|(f, _, _)| (f - freq_ghz).abs() < 1e-3)
         {
             let mut t = base.sample(rng);
             for _ in 0..batch_size {
@@ -200,12 +216,12 @@ pub struct StageSpec {
 
 impl StageSpec {
     /// Creates a stage.
-    pub fn new(
-        name: impl Into<String>,
-        queue: QueueDiscipline,
-        service: ServiceTimeModel,
-    ) -> Self {
-        StageSpec { name: name.into(), queue, service }
+    pub fn new(name: impl Into<String>, queue: QueueDiscipline, service: ServiceTimeModel) -> Self {
+        StageSpec {
+            name: name.into(),
+            queue,
+            service,
+        }
     }
 
     /// Validates the stage.
@@ -222,11 +238,16 @@ impl StageSpec {
                 return Err(format!("stage {}: socket batch must be > 0", self.name));
             }
             QueueDiscipline::Epoll { batch_per_conn: 0 } => {
-                return Err(format!("stage {}: epoll batch_per_conn must be > 0", self.name));
+                return Err(format!(
+                    "stage {}: epoll batch_per_conn must be > 0",
+                    self.name
+                ));
             }
             _ => {}
         }
-        self.service.validate().map_err(|e| format!("stage {}: {e}", self.name))
+        self.service
+            .validate()
+            .map_err(|e| format!("stage {}: {e}", self.name))
     }
 }
 
@@ -277,8 +298,7 @@ mod tests {
 
     #[test]
     fn alpha_zero_disables_scaling() {
-        let m =
-            ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6).with_freq_alpha(0.0);
+        let m = ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6).with_freq_alpha(0.0);
         let mut r = rng();
         assert_eq!(m.sample(&mut r, 1, 0.0, 1.2), m.sample(&mut r, 1, 0.0, 2.6));
     }
@@ -337,8 +357,7 @@ mod tests {
 
     #[test]
     fn per_byte_validation() {
-        let m = ServiceTimeModel::per_job(Distribution::constant(1e-6), 2.6)
-            .with_per_byte(-1.0);
+        let m = ServiceTimeModel::per_job(Distribution::constant(1e-6), 2.6).with_per_byte(-1.0);
         assert!(m.validate().is_err());
     }
 

@@ -20,7 +20,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// let t = SimTime::ZERO + SimDuration::from_micros(250);
 /// assert_eq!(t.as_nanos(), 250_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimTime(u64);
 
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs_f64(0.001);
 /// assert_eq!(d.as_micros_f64(), 1000.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct SimDuration(u64);
 
@@ -122,7 +126,10 @@ impl SimDuration {
             "duration must be finite and non-negative, got {secs}"
         );
         let ns = secs * 1e9;
-        assert!(ns <= u64::MAX as f64, "duration overflows u64 nanoseconds: {secs}s");
+        assert!(
+            ns <= u64::MAX as f64,
+            "duration overflows u64 nanoseconds: {secs}s"
+        );
         SimDuration(ns.round() as u64)
     }
 
@@ -162,7 +169,10 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be non-negative");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be non-negative"
+        );
         SimDuration((self.0 as f64 * factor).round() as u64)
     }
 
@@ -328,7 +338,9 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert!(SimTime::MAX.checked_add(SimDuration::from_nanos(1)).is_none());
+        assert!(SimTime::MAX
+            .checked_add(SimDuration::from_nanos(1))
+            .is_none());
         assert_eq!(
             SimTime::ZERO.checked_add(SimDuration::from_nanos(5)),
             Some(SimTime::from_nanos(5))

@@ -1,0 +1,1234 @@
+//! Per-request span tracing and trace-driven invariant auditing.
+//!
+//! When enabled with [`Simulator::enable_span_tracing`](crate::Simulator::enable_span_tracing),
+//! the simulator appends one [`TraceEvent`] to an in-memory [`TraceLog`] at
+//! every interesting point of a request's life: client emission and launch,
+//! network (soft-irq) processing, stage enqueue and batch service,
+//! connection-pool acquire/block/grant/release, fan-in synchronization,
+//! node completion, and end-to-end completion or timeout. Tracing is
+//! strictly opt-in — when disabled (the default) every hot-path hook is a
+//! single branch on a `None`, so the simulator's speed is unaffected.
+//!
+//! Two consumers are built on the log:
+//!
+//! * [`chrome_trace`] renders the log as Chrome `trace_event` JSON —
+//!   machines become processes, cores become threads, batch services and
+//!   irq processing become complete (`"ph": "X"`) spans, and requests
+//!   become async (`"b"`/`"e"`) spans — viewable directly in
+//!   `about:tracing` or [Perfetto](https://ui.perfetto.dev).
+//! * [`TraceAuditor`] replays the log against the simulator's conservation
+//!   laws (every emitted request is completed or still in flight), span
+//!   causality (enqueue ≤ start ≤ end, spans inside the request's
+//!   lifetime, fan-in fires only after all parents arrived), per-core and
+//!   per-thread non-overlap (a core services at most one batch at a time),
+//!   connection-pool discipline (no double acquire/release), and warmup
+//!   accounting (measured completions match the latency recorder).
+//!
+//! # Example
+//!
+//! ```
+//! # use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+//! # use uqsim_core::client::ClientSpec;
+//! # use uqsim_core::dist::Distribution;
+//! # use uqsim_core::ids::{PathNodeId, StageId};
+//! # use uqsim_core::machine::{DvfsSpec, MachineSpec, NetworkSpec};
+//! # use uqsim_core::path::{PathNodeSpec, RequestType};
+//! # use uqsim_core::service::{ExecPath, ServiceModel};
+//! # use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+//! # use uqsim_core::time::SimDuration;
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = ScenarioBuilder::new(42);
+//! # let m = b.add_machine(MachineSpec {
+//! #     name: "server".into(),
+//! #     cores: 2,
+//! #     dvfs: DvfsSpec::fixed(2.6),
+//! #     network: NetworkSpec::passthrough(10e-6),
+//! #     power: Default::default(),
+//! # });
+//! # let svc = b.add_service(ServiceModel::new(
+//! #     "api",
+//! #     vec![StageSpec::new(
+//! #         "handler",
+//! #         QueueDiscipline::Single,
+//! #         ServiceTimeModel::per_job(Distribution::exponential(50e-6), 2.6),
+//! #     )],
+//! #     vec![ExecPath::new("default", vec![StageId::from_raw(0)])],
+//! # ));
+//! # let inst = b.add_instance("api0", svc, m, 2, ExecSpec::Simple)?;
+//! # let mut front = PathNodeSpec::request("api", svc, inst);
+//! # front.children = vec![PathNodeId::from_raw(1)];
+//! # let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+//! # let ty = b.add_request_type(RequestType::new(
+//! #     "get",
+//! #     vec![front, sink],
+//! #     PathNodeId::from_raw(0),
+//! # ))?;
+//! # b.add_client(ClientSpec::open_loop("wrk", 1_000.0, 32, ty), vec![inst]);
+//! let mut sim = b.build()?;
+//! sim.enable_span_tracing(100_000);
+//! sim.run_for(SimDuration::from_secs(2));
+//!
+//! // Invariant audit: zero violations on a healthy run.
+//! let report = sim.audit_trace().expect("tracing is enabled");
+//! assert!(report.is_clean(), "{:?}", report.violations);
+//!
+//! // Chrome trace_event JSON for about:tracing / Perfetto.
+//! let chrome = sim.chrome_trace().expect("tracing is enabled");
+//! assert!(chrome["traceEvents"].as_array().unwrap().len() > 10);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::ids::{
+    ClientId, ConnectionId, InstanceId, JobId, MachineId, PathNodeId, PoolId, RequestId,
+    RequestTypeId, StageId, ThreadId,
+};
+use crate::time::SimTime;
+use serde_json::{json, Value};
+use std::collections::HashMap;
+
+/// One recorded event in a [`TraceLog`]. Events appear in execution order;
+/// events with equal timestamps keep the order the simulator produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A client generated a new request.
+    RequestEmitted {
+        /// The request.
+        request: RequestId,
+        /// Its request type.
+        request_type: RequestTypeId,
+        /// The issuing client.
+        client: ClientId,
+        /// Emission time.
+        t: SimTime,
+    },
+    /// The request was written onto a free client connection (this can be
+    /// later than emission when the connection was busy).
+    RequestLaunched {
+        /// The request.
+        request: RequestId,
+        /// The client connection carrying it.
+        conn: ConnectionId,
+        /// Launch time.
+        t: SimTime,
+    },
+    /// An irq core processed one inbound packet (§III-A network model).
+    NetRx {
+        /// The receiving machine.
+        machine: MachineId,
+        /// Machine-local irq core index.
+        core: u32,
+        /// The job carried by the packet.
+        job: JobId,
+        /// Processing start.
+        start: SimTime,
+        /// Processing end.
+        end: SimTime,
+    },
+    /// A job entered a stage queue.
+    Enqueue {
+        /// The job.
+        job: JobId,
+        /// Its owning request.
+        request: RequestId,
+        /// The path node the job is visiting.
+        node: PathNodeId,
+        /// The instance whose queue it entered.
+        instance: InstanceId,
+        /// The stage queue.
+        stage: StageId,
+        /// Enqueue time.
+        t: SimTime,
+    },
+    /// A worker thread started servicing a batch through one stage.
+    BatchStart {
+        /// The instance.
+        instance: InstanceId,
+        /// The machine hosting it.
+        machine: MachineId,
+        /// The stage being serviced.
+        stage: StageId,
+        /// The worker thread.
+        thread: ThreadId,
+        /// Machine-local core index the batch runs on.
+        core: u32,
+        /// Core frequency during service, GHz.
+        freq_ghz: f64,
+        /// Service start (includes any context-switch penalty).
+        start: SimTime,
+        /// Service end.
+        end: SimTime,
+        /// The batched jobs, in batch order.
+        jobs: Vec<JobId>,
+    },
+    /// A job acquired a pooled connection.
+    PoolAcquire {
+        /// The pool.
+        pool: PoolId,
+        /// The acquired connection.
+        conn: ConnectionId,
+        /// The acquiring job.
+        job: JobId,
+        /// Acquire time.
+        t: SimTime,
+    },
+    /// A job found the pool exhausted and joined its wait queue.
+    PoolBlock {
+        /// The pool.
+        pool: PoolId,
+        /// The blocked job.
+        job: JobId,
+        /// Block time.
+        t: SimTime,
+    },
+    /// A released connection was handed directly to a waiting job.
+    PoolGrant {
+        /// The pool.
+        pool: PoolId,
+        /// The handed-over connection.
+        conn: ConnectionId,
+        /// The job that had been waiting.
+        job: JobId,
+        /// Grant time.
+        t: SimTime,
+    },
+    /// A pooled connection was released (its reply was delivered).
+    PoolRelease {
+        /// The pool.
+        pool: PoolId,
+        /// The released connection.
+        conn: ConnectionId,
+        /// Release time.
+        t: SimTime,
+    },
+    /// A fan-in copy arrived at a join node (only recorded for nodes with
+    /// more than one parent).
+    FanIn {
+        /// The request.
+        request: RequestId,
+        /// The join node.
+        node: PathNodeId,
+        /// Copies arrived so far, including this one.
+        arrivals: u32,
+        /// Parents the node waits for.
+        fan_in: u32,
+        /// True when this arrival was the last one and the node fired.
+        fired: bool,
+        /// Arrival time.
+        t: SimTime,
+    },
+    /// A job finished the last stage of its path node.
+    NodeDone {
+        /// The request.
+        request: RequestId,
+        /// The finishing job.
+        job: JobId,
+        /// The completed node.
+        node: PathNodeId,
+        /// The executing instance.
+        instance: InstanceId,
+        /// The executing thread.
+        thread: ThreadId,
+        /// Completion time.
+        t: SimTime,
+    },
+    /// The response reached the issuing client.
+    RequestCompleted {
+        /// The request.
+        request: RequestId,
+        /// Its request type.
+        request_type: RequestTypeId,
+        /// True if the client-side timeout fired first.
+        timed_out: bool,
+        /// True if this completion was counted by the latency recorder
+        /// (post-warmup and not timed out).
+        measured: bool,
+        /// Completion time.
+        t: SimTime,
+    },
+    /// A client-side timeout fired before the response arrived.
+    RequestTimeout {
+        /// The request.
+        request: RequestId,
+        /// Timeout time.
+        t: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (the start time for interval events).
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::RequestEmitted { t, .. }
+            | TraceEvent::RequestLaunched { t, .. }
+            | TraceEvent::Enqueue { t, .. }
+            | TraceEvent::PoolAcquire { t, .. }
+            | TraceEvent::PoolBlock { t, .. }
+            | TraceEvent::PoolGrant { t, .. }
+            | TraceEvent::PoolRelease { t, .. }
+            | TraceEvent::FanIn { t, .. }
+            | TraceEvent::NodeDone { t, .. }
+            | TraceEvent::RequestCompleted { t, .. }
+            | TraceEvent::RequestTimeout { t, .. } => t,
+            TraceEvent::NetRx { start, .. } | TraceEvent::BatchStart { start, .. } => start,
+        }
+    }
+}
+
+/// An append-only, bounded event log filled by the simulator while span
+/// tracing is enabled. When the capacity is reached further events are
+/// counted as dropped instead of recorded, so the retained prefix is always
+/// a complete record of the run up to the cutoff.
+#[derive(Debug, Clone, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates an empty log holding at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        TraceLog {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, or counts it as dropped once the log is full.
+    pub(crate) fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The recorded events, in execution order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events that arrived after the log filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Correlates [`TraceEvent::Enqueue`] and [`TraceEvent::BatchStart`]
+    /// events into per-job stage spans, in service order. Jobs whose
+    /// enqueue fell outside the log are omitted.
+    pub fn spans(&self) -> Vec<StageSpan> {
+        let mut pending: HashMap<(JobId, u32, u32), (SimTime, RequestId, PathNodeId)> =
+            HashMap::new();
+        let mut out = Vec::new();
+        for ev in &self.events {
+            match ev {
+                TraceEvent::Enqueue {
+                    job,
+                    request,
+                    node,
+                    instance,
+                    stage,
+                    t,
+                } => {
+                    pending.insert((*job, instance.raw(), stage.raw()), (*t, *request, *node));
+                }
+                TraceEvent::BatchStart {
+                    instance,
+                    machine,
+                    stage,
+                    thread,
+                    core,
+                    freq_ghz,
+                    start,
+                    end,
+                    jobs,
+                } => {
+                    for &job in jobs {
+                        let Some((enqueue_t, request, node)) =
+                            pending.remove(&(job, instance.raw(), stage.raw()))
+                        else {
+                            continue;
+                        };
+                        out.push(StageSpan {
+                            request,
+                            job,
+                            node,
+                            instance: *instance,
+                            machine: *machine,
+                            stage: *stage,
+                            thread: *thread,
+                            core: *core,
+                            enqueue_t,
+                            start_t: *start,
+                            end_t: *end,
+                            batch_size: jobs.len() as u32,
+                            freq_ghz: *freq_ghz,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// One fully-correlated stage span: a job's wait in a stage queue followed
+/// by its batched service — the unit of analysis the paper's §III-B stage
+/// model produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpan {
+    /// The owning request.
+    pub request: RequestId,
+    /// The job (one request visit to one path node).
+    pub job: JobId,
+    /// The path node the job was visiting.
+    pub node: PathNodeId,
+    /// The executing instance.
+    pub instance: InstanceId,
+    /// The machine hosting the instance.
+    pub machine: MachineId,
+    /// The stage.
+    pub stage: StageId,
+    /// The worker thread that serviced the batch.
+    pub thread: ThreadId,
+    /// Machine-local core index the batch ran on.
+    pub core: u32,
+    /// When the job entered the stage queue.
+    pub enqueue_t: SimTime,
+    /// When batched service began.
+    pub start_t: SimTime,
+    /// When batched service finished.
+    pub end_t: SimTime,
+    /// Number of jobs in the batch.
+    pub batch_size: u32,
+    /// Core frequency during service, GHz.
+    pub freq_ghz: f64,
+}
+
+impl StageSpan {
+    /// Time spent waiting in the stage queue, seconds.
+    pub fn queue_wait_s(&self) -> f64 {
+        (self.start_t - self.enqueue_t).as_secs_f64()
+    }
+
+    /// Total enqueue-to-service-end time, seconds.
+    pub fn total_s(&self) -> f64 {
+        (self.end_t - self.enqueue_t).as_secs_f64()
+    }
+}
+
+/// Entity names needed to render a human-readable trace; obtained from
+/// [`Simulator::trace_meta`](crate::Simulator::trace_meta).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceMeta {
+    /// One entry per machine.
+    pub machines: Vec<MachineMeta>,
+    /// One entry per deployed instance.
+    pub instances: Vec<InstanceMeta>,
+    /// One entry per request type.
+    pub request_types: Vec<RequestTypeMeta>,
+}
+
+/// Display metadata for one machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineMeta {
+    /// Machine name.
+    pub name: String,
+    /// Total cores (instance-owned plus irq).
+    pub cores: usize,
+}
+
+/// Display metadata for one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceMeta {
+    /// Instance name.
+    pub name: String,
+    /// Hosting machine index.
+    pub machine: u32,
+    /// Stage names of the instance's service, in stage order.
+    pub stages: Vec<String>,
+}
+
+/// Display metadata for one request type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestTypeMeta {
+    /// Request-type name.
+    pub name: String,
+    /// Node names, in node-id order.
+    pub nodes: Vec<String>,
+}
+
+fn ts_us(t: SimTime) -> f64 {
+    t.as_nanos() as f64 / 1e3
+}
+
+fn req_id_str(r: RequestId) -> String {
+    format!("{}.{}", r.slot(), r.generation())
+}
+
+/// Renders a [`TraceLog`] as Chrome `trace_event` JSON (the "JSON Array
+/// Format" with metadata), directly loadable in `about:tracing` or
+/// [Perfetto](https://ui.perfetto.dev). Machines map to processes, cores to
+/// threads; batch services and irq processing are complete (`"X"`) spans;
+/// requests are async (`"b"`/`"e"`) spans on a synthetic `requests`
+/// process; pool blocking and timeouts appear as instant events.
+pub fn chrome_trace(log: &TraceLog, meta: &TraceMeta) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    let req_pid = meta.machines.len() as u64;
+    for (m, mm) in meta.machines.iter().enumerate() {
+        events.push(json!({
+            "ph": "M", "name": "process_name", "pid": m as u64, "tid": 0u64,
+            "args": {"name": mm.name.clone()}
+        }));
+        for c in 0..mm.cores {
+            events.push(json!({
+                "ph": "M", "name": "thread_name", "pid": m as u64, "tid": c as u64,
+                "args": {"name": format!("core{c}")}
+            }));
+        }
+    }
+    events.push(json!({
+        "ph": "M", "name": "process_name", "pid": req_pid, "tid": 0u64,
+        "args": {"name": "requests"}
+    }));
+    for ev in log.events() {
+        match ev {
+            TraceEvent::BatchStart {
+                instance,
+                machine,
+                stage,
+                thread,
+                core,
+                freq_ghz,
+                start,
+                end,
+                jobs,
+            } => {
+                let inst = &meta.instances[instance.index()];
+                let stage_name = inst
+                    .stages
+                    .get(stage.index())
+                    .cloned()
+                    .unwrap_or_else(|| format!("stage{}", stage.raw()));
+                events.push(json!({
+                    "name": format!("{}/{}", inst.name, stage_name),
+                    "cat": "stage", "ph": "X",
+                    "ts": ts_us(*start), "dur": ts_us(*end) - ts_us(*start),
+                    "pid": machine.raw() as u64, "tid": *core as u64,
+                    "args": {
+                        "instance": inst.name.clone(),
+                        "stage": stage_name,
+                        "thread": thread.raw() as u64,
+                        "batch_size": jobs.len() as u64,
+                        "freq_ghz": *freq_ghz
+                    }
+                }));
+            }
+            TraceEvent::NetRx {
+                machine,
+                core,
+                job,
+                start,
+                end,
+            } => {
+                events.push(json!({
+                    "name": "net_rx", "cat": "net", "ph": "X",
+                    "ts": ts_us(*start), "dur": ts_us(*end) - ts_us(*start),
+                    "pid": machine.raw() as u64, "tid": *core as u64,
+                    "args": {"job": format!("{}.{}", job.slot(), job.generation())}
+                }));
+            }
+            TraceEvent::RequestEmitted {
+                request,
+                request_type,
+                client,
+                t,
+            } => {
+                let name = meta
+                    .request_types
+                    .get(request_type.index())
+                    .map(|ty| ty.name.clone())
+                    .unwrap_or_else(|| format!("type{}", request_type.raw()));
+                events.push(json!({
+                    "name": name, "cat": "request", "ph": "b",
+                    "id": req_id_str(*request),
+                    "ts": ts_us(*t), "pid": req_pid, "tid": 0u64,
+                    "args": {"client": client.raw() as u64}
+                }));
+            }
+            TraceEvent::RequestCompleted {
+                request,
+                request_type,
+                timed_out,
+                measured,
+                t,
+            } => {
+                let name = meta
+                    .request_types
+                    .get(request_type.index())
+                    .map(|ty| ty.name.clone())
+                    .unwrap_or_else(|| format!("type{}", request_type.raw()));
+                events.push(json!({
+                    "name": name, "cat": "request", "ph": "e",
+                    "id": req_id_str(*request),
+                    "ts": ts_us(*t), "pid": req_pid, "tid": 0u64,
+                    "args": {"timed_out": *timed_out, "measured": *measured}
+                }));
+            }
+            TraceEvent::PoolBlock { pool, job, t } => {
+                events.push(json!({
+                    "name": "pool_block", "cat": "pool", "ph": "i", "s": "g",
+                    "ts": ts_us(*t), "pid": req_pid, "tid": 0u64,
+                    "args": {
+                        "pool": pool.raw() as u64,
+                        "job": format!("{}.{}", job.slot(), job.generation())
+                    }
+                }));
+            }
+            TraceEvent::RequestTimeout { request, t } => {
+                events.push(json!({
+                    "name": "timeout", "cat": "request", "ph": "i", "s": "g",
+                    "ts": ts_us(*t), "pid": req_pid, "tid": 0u64,
+                    "args": {"request": req_id_str(*request)}
+                }));
+            }
+            _ => {}
+        }
+    }
+    json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms"
+    })
+}
+
+/// Ground-truth counters from the simulator, cross-checked against the
+/// event log by the auditor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditCounts {
+    /// Requests generated ([`Simulator::generated`](crate::Simulator::generated)).
+    pub generated: u64,
+    /// Requests completed ([`Simulator::completed`](crate::Simulator::completed)).
+    pub completed: u64,
+    /// Requests still in flight ([`Simulator::live_requests`](crate::Simulator::live_requests)).
+    pub live_requests: u64,
+    /// Requests whose client-side timeout fired ([`Simulator::timeouts`](crate::Simulator::timeouts)).
+    pub timeouts: u64,
+    /// Completions retained by the end-to-end latency recorder (post-warmup
+    /// and not timed out).
+    pub measured: u64,
+}
+
+/// The auditor's findings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AuditReport {
+    /// Invariant violations found; empty on a clean run.
+    pub violations: Vec<String>,
+    /// Non-fatal observations (e.g. checks skipped due to log truncation).
+    pub notes: Vec<String>,
+    /// Total events examined.
+    pub events_checked: usize,
+    /// Correlated stage spans examined.
+    pub spans_checked: usize,
+}
+
+impl AuditReport {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Replays a [`TraceLog`] against the simulator's invariants. See the
+/// [module docs](self) for the full list of checks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TraceAuditor {
+    /// Cap on reported violations (the log can contain millions of events;
+    /// a broken invariant usually breaks everywhere at once).
+    pub max_violations: usize,
+}
+
+impl TraceAuditor {
+    /// Creates an auditor with the default violation cap (100).
+    pub fn new() -> Self {
+        TraceAuditor {
+            max_violations: 100,
+        }
+    }
+
+    /// Audits the log against `counts`. The returned report lists every
+    /// violation found (up to the cap) — an empty list means the run upheld
+    /// all checked invariants.
+    pub fn audit(&self, log: &TraceLog, counts: &AuditCounts) -> AuditReport {
+        let cap = self.max_violations.max(1);
+        let mut report = AuditReport {
+            events_checked: log.len(),
+            ..AuditReport::default()
+        };
+        let truncated = log.dropped() > 0;
+        if truncated {
+            report.notes.push(format!(
+                "log truncated ({} events dropped): conservation and completeness checks skipped",
+                log.dropped()
+            ));
+        }
+        macro_rules! violation {
+            ($($arg:tt)*) => {
+                if report.violations.len() < cap {
+                    report.violations.push(format!($($arg)*));
+                }
+            };
+        }
+
+        // ---- Request lifecycle and conservation -------------------------
+        let mut emitted: HashMap<RequestId, SimTime> = HashMap::new();
+        let mut completed: HashMap<RequestId, SimTime> = HashMap::new();
+        let mut measured_events = 0u64;
+        let mut timeout_events = 0u64;
+        for ev in log.events() {
+            match ev {
+                TraceEvent::RequestEmitted { request, t, .. } => {
+                    let prev = emitted.insert(*request, *t);
+                    if prev.is_some() {
+                        violation!("request {request} emitted twice");
+                    }
+                }
+                TraceEvent::RequestLaunched { request, t, .. } => match emitted.get(request) {
+                    Some(&e) if *t < e => {
+                        violation!("request {request} launched at {t} before emission at {e}");
+                    }
+                    None if !truncated => {
+                        violation!("request {request} launched but never emitted");
+                    }
+                    _ => {}
+                },
+                TraceEvent::RequestCompleted {
+                    request,
+                    t,
+                    measured,
+                    ..
+                } => {
+                    if completed.insert(*request, *t).is_some() {
+                        violation!("request {request} completed twice");
+                    }
+                    if !truncated && !emitted.contains_key(request) {
+                        violation!("request {request} completed but never emitted");
+                    }
+                    if *measured {
+                        measured_events += 1;
+                    }
+                }
+                TraceEvent::RequestTimeout { .. } => timeout_events += 1,
+                _ => {}
+            }
+        }
+        if !truncated {
+            let e = emitted.len() as u64;
+            let c = completed.len() as u64;
+            if e != c + counts.live_requests {
+                violation!(
+                    "conservation: {e} emitted != {c} completed + {} in flight",
+                    counts.live_requests
+                );
+            }
+            if e != counts.generated {
+                violation!(
+                    "emitted events ({e}) disagree with generated counter ({})",
+                    counts.generated
+                );
+            }
+            if c != counts.completed {
+                violation!(
+                    "completion events ({c}) disagree with completed counter ({})",
+                    counts.completed
+                );
+            }
+            if timeout_events != counts.timeouts {
+                violation!(
+                    "timeout events ({timeout_events}) disagree with timeout counter ({})",
+                    counts.timeouts
+                );
+            }
+            if measured_events != counts.measured {
+                violation!(
+                    "warmup accounting: {measured_events} measured completions \
+                     vs {} recorder samples",
+                    counts.measured
+                );
+            }
+        }
+
+        // ---- Span causality ---------------------------------------------
+        let spans = log.spans();
+        report.spans_checked = spans.len();
+        for s in &spans {
+            if s.enqueue_t > s.start_t || s.start_t > s.end_t {
+                violation!(
+                    "span ordering: job {} at {}/{} has enqueue {} start {} end {}",
+                    s.job,
+                    s.instance,
+                    s.stage,
+                    s.enqueue_t,
+                    s.start_t,
+                    s.end_t
+                );
+            }
+            if let Some(&e) = emitted.get(&s.request) {
+                if s.enqueue_t < e {
+                    violation!(
+                        "causality: request {} enqueued at {} before emission at {e}",
+                        s.request,
+                        s.enqueue_t
+                    );
+                }
+            }
+            if let Some(&c) = completed.get(&s.request) {
+                if s.end_t > c {
+                    violation!(
+                        "causality: request {} span ends at {} after completion at {c}",
+                        s.request,
+                        s.end_t
+                    );
+                }
+            }
+        }
+
+        // ---- Non-overlap per core and per thread ------------------------
+        let mut per_core: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+        let mut per_thread: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+        for ev in log.events() {
+            match ev {
+                TraceEvent::BatchStart {
+                    instance,
+                    machine,
+                    thread,
+                    core,
+                    start,
+                    end,
+                    ..
+                } => {
+                    per_core
+                        .entry((machine.raw(), *core))
+                        .or_default()
+                        .push((start.as_nanos(), end.as_nanos()));
+                    per_thread
+                        .entry((instance.raw(), thread.raw()))
+                        .or_default()
+                        .push((start.as_nanos(), end.as_nanos()));
+                }
+                TraceEvent::NetRx {
+                    machine,
+                    core,
+                    start,
+                    end,
+                    ..
+                } => {
+                    per_core
+                        .entry((machine.raw(), *core))
+                        .or_default()
+                        .push((start.as_nanos(), end.as_nanos()));
+                }
+                _ => {}
+            }
+        }
+        for (kind, map) in [("core", &mut per_core), ("thread", &mut per_thread)] {
+            for (key, intervals) in map.iter_mut() {
+                intervals.sort_unstable();
+                for w in intervals.windows(2) {
+                    if w[1].0 < w[0].1 {
+                        violation!(
+                            "non-overlap: {kind} {key:?} services [{}, {}) and [{}, {}) \
+                             concurrently",
+                            w[0].0,
+                            w[0].1,
+                            w[1].0,
+                            w[1].1
+                        );
+                    }
+                }
+            }
+        }
+
+        // ---- Fan-in discipline ------------------------------------------
+        let mut fan_state: HashMap<(RequestId, PathNodeId), (u32, bool)> = HashMap::new();
+        for ev in log.events() {
+            if let TraceEvent::FanIn {
+                request,
+                node,
+                arrivals,
+                fan_in,
+                fired,
+                ..
+            } = ev
+            {
+                if *arrivals > *fan_in {
+                    violation!(
+                        "fan-in: request {request} node {node} saw arrival {arrivals} of {fan_in}"
+                    );
+                }
+                if *fired != (*arrivals == *fan_in) {
+                    violation!(
+                        "fan-in: request {request} node {node} fired={fired} at arrival \
+                         {arrivals} of {fan_in}"
+                    );
+                }
+                let state = fan_state.entry((*request, *node)).or_insert((0, false));
+                if *arrivals != state.0 + 1 {
+                    violation!(
+                        "fan-in: request {request} node {node} arrivals jumped {} -> {arrivals}",
+                        state.0
+                    );
+                }
+                if state.1 {
+                    violation!("fan-in: request {request} node {node} arrival after firing");
+                }
+                *state = (*arrivals, state.1 || *fired);
+            }
+        }
+
+        // ---- Connection-pool discipline ---------------------------------
+        let mut conn_busy: HashMap<ConnectionId, bool> = HashMap::new();
+        for ev in log.events() {
+            match ev {
+                TraceEvent::PoolAcquire { conn, .. } | TraceEvent::PoolGrant { conn, .. } => {
+                    let was_busy = conn_busy.insert(*conn, true);
+                    if was_busy == Some(true) {
+                        violation!("pool: connection {conn} acquired while busy");
+                    }
+                }
+                TraceEvent::PoolRelease { conn, .. } => {
+                    let was_busy = conn_busy.insert(*conn, false);
+                    if was_busy != Some(true) {
+                        violation!("pool: connection {conn} released while free");
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> RequestId {
+        RequestId::new(n, 0)
+    }
+    fn jid(n: u32) -> JobId {
+        JobId::new(n, 0)
+    }
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    fn log_of(events: Vec<TraceEvent>) -> TraceLog {
+        let mut log = TraceLog::new(events.len() + 16);
+        for e in events {
+            log.record(e);
+        }
+        log
+    }
+
+    fn emit(n: u32, at: u64) -> TraceEvent {
+        TraceEvent::RequestEmitted {
+            request: rid(n),
+            request_type: RequestTypeId::from_raw(0),
+            client: ClientId::from_raw(0),
+            t: t(at),
+        }
+    }
+
+    fn complete(n: u32, at: u64) -> TraceEvent {
+        TraceEvent::RequestCompleted {
+            request: rid(n),
+            request_type: RequestTypeId::from_raw(0),
+            timed_out: false,
+            measured: true,
+            t: t(at),
+        }
+    }
+
+    fn batch(core: u32, start: u64, end: u64, jobs: Vec<JobId>) -> TraceEvent {
+        TraceEvent::BatchStart {
+            instance: InstanceId::from_raw(0),
+            machine: MachineId::from_raw(0),
+            stage: StageId::from_raw(0),
+            thread: ThreadId::from_raw(0),
+            core,
+            freq_ghz: 2.6,
+            start: t(start),
+            end: t(end),
+            jobs,
+        }
+    }
+
+    fn counts(generated: u64, completed: u64, live: u64, measured: u64) -> AuditCounts {
+        AuditCounts {
+            generated,
+            completed,
+            live_requests: live,
+            timeouts: 0,
+            measured,
+        }
+    }
+
+    #[test]
+    fn clean_log_passes() {
+        let log = log_of(vec![
+            emit(1, 0),
+            TraceEvent::Enqueue {
+                job: jid(1),
+                request: rid(1),
+                node: PathNodeId::from_raw(0),
+                instance: InstanceId::from_raw(0),
+                stage: StageId::from_raw(0),
+                t: t(10),
+            },
+            batch(0, 20, 30, vec![jid(1)]),
+            complete(1, 40),
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(1, 1, 0, 1));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert_eq!(report.spans_checked, 1);
+        let spans = log.spans();
+        assert_eq!(spans[0].enqueue_t, t(10));
+        assert_eq!(spans[0].start_t, t(20));
+        assert_eq!(spans[0].end_t, t(30));
+        assert_eq!(spans[0].batch_size, 1);
+    }
+
+    #[test]
+    fn conservation_violation_detected() {
+        let log = log_of(vec![emit(1, 0), emit(2, 5)]);
+        // Claim both completed: emitted (2) != completed (0) + live (0).
+        let report = TraceAuditor::new().audit(&log, &counts(2, 2, 0, 2));
+        assert!(!report.is_clean());
+        assert!(
+            report.violations.iter().any(|v| v.contains("conservation")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn double_completion_detected() {
+        let log = log_of(vec![emit(1, 0), complete(1, 10), complete(1, 20)]);
+        let report = TraceAuditor::new().audit(&log, &counts(1, 2, 0, 2));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("completed twice")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn core_overlap_detected() {
+        let disjoint = TraceEvent::BatchStart {
+            instance: InstanceId::from_raw(0),
+            machine: MachineId::from_raw(0),
+            stage: StageId::from_raw(0),
+            thread: ThreadId::from_raw(1),
+            core: 1,
+            freq_ghz: 2.6,
+            start: t(50),
+            end: t(150),
+            jobs: vec![jid(3)],
+        };
+        let log = log_of(vec![
+            batch(0, 0, 100, vec![jid(1)]),
+            batch(0, 50, 150, vec![jid(2)]), // overlaps on core 0 and thread 0
+            disjoint,                        // different core and thread: fine
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        let overlaps: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|v| v.contains("non-overlap"))
+            .collect();
+        // One per-core and one per-thread overlap (same thread serviced both).
+        assert_eq!(overlaps.len(), 2, "{report:?}");
+    }
+
+    #[test]
+    fn span_ordering_violation_detected() {
+        let log = log_of(vec![
+            TraceEvent::Enqueue {
+                job: jid(1),
+                request: rid(1),
+                node: PathNodeId::from_raw(0),
+                instance: InstanceId::from_raw(0),
+                stage: StageId::from_raw(0),
+                t: t(50), // enqueued after service started
+            },
+            batch(0, 20, 30, vec![jid(1)]),
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("span ordering")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn fan_in_over_arrival_detected() {
+        let log = log_of(vec![
+            TraceEvent::FanIn {
+                request: rid(1),
+                node: PathNodeId::from_raw(2),
+                arrivals: 1,
+                fan_in: 2,
+                fired: false,
+                t: t(0),
+            },
+            TraceEvent::FanIn {
+                request: rid(1),
+                node: PathNodeId::from_raw(2),
+                arrivals: 2,
+                fan_in: 2,
+                fired: true,
+                t: t(5),
+            },
+            TraceEvent::FanIn {
+                request: rid(1),
+                node: PathNodeId::from_raw(2),
+                arrivals: 3,
+                fan_in: 2,
+                fired: false,
+                t: t(9),
+            },
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        assert!(
+            report.violations.iter().any(|v| v.contains("fan-in")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn pool_double_acquire_detected() {
+        let c = ConnectionId::from_raw(7);
+        let p = PoolId::from_raw(0);
+        let log = log_of(vec![
+            TraceEvent::PoolAcquire {
+                pool: p,
+                conn: c,
+                job: jid(1),
+                t: t(0),
+            },
+            TraceEvent::PoolAcquire {
+                pool: p,
+                conn: c,
+                job: jid(2),
+                t: t(5),
+            },
+            TraceEvent::PoolRelease {
+                pool: p,
+                conn: c,
+                t: t(10),
+            },
+            TraceEvent::PoolRelease {
+                pool: p,
+                conn: c,
+                t: t(15),
+            },
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("acquired while busy")),
+            "{report:?}"
+        );
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("released while free")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn warmup_accounting_mismatch_detected() {
+        let log = log_of(vec![emit(1, 0), complete(1, 10)]);
+        // The recorder claims 5 samples but only one measured completion.
+        let report = TraceAuditor::new().audit(&log, &counts(1, 1, 0, 5));
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("warmup accounting")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_log_skips_conservation() {
+        let mut log = TraceLog::new(1);
+        log.record(emit(1, 0));
+        log.record(emit(2, 5)); // dropped
+        assert_eq!(log.dropped(), 1);
+        let report = TraceAuditor::new().audit(&log, &counts(2, 0, 2, 0));
+        assert!(report.is_clean(), "{:?}", report.violations);
+        assert!(!report.notes.is_empty());
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let meta = TraceMeta {
+            machines: vec![MachineMeta {
+                name: "m0".into(),
+                cores: 2,
+            }],
+            instances: vec![InstanceMeta {
+                name: "svc0".into(),
+                machine: 0,
+                stages: vec!["proc".into()],
+            }],
+            request_types: vec![RequestTypeMeta {
+                name: "get".into(),
+                nodes: vec!["svc".into(), "client_sink".into()],
+            }],
+        };
+        let log = log_of(vec![
+            emit(1, 1_000),
+            batch(0, 2_000, 3_500, vec![jid(1)]),
+            complete(1, 5_000),
+        ]);
+        let v = chrome_trace(&log, &meta);
+        let events = v["traceEvents"].as_array().unwrap();
+        // 1 process + 2 thread metadata + 1 requests process + 3 payload.
+        assert_eq!(events.len(), 7);
+        let span = events
+            .iter()
+            .find(|e| e["ph"] == "X")
+            .expect("complete span present");
+        assert_eq!(span["name"], "svc0/proc");
+        assert_eq!(span["ts"].as_f64().unwrap(), 2.0);
+        assert_eq!(span["dur"].as_f64().unwrap(), 1.5);
+        let b = events.iter().find(|e| e["ph"] == "b").unwrap();
+        let e = events.iter().find(|e| e["ph"] == "e").unwrap();
+        assert_eq!(b["id"], e["id"]);
+        assert_eq!(b["name"], "get");
+    }
+}

@@ -42,14 +42,23 @@ fn build(spec: ClientSpec, service_mean: f64, cores: usize) -> Simulator {
                 ServiceTimeModel::per_job(Distribution::exponential(service_mean), 2.6),
             ),
         ],
-        vec![ExecPath::new("p", vec![StageId::from_raw(0), StageId::from_raw(1)])],
+        vec![ExecPath::new(
+            "p",
+            vec![StageId::from_raw(0), StageId::from_raw(1)],
+        )],
     ));
-    let i = b.add_instance("svc0", s, m, cores, ExecSpec::Simple).unwrap();
+    let i = b
+        .add_instance("svc0", s, m, cores, ExecSpec::Simple)
+        .unwrap();
     let mut node = PathNodeSpec::request("svc", s, i);
     node.children = vec![PathNodeId::from_raw(1)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
     let ty = b
-        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
         .unwrap();
     let mut spec = spec;
     spec.mix = RequestMix::single(ty);
@@ -94,8 +103,15 @@ fn closed_loop_bounds_in_flight_work() {
     );
     let mut sim = build(spec, 50e-3, 1);
     sim.run_for(SimDuration::from_secs(5));
-    assert!(sim.live_requests() <= 5, "in flight {}", sim.live_requests());
-    assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+    assert!(
+        sim.live_requests() <= 5,
+        "in flight {}",
+        sim.live_requests()
+    );
+    assert_eq!(
+        sim.generated(),
+        sim.completed() + sim.live_requests() as u64
+    );
 }
 
 #[test]
@@ -120,7 +136,12 @@ fn timeouts_fire_only_in_overload() {
 
 #[test]
 fn traces_record_spans_in_order() {
-    let spec = ClientSpec::open_loop("c", 2_000.0, 64, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let spec = ClientSpec::open_loop(
+        "c",
+        2_000.0,
+        64,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
     let mut sim = build(spec, 100e-6, 2);
     sim.enable_tracing(10, 100);
     sim.run_for(SimDuration::from_secs(2));
@@ -142,7 +163,12 @@ fn traces_record_spans_in_order() {
 
 #[test]
 fn stage_stats_show_batching_under_load() {
-    let spec = ClientSpec::open_loop("c", 15_000.0, 256, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let spec = ClientSpec::open_loop(
+        "c",
+        15_000.0,
+        256,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
     let mut sim = build(spec, 100e-6, 2);
     sim.run_for(SimDuration::from_secs(2));
     let stats = sim.instance_stage_stats(InstanceId::from_raw(0));
@@ -180,8 +206,7 @@ fn request_sizes_slow_byte_proportional_stages() {
             vec![StageSpec::new(
                 "read",
                 QueueDiscipline::Single,
-                ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6)
-                    .with_per_byte(50e-9),
+                ServiceTimeModel::per_job(Distribution::constant(10e-6), 2.6).with_per_byte(50e-9),
             )],
             vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
         ));
@@ -190,7 +215,11 @@ fn request_sizes_slow_byte_proportional_stages() {
         node.children = vec![PathNodeId::from_raw(1)];
         let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
         let ty = b
-            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .add_request_type(RequestType::new(
+                "get",
+                vec![node, sink],
+                PathNodeId::from_raw(0),
+            ))
             .unwrap();
         b.add_client(
             ClientSpec::open_loop("c", 1_000.0, 64, ty)
@@ -237,7 +266,11 @@ fn nic_bandwidth_adds_transmission_time() {
         node.children = vec![PathNodeId::from_raw(1)];
         let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
         let ty = b
-            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .add_request_type(RequestType::new(
+                "get",
+                vec![node, sink],
+                PathNodeId::from_raw(0),
+            ))
             .unwrap();
         b.add_client(
             ClientSpec::open_loop("c", 500.0, 64, ty)
@@ -260,14 +293,26 @@ fn nic_bandwidth_adds_transmission_time() {
 fn stage_profiling_feeds_back_as_empirical_model() {
     // The paper's histogram pipeline: profile a running stage, build a
     // histogram, and use it as an empirical service-time distribution.
-    let spec = ClientSpec::open_loop("c", 5_000.0, 128, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let spec = ClientSpec::open_loop(
+        "c",
+        5_000.0,
+        128,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
     let mut sim = build(spec, 80e-6, 2);
     sim.enable_stage_profiling(InstanceId::from_raw(0));
     sim.run_for(SimDuration::from_secs(2));
     let samples = sim.stage_profile(InstanceId::from_raw(0), 1);
-    assert!(samples.len() > 1_000, "profiled {} invocations", samples.len());
+    assert!(
+        samples.len() > 1_000,
+        "profiled {} invocations",
+        samples.len()
+    );
     let emp_mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    assert!((emp_mean - 80e-6).abs() / 80e-6 < 0.1, "profiled mean {emp_mean}");
+    assert!(
+        (emp_mean - 80e-6).abs() / 80e-6 < 0.1,
+        "profiled mean {emp_mean}"
+    );
 
     // Round trip through a histogram.
     let h = uqsim_core::histogram::Histogram::from_samples(samples, 100).unwrap();
@@ -277,8 +322,12 @@ fn stage_profiling_feeds_back_as_empirical_model() {
 
     // A simulator driven by the empirical distribution lands in the same
     // latency regime as the parametric original.
-    let spec2 =
-        ClientSpec::open_loop("c", 5_000.0, 128, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let spec2 = ClientSpec::open_loop(
+        "c",
+        5_000.0,
+        128,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
     let mut b = ScenarioBuilder::new(10);
     b.warmup(SimDuration::from_millis(200));
     let m = b.add_machine(MachineSpec {
@@ -302,7 +351,11 @@ fn stage_profiling_feeds_back_as_empirical_model() {
     node.children = vec![PathNodeId::from_raw(1)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
     let ty = b
-        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
         .unwrap();
     let mut spec2 = spec2;
     spec2.mix = RequestMix::single(ty);
@@ -311,12 +364,20 @@ fn stage_profiling_feeds_back_as_empirical_model() {
     sim2.run_for(SimDuration::from_secs(2));
     let a = sim.latency_summary().mean;
     let b2 = sim2.latency_summary().mean;
-    assert!((a - b2).abs() / a < 0.35, "parametric {a} vs empirical {b2}");
+    assert!(
+        (a - b2).abs() / a < 0.35,
+        "parametric {a} vs empirical {b2}"
+    );
 }
 
 #[test]
 fn scheduled_dvfs_slows_the_service() {
-    let spec = ClientSpec::open_loop("c", 2_000.0, 64, uqsim_core::ids::RequestTypeId::from_raw(0));
+    let spec = ClientSpec::open_loop(
+        "c",
+        2_000.0,
+        64,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
     let mut sim = build(spec, 100e-6, 2);
     // The machine is fixed-frequency (2.6 only), so snapping keeps 2.6;
     // use instance freq setter semantics instead via schedule on a DVFS-
@@ -344,12 +405,13 @@ fn scheduled_dvfs_slows_the_service() {
     node.children = vec![PathNodeId::from_raw(1)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
     let ty = b
-        .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
         .unwrap();
-    b.add_client(
-        ClientSpec::open_loop("c", 1_000.0, 64, ty),
-        vec![i],
-    );
+    b.add_client(ClientSpec::open_loop("c", 1_000.0, 64, ty), vec![i]);
     let mut slow = b.build().unwrap();
     slow.schedule_dvfs(
         uqsim_core::time::SimTime::from_secs_f64(0.0),
@@ -360,7 +422,10 @@ fn scheduled_dvfs_slows_the_service() {
     slow.run_for(SimDuration::from_secs(2));
     // At 1.3 GHz the 100us (at 2.6) service takes 200us.
     let p50 = slow.latency_summary().p50;
-    assert!(p50 > 180e-6, "halved frequency must double service time: p50 {p50}");
+    assert!(
+        p50 > 180e-6,
+        "halved frequency must double service time: p50 {p50}"
+    );
 
     // Sanity on the untouched scenario.
     sim.run_for(SimDuration::from_secs(1));
@@ -399,7 +464,11 @@ fn pool_stats_report_backpressure() {
     n2.children = vec![PathNodeId::from_raw(3)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
     let ty = b
-        .add_request_type(RequestType::new("r", vec![n0, n1, n2, sink], PathNodeId::from_raw(0)))
+        .add_request_type(RequestType::new(
+            "r",
+            vec![n0, n1, n2, sink],
+            PathNodeId::from_raw(0),
+        ))
         .unwrap();
     b.add_client(ClientSpec::open_loop("c", 6_000.0, 512, ty), vec![front]);
     let mut sim = b.build().unwrap();
@@ -429,7 +498,10 @@ fn energy_accounting_is_cubic_in_frequency() {
             cores: 2,
             dvfs: DvfsSpec::range(1.3, 2.6, 1.3),
             network: NetworkSpec::passthrough(0.0),
-            power: uqsim_core::machine::PowerModel { idle_w: 2.0, dyn_w: 8.0 },
+            power: uqsim_core::machine::PowerModel {
+                idle_w: 2.0,
+                dyn_w: 8.0,
+            },
         });
         let s = b.add_service(ServiceModel::new(
             "svc",
@@ -445,7 +517,11 @@ fn energy_accounting_is_cubic_in_frequency() {
         node.children = vec![PathNodeId::from_raw(1)];
         let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
         let ty = b
-            .add_request_type(RequestType::new("get", vec![node, sink], PathNodeId::from_raw(0)))
+            .add_request_type(RequestType::new(
+                "get",
+                vec![node, sink],
+                PathNodeId::from_raw(0),
+            ))
             .unwrap();
         b.add_client(ClientSpec::open_loop("c", 1_000.0, 64, ty), vec![i]);
         let mut sim = b.build().unwrap();
@@ -475,12 +551,22 @@ fn trace_replay_reproduces_exact_arrivals() {
     use uqsim_core::client::ArrivalProcess;
     // Five arrivals at known instants; generation must stop afterwards.
     let timestamps = vec![0.010, 0.020, 0.025, 0.100, 0.500];
-    let mut spec =
-        ClientSpec::open_loop("replay", 1.0, 8, uqsim_core::ids::RequestTypeId::from_raw(0));
-    spec.arrivals = ArrivalProcess::Trace { timestamps: timestamps.clone() };
+    let mut spec = ClientSpec::open_loop(
+        "replay",
+        1.0,
+        8,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
+    spec.arrivals = ArrivalProcess::Trace {
+        timestamps: timestamps.clone(),
+    };
     let mut sim = build(spec, 10e-6, 2);
     sim.run_for(SimDuration::from_secs(2));
-    assert_eq!(sim.generated(), timestamps.len() as u64, "one request per trace entry");
+    assert_eq!(
+        sim.generated(),
+        timestamps.len() as u64,
+        "one request per trace entry"
+    );
     assert_eq!(sim.completed(), timestamps.len() as u64);
     // Running longer generates nothing more.
     sim.run_for(SimDuration::from_secs(2));
@@ -490,8 +576,22 @@ fn trace_replay_reproduces_exact_arrivals() {
 #[test]
 fn trace_validation_rejects_bad_traces() {
     use uqsim_core::client::ArrivalProcess;
-    assert!(ArrivalProcess::Trace { timestamps: vec![] }.validate().is_err());
-    assert!(ArrivalProcess::Trace { timestamps: vec![1.0, 0.5] }.validate().is_err());
-    assert!(ArrivalProcess::Trace { timestamps: vec![-1.0] }.validate().is_err());
-    assert!(ArrivalProcess::Trace { timestamps: vec![0.0, 0.0, 1.0] }.validate().is_ok());
+    assert!(ArrivalProcess::Trace { timestamps: vec![] }
+        .validate()
+        .is_err());
+    assert!(ArrivalProcess::Trace {
+        timestamps: vec![1.0, 0.5]
+    }
+    .validate()
+    .is_err());
+    assert!(ArrivalProcess::Trace {
+        timestamps: vec![-1.0]
+    }
+    .validate()
+    .is_err());
+    assert!(ArrivalProcess::Trace {
+        timestamps: vec![0.0, 0.0, 1.0]
+    }
+    .validate()
+    .is_ok());
 }

@@ -1,0 +1,127 @@
+//! Property test: on an M/M/1 queue, the span log agrees with the
+//! independent residency `LatencyRecorder` (per-stage counts and mean
+//! residency) and the span-derived mean queue wait tracks the analytic
+//! M/M/1 value `Wq = rho / (mu - lambda)`.
+//!
+//! The scenario is a single-core instance with one exponential stage fed by
+//! a Poisson open-loop client — exactly M/M/1 — so queue waits extracted
+//! from `Enqueue -> BatchStart` correlation are checkable against queueing
+//! theory, while residency (`Enqueue -> end of service`) is checkable
+//! sample-for-sample against the recorder the simulator already maintains.
+
+use proptest::prelude::*;
+use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+use uqsim_core::client::ClientSpec;
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::{InstanceId, PathNodeId, StageId};
+use uqsim_core::machine::{DvfsSpec, MachineSpec, NetworkSpec};
+use uqsim_core::path::{PathNodeSpec, RequestType};
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+use uqsim_core::time::{SimDuration, SimTime};
+use uqsim_core::Simulator;
+
+const SERVICE_MEAN_S: f64 = 300e-6;
+const WARMUP_S: f64 = 0.3;
+const RUN_S: f64 = 1.3;
+
+fn build_mm1(lambda_qps: f64, seed: u64) -> Simulator {
+    let mut b = ScenarioBuilder::new(seed);
+    b.warmup(SimDuration::from_secs_f64(WARMUP_S));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 1,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(0.0),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::exponential(SERVICE_MEAN_S), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("svc0", s, m, 1, ExecSpec::Simple).unwrap();
+    let mut node = PathNodeSpec::request("svc", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
+        .unwrap();
+    // Plenty of client connections so HTTP/1.1 connection blocking never
+    // distorts the Poisson arrivals.
+    b.add_client(ClientSpec::open_loop("c", lambda_qps, 256, ty), vec![i]);
+    b.build().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn mm1_spans_agree_with_recorder_and_theory(
+        lambda in 500.0f64..2000.0,
+        seed in any::<u64>(),
+    ) {
+        let mut sim = build_mm1(lambda, seed);
+        sim.enable_span_tracing(4_000_000);
+        sim.run_for(SimDuration::from_secs_f64(RUN_S));
+
+        // The trace upholds every invariant.
+        let report = sim.audit_trace().expect("tracing enabled");
+        prop_assert!(report.is_clean(), "violations: {:#?}", report.violations);
+
+        // Span-derived per-stage samples, filtered exactly like the
+        // recorder: completions in [warmup, deadline). A StageDone landing
+        // exactly on the deadline is never processed (Stop wins the tie),
+        // so spans ending there have no recorder counterpart.
+        let warmup_at = SimTime::ZERO + SimDuration::from_secs_f64(WARMUP_S);
+        let deadline = sim.now();
+        let spans = sim.span_log().expect("tracing enabled").spans();
+        let retained: Vec<_> = spans
+            .iter()
+            .filter(|s| s.end_t >= warmup_at && s.end_t < deadline)
+            .collect();
+        prop_assert!(!retained.is_empty(), "no post-warmup spans at lambda {lambda}");
+
+        // 1. Counts match the independent residency recorder (small slack
+        //    for jobs whose service completed but whose StageDone event is
+        //    still queued at the deadline).
+        let rec = sim.instance_residency(InstanceId::from_raw(0));
+        let diff = (retained.len() as i64 - rec.count as i64).abs();
+        prop_assert!(
+            diff <= 2,
+            "span count {} vs recorder count {} at lambda {lambda}",
+            retained.len(),
+            rec.count
+        );
+
+        // 2. Mean residency matches the recorder. For a single-stage
+        //    Simple-exec service, enqueue == node entry and service end ==
+        //    node exit, so the two measurements are the same quantity.
+        let span_mean =
+            retained.iter().map(|s| s.total_s()).sum::<f64>() / retained.len() as f64;
+        let rel = (span_mean - rec.mean).abs() / rec.mean;
+        prop_assert!(
+            rel < 0.02,
+            "span mean residency {span_mean} vs recorder {} at lambda {lambda}",
+            rec.mean
+        );
+
+        // 3. Mean queue wait tracks M/M/1 theory: Wq = rho / (mu - lambda).
+        let mu = 1.0 / SERVICE_MEAN_S;
+        let rho = lambda / mu;
+        let wq = rho / (mu - lambda);
+        let span_wq =
+            retained.iter().map(|s| s.queue_wait_s()).sum::<f64>() / retained.len() as f64;
+        let err = (span_wq - wq).abs();
+        prop_assert!(
+            err < 0.45 * wq + 20e-6,
+            "span Wq {span_wq} vs analytic {wq} at lambda {lambda} (rho {rho:.2})"
+        );
+    }
+}

@@ -51,7 +51,11 @@ pub fn station(
     let mut node = PathNodeSpec::request("serve", s, i);
     node.children = vec![PathNodeId::from_raw(1)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
-    let ty = b.add_request_type(RequestType::new("r", vec![node, sink], PathNodeId::from_raw(0)))?;
+    let ty = b.add_request_type(RequestType::new(
+        "r",
+        vec![node, sink],
+        PathNodeId::from_raw(0),
+    ))?;
     b.add_client(ClientSpec::open_loop("c", qps, 1_000_000, ty), vec![i]);
     b.build()
 }

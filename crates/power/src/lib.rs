@@ -85,7 +85,9 @@ impl Default for PowerManagerConfig {
             qos_target_s: 5e-3,
             interval: SimDuration::from_millis(100),
             tiers: Vec::new(),
-            levels_ghz: vec![1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6],
+            levels_ghz: vec![
+                1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1, 2.2, 2.3, 2.4, 2.5, 2.6,
+            ],
             num_buckets: 10,
             explore_every: 8,
             slowdown_period: SimDuration::from_secs(1),
@@ -169,15 +171,25 @@ impl PowerManager {
     ///
     /// Panics if `tiers` or `levels_ghz` is empty, or `num_buckets` is 0.
     pub fn new(cfg: PowerManagerConfig) -> (PowerManager, TraceHandle) {
-        assert!(!cfg.tiers.is_empty(), "power manager needs at least one tier");
-        assert!(!cfg.levels_ghz.is_empty(), "power manager needs DVFS levels");
+        assert!(
+            !cfg.tiers.is_empty(),
+            "power manager needs at least one tier"
+        );
+        assert!(
+            !cfg.levels_ghz.is_empty(),
+            "power manager needs DVFS levels"
+        );
         assert!(cfg.num_buckets > 0, "need at least one bucket");
         let trace = Rc::new(RefCell::new(Vec::new()));
         let max = *cfg.levels_ghz.last().expect("levels non-empty");
         let manager = PowerManager {
             rng: RngFactory::new(cfg.seed).stream("power", 0),
             buckets: vec![
-                Bucket { preference: 1.0, tuples: Vec::new(), failing: Vec::new() };
+                Bucket {
+                    preference: 1.0,
+                    tuples: Vec::new(),
+                    failing: Vec::new()
+                };
                 cfg.num_buckets
             ],
             target: None,
@@ -234,7 +246,12 @@ impl PowerManager {
     }
 
     fn step_up(&self, f: f64) -> f64 {
-        self.cfg.levels_ghz.iter().copied().find(|&l| l > f + 1e-9).unwrap_or(f)
+        self.cfg
+            .levels_ghz
+            .iter()
+            .copied()
+            .find(|&l| l > f + 1e-9)
+            .unwrap_or(f)
     }
 
     /// The per-tier latency targets in effect (falls back to an equal split
@@ -359,7 +376,11 @@ impl Controller for PowerManager {
             let max = *self.cfg.levels_ghz.last().expect("levels non-empty");
             for (i, (&obs, &tgt)) in per_tier.iter().zip(&targets).enumerate() {
                 if obs > tgt || severe {
-                    let f = if severe { max } else { self.step_up(self.freqs[i]) };
+                    let f = if severe {
+                        max
+                    } else {
+                        self.step_up(self.freqs[i])
+                    };
                     if (f - self.freqs[i]).abs() > 1e-9 {
                         self.freqs[i] = f;
                         actions.push(ControlAction::SetInstanceFreq {
@@ -464,7 +485,10 @@ mod tests {
     fn failing_tuples_block_reinsertion() {
         let (mut m, _t) = manager(100);
         // Record a success in bucket of 1ms.
-        m.tick(SimTime::from_secs_f64(0.1), &stats(1e-3, 10, &[0.5e-3, 0.4e-3]));
+        m.tick(
+            SimTime::from_secs_f64(0.1),
+            &stats(1e-3, 10, &[0.5e-3, 0.4e-3]),
+        );
         let b = m.bucket_of(1e-3);
         assert_eq!(m.buckets[b].tuples.len(), 1);
         // Make that tuple the target, then violate: it becomes failing.
@@ -472,10 +496,20 @@ mod tests {
         m.tick(SimTime::from_secs_f64(0.2), &stats(9e-3, 10, &[4e-3, 4e-3]));
         assert_eq!(m.buckets[b].failing.len(), 1);
         // A no-more-relaxed observation is rejected.
-        m.tick(SimTime::from_secs_f64(0.3), &stats(1e-3, 10, &[0.6e-3, 0.5e-3]));
-        assert_eq!(m.buckets[b].tuples.len(), 1, "relaxed tuple must not be inserted");
+        m.tick(
+            SimTime::from_secs_f64(0.3),
+            &stats(1e-3, 10, &[0.6e-3, 0.5e-3]),
+        );
+        assert_eq!(
+            m.buckets[b].tuples.len(),
+            1,
+            "relaxed tuple must not be inserted"
+        );
         // A strictly tighter observation is accepted.
-        m.tick(SimTime::from_secs_f64(0.4), &stats(1e-3, 10, &[0.3e-3, 0.2e-3]));
+        m.tick(
+            SimTime::from_secs_f64(0.4),
+            &stats(1e-3, 10, &[0.3e-3, 0.2e-3]),
+        );
         assert_eq!(m.buckets[b].tuples.len(), 2);
     }
 
@@ -484,7 +518,10 @@ mod tests {
         let (mut m, _t) = manager(100);
         let b_good = m.bucket_of(1e-3);
         let before = m.buckets[b_good].preference;
-        m.tick(SimTime::from_secs_f64(0.1), &stats(1e-3, 10, &[0.5e-3, 0.5e-3]));
+        m.tick(
+            SimTime::from_secs_f64(0.1),
+            &stats(1e-3, 10, &[0.5e-3, 0.5e-3]),
+        );
         assert!(m.buckets[b_good].preference > before);
         let b_bad = m.bucket_of(4.999e-3);
         let before_bad = m.buckets[b_bad].preference;

@@ -11,7 +11,10 @@ use uqsim_core::time::SimDuration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("one-stage leaves, exp(1ms) service; slow leaves are 10x; request waits for ALL\n");
-    println!("{:>9} {:>11} {:>9} {:>9}", "cluster", "slow_frac", "mean_ms", "p99_ms");
+    println!(
+        "{:>9} {:>11} {:>9} {:>9}",
+        "cluster", "slow_frac", "mean_ms", "p99_ms"
+    );
     for &n in &[10usize, 50, 200] {
         for &frac in &[0.0, 0.01, 0.05] {
             let cfg = TailAtScaleConfig::new(n, frac, 60.0);

@@ -40,6 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sim.instance_utilization(nginx) * 100.0,
         sim.instance_utilization(mc) * 100.0
     );
-    println!("\nEdit crates/cli/configs/two_tier.json and re-run — no recompilation of models needed.");
+    println!(
+        "\nEdit crates/cli/configs/two_tier.json and re-run — no recompilation of models needed."
+    );
     Ok(())
 }

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.add_controller(Box::new(manager));
     sim.run_for(SimDuration::from_secs(60));
 
-    println!("{:>8} {:>9} {:>9} {:>9} {:>9}", "time_s", "p99_ms", "f_nginx", "f_mc", "violated");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9}",
+        "time_s", "p99_ms", "f_nginx", "f_mc", "violated"
+    );
     for e in trace.entries().iter().step_by(20).filter(|e| e.samples > 0) {
         println!(
             "{:>8.1} {:>9.3} {:>9.1} {:>9.1} {:>9}",

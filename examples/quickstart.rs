@@ -44,7 +44,10 @@ fn build(qps: f64) -> SimResult<Simulator> {
                 ServiceTimeModel::per_job(Distribution::exponential(80e-6), 2.6),
             ),
         ],
-        vec![ExecPath::new("default", vec![StageId::from_raw(0), StageId::from_raw(1)])],
+        vec![ExecPath::new(
+            "default",
+            vec![StageId::from_raw(0), StageId::from_raw(1)],
+        )],
     ));
     let inst = b.add_instance("api0", api, machine, 2, ExecSpec::Simple)?;
 
@@ -52,7 +55,11 @@ fn build(qps: f64) -> SimResult<Simulator> {
     let mut front = PathNodeSpec::request("api", api, inst);
     front.children = vec![PathNodeId::from_raw(1)];
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
-    let ty = b.add_request_type(RequestType::new("get", vec![front, sink], PathNodeId::from_raw(0)))?;
+    let ty = b.add_request_type(RequestType::new(
+        "get",
+        vec![front, sink],
+        PathNodeId::from_raw(0),
+    ))?;
 
     // An open-loop client like wrk2.
     b.add_client(ClientSpec::open_loop("wrk2", qps, 128, ty), vec![inst]);
@@ -60,7 +67,10 @@ fn build(qps: f64) -> SimResult<Simulator> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:>12} {:>13} {:>9} {:>9} {:>9}", "offered_qps", "achieved_qps", "mean_us", "p95_us", "p99_us");
+    println!(
+        "{:>12} {:>13} {:>9} {:>9} {:>9}",
+        "offered_qps", "achieved_qps", "mean_us", "p95_us", "p99_us"
+    );
     for qps in [2_000.0, 8_000.0, 14_000.0, 20_000.0, 23_000.0] {
         let mut sim = build(qps)?;
         sim.run_for(SimDuration::from_secs(4));

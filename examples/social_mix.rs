@@ -37,7 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nper-tier p99 residency (us):");
     for name in ["frontend", "user", "post", "media", "mongod", "disk"] {
         let id = sim.instance_by_name(name).expect("tier deployed");
-        println!("  {:>9}: {:>8.0}", name, sim.instance_residency(id).p99 * 1e6);
+        println!(
+            "  {:>9}: {:>8.0}",
+            name,
+            sim.instance_residency(id).p99 * 1e6
+        );
     }
 
     println!("\nsampled traces (one span per path node):");

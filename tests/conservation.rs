@@ -29,7 +29,11 @@ fn check_conservation(mut sim: Simulator, name: &str, max_inflight: usize) {
 
 #[test]
 fn two_tier_conserves_below_saturation() {
-    check_conservation(two_tier(&TwoTierConfig::at_qps(30_000.0)).unwrap(), "two_tier", 320);
+    check_conservation(
+        two_tier(&TwoTierConfig::at_qps(30_000.0)).unwrap(),
+        "two_tier",
+        320,
+    );
 }
 
 #[test]
@@ -38,17 +42,28 @@ fn two_tier_conserves_in_overload() {
     // remainder queues on connections, still accounted as live.
     let mut sim = two_tier(&TwoTierConfig::at_qps(120_000.0)).unwrap();
     sim.run_for(SimDuration::from_secs(2));
-    assert_eq!(sim.generated(), sim.completed() + sim.live_requests() as u64);
+    assert_eq!(
+        sim.generated(),
+        sim.completed() + sim.live_requests() as u64
+    );
 }
 
 #[test]
 fn three_tier_conserves_with_probabilistic_paths() {
-    check_conservation(three_tier(&ThreeTierConfig::at_qps(2_500.0)).unwrap(), "three_tier", 320);
+    check_conservation(
+        three_tier(&ThreeTierConfig::at_qps(2_500.0)).unwrap(),
+        "three_tier",
+        320,
+    );
 }
 
 #[test]
 fn fanout_conserves_with_fan_in_joins() {
-    check_conservation(fanout(&FanoutConfig::new(16, 3_000.0)).unwrap(), "fanout16", 320);
+    check_conservation(
+        fanout(&FanoutConfig::new(16, 3_000.0)).unwrap(),
+        "fanout16",
+        320,
+    );
 }
 
 #[test]
@@ -58,6 +73,43 @@ fn social_network_conserves_with_blocking_threads() {
         "social",
         320,
     );
+}
+
+#[test]
+fn trace_auditor_is_clean_across_topologies() {
+    // The span-trace auditor re-derives conservation, causality, core/thread
+    // non-overlap, fan-in accounting, and pool discipline from the raw event
+    // stream — run it over every scenario topology. Sequential (one log live
+    // at a time) to bound memory.
+    let scenarios: Vec<(&str, Simulator)> = vec![
+        (
+            "two_tier",
+            two_tier(&TwoTierConfig::at_qps(30_000.0)).unwrap(),
+        ),
+        (
+            "three_tier",
+            three_tier(&ThreeTierConfig::at_qps(2_500.0)).unwrap(),
+        ),
+        ("fanout16", fanout(&FanoutConfig::new(16, 3_000.0)).unwrap()),
+        (
+            "social",
+            social_network(&SocialNetworkConfig::at_qps(8_000.0)).unwrap(),
+        ),
+    ];
+    for (name, mut sim) in scenarios {
+        sim.enable_span_tracing(4_000_000);
+        sim.run_for(SimDuration::from_secs_f64(0.5));
+        let log = sim.span_log().unwrap();
+        assert_eq!(log.dropped(), 0, "{name}: trace log overflowed");
+        assert!(!log.is_empty(), "{name}: no trace events recorded");
+        let report = sim.audit_trace().unwrap();
+        assert!(
+            report.is_clean(),
+            "{name}: audit violations: {:#?}",
+            report.violations
+        );
+        assert!(report.spans_checked > 0, "{name}: no spans audited");
+    }
 }
 
 #[test]
@@ -91,11 +143,17 @@ fn utilizations_are_physical() {
     for name in ["nginx", "memcached"] {
         let id = sim.instance_by_name(name).unwrap();
         let u = sim.instance_utilization(id);
-        assert!((0.0..=1.0).contains(&u), "{name} utilization {u} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "{name} utilization {u} out of [0,1]"
+        );
         assert!(u > 0.01, "{name} should be doing work");
     }
     for m in 0..2u32 {
         let u = sim.network_utilization(uqsim_core::ids::MachineId::from_raw(m));
-        assert!((0.0..=1.0).contains(&u), "network utilization {u} out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "network utilization {u} out of [0,1]"
+        );
     }
 }

@@ -62,7 +62,10 @@ fn config_errors_are_descriptive() {
     let mut cfg = ScenarioConfig::from_json(QUICKSTART).unwrap();
     cfg.request_types[0].nodes[0].children = vec!["nope".into()];
     let err = cfg.build().unwrap_err().to_string();
-    assert!(err.contains("nope"), "error should name the missing node: {err}");
+    assert!(
+        err.contains("nope"),
+        "error should name the missing node: {err}"
+    );
 }
 
 #[test]

@@ -4,7 +4,11 @@
 use uqsim_bench::power_experiment::{run, PowerRunConfig};
 use uqsim_core::time::SimDuration;
 
-fn quick(interval_ms: u64, noisy: bool, seed: u64) -> uqsim_bench::power_experiment::PowerRunResult {
+fn quick(
+    interval_ms: u64,
+    noisy: bool,
+    seed: u64,
+) -> uqsim_bench::power_experiment::PowerRunResult {
     run(&PowerRunConfig {
         interval: SimDuration::from_millis(interval_ms),
         duration: SimDuration::from_secs(30),
@@ -20,7 +24,11 @@ fn quick(interval_ms: u64, noisy: bool, seed: u64) -> uqsim_bench::power_experim
 fn manager_lowers_frequencies_while_meeting_qos() {
     let r = quick(100, false, 42);
     // Most intervals meet the 5ms target.
-    assert!(r.violation_rate < 0.15, "violation rate {}", r.violation_rate);
+    assert!(
+        r.violation_rate < 0.15,
+        "violation rate {}",
+        r.violation_rate
+    );
     // Energy was actually saved: mean frequency well below the 2.6 max.
     assert!(
         r.mean_freqs_ghz.iter().any(|&f| f < 2.45),
@@ -34,7 +42,10 @@ fn violation_rate_grows_with_decision_interval() {
     // Table III shape: slower decisions → more violating intervals.
     // Average over seeds to damp run-to-run noise.
     let avg = |ms: u64| -> f64 {
-        (0..3).map(|s| quick(ms, false, 42 + s).violation_rate).sum::<f64>() / 3.0
+        (0..3)
+            .map(|s| quick(ms, false, 42 + s).violation_rate)
+            .sum::<f64>()
+            / 3.0
     };
     let fast = avg(100);
     let slow = avg(1000);
@@ -48,7 +59,10 @@ fn violation_rate_grows_with_decision_interval() {
 fn noisy_reference_violates_at_least_as_often() {
     // Table III shape: the real system is noisier than the simulation.
     let avg = |noisy: bool| -> f64 {
-        (0..3).map(|s| quick(500, noisy, 7 + s).violation_rate).sum::<f64>() / 3.0
+        (0..3)
+            .map(|s| quick(500, noisy, 7 + s).violation_rate)
+            .sum::<f64>()
+            / 3.0
     };
     let sim = avg(false);
     let real = avg(true);
@@ -67,7 +81,10 @@ fn converged_tail_sits_below_target() {
         r.trace.iter().filter(|e| e.samples > 0).collect();
     let half = &active[active.len() / 2..];
     let tail = half.iter().map(|e| e.e2e_p99).sum::<f64>() / half.len() as f64;
-    assert!(tail < 5e-3, "converged tail {tail} must sit below the 5ms target");
+    assert!(
+        tail < 5e-3,
+        "converged tail {tail} must sit below the 5ms target"
+    );
     assert!(tail > 0.1e-3, "tail implausibly low: {tail}");
 }
 

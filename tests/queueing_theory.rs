@@ -10,7 +10,13 @@ use uqsim_integration::{erlang_c, station};
 
 const WARMUP: SimDuration = SimDuration::from_secs(2);
 
-fn run_station(qps: f64, service: Distribution, servers: usize, secs: u64, seed: u64) -> (f64, f64) {
+fn run_station(
+    qps: f64,
+    service: Distribution,
+    servers: usize,
+    secs: u64,
+    seed: u64,
+) -> (f64, f64) {
     let mut sim = station(qps, service, servers, seed, WARMUP).expect("station builds");
     sim.run_for(SimDuration::from_secs(secs));
     let s = sim.latency_summary();
@@ -41,7 +47,10 @@ fn mm1_p99_matches_exponential_sojourn() {
     let lambda = 6_000.0;
     let (_, p99) = run_station(lambda, Distribution::exponential(1.0 / mu), 1, 40, 4);
     let expect = (100.0f64).ln() / (mu - lambda);
-    assert!((p99 - expect).abs() / expect < 0.10, "p99 {p99} vs theory {expect}");
+    assert!(
+        (p99 - expect).abs() / expect < 0.10,
+        "p99 {p99} vs theory {expect}"
+    );
 }
 
 #[test]
@@ -68,7 +77,10 @@ fn md1_mean_wait_is_half_of_mm1() {
     let rho: f64 = lambda / mu;
     let (mean, _) = run_station(lambda, Distribution::constant(1.0 / mu), 1, 30, 8);
     let expect = rho / (2.0 * mu * (1.0 - rho)) + 1.0 / mu;
-    assert!((mean - expect).abs() / expect < 0.08, "mean {mean} vs theory {expect}");
+    assert!(
+        (mean - expect).abs() / expect < 0.08,
+        "mean {mean} vs theory {expect}"
+    );
 }
 
 #[test]
@@ -81,9 +93,17 @@ fn mg1_pollaczek_khinchine_lognormal() {
     let rho = lambda * mean_s;
     let es2 = mean_s * mean_s * (1.0 + cv * cv);
     let expect = lambda * es2 / (2.0 * (1.0 - rho)) + mean_s;
-    let (mean, _) =
-        run_station(lambda, Distribution::lognormal_mean_cv(mean_s, cv), 1, 40, 9);
-    assert!((mean - expect).abs() / expect < 0.10, "mean {mean} vs theory {expect}");
+    let (mean, _) = run_station(
+        lambda,
+        Distribution::lognormal_mean_cv(mean_s, cv),
+        1,
+        40,
+        9,
+    );
+    assert!(
+        (mean - expect).abs() / expect < 0.10,
+        "mean {mean} vs theory {expect}"
+    );
 }
 
 #[test]
@@ -98,7 +118,10 @@ fn latency_monotone_in_load() {
             20,
             10 + i as u64,
         );
-        assert!(mean > prev, "latency must grow with load: {mean} after {prev}");
+        assert!(
+            mean > prev,
+            "latency must grow with load: {mean} after {prev}"
+        );
         prev = mean;
     }
 }
@@ -111,7 +134,10 @@ fn throughput_tracks_offered_below_saturation() {
         station(lambda, Distribution::exponential(1.0 / mu), 1, 21, WARMUP).expect("builds");
     sim.run_for(SimDuration::from_secs(20));
     let measured = sim.latency_summary().count as f64 / 18.0;
-    assert!((measured - lambda).abs() / lambda < 0.03, "throughput {measured}");
+    assert!(
+        (measured - lambda).abs() / lambda < 0.03,
+        "throughput {measured}"
+    );
 }
 
 mod tandem {

@@ -51,7 +51,11 @@ fn fig06_shape_three_tier_disk_bound() {
     let mut sim = three_tier(&cfg).unwrap();
     sim.run_for(SimDuration::from_secs(3));
     let s = sim.latency_summary();
-    assert!(s.mean > 0.4e-3, "disk misses should push mean latency up: {}", s.mean);
+    assert!(
+        s.mean > 0.4e-3,
+        "disk misses should push mean latency up: {}",
+        s.mean
+    );
     // Overload far below the 2-tier saturation point.
     let over = ThreeTierConfig::at_qps(8_000.0);
     let (t, _) = throughput_of(three_tier(&over).unwrap(), 3);
@@ -61,14 +65,25 @@ fn fig06_shape_three_tier_disk_bound() {
 /// Fig. 8 shape: linear scaling 4→8, sub-linear at 16 (irq ceiling).
 #[test]
 fn fig08_shape_lb_scaling() {
-    let (t4, _) = throughput_of(load_balanced(&LoadBalancedConfig::new(4, 45_000.0)).unwrap(), 3);
+    let (t4, _) = throughput_of(
+        load_balanced(&LoadBalancedConfig::new(4, 45_000.0)).unwrap(),
+        3,
+    );
     assert!(t4 < 40_000.0, "x4 saturates near 35k, got {t4}");
-    let (t8, _) = throughput_of(load_balanced(&LoadBalancedConfig::new(8, 65_000.0)).unwrap(), 3);
+    let (t8, _) = throughput_of(
+        load_balanced(&LoadBalancedConfig::new(8, 65_000.0)).unwrap(),
+        3,
+    );
     assert!(t8 > 61_000.0, "x8 sustains 65k, got {t8}");
     // x16 is capped by the irq cores near 120k, far below 2x the x8 limit.
-    let (t16, _) =
-        throughput_of(load_balanced(&LoadBalancedConfig::new(16, 140_000.0)).unwrap(), 3);
-    assert!(t16 < 132_000.0, "x16 must be irq-capped below 140k, got {t16}");
+    let (t16, _) = throughput_of(
+        load_balanced(&LoadBalancedConfig::new(16, 140_000.0)).unwrap(),
+        3,
+    );
+    assert!(
+        t16 < 132_000.0,
+        "x16 must be irq-capped below 140k, got {t16}"
+    );
     assert!(t16 > 95_000.0, "x16 should still exceed 95k, got {t16}");
 }
 
@@ -155,7 +170,10 @@ fn fig14_shape_tail_at_scale() {
         big_slow > 20e-3,
         "200-server cluster with 1% slow must have p99 in the slow regime: {big_slow}"
     );
-    assert!(big_slow > 3.0 * small_clean, "tail amplification with scale");
+    assert!(
+        big_slow > 3.0 * small_clean,
+        "tail amplification with scale"
+    );
     // And the clean big cluster is much better than the contaminated one.
     let big_clean = p99_of(200, 0.0);
     assert!(big_slow > 2.0 * big_clean);

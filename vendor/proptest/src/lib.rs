@@ -1,0 +1,339 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the `proptest! { #[test] fn name(x in strategy, ...) { ... } }`
+//! macro surface with deterministic pseudo-random case generation: each
+//! test runs a fixed number of cases seeded from the test's path, so runs
+//! are reproducible without any external dependency. Shrinking is not
+//! implemented — a failing case reports its case index and assertion
+//! message instead.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Number of generated cases per property.
+pub fn default_cases() -> u64 {
+    64
+}
+
+/// Deterministic generator used to drive strategies (splitmix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator from a test name and case index.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, span)` via multiply-shift.
+    fn below(&mut self, span: u64) -> u64 {
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of pseudo-random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// --- ranges ---------------------------------------------------------------
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128 - self.start as u128) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+// --- any::<T>() -----------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- tuples ---------------------------------------------------------------
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+// --- collections ----------------------------------------------------------
+
+/// Collection strategies (`vec`, `btree_set`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a `Vec` strategy.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.clone().generate(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates don't grow the set; cap the attempts so a small
+            // value domain cannot loop forever.
+            let mut attempts = 0;
+            while set.len() < target && attempts < 64 * target.max(1) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            if set.is_empty() && self.size.start > 0 {
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// Builds a `BTreeSet` strategy.
+    pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy};
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]`-compatible function running [`default_cases`] deterministic
+/// cases. Use [`prop_assert!`]/[`prop_assert_eq!`] inside the body.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let total = $crate::default_cases();
+                for case in 0..total {
+                    let mut proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $pat = $crate::Strategy::generate(&($strat), &mut proptest_rng);
+                    )+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = outcome {
+                        panic!(
+                            "proptest {} failed on case {case}/{total}: {message}",
+                            stringify!($name)
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!("assertion failed: {:?} != {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The harness runs, ranges respect bounds, tuples compose.
+        #[test]
+        fn harness_smoke(
+            x in 3u64..10,
+            pair in (any::<bool>(), 0u32..6),
+            mut xs in crate::collection::vec(0.0f64..1.0, 1..20),
+            set in crate::collection::btree_set(1u32..40, 1..10),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(pair.1 < 6);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(!xs.is_empty() && xs[0] >= 0.0);
+            prop_assert!(!set.is_empty(), "min size 1 honored");
+            prop_assert!(set.iter().all(|v| (1..40).contains(v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_case("t", 0);
+        let mut b = crate::TestRng::for_case("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_case("t", 1);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

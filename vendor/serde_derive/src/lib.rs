@@ -1,0 +1,720 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the value-based `serde::Serialize` /
+//! `serde::Deserialize` traits from the stand-in `serde` crate. Instead of
+//! `syn`/`quote` (unavailable offline), the item is parsed directly from
+//! its `TokenTree`s and the impl is emitted as a source string parsed back
+//! into a `TokenStream`.
+//!
+//! Supported container attributes: `tag = "..."` (internally tagged
+//! enums), `rename_all = "snake_case"`, `transparent`, `try_from = "Ty"`.
+//! Supported field attributes: `default`, `default = "path"`, `skip`.
+//! Generics are not supported — the simulator never derives on generic
+//! types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Attr {
+    key: String,
+    value: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum DefaultKind {
+    /// Field must be present.
+    Required,
+    /// `#[serde(default)]` — `Default::default()` when missing.
+    DefaultTrait,
+    /// `#[serde(default = "path")]` — call `path()` when missing.
+    Path(String),
+    /// `#[serde(skip)]` — never read or written.
+    Skip,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    /// Identifier for named fields, decimal index for tuple fields.
+    name: String,
+    /// Type as a space-joined token string, e.g. `Option < f64 >`.
+    ty: String,
+    default: DefaultKind,
+}
+
+impl Field {
+    fn is_option(&self) -> bool {
+        self.ty == "Option" || self.ty.starts_with("Option <")
+    }
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(Vec<Field>),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: Vec<Attr>,
+    data: Data,
+}
+
+impl Input {
+    fn attr(&self, key: &str) -> Option<&Attr> {
+        self.attrs.iter().find(|a| a.key == key)
+    }
+    fn attr_value(&self, key: &str) -> Option<&str> {
+        self.attr(key).and_then(|a| a.value.as_deref())
+    }
+    fn rename(&self, ident: &str) -> String {
+        match self.attr_value("rename_all") {
+            Some("snake_case") => snake_case(ident),
+            Some(other) => panic!("serde stand-in: unsupported rename_all = {other:?}"),
+            None => ident.to_string(),
+        }
+    }
+}
+
+fn snake_case(ident: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in ident.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Consumes leading attributes at `*i`, collecting the contents of
+/// `#[serde(...)]` ones and discarding the rest (docs, `#[default]`, ...).
+fn take_attrs(tokens: &[TokenTree], i: &mut usize, out: &mut Vec<Attr>) {
+    while *i + 1 < tokens.len() {
+        let is_hash = matches!(&tokens[*i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_hash {
+            break;
+        }
+        let TokenTree::Group(g) = &tokens[*i + 1] else {
+            break;
+        };
+        if g.delimiter() != Delimiter::Bracket {
+            break;
+        }
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_attr_items(args.stream(), out);
+                }
+            }
+        }
+        *i += 2;
+    }
+}
+
+/// Parses `key`, `key = "value"` items separated by commas.
+fn parse_attr_items(ts: TokenStream, out: &mut Vec<Attr>) {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let TokenTree::Ident(id) = &toks[i] else {
+            i += 1;
+            continue;
+        };
+        let key = id.to_string();
+        i += 1;
+        let mut value = None;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(lit)) = toks.get(i) {
+                value = Some(lit.to_string().trim_matches('"').to_string());
+                i += 1;
+            }
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        out.push(Attr { key, value });
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in path)`.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn default_kind(attrs: &[Attr]) -> DefaultKind {
+    for a in attrs {
+        match (a.key.as_str(), &a.value) {
+            ("skip", _) => return DefaultKind::Skip,
+            ("default", Some(path)) => return DefaultKind::Path(path.clone()),
+            ("default", None) => return DefaultKind::DefaultTrait,
+            _ => {}
+        }
+    }
+    DefaultKind::Required
+}
+
+/// Reads type tokens until a comma at angle-bracket depth 0.
+fn take_type(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while *i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[*i] {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !ty.is_empty() {
+            ty.push(' ');
+        }
+        ty.push_str(&tokens[*i].to_string());
+        *i += 1;
+    }
+    ty
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut attrs = Vec::new();
+        take_attrs(&toks, &mut i, &mut attrs);
+        skip_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde stand-in: expected field name, got {:?}",
+                toks[i].to_string()
+            )
+        };
+        let name = name.to_string();
+        i += 1;
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde stand-in: expected ':' after field `{name}`"
+        );
+        i += 1;
+        let ty = take_type(&toks, &mut i);
+        fields.push(Field {
+            name,
+            ty,
+            default: default_kind(&attrs),
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let mut attrs = Vec::new();
+        take_attrs(&toks, &mut i, &mut attrs);
+        skip_vis(&toks, &mut i);
+        let ty = take_type(&toks, &mut i);
+        if ty.is_empty() {
+            break;
+        }
+        fields.push(Field {
+            name: fields.len().to_string(),
+            ty,
+            default: default_kind(&attrs),
+        });
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let mut attrs = Vec::new();
+        take_attrs(&toks, &mut i, &mut attrs);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!(
+                "serde stand-in: expected variant name, got {:?}",
+                toks[i].to_string()
+            )
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let fields = parse_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = ts.into_iter().collect();
+    let mut i = 0;
+    let mut attrs = Vec::new();
+    take_attrs(&toks, &mut i, &mut attrs);
+    skip_vis(&toks, &mut i);
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!("serde stand-in: expected `struct` or `enum`")
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("serde stand-in: expected type name")
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in: generic types are not supported (deriving on `{name}`)");
+    }
+    let data = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            other => panic!("serde stand-in: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde stand-in: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde stand-in: cannot derive on `{other}`"),
+    };
+    Input { name, attrs, data }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            if input.attr("transparent").is_some() {
+                let f = fields
+                    .iter()
+                    .find(|f| f.default != DefaultKind::Skip)
+                    .expect("transparent struct needs a field");
+                format!("::serde::Serialize::to_value(&self.{})", f.name)
+            } else {
+                let mut s = String::from("let mut map = ::serde::Map::new();");
+                for f in fields.iter().filter(|f| f.default != DefaultKind::Skip) {
+                    s.push_str(&format!(
+                        " map.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));",
+                        f.name
+                    ));
+                }
+                s.push_str(" ::serde::Value::Object(map)");
+                s
+            }
+        }
+        Data::TupleStruct(fields) => {
+            if input.attr("transparent").is_some() || fields.len() == 1 {
+                String::from("::serde::Serialize::to_value(&self.0)")
+            } else {
+                let elems: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("::serde::Serialize::to_value(&self.{})", f.name))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            }
+        }
+        Data::Enum(variants) => {
+            let tag = input.attr_value("tag");
+            let mut arms = String::new();
+            for v in variants {
+                let wire = input.rename(&v.name);
+                let arm = match (&v.kind, tag) {
+                    (VariantKind::Unit, Some(t)) => format!(
+                        "{name}::{vn} => {{ let mut map = ::serde::Map::new(); \
+                         map.insert(\"{t}\", ::serde::Value::String(\"{wire}\".to_string())); \
+                         ::serde::Value::Object(map) }}",
+                        vn = v.name
+                    ),
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{wire}\".to_string()),",
+                        vn = v.name
+                    ),
+                    (VariantKind::Struct(fields), Some(t)) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut s = format!(
+                            "{name}::{vn} {{ {b} }} => {{ let mut map = ::serde::Map::new(); \
+                             map.insert(\"{t}\", ::serde::Value::String(\"{wire}\".to_string()));",
+                            vn = v.name,
+                            b = binds.join(", ")
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                " map.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
+                                f.name
+                            ));
+                        }
+                        s.push_str(" ::serde::Value::Object(map) }");
+                        s
+                    }
+                    (VariantKind::Struct(fields), None) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut s = format!(
+                            "{name}::{vn} {{ {b} }} => {{ let mut inner = ::serde::Map::new();",
+                            vn = v.name,
+                            b = binds.join(", ")
+                        );
+                        for f in fields {
+                            s.push_str(&format!(
+                                " inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
+                                f.name
+                            ));
+                        }
+                        s.push_str(&format!(
+                            " let mut map = ::serde::Map::new(); \
+                             map.insert(\"{wire}\", ::serde::Value::Object(inner)); \
+                             ::serde::Value::Object(map) }}"
+                        ));
+                        s
+                    }
+                    (VariantKind::Tuple(fields), None) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|k| format!("f{k}")).collect();
+                        let inner = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({b}) => {{ let mut map = ::serde::Map::new(); \
+                             map.insert(\"{wire}\", {inner}); ::serde::Value::Object(map) }}",
+                            vn = v.name,
+                            b = binds.join(", ")
+                        )
+                    }
+                    (VariantKind::Tuple(_), Some(_)) => panic!(
+                        "serde stand-in: tuple variant `{}::{}` not supported with tag",
+                        name, v.name
+                    ),
+                };
+                arms.push_str(&arm);
+                arms.push(' ');
+            }
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Expression producing one field's value from a map binding `obj`,
+/// inside a function returning `Result<_, ::serde::Error>`.
+fn field_expr(container: &str, f: &Field) -> String {
+    if f.default == DefaultKind::Skip {
+        return String::from("::std::default::Default::default()");
+    }
+    let missing = match &f.default {
+        DefaultKind::Skip => unreachable!(),
+        DefaultKind::DefaultTrait => String::from("::std::default::Default::default()"),
+        DefaultKind::Path(path) => format!("{path}()"),
+        DefaultKind::Required if f.is_option() => String::from("::std::option::Option::None"),
+        DefaultKind::Required => format!(
+            "return Err(::serde::Error::custom(\"missing field `{fname}` in {container}\"))",
+            fname = f.name
+        ),
+    };
+    format!(
+        "match obj.get(\"{fname}\") {{ \
+         Some(x) => match ::serde::Deserialize::from_value(x) {{ \
+           Ok(val) => val, \
+           Err(e) => return Err(::serde::Error::custom(format!(\"{container}.{fname}: {{}}\", e))) }}, \
+         None => {missing} }}",
+        fname = f.name
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = if let Some(repr) = input.attr_value("try_from") {
+        format!(
+            "let repr: {repr} = ::serde::Deserialize::from_value(v)?; \
+             match <Self as ::std::convert::TryFrom<{repr}>>::try_from(repr) {{ \
+               Ok(x) => Ok(x), \
+               Err(e) => Err(::serde::Error::custom(format!(\"{name}: {{}}\", e))) }}"
+        )
+    } else {
+        match &input.data {
+            Data::NamedStruct(fields) => {
+                if input.attr("transparent").is_some() {
+                    let inner = fields
+                        .iter()
+                        .find(|f| f.default != DefaultKind::Skip)
+                        .expect("transparent struct needs a field");
+                    let others: Vec<String> = fields
+                        .iter()
+                        .filter(|f| f.name != inner.name)
+                        .map(|f| format!("{}: ::std::default::Default::default()", f.name))
+                        .collect();
+                    let rest = if others.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", {}", others.join(", "))
+                    };
+                    format!(
+                        "Ok({name} {{ {fname}: ::serde::Deserialize::from_value(v)?{rest} }})",
+                        fname = inner.name
+                    )
+                } else {
+                    let mut s = format!(
+                        "let obj = match v.as_object() {{ Some(o) => o, \
+                         None => return Err(::serde::Error::custom(format!(\
+                         \"expected object for {name}, got {{}}\", v.kind()))) }}; \
+                         Ok({name} {{ "
+                    );
+                    for (k, f) in fields.iter().enumerate() {
+                        if k > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&format!("{}: {}", f.name, field_expr(name, f)));
+                    }
+                    s.push_str(" })");
+                    s
+                }
+            }
+            Data::TupleStruct(fields) => {
+                if fields.len() == 1 {
+                    format!("::serde::Deserialize::from_value(v).map({name})")
+                } else {
+                    let mut s = format!(
+                        "let arr = match v.as_array() {{ Some(a) if a.len() == {n} => a, \
+                         _ => return Err(::serde::Error::custom(\
+                         \"expected {n}-element array for {name}\")) }}; Ok({name}(",
+                        n = fields.len()
+                    );
+                    for k in 0..fields.len() {
+                        if k > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&format!("::serde::Deserialize::from_value(&arr[{k}])?"));
+                    }
+                    s.push_str("))");
+                    s
+                }
+            }
+            Data::Enum(variants) => {
+                if let Some(tag) = input.attr_value("tag") {
+                    gen_de_tagged_enum(input, variants, tag)
+                } else {
+                    gen_de_external_enum(input, variants)
+                }
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+}
+
+fn struct_variant_ctor(enum_name: &str, v: &Variant, fields: &[Field]) -> String {
+    let ctx = format!("{enum_name}::{}", v.name);
+    let mut s = format!("Ok({enum_name}::{} {{ ", v.name);
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!("{}: {}", f.name, field_expr(&ctx, f)));
+    }
+    s.push_str(" })");
+    s
+}
+
+fn gen_de_tagged_enum(input: &Input, variants: &[Variant], tag: &str) -> String {
+    let name = &input.name;
+    let mut arms = String::new();
+    for v in variants {
+        let wire = input.rename(&v.name);
+        let arm = match &v.kind {
+            VariantKind::Unit => format!("\"{wire}\" => Ok({name}::{}),", v.name),
+            VariantKind::Struct(fields) => {
+                format!(
+                    "\"{wire}\" => {{ {} }}",
+                    struct_variant_ctor(name, v, fields)
+                )
+            }
+            VariantKind::Tuple(_) => panic!(
+                "serde stand-in: tuple variant `{name}::{}` not supported with tag",
+                v.name
+            ),
+        };
+        arms.push_str(&arm);
+        arms.push(' ');
+    }
+    format!(
+        "let obj = match v.as_object() {{ Some(o) => o, \
+         None => return Err(::serde::Error::custom(format!(\
+         \"expected object for {name}, got {{}}\", v.kind()))) }}; \
+         let tag = match obj.get(\"{tag}\").and_then(|t| t.as_str()) {{ \
+           Some(t) => t, \
+           None => return Err(::serde::Error::custom(\
+           \"missing or non-string tag `{tag}` for {name}\")) }}; \
+         match tag {{ {arms} \
+           other => Err(::serde::Error::custom(format!(\
+           \"unknown {name} variant `{{}}`\", other))) }}"
+    )
+}
+
+fn gen_de_external_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let mut unit_arms = String::new();
+    let mut keyed_arms = String::new();
+    for v in variants {
+        let wire = input.rename(&v.name);
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!("\"{wire}\" => Ok({name}::{}),", v.name));
+                unit_arms.push(' ');
+            }
+            VariantKind::Struct(fields) => {
+                keyed_arms.push_str(&format!(
+                    "\"{wire}\" => {{ let obj = match inner.as_object() {{ Some(o) => o, \
+                     None => return Err(::serde::Error::custom(format!(\
+                     \"expected object for {name}::{vn}, got {{}}\", inner.kind()))) }}; {ctor} }}",
+                    vn = v.name,
+                    ctor = struct_variant_ctor(name, v, fields)
+                ));
+                keyed_arms.push(' ');
+            }
+            VariantKind::Tuple(fields) => {
+                let ctor = if fields.len() == 1 {
+                    format!(
+                        "match ::serde::Deserialize::from_value(inner) {{ \
+                         Ok(x) => Ok({name}::{vn}(x)), \
+                         Err(e) => Err(::serde::Error::custom(format!(\
+                         \"{name}::{vn}: {{}}\", e))) }}",
+                        vn = v.name
+                    )
+                } else {
+                    let n = fields.len();
+                    let mut s = format!(
+                        "{{ let arr = match inner.as_array() {{ Some(a) if a.len() == {n} => a, \
+                         _ => return Err(::serde::Error::custom(\
+                         \"expected {n}-element array for {name}::{vn}\")) }}; Ok({name}::{vn}(",
+                        vn = v.name
+                    );
+                    for k in 0..n {
+                        if k > 0 {
+                            s.push_str(", ");
+                        }
+                        s.push_str(&format!("::serde::Deserialize::from_value(&arr[{k}])?"));
+                    }
+                    s.push_str(")) }");
+                    s
+                };
+                keyed_arms.push_str(&format!("\"{wire}\" => {ctor}"));
+                keyed_arms.push(' ');
+            }
+        }
+    }
+    format!(
+        "match v {{ \
+         ::serde::Value::String(s) => match s.as_str() {{ {unit_arms} \
+           other => Err(::serde::Error::custom(format!(\
+           \"unknown {name} variant `{{}}`\", other))) }}, \
+         ::serde::Value::Object(m) if m.len() == 1 => {{ \
+           let (key, inner) = m.iter().next().expect(\"len checked\"); \
+           match key.as_str() {{ {keyed_arms} \
+             other => Err(::serde::Error::custom(format!(\
+             \"unknown {name} variant `{{}}`\", other))) }} }}, \
+         other => Err(::serde::Error::custom(format!(\
+         \"expected string or single-key object for {name}, got {{}}\", other.kind()))) }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+fn emit(src: String) -> TokenStream {
+    src.parse()
+        .unwrap_or_else(|e| panic!("serde stand-in: generated code failed to parse: {e}\n{src}"))
+}
+
+/// Derives the value-based `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    emit(gen_serialize(&input))
+}
+
+/// Derives the value-based `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    emit(gen_deserialize(&input))
+}
