@@ -95,55 +95,65 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
         8
     };
 
-    // --- 1. epoll/socket batching ------------------------------------------
+    // --- 1+2. epoll/socket batching and network (irq) processing -----------
     // memcached's fixed per-invocation costs are ~25% of its tiny request
     // budget, so disabling batch amortization visibly moves its saturation
-    // point (for NGINX the fixed share is only ~4%).
-    let loads = linear_loads(140_000.0, 280_000.0, n);
-    let on = crate::sweep(&loads, opts, |q| {
-        let common = CommonOpts {
-            warmup: opts.warmup,
-            ..Default::default()
-        };
-        build_memcached_with(uqsim_apps::memcached::service_model(), q, &common)
-    })?;
-    let off = crate::sweep(&loads, opts, |q| {
-        let common = CommonOpts {
-            warmup: opts.warmup,
-            ..Default::default()
-        };
-        build_memcached_with(
-            no_batching(uqsim_apps::memcached::service_model()),
-            q,
-            &common,
-        )
-    })?;
+    // point (for NGINX the fixed share is only ~4%). The batching pair and
+    // the three network curves are all independent, so all five sweeps go
+    // into one parallel batch; printing happens afterwards, in order.
+    let mc_loads = linear_loads(140_000.0, 280_000.0, n);
+    let lb_loads = linear_loads(40_000.0, 150_000.0, n);
+    let jobs = vec![
+        crate::SweepJob::new(mc_loads.clone(), |q| {
+            let common = CommonOpts {
+                warmup: opts.warmup,
+                ..Default::default()
+            };
+            build_memcached_with(uqsim_apps::memcached::service_model(), q, &common)
+        }),
+        crate::SweepJob::new(mc_loads, |q| {
+            let common = CommonOpts {
+                warmup: opts.warmup,
+                ..Default::default()
+            };
+            build_memcached_with(
+                no_batching(uqsim_apps::memcached::service_model()),
+                q,
+                &common,
+            )
+        }),
+        crate::SweepJob::new(lb_loads.clone(), |q| {
+            let mut cfg = LoadBalancedConfig::new(16, q);
+            cfg.common.warmup = opts.warmup;
+            load_balanced(&cfg)
+        }),
+        // Disable irq modeling by zeroing the irq cores on both machines.
+        crate::SweepJob::new(lb_loads.clone(), |q| {
+            let mut cfg = LoadBalancedConfig::new(16, q);
+            cfg.common.warmup = opts.warmup;
+            build_lb_without_network(&cfg)
+        }),
+        // Kernel-bypass (DPDK-style) networking — the paper's future work:
+        // no irq cores, a small poll-mode cost folded into the wire latency.
+        crate::SweepJob::new(lb_loads, |q| {
+            let mut cfg = LoadBalancedConfig::new(16, q);
+            cfg.common.warmup = opts.warmup;
+            build_lb_dpdk(&cfg)
+        }),
+    ];
+    let mut curves = crate::sweep_batch(opts, &jobs)?.into_iter();
+    let on = curves.next().expect("one curve per submission");
+    let off = curves.next().expect("one curve per submission");
+    let net_on = curves.next().expect("one curve per submission");
+    let net_off = curves.next().expect("one curve per submission");
+    let net_dpdk = curves.next().expect("one curve per submission");
+
     print_series("memcached 4t, batching ON", &on);
     print_series("memcached 4t, batching OFF (batch=1)", &off);
     let (batching_on_sat, batching_off_sat) =
         (saturation_qps(&on, 50e-3), saturation_qps(&off, 50e-3));
     println!("batching ablation: ON saturates at {batching_on_sat:.0} qps, OFF at {batching_off_sat:.0} qps\n");
 
-    // --- 2. network (irq) processing --------------------------------------
-    let loads = linear_loads(40_000.0, 150_000.0, n);
-    let net_on = crate::sweep(&loads, opts, |q| {
-        let mut cfg = LoadBalancedConfig::new(16, q);
-        cfg.common.warmup = opts.warmup;
-        load_balanced(&cfg)
-    })?;
-    // Disable irq modeling by zeroing the irq cores on both machines.
-    let net_off = crate::sweep(&loads, opts, |q| {
-        let mut cfg = LoadBalancedConfig::new(16, q);
-        cfg.common.warmup = opts.warmup;
-        build_lb_without_network(&cfg)
-    })?;
-    // Kernel-bypass (DPDK-style) networking — the paper's future work: no
-    // irq cores, a small poll-mode cost folded into the wire latency.
-    let net_dpdk = crate::sweep(&loads, opts, |q| {
-        let mut cfg = LoadBalancedConfig::new(16, q);
-        cfg.common.warmup = opts.warmup;
-        build_lb_dpdk(&cfg)
-    })?;
     print_series("LB x16, network processing ON", &net_on);
     print_series("LB x16, network processing OFF", &net_off);
     print_series("LB x16, DPDK kernel-bypass", &net_dpdk);
@@ -157,15 +167,18 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
     );
 
     // --- 3. connection-pool size ------------------------------------------
+    let pools = [4usize, 8, 16, 32, 64];
+    let pool_points = crate::par_try_map(opts, &pools, |&pool| {
+        let mut cfg = TwoTierConfig::at_qps(50_000.0);
+        cfg.pool_size = pool;
+        cfg.common.warmup = opts.warmup;
+        Ok(measure(two_tier(&cfg)?, 50_000.0, opts))
+    })?;
     println!("## 2-tier at 50 kQPS vs pool size");
     println!("{:>10} {:>9} {:>9}", "pool", "mean_ms", "p99_ms");
     let mut pool4_p99 = 0.0;
     let mut pool64_p99 = 0.0;
-    for pool in [4usize, 8, 16, 32, 64] {
-        let mut cfg = TwoTierConfig::at_qps(50_000.0);
-        cfg.pool_size = pool;
-        cfg.common.warmup = opts.warmup;
-        let p = measure(two_tier(&cfg)?, 50_000.0, opts);
+    for (pool, p) in pools.iter().copied().zip(&pool_points) {
         println!(
             "{:>10} {:>9.3} {:>9.3}",
             pool,
@@ -182,12 +195,12 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
     println!();
 
     // --- 4. execution model -------------------------------------------------
-    println!("## memcached 4 cores: Simple vs MultiThreaded (single-tier, 150 kQPS)");
-    for (label, threads) in [
+    let exec_variants = [
         ("simple", None),
         ("multithreaded 4t", Some(4)),
         ("multithreaded 16t", Some(16)),
-    ] {
+    ];
+    let exec_points = crate::par_try_map(opts, &exec_variants, |&(_, threads)| {
         let common = CommonOpts {
             warmup: opts.warmup,
             ..Default::default()
@@ -196,7 +209,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Summary> {
             None => build_simple_memcached(150_000.0, &common)?,
             Some(t) => build_mt_memcached(150_000.0, 4, t, &common)?,
         };
-        let p = measure(sim, 150_000.0, opts);
+        Ok(measure(sim, 150_000.0, opts))
+    })?;
+    println!("## memcached 4 cores: Simple vs MultiThreaded (single-tier, 150 kQPS)");
+    for ((label, _), p) in exec_variants.iter().zip(&exec_points) {
         println!(
             "{label:>18}: mean {:.3}ms p99 {:.3}ms achieved {:.0}",
             p.latency.mean * 1e3,

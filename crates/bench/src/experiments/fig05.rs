@@ -7,7 +7,9 @@
 //! within 0.17 ms and tails within 0.83 ms of real before saturation, and
 //! the front end (not memcached) is the bottleneck at every configuration.
 
-use crate::{deviation_ms, linear_loads, print_series, saturation_qps, LoadPoint, RunOpts};
+use crate::{
+    deviation_ms, linear_loads, print_series, saturation_qps, LoadPoint, RunOpts, SweepJob,
+};
 use uqsim_apps::noise::NoiseProfile;
 use uqsim_apps::scenarios::{two_tier, TwoTierConfig};
 use uqsim_core::client::ArrivalProcess;
@@ -34,8 +36,11 @@ pub struct ConfigResult {
 pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
     println!("# Fig. 5 — two-tier (NGINX-memcached) validation");
     let configs = [(8usize, 4usize), (8, 2), (4, 2), (4, 1)];
-    let mut out = Vec::new();
-    for (np, mt) in configs {
+    // Submit all 8 curves (4 configurations × {simulated, noisy reference})
+    // as one batch so every (curve, load) cell runs in parallel; print once
+    // everything is back, in configuration order.
+    let mut jobs = Vec::new();
+    for &(np, mt) in &configs {
         let hi = if np == 8 { 85_000.0 } else { 45_000.0 };
         let loads = linear_loads(
             5_000.0,
@@ -46,7 +51,7 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
                 9
             },
         );
-        let build = |noise: bool| {
+        let build = move |noise: bool| {
             let warmup = opts.warmup;
             move |qps: f64| {
                 let mut cfg = TwoTierConfig::at_qps(qps);
@@ -60,8 +65,14 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<ConfigResult>> {
                 two_tier(&cfg)
             }
         };
-        let sim = crate::sweep(&loads, opts, build(false))?;
-        let reference = crate::sweep(&loads, opts, build(true))?;
+        jobs.push(SweepJob::new(loads.clone(), build(false)));
+        jobs.push(SweepJob::new(loads, build(true)));
+    }
+    let mut curves = crate::sweep_batch(opts, &jobs)?.into_iter();
+    let mut out = Vec::new();
+    for (np, mt) in configs {
+        let sim = curves.next().expect("one curve per submission");
+        let reference = curves.next().expect("one curve per submission");
         print_series(&format!("nginx={np}p memcached={mt}t [simulated]"), &sim);
         print_series(
             &format!("nginx={np}p memcached={mt}t [real-proxy: noisy reference]"),

@@ -46,8 +46,13 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
             three_tier(&cfg)
         }
     };
-    let sim = crate::sweep(&loads, opts, build(false))?;
-    let reference = crate::sweep(&loads, opts, build(true))?;
+    let jobs = vec![
+        crate::SweepJob::new(loads.clone(), build(false)),
+        crate::SweepJob::new(loads, build(true)),
+    ];
+    let mut curves = crate::sweep_batch(opts, &jobs)?.into_iter();
+    let sim = curves.next().expect("one curve per submission");
+    let reference = curves.next().expect("one curve per submission");
     print_series("nginx=8p mc=2t mongod+disk [simulated]", &sim);
     print_series(
         "nginx=8p mc=2t mongod+disk [real-proxy: noisy reference]",

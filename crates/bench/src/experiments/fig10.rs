@@ -27,22 +27,29 @@ pub struct FanoutResult {
 /// Propagates scenario-construction failures.
 pub fn run(opts: &RunOpts) -> SimResult<Vec<FanoutResult>> {
     println!("# Fig. 10 — request fanout validation (p99 vs load)");
+    let factors = [4usize, 8, 16];
+    // A fine grid around the ~8.8 kQPS leaf limit resolves the small
+    // decrease in saturation load with the fanout factor.
+    let loads: Vec<f64> = if opts.duration.as_secs_f64() < 2.0 {
+        linear_loads(2_000.0, 10_000.0, 5)
+    } else {
+        let mut l = linear_loads(1_000.0, 7_000.0, 4);
+        l.extend(linear_loads(7_500.0, 10_000.0, 6));
+        l
+    };
+    let jobs: Vec<crate::SweepJob<'_>> = factors
+        .iter()
+        .map(|&factor| {
+            crate::SweepJob::new(loads.clone(), move |qps| {
+                let mut cfg = FanoutConfig::new(factor, qps);
+                cfg.common.warmup = opts.warmup;
+                fanout(&cfg)
+            })
+        })
+        .collect();
+    let curves = crate::sweep_batch(opts, &jobs)?;
     let mut out = Vec::new();
-    for factor in [4usize, 8, 16] {
-        // A fine grid around the ~8.8 kQPS leaf limit resolves the small
-        // decrease in saturation load with the fanout factor.
-        let loads: Vec<f64> = if opts.duration.as_secs_f64() < 2.0 {
-            linear_loads(2_000.0, 10_000.0, 5)
-        } else {
-            let mut l = linear_loads(1_000.0, 7_000.0, 4);
-            l.extend(linear_loads(7_500.0, 10_000.0, 6));
-            l
-        };
-        let points = crate::sweep(&loads, opts, |qps| {
-            let mut cfg = FanoutConfig::new(factor, qps);
-            cfg.common.warmup = opts.warmup;
-            fanout(&cfg)
-        })?;
+    for (factor, points) in factors.iter().copied().zip(curves) {
         // Interactive saturation: the knee where p99 exceeds 10 ms.
         let sat = saturation_qps(&points, 10e-3);
         print_series(&format!("fanout {factor} [simulated]"), &points);

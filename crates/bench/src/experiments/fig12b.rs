@@ -46,8 +46,13 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
             social_network(&cfg)
         }
     };
-    let sim = crate::sweep(&loads, opts, build(false))?;
-    let reference = crate::sweep(&loads, opts, build(true))?;
+    let jobs = vec![
+        crate::SweepJob::new(loads.clone(), build(false)),
+        crate::SweepJob::new(loads, build(true)),
+    ];
+    let mut curves = crate::sweep_batch(opts, &jobs)?.into_iter();
+    let sim = curves.next().expect("one curve per submission");
+    let reference = curves.next().expect("one curve per submission");
     print_series("social network [simulated]", &sim);
     print_series("social network [real-proxy: noisy reference]", &reference);
     let (mean_dev, tail_dev) = deviation_ms(&sim, &reference);

@@ -40,24 +40,24 @@ fn bighouse_sweep(
     servers: usize,
     opts: &RunOpts,
 ) -> Vec<LoadPoint> {
-    loads
-        .iter()
-        .map(|&qps| {
-            let result = BigHouse::new(BigHouseConfig {
-                interarrival: Distribution::exponential(1.0 / qps),
-                service: service.clone(),
-                servers,
-                seed: 42,
-                warmup_s: opts.warmup.as_secs_f64(),
-            })
-            .run(opts.total().as_secs_f64());
-            LoadPoint {
-                offered_qps: qps,
-                achieved_qps: result.throughput,
-                latency: result.latency,
-            }
+    // BigHouse points are independent too, so they fan out across the same
+    // worker budget as the µqSim sweeps (results come back in load order).
+    uqsim_runner::run_indexed(opts.jobs, loads.len(), |i| {
+        let qps = loads[i];
+        let result = BigHouse::new(BigHouseConfig {
+            interarrival: Distribution::exponential(1.0 / qps),
+            service: service.clone(),
+            servers,
+            seed: 42,
+            warmup_s: opts.warmup.as_secs_f64(),
         })
-        .collect()
+        .run(opts.total().as_secs_f64());
+        LoadPoint {
+            offered_qps: qps,
+            achieved_qps: result.throughput,
+            latency: result.latency,
+        }
+    })
 }
 
 fn empty_if_missing(points: Vec<LoadPoint>) -> Vec<LoadPoint> {

@@ -43,31 +43,36 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<Cell>> {
     // Per-leaf utilization 0.06 on fast leaves and 0.6 on 10x-slow ones:
     // every leaf stays stable, but slow leaves dominate the fanout tail.
     let qps = 60.0;
-    let mut cells = Vec::new();
+    // Flatten the (cluster size × slow fraction) grid so every cell is an
+    // independent parallel task; print the table once all cells are back.
+    let grid: Vec<(usize, f64)> = sizes
+        .iter()
+        .flat_map(|&n| fractions.iter().map(move |&f| (n, f)))
+        .collect();
+    let cells = crate::par_try_map(opts, &grid, |&(n, f)| {
+        let mut cfg = TailAtScaleConfig::new(n, f, qps);
+        cfg.common.warmup = opts.warmup;
+        let sim = tail_at_scale(&cfg)?;
+        let p = measure(sim, qps, opts);
+        Ok(Cell {
+            cluster_size: n,
+            slow_fraction: f,
+            p99: p.latency.p99,
+            mean: p.latency.mean,
+        })
+    })?;
     println!(
         "{:>9} {:>10} {:>10} {:>10}",
         "cluster", "slow_frac", "mean_ms", "p99_ms"
     );
-    for &n in sizes {
-        for &f in fractions.iter() {
-            let mut cfg = TailAtScaleConfig::new(n, f, qps);
-            cfg.common.warmup = opts.warmup;
-            let sim = tail_at_scale(&cfg)?;
-            let p = measure(sim, qps, opts);
-            println!(
-                "{:>9} {:>10.3} {:>10.3} {:>10.3}",
-                n,
-                f,
-                p.latency.mean * 1e3,
-                p.latency.p99 * 1e3
-            );
-            cells.push(Cell {
-                cluster_size: n,
-                slow_fraction: f,
-                p99: p.latency.p99,
-                mean: p.latency.mean,
-            });
-        }
+    for c in &cells {
+        println!(
+            "{:>9} {:>10.3} {:>10.3} {:>10.3}",
+            c.cluster_size,
+            c.slow_fraction,
+            c.mean * 1e3,
+            c.p99 * 1e3
+        );
     }
     println!(
         "paper shape check: p99 rises with cluster size and slow fraction; beyond ~{} servers,\n\

@@ -69,8 +69,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
         SimDuration::from_secs(120)
     };
     let period = if quick { 15.0 } else { 60.0 };
-    let mut out = Vec::new();
-    for interval_s in [0.1, 0.5, 1.0] {
+    // Each decision interval is an independent (sim, noisy, baseline)
+    // triple; run the three intervals in parallel and print in order.
+    let intervals = [0.1, 0.5, 1.0];
+    let runs = crate::par_try_map(opts, &intervals, |&interval_s| {
         let base = PowerRunConfig {
             interval: SimDuration::from_secs_f64(interval_s),
             duration,
@@ -83,6 +85,10 @@ pub fn run(opts: &RunOpts) -> SimResult<Result> {
             ..base.clone()
         })?;
         let baseline_energy = crate::power_experiment::run_baseline(&base)?;
+        Ok((sim, noisy, baseline_energy))
+    })?;
+    let mut out = Vec::new();
+    for (interval_s, (sim, noisy, baseline_energy)) in intervals.iter().copied().zip(runs) {
         let stride = (4.0 / interval_s) as usize;
         print_trace(&format!("interval {interval_s}s [simulated]"), &sim, stride);
         print_trace(

@@ -29,32 +29,39 @@ pub fn run(opts: &RunOpts) -> SimResult<Vec<Row>> {
         SimDuration::from_secs(150)
     };
     let period = if quick { 15.0 } else { 60.0 };
+    let seeds: &[u64] = if quick { &[42] } else { &[42, 43, 44] };
+    let intervals = [0.1, 0.5, 1.0];
+    // Flatten (interval × seed × {clean, noisy}) into independent parallel
+    // replications; average per interval in seed order afterwards.
+    let grid: Vec<(f64, u64, bool)> = intervals
+        .iter()
+        .flat_map(|&interval_s| {
+            seeds
+                .iter()
+                .flat_map(move |&seed| [(interval_s, seed, false), (interval_s, seed, true)])
+        })
+        .collect();
+    let rates = crate::par_try_map(opts, &grid, |&(interval_s, seed, noisy)| {
+        let cfg = PowerRunConfig {
+            interval: SimDuration::from_secs_f64(interval_s),
+            duration,
+            period_s: period,
+            seed,
+            noisy,
+            ..PowerRunConfig::default()
+        };
+        Ok(power_run(&cfg)?.violation_rate)
+    })?;
     let mut rows = Vec::new();
     println!(
         "{:>12} {:>12} {:>12} {:>14} {:>12}",
         "interval_s", "sim_rate", "ref_rate", "paper_sim", "paper_real"
     );
-    let seeds: &[u64] = if quick { &[42] } else { &[42, 43, 44] };
-    for (i, interval_s) in [0.1, 0.5, 1.0].into_iter().enumerate() {
-        let mut sim_rate = 0.0;
-        let mut ref_rate = 0.0;
-        for &seed in seeds {
-            let base = PowerRunConfig {
-                interval: SimDuration::from_secs_f64(interval_s),
-                duration,
-                period_s: period,
-                seed,
-                ..PowerRunConfig::default()
-            };
-            sim_rate += power_run(&base)?.violation_rate;
-            ref_rate += power_run(&PowerRunConfig {
-                noisy: true,
-                ..base
-            })?
-            .violation_rate;
-        }
-        sim_rate /= seeds.len() as f64;
-        ref_rate /= seeds.len() as f64;
+    let per_interval = 2 * seeds.len();
+    for (i, interval_s) in intervals.into_iter().enumerate() {
+        let chunk = &rates[i * per_interval..(i + 1) * per_interval];
+        let sim_rate = chunk.iter().step_by(2).sum::<f64>() / seeds.len() as f64;
+        let ref_rate = chunk.iter().skip(1).step_by(2).sum::<f64>() / seeds.len() as f64;
         let (_, paper_sim, paper_real) = crate::reference::TABLE3_VIOLATION_RATES[i];
         println!(
             "{:>12} {:>11.1}% {:>11.1}% {:>13.1}% {:>11.1}%",

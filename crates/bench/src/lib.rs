@@ -5,6 +5,13 @@
 //! experiment driver. Each `src/bin/figXX_*.rs` binary regenerates one
 //! table or figure of the evaluation; see EXPERIMENTS.md at the repository
 //! root for the full index and recorded outputs.
+//!
+//! Sweeps execute through the `uqsim_runner` thread pool: every
+//! `(curve, load)` cell is an independent simulator run, so [`sweep`] and
+//! [`sweep_batch`] fan cells across [`RunOpts::jobs`] workers and reassemble
+//! results in submission order. Output is identical at any worker count;
+//! only wall-clock changes. Experiments therefore *compute first, print
+//! after* — nothing may print from inside a build/measure closure.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -43,6 +50,9 @@ pub struct RunOpts {
     pub duration: SimDuration,
     /// Simulated warmup per point.
     pub warmup: SimDuration,
+    /// Worker threads for sweep execution (0 or 1 = serial). Changes
+    /// wall-clock only — results are identical at any value.
+    pub jobs: usize,
 }
 
 impl Default for RunOpts {
@@ -50,26 +60,43 @@ impl Default for RunOpts {
         RunOpts {
             duration: SimDuration::from_secs(4),
             warmup: SimDuration::from_secs(1),
+            jobs: uqsim_runner::available_jobs(),
         }
     }
 }
 
 impl RunOpts {
-    /// Reads `--quick` from the process arguments (or `UQSIM_QUICK=1` from
-    /// the environment) and shortens runs accordingly.
+    /// Reads options from the process arguments and environment:
+    /// `--quick` / `UQSIM_QUICK=1` shortens runs, `--jobs N` /
+    /// `UQSIM_JOBS=N` sets the sweep worker count (default: all cores).
     pub fn from_args() -> Self {
-        let quick = std::env::args().any(|a| a == "--quick")
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick")
             || std::env::var("UQSIM_QUICK")
                 .map(|v| v == "1")
                 .unwrap_or(false);
-        if quick {
+        let jobs = args
+            .iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .or_else(|| {
+                std::env::var("UQSIM_JOBS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(uqsim_runner::available_jobs);
+        let mut opts = if quick {
             RunOpts {
                 duration: SimDuration::from_millis(1500),
                 warmup: SimDuration::from_millis(500),
+                ..Default::default()
             }
         } else {
             RunOpts::default()
-        }
+        };
+        opts.jobs = jobs.max(1);
+        opts
     }
 
     /// Total simulated time per point.
@@ -93,22 +120,94 @@ pub fn measure(mut sim: Simulator, offered_qps: f64, opts: &RunOpts) -> LoadPoin
     }
 }
 
-/// Sweeps a list of offered loads through a scenario constructor.
+/// Sweeps a list of offered loads through a scenario constructor, fanning
+/// the points across [`RunOpts::jobs`] workers. Points come back in
+/// `loads` order whatever the worker count.
 ///
 /// # Errors
 ///
-/// Propagates the first scenario-construction failure.
+/// Every point still runs, then the error of the lowest-indexed failing
+/// point is returned (what a serial loop would have reported first).
 pub fn sweep(
     loads: &[f64],
     opts: &RunOpts,
-    mut build: impl FnMut(f64) -> SimResult<Simulator>,
+    build: impl Fn(f64) -> SimResult<Simulator> + Sync,
 ) -> SimResult<Vec<LoadPoint>> {
-    let mut out = Vec::with_capacity(loads.len());
-    for &qps in loads {
-        let sim = build(qps)?;
-        out.push(measure(sim, qps, opts));
+    uqsim_runner::try_run_indexed(opts.jobs, loads.len(), |i| {
+        build(loads[i]).map(|sim| measure(sim, loads[i], opts))
+    })
+}
+
+/// One curve of a multi-curve experiment, submitted to [`sweep_batch`].
+pub struct SweepJob<'a> {
+    /// Offered loads for this curve.
+    pub loads: Vec<f64>,
+    /// Builds the simulator for one offered load.
+    pub build: Box<dyn Fn(f64) -> SimResult<Simulator> + Sync + 'a>,
+}
+
+impl std::fmt::Debug for SweepJob<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJob")
+            .field("loads", &self.loads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> SweepJob<'a> {
+    /// Creates a curve submission.
+    pub fn new(loads: Vec<f64>, build: impl Fn(f64) -> SimResult<Simulator> + Sync + 'a) -> Self {
+        SweepJob {
+            loads,
+            build: Box::new(build),
+        }
+    }
+}
+
+/// Runs several curves' load points as one flat pool batch — a two-curve
+/// validation (simulated + noisy reference) or a whole figure's family of
+/// configurations saturates every worker from the first cell to the last,
+/// instead of parallelizing only within one curve at a time. Returns one
+/// `Vec<LoadPoint>` per job, in submission order.
+///
+/// # Errors
+///
+/// Every cell still runs, then the error of the lowest-indexed failing
+/// cell is returned.
+pub fn sweep_batch(opts: &RunOpts, jobs: &[SweepJob<'_>]) -> SimResult<Vec<Vec<LoadPoint>>> {
+    // Flatten (curve, load) cells, remembering each cell's curve.
+    let cells: Vec<(usize, f64)> = jobs
+        .iter()
+        .enumerate()
+        .flat_map(|(ji, job)| job.loads.iter().map(move |&q| (ji, q)))
+        .collect();
+    let points = uqsim_runner::try_run_indexed(opts.jobs, cells.len(), |i| {
+        let (ji, qps) = cells[i];
+        (jobs[ji].build)(qps).map(|sim| measure(sim, qps, opts))
+    })?;
+    let mut out: Vec<Vec<LoadPoint>> = jobs
+        .iter()
+        .map(|j| Vec::with_capacity(j.loads.len()))
+        .collect();
+    for ((ji, _), p) in cells.into_iter().zip(points) {
+        out[ji].push(p);
     }
     Ok(out)
+}
+
+/// Parallel fallible map over arbitrary experiment inputs (grid cells,
+/// decision intervals, pool sizes, …), preserving input order.
+///
+/// # Errors
+///
+/// Every item still runs, then the error of the lowest-indexed failing
+/// item is returned.
+pub fn par_try_map<I: Sync, T: Send>(
+    opts: &RunOpts,
+    items: &[I],
+    f: impl Fn(&I) -> SimResult<T> + Sync,
+) -> SimResult<Vec<T>> {
+    uqsim_runner::try_run_indexed(opts.jobs, items.len(), |i| f(&items[i]))
 }
 
 /// The offered load at which the system stops keeping up (or the tail
@@ -127,15 +226,21 @@ pub fn saturation_qps(points: &[LoadPoint], p99_limit_s: f64) -> f64 {
     points.last().map(|p| p.offered_qps).unwrap_or(0.0)
 }
 
-/// Prints a load–latency series as an aligned table.
-pub fn print_series(label: &str, points: &[LoadPoint]) {
-    println!("## {label}");
-    println!(
+/// Renders a load–latency series as an aligned table (used by experiments
+/// that compute in parallel first and print afterwards).
+pub fn format_series(label: &str, points: &[LoadPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "## {label}").unwrap();
+    writeln!(
+        out,
         "{:>12} {:>13} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "offered_qps", "achieved_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "kept_up"
-    );
+    )
+    .unwrap();
     for p in points {
-        println!(
+        writeln!(
+            out,
             "{:>12.0} {:>13.0} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9}",
             p.offered_qps,
             p.achieved_qps,
@@ -144,8 +249,15 @@ pub fn print_series(label: &str, points: &[LoadPoint]) {
             p.latency.p95 * 1e3,
             p.latency.p99 * 1e3,
             if p.kept_up() { "yes" } else { "NO" },
-        );
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Prints a load–latency series as an aligned table.
+pub fn print_series(label: &str, points: &[LoadPoint]) {
+    print!("{}", format_series(label, points));
 }
 
 /// Mean absolute deviation between two series' means and p99s (the
@@ -250,5 +362,57 @@ mod tests {
         assert!((g[1] - 10.0).abs() < 1e-9);
         let l = linear_loads(0.0, 10.0, 3);
         assert_eq!(l, vec![0.0, 5.0, 10.0]);
+    }
+
+    fn tiny_opts(jobs: usize) -> RunOpts {
+        RunOpts {
+            duration: SimDuration::from_millis(200),
+            warmup: SimDuration::from_millis(100),
+            jobs,
+        }
+    }
+
+    fn build_example(qps: f64) -> SimResult<Simulator> {
+        let cfg = uqsim_core::config::ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO)
+            .expect("example scenario parses");
+        cfg.with_offered_qps(qps).build()
+    }
+
+    #[test]
+    fn sweep_results_are_jobs_invariant() {
+        let loads = [400.0, 900.0, 1600.0];
+        let serial = sweep(&loads, &tiny_opts(1), build_example).unwrap();
+        for jobs in [2, 8] {
+            let parallel = sweep(&loads, &tiny_opts(jobs), build_example).unwrap();
+            assert_eq!(serial, parallel, "jobs={jobs} changed sweep results");
+        }
+    }
+
+    #[test]
+    fn sweep_batch_groups_by_submission_order() {
+        let jobs = vec![
+            SweepJob::new(vec![400.0, 900.0], build_example),
+            SweepJob::new(vec![1600.0], build_example),
+        ];
+        let grouped = sweep_batch(&tiny_opts(4), &jobs).unwrap();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0].len(), 2);
+        assert_eq!(grouped[1].len(), 1);
+        // Curves must match the same loads swept individually.
+        let flat = sweep(&[400.0, 900.0], &tiny_opts(1), build_example).unwrap();
+        assert_eq!(grouped[0], flat);
+    }
+
+    #[test]
+    fn sweep_surfaces_the_first_build_error() {
+        let loads = [400.0, 900.0];
+        let err = sweep(&loads, &tiny_opts(2), |qps| {
+            if qps > 500.0 {
+                Err(uqsim_core::SimError::InvalidScenario("too fast".into()))
+            } else {
+                build_example(qps)
+            }
+        });
+        assert!(err.is_err());
     }
 }

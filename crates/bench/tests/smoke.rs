@@ -1,0 +1,91 @@
+//! End-to-end smoke test for the experiment harness under the parallel
+//! sweep engine: one real figure (Fig. 8, load-balancing validation) runs
+//! at `jobs = 2` with quick settings, must finish inside a generous
+//! wall-clock budget, and its curves are exported as a CSV artifact
+//! (`target/smoke_fig08.csv`) that CI uploads.
+
+use std::time::{Duration, Instant};
+use uqsim_bench::{experiments::fig08, RunOpts};
+use uqsim_core::time::SimDuration;
+
+/// Quick settings mirroring `--quick` (sub-2 s duration selects the small
+/// sweep grids) pinned to two workers.
+fn smoke_opts() -> RunOpts {
+    RunOpts {
+        duration: SimDuration::from_secs(1),
+        warmup: SimDuration::from_millis(250),
+        jobs: 2,
+    }
+}
+
+#[test]
+fn fig08_runs_end_to_end_and_exports_csv() {
+    let start = Instant::now();
+    let results = fig08::run(&smoke_opts()).expect("fig08 runs");
+    let elapsed = start.elapsed();
+
+    assert_eq!(results.len(), 3, "one curve per scale-out factor");
+    for r in &results {
+        assert!(
+            !r.points.is_empty(),
+            "scale-out {} has no points",
+            r.scale_out
+        );
+        assert!(
+            r.saturation_qps > 0.0,
+            "scale-out {} never saturated in range",
+            r.scale_out
+        );
+    }
+    // Scaling out raises the saturation load.
+    assert!(results[0].saturation_qps < results[2].saturation_qps);
+
+    // Budget: quick mode simulates 3 curves x 5 points x 1.25s. An order
+    // of magnitude of headroom over observed times keeps CI boxes honest
+    // about regressions without flaking on noise.
+    let budget = Duration::from_secs(300);
+    assert!(
+        elapsed < budget,
+        "fig08 smoke took {elapsed:?}, budget {budget:?}"
+    );
+
+    // Export the curves as the CI artifact.
+    let mut csv = String::from("scale_out,offered_qps,achieved_qps,p99_ms\n");
+    for r in &results {
+        for p in &r.points {
+            csv.push_str(&format!(
+                "{},{:.3},{:.3},{:.6}\n",
+                r.scale_out,
+                p.offered_qps,
+                p.achieved_qps,
+                p.latency.p99 * 1e3
+            ));
+        }
+    }
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/smoke_fig08.csv");
+    std::fs::write(&out, csv).expect("artifact CSV writes");
+}
+
+#[test]
+fn fig08_results_do_not_depend_on_jobs() {
+    let serial = fig08::run(&RunOpts {
+        jobs: 1,
+        ..smoke_opts()
+    })
+    .expect("serial fig08 runs");
+    let parallel = fig08::run(&smoke_opts()).expect("parallel fig08 runs");
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.scale_out, b.scale_out);
+        assert_eq!(
+            a.saturation_qps, b.saturation_qps,
+            "saturation drifted with jobs at scale-out {}",
+            a.scale_out
+        );
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.offered_qps, pb.offered_qps);
+            assert_eq!(pa.achieved_qps, pb.achieved_qps);
+            assert_eq!(pa.latency.p99, pb.latency.p99);
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
-//! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>] [--seed <n>]
+//! uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>]
+//!             [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]
+//! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]
 //! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
 //! uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] [--events <n>]
 //! uqsim validate <scenario.json>
@@ -16,9 +18,13 @@
 //! converts a single-file scenario into that layout.
 //!
 //! `run` executes the scenario and prints a latency/throughput summary
-//! (machine-readable with `--json`). `sweep` re-runs the scenario at a list
-//! of offered loads (scaling every client's rate schedule) and prints the
-//! load–latency table. `trace` with a positional path samples
+//! (machine-readable with `--json`). `sweep --config` runs the scenario
+//! across a QPS grid × seed replications on the [`uqsim_runner`] thread
+//! pool and emits an aggregated CSV (or `--json`) table with 95%
+//! confidence intervals; its output is byte-identical at any `--jobs`
+//! value. The legacy positional `sweep <path> --loads` form runs a serial
+//! single-seed sweep and prints a human-readable table. `trace` with a
+//! positional path samples
 //! distributed-tracing-style request traces and prints them as JSON lines;
 //! `trace --config` instead records the full per-request span log, writes
 //! it as Chrome `trace_event` JSON (open the file in `about:tracing` or
@@ -37,6 +43,8 @@ const EXAMPLE: &str = include_str!("../configs/quickstart.json");
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json]\n  \
+         uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>] \
+         [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]\n  \
          uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
          uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
          uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] \
@@ -96,6 +104,7 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("sweep") if args.iter().any(|a| a == "--config") => sweep_grid(&args[1..]),
         Some("sweep") => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -313,6 +322,143 @@ fn run(
         println!("engine: {} events processed", sim.events_processed());
     }
     Ok(())
+}
+
+/// The parallel grid sweep: `Q` QPS points × `K` seed replications fanned
+/// across the [`uqsim_runner`] pool, aggregated into a CSV/JSON table with
+/// across-replication 95% confidence intervals. Progress goes to stderr;
+/// the table goes to stdout (or `--out`), and its bytes do not depend on
+/// `--jobs`.
+fn sweep_grid(args: &[String]) -> ExitCode {
+    let mut config = None;
+    let mut qps_spec = None;
+    let mut reps = 3usize;
+    let mut jobs = uqsim_runner::available_jobs();
+    let mut duration = 5.0f64;
+    let mut seed = None;
+    let mut json = false;
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--config" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                config = Some(v.clone());
+                i += 2;
+            }
+            "--qps" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                qps_spec = Some(v.clone());
+                i += 2;
+            }
+            "--reps" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                reps = v;
+                i += 2;
+            }
+            "--jobs" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                jobs = v;
+                i += 2;
+            }
+            "--duration" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                duration = v;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                seed = Some(v);
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            "--out" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                out = Some(v.clone());
+                i += 2;
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(config), Some(qps_spec)) = (config, qps_spec) else {
+        return usage();
+    };
+    let qps = match uqsim_runner::sweep::parse_qps_spec(&qps_spec) {
+        Ok(qps) => qps,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match load(Path::new(&config)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = uqsim_runner::sweep::SweepSpec {
+        qps,
+        reps: reps.max(1),
+        base_seed: seed.unwrap_or(cfg.seed),
+        duration: SimDuration::from_secs_f64(duration),
+        jobs: jobs.max(1),
+    };
+    eprintln!(
+        "sweep: {} qps points x {} reps = {} cells on {} worker(s)",
+        spec.qps.len(),
+        spec.reps,
+        spec.qps.len() * spec.reps,
+        spec.jobs
+    );
+    let table = match uqsim_runner::sweep::run_scenario_sweep(&cfg, &spec, &|p| {
+        eprintln!(
+            "  [{}/{}] qps={:.0} seed={}",
+            p.finished, p.total, p.offered_qps, p.seed
+        );
+    }) {
+        Ok(table) => table,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut text = if json {
+        table.to_json()
+    } else {
+        table.to_csv()
+    };
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    match out {
+        Some(file) => {
+            if let Err(e) = std::fs::write(&file, &text) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {file}");
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Runs the scenario once per offered load, scaling every client's rate

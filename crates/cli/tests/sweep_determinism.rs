@@ -1,0 +1,97 @@
+//! End-to-end determinism gate for `uqsim sweep --config`: the emitted
+//! table must be byte-identical at any `--jobs` value, because results are
+//! keyed by (qps point, replication) — never by completion order — and
+//! every float is formatted with fixed precision.
+//!
+//! These tests drive the real binary (via `CARGO_BIN_EXE_uqsim`) so they
+//! also pin the output *framing*: table bytes on stdout, progress on
+//! stderr.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn quickstart_config() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("configs/quickstart.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// Runs `uqsim sweep --config quickstart.json --jobs <jobs> <extra...>`.
+fn sweep_with_jobs(jobs: usize, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uqsim"))
+        .args([
+            "sweep",
+            "--config",
+            &quickstart_config(),
+            "--qps",
+            "1000:3000:1000",
+            "--reps",
+            "2",
+            // Past quickstart's 0.5s warmup, so rows carry real measured
+            // stats and the byte-compare covers live float formatting.
+            "--duration",
+            "0.8",
+            "--jobs",
+            &jobs.to_string(),
+        ])
+        .args(extra)
+        .output()
+        .expect("uqsim binary runs")
+}
+
+#[test]
+fn csv_is_byte_identical_across_jobs() {
+    let serial = sweep_with_jobs(1, &[]);
+    assert!(serial.status.success(), "serial sweep failed: {serial:?}");
+    let parallel = sweep_with_jobs(8, &[]);
+    assert!(
+        parallel.status.success(),
+        "parallel sweep failed: {parallel:?}"
+    );
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "CSV bytes drifted between --jobs 1 and --jobs 8"
+    );
+    let text = String::from_utf8(serial.stdout).expect("CSV is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "header + one row per qps point:\n{text}");
+    assert!(lines[0].starts_with("offered_qps,reps,achieved_qps"));
+    assert!(lines[1].starts_with("1000.000,2,"));
+}
+
+#[test]
+fn json_is_byte_identical_across_jobs() {
+    let serial = sweep_with_jobs(1, &["--json"]);
+    assert!(serial.status.success(), "serial sweep failed: {serial:?}");
+    let parallel = sweep_with_jobs(8, &["--json"]);
+    assert!(
+        parallel.status.success(),
+        "parallel sweep failed: {parallel:?}"
+    );
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "JSON bytes drifted between --jobs 1 and --jobs 8"
+    );
+    let text = String::from_utf8(serial.stdout).expect("JSON is UTF-8");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(v["rows"].as_array().map(Vec::len), Some(3));
+    assert_eq!(v["reps"].as_u64(), Some(2));
+}
+
+#[test]
+fn bad_qps_spec_fails_with_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_uqsim"))
+        .args([
+            "sweep",
+            "--config",
+            &quickstart_config(),
+            "--qps",
+            "3000:1000:500",
+        ])
+        .output()
+        .expect("uqsim binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid --qps"), "stderr: {err}");
+}

@@ -359,6 +359,33 @@ impl ScenarioConfig {
         serde_json::to_string_pretty(self).expect("scenario serializes")
     }
 
+    /// Returns a copy with the master seed replaced — the whole scenario
+    /// (arrivals, service times, path selection) re-randomizes from it.
+    pub fn with_seed(&self, seed: u64) -> Self {
+        let mut cfg = self.clone();
+        cfg.seed = seed;
+        cfg
+    }
+
+    /// Returns a copy with every open-loop client's rate schedule pinned to
+    /// `qps`, turning the configured schedule into a load *shape* that a
+    /// sweep re-scales per point. Trace-replay clients have no rate to
+    /// scale and are left untouched.
+    pub fn with_offered_qps(&self, qps: f64) -> Self {
+        let mut cfg = self.clone();
+        for client in &mut cfg.clients {
+            match &mut client.arrivals {
+                ArrivalProcess::Poisson { schedule } | ArrivalProcess::Uniform { schedule } => {
+                    for seg in &mut schedule.segments {
+                        seg.1 = qps;
+                    }
+                }
+                ArrivalProcess::Trace { .. } => {}
+            }
+        }
+        cfg
+    }
+
     /// Lowers the configuration onto a builder and constructs the simulator.
     ///
     /// # Errors

@@ -39,7 +39,11 @@ pub enum ControlAction {
 /// [`Simulator::add_controller`](crate::sim::Simulator::add_controller) and
 /// ticked by the engine; each tick returns the actions to apply and the
 /// delay until the next tick.
-pub trait Controller: std::fmt::Debug {
+///
+/// Controllers must be [`Send`]: a built [`Simulator`](crate::Simulator)
+/// (controllers included) is moved across threads by the parallel sweep
+/// runner, which fans independent replications over a thread pool.
+pub trait Controller: std::fmt::Debug + Send {
     /// Delay from registration to the first tick.
     fn first_tick(&self) -> SimDuration;
 

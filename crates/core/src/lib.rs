@@ -70,7 +70,7 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
@@ -90,6 +90,7 @@ pub mod metrics;
 pub mod path;
 pub mod queue;
 pub mod rng;
+pub mod run;
 pub mod service;
 pub mod sim;
 pub mod stage;
@@ -98,6 +99,7 @@ pub mod trace;
 
 pub use builder::{ExecSpec, ScenarioBuilder};
 pub use error::{SimError, SimResult};
+pub use run::{run_one, RunResult};
 pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};
 pub use trace::{AuditReport, TraceAuditor, TraceLog};

@@ -1,0 +1,178 @@
+//! One-shot "build, run, summarize" entry point.
+//!
+//! [`run_one`] is the unit of work the parallel sweep engine
+//! (`uqsim_runner`) fans across threads: it takes a *scenario description*
+//! (plain data, cheap to clone and [`Send`]), overrides the seed, builds a
+//! fresh [`Simulator`](crate::sim::Simulator), runs it for a fixed simulated duration, and returns
+//! a compact, `Send` summary. Because each call owns its simulator and the
+//! scenario is immutable input, any number of `run_one` calls can execute
+//! concurrently with byte-for-byte the results of running them serially.
+//!
+//! # Examples
+//!
+//! ```
+//! use uqsim_core::run::run_one;
+//! use uqsim_core::config::ScenarioConfig;
+//! use uqsim_core::time::SimDuration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO)?;
+//! let result = run_one(&cfg, 7, SimDuration::from_millis(600))?;
+//! assert_eq!(result.seed, 7);
+//! assert!(result.completed > 0);
+//! // Identical inputs replay identically — the invariant the parallel
+//! // sweep runner's determinism guarantee is built on.
+//! let again = run_one(&cfg, 7, SimDuration::from_millis(600))?;
+//! assert_eq!(result.latency, again.latency);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::ScenarioConfig;
+use crate::error::SimResult;
+use crate::metrics::LatencySummary;
+use crate::time::SimDuration;
+
+/// A tiny self-contained scenario (one machine, one two-stage service, one
+/// open-loop client) used by doc examples and smoke tests.
+pub const EXAMPLE_SCENARIO: &str = r#"{
+  "seed": 42,
+  "warmup_s": 0.1,
+  "machines": [
+    { "name": "server0", "cores": 2,
+      "dvfs": { "levels_ghz": [2.6] },
+      "network": { "irq_cores": 1,
+        "rx_time": { "type": "exponential", "mean": 0.0000166 },
+        "wire_latency": { "type": "constant", "value": 0.00002 } } }
+  ],
+  "services": [
+    { "name": "api",
+      "stages": [
+        { "name": "handler", "queue": { "type": "single" },
+          "service": { "base": { "type": "constant", "value": 0.0 },
+            "per_job": { "type": "exponential", "mean": 0.00008 },
+            "ref_freq_ghz": 2.6, "freq_alpha": 1.0 } }
+      ],
+      "paths": [{ "name": "default", "stages": [0] }] }
+  ],
+  "instances": [
+    { "name": "api0", "service": "api", "machine": "server0",
+      "cores": 1, "exec": { "type": "simple" } }
+  ],
+  "pools": [],
+  "request_types": [
+    { "name": "get",
+      "nodes": [
+        { "name": "front",
+          "target": { "type": "service", "service": "api",
+            "instance": { "type": "fixed", "name": "api0" },
+            "exec_path": "default" },
+          "children": ["sink"] },
+        { "name": "sink", "target": { "type": "client_sink" },
+          "link": { "reply": { "of": "front" } } }
+      ] }
+  ],
+  "clients": [
+    { "name": "wrk", "connections": 64,
+      "arrivals": { "type": "poisson",
+        "schedule": { "segments": [[0.0, 2000.0]] } },
+      "mix": [["get", 1.0]], "roots": ["api0"] }
+  ]
+}"#;
+
+/// The summary one [`run_one`] call produces: everything the sweep
+/// aggregator needs, and nothing tied to the (dropped) simulator state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The master seed this replication ran under.
+    pub seed: u64,
+    /// Simulated duration (including warmup).
+    pub duration: SimDuration,
+    /// Warmup portion of `duration` excluded from the latency statistics.
+    pub warmup: SimDuration,
+    /// Requests generated (including warmup and in-flight).
+    pub generated: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests that hit a client-side timeout.
+    pub timeouts: u64,
+    /// Post-warmup throughput, requests/second.
+    pub achieved_qps: f64,
+    /// End-to-end latency over post-warmup completions.
+    pub latency: LatencySummary,
+    /// Events the engine processed — the wall-clock cost proxy.
+    pub events_processed: u64,
+}
+
+/// Builds `cfg` with its seed replaced by `seed`, runs it for `duration`
+/// of simulated time, and summarizes.
+///
+/// This is the `Send`-safe unit of parallel execution: the input is plain
+/// data, the simulator lives and dies inside the call, and the returned
+/// [`RunResult`] is plain data again. Identical `(cfg, seed, duration)`
+/// inputs produce identical results, on any thread, in any order.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures ([`ScenarioConfig::build`]).
+pub fn run_one(cfg: &ScenarioConfig, seed: u64, duration: SimDuration) -> SimResult<RunResult> {
+    let cfg = cfg.with_seed(seed);
+    let mut sim = cfg.build()?;
+    sim.run_for(duration);
+    let latency = sim.latency_summary();
+    let warmup = SimDuration::from_secs_f64(cfg.warmup_s);
+    let measured = (duration.as_secs_f64() - cfg.warmup_s).max(f64::EPSILON);
+    Ok(RunResult {
+        seed,
+        duration,
+        warmup,
+        generated: sim.generated(),
+        completed: sim.completed(),
+        timeouts: sim.timeouts(),
+        achieved_qps: latency.count as f64 / measured,
+        latency,
+        events_processed: sim.events_processed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+
+    /// The compile-time guarantee the parallel runner relies on: a built
+    /// simulator (controllers included) can move across threads.
+    #[test]
+    fn simulator_and_run_result_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
+        assert_send::<RunResult>();
+        assert_send::<ScenarioConfig>();
+    }
+
+    #[test]
+    fn run_one_is_deterministic_per_seed_and_divergent_across_seeds() {
+        let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+        let d = SimDuration::from_millis(400);
+        let a = run_one(&cfg, 1, d).unwrap();
+        let b = run_one(&cfg, 1, d).unwrap();
+        assert_eq!(a, b, "same seed must reproduce exactly");
+        let c = run_one(&cfg, 2, d).unwrap();
+        assert_ne!(a.latency, c.latency, "different seeds should diverge");
+        assert!(a.completed > 0 && a.latency.count > 0);
+    }
+
+    #[test]
+    fn run_one_runs_under_an_overridden_load() {
+        let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+        let d = SimDuration::from_millis(400);
+        let low = run_one(&cfg.with_offered_qps(500.0), 1, d).unwrap();
+        let high = run_one(&cfg.with_offered_qps(4000.0), 1, d).unwrap();
+        assert!(
+            high.achieved_qps > 2.0 * low.achieved_qps,
+            "offered-load override must change throughput: {} vs {}",
+            low.achieved_qps,
+            high.achieved_qps
+        );
+    }
+}

@@ -39,8 +39,7 @@
 
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use uqsim_core::controller::{ControlAction, Controller, TickStats};
 use uqsim_core::ids::InstanceId;
 use uqsim_core::rng::RngFactory;
@@ -116,18 +115,23 @@ pub struct PowerTraceEntry {
 }
 
 /// Shared handle to the decision trace, usable after the simulation run.
+///
+/// `Arc<Mutex<..>>` rather than `Rc<RefCell<..>>` so a boxed
+/// [`PowerManager`] stays [`Send`] and whole simulations can run on the
+/// parallel runner's worker threads; within one simulation the lock is
+/// uncontended.
 #[derive(Debug, Clone)]
-pub struct TraceHandle(Rc<RefCell<Vec<PowerTraceEntry>>>);
+pub struct TraceHandle(Arc<Mutex<Vec<PowerTraceEntry>>>);
 
 impl TraceHandle {
     /// A snapshot of all recorded entries.
     pub fn entries(&self) -> Vec<PowerTraceEntry> {
-        self.0.borrow().clone()
+        self.0.lock().expect("trace lock").clone()
     }
 
     /// Fraction of non-empty intervals that violated QoS (Table III).
     pub fn violation_rate(&self) -> f64 {
-        let entries = self.0.borrow();
+        let entries = self.0.lock().expect("trace lock");
         let counted: Vec<_> = entries.iter().filter(|e| e.samples > 0).collect();
         if counted.is_empty() {
             return 0.0;
@@ -156,7 +160,7 @@ pub struct PowerManager {
     met_cycles: u32,
     last_slowdown: SimTime,
     last_probe: SimTime,
-    trace: Rc<RefCell<Vec<PowerTraceEntry>>>,
+    trace: Arc<Mutex<Vec<PowerTraceEntry>>>,
 }
 
 /// True if `a` is component-wise at least as relaxed as `b`.
@@ -180,7 +184,7 @@ impl PowerManager {
             "power manager needs DVFS levels"
         );
         assert!(cfg.num_buckets > 0, "need at least one bucket");
-        let trace = Rc::new(RefCell::new(Vec::new()));
+        let trace = Arc::new(Mutex::new(Vec::new()));
         let max = *cfg.levels_ghz.last().expect("levels non-empty");
         let manager = PowerManager {
             rng: RngFactory::new(cfg.seed).stream("power", 0),
@@ -197,7 +201,7 @@ impl PowerManager {
             met_cycles: 0,
             last_slowdown: SimTime::ZERO,
             last_probe: SimTime::ZERO,
-            trace: Rc::clone(&trace),
+            trace: Arc::clone(&trace),
             cfg,
         };
         (manager, TraceHandle(trace))
@@ -283,14 +287,17 @@ impl Controller for PowerManager {
 
         if e2e.count == 0 {
             // No traffic this interval: hold everything.
-            self.trace.borrow_mut().push(PowerTraceEntry {
-                time: now,
-                e2e_p99: 0.0,
-                per_tier_p99: per_tier,
-                freqs_ghz: self.freqs.clone(),
-                violated: false,
-                samples: 0,
-            });
+            self.trace
+                .lock()
+                .expect("trace lock")
+                .push(PowerTraceEntry {
+                    time: now,
+                    e2e_p99: 0.0,
+                    per_tier_p99: per_tier,
+                    freqs_ghz: self.freqs.clone(),
+                    violated: false,
+                    samples: 0,
+                });
             return (Vec::new(), self.cfg.interval);
         }
 
@@ -392,14 +399,17 @@ impl Controller for PowerManager {
             }
         }
 
-        self.trace.borrow_mut().push(PowerTraceEntry {
-            time: now,
-            e2e_p99: e2e.p99,
-            per_tier_p99: per_tier,
-            freqs_ghz: self.freqs.clone(),
-            violated,
-            samples: e2e.count,
-        });
+        self.trace
+            .lock()
+            .expect("trace lock")
+            .push(PowerTraceEntry {
+                time: now,
+                e2e_p99: e2e.p99,
+                per_tier_p99: per_tier,
+                freqs_ghz: self.freqs.clone(),
+                violated,
+                samples: e2e.count,
+            });
         (actions, self.cfg.interval)
     }
 }

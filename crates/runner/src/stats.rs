@@ -1,0 +1,116 @@
+//! Across-replication statistics: sample means and 95% confidence
+//! intervals via Student's t distribution.
+//!
+//! Replications of a stochastic simulation at the same operating point are
+//! i.i.d. by construction (decoupled seeds), so the classical t-interval
+//! on the replication mean applies directly — the standard presentation
+//! for discrete-event simulation output analysis.
+
+/// A sample mean with its 95% confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanCi {
+    /// Sample mean over the replications.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (`0.0` when fewer than
+    /// two replications exist — a single run carries no spread estimate).
+    pub half_width: f64,
+}
+
+/// Two-sided 97.5% Student-t quantiles for 1..=30 degrees of freedom;
+/// beyond 30 the normal quantile 1.96 is within ~2%.
+const T_975: [f64; 30] = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+    2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+    2.052, 2.048, 2.045, 2.042,
+];
+
+/// The two-sided 95% t critical value for `df` degrees of freedom.
+pub fn t_critical_95(df: usize) -> f64 {
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => T_975[df - 1],
+        _ => 1.96,
+    }
+}
+
+/// Mean and 95% confidence half-width of `samples`.
+///
+/// Sums fold left-to-right in sample order, so the result is bit-stable
+/// for a fixed input ordering — part of the sweep engine's byte-identical
+/// output guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_runner::stats::mean_ci95;
+///
+/// let ci = mean_ci95(&[10.0, 12.0, 11.0, 13.0]);
+/// assert!((ci.mean - 11.5).abs() < 1e-12);
+/// // half-width = t(3) * s / sqrt(4) with s ≈ 1.29
+/// assert!(ci.half_width > 1.9 && ci.half_width < 2.2);
+/// ```
+pub fn mean_ci95(samples: &[f64]) -> MeanCi {
+    let n = samples.len();
+    if n == 0 {
+        return MeanCi {
+            mean: 0.0,
+            half_width: 0.0,
+        };
+    }
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    if n < 2 {
+        return MeanCi {
+            mean,
+            half_width: 0.0,
+        };
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+    let half_width = t_critical_95(n - 1) * (var / n as f64).sqrt();
+    MeanCi { mean, half_width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_sample_has_no_spread() {
+        let ci = mean_ci95(&[5.0]);
+        assert_eq!(ci.mean, 5.0);
+        assert_eq!(ci.half_width, 0.0);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(
+            mean_ci95(&[]),
+            MeanCi {
+                mean: 0.0,
+                half_width: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn identical_samples_have_zero_width() {
+        let ci = mean_ci95(&[3.0; 8]);
+        assert_eq!(ci.mean, 3.0);
+        assert!(ci.half_width < 1e-12);
+    }
+
+    #[test]
+    fn width_shrinks_with_replications() {
+        // Same per-sample spread, more samples → narrower interval.
+        let few: Vec<f64> = (0..4).map(|i| (i % 2) as f64).collect();
+        let many: Vec<f64> = (0..32).map(|i| (i % 2) as f64).collect();
+        assert!(mean_ci95(&many).half_width < mean_ci95(&few).half_width);
+    }
+
+    #[test]
+    fn t_table_monotone_toward_normal() {
+        for df in 1..35 {
+            assert!(t_critical_95(df + 1) <= t_critical_95(df));
+        }
+        assert_eq!(t_critical_95(100), 1.96);
+    }
+}

@@ -1,0 +1,374 @@
+//! Scenario-level sweep execution: QPS grid × seed replications, fanned
+//! across a thread pool, aggregated into a stable table.
+//!
+//! The unit of work is [`uqsim_core::run_one`]; a sweep of `Q` QPS points
+//! with `R` replications submits `Q·R` independent cells. Aggregation
+//! folds replications in seed order and points in grid order, so a
+//! [`SweepTable`] — and its CSV/JSON serializations — is byte-identical
+//! for a fixed `(scenario, qps grid, reps, base_seed, duration)` at *any*
+//! worker count.
+
+use crate::stats::{mean_ci95, MeanCi};
+use crate::try_run_indexed;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::run::{run_one, RunResult};
+use uqsim_core::time::SimDuration;
+use uqsim_core::SimResult;
+
+/// SplitMix64 finalizer (same mixing the core's RNG factory uses).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The master seed of replication `rep` under `base_seed`.
+///
+/// Replication 0 runs `base_seed` itself (so a 1-rep sweep cross-checks
+/// against `uqsim run --seed`); later replications get decorrelated seeds
+/// through a SplitMix64 finalizer.
+pub fn seed_for(base_seed: u64, rep: usize) -> u64 {
+    if rep == 0 {
+        base_seed
+    } else {
+        splitmix64(base_seed ^ (rep as u64).wrapping_mul(0xA076_1D64_78BD_642F))
+    }
+}
+
+/// Parses a QPS grid argument: either a range `lo:hi:step` (inclusive of
+/// `hi` up to float tolerance) or an explicit comma list `a,b,c`.
+///
+/// # Errors
+///
+/// A human-readable message for malformed, non-positive, or empty specs.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_runner::sweep::parse_qps_spec;
+///
+/// assert_eq!(parse_qps_spec("1000:3000:1000").unwrap(), vec![1000.0, 2000.0, 3000.0]);
+/// assert_eq!(parse_qps_spec("500,2500").unwrap(), vec![500.0, 2500.0]);
+/// assert!(parse_qps_spec("3000:1000:500").is_err());
+/// ```
+pub fn parse_qps_spec(spec: &str) -> Result<Vec<f64>, String> {
+    let bad = |what: &str| format!("invalid --qps `{spec}`: {what}");
+    if spec.contains(':') {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 {
+            return Err(bad("expected lo:hi:step"));
+        }
+        let nums: Vec<f64> = parts
+            .iter()
+            .map(|p| p.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("non-numeric bound"))?;
+        let (lo, hi, step) = (nums[0], nums[1], nums[2]);
+        if !(lo > 0.0 && hi >= lo && step > 0.0) {
+            return Err(bad("need 0 < lo <= hi and step > 0"));
+        }
+        let n = ((hi - lo) / step + 1.0 + 1e-9).floor() as usize;
+        Ok((0..n).map(|i| lo + step * i as f64).collect())
+    } else {
+        let loads: Vec<f64> = spec
+            .split(',')
+            .map(|p| p.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad("non-numeric entry"))?;
+        if loads.is_empty() || loads.iter().any(|&q| q <= 0.0) {
+            return Err(bad("loads must be positive"));
+        }
+        Ok(loads)
+    }
+}
+
+/// What to sweep: the QPS grid, the replication count, and how to run.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Offered loads to visit, in output order.
+    pub qps: Vec<f64>,
+    /// Seed replications per load (≥ 1).
+    pub reps: usize,
+    /// Base seed; replication seeds derive via [`seed_for`].
+    pub base_seed: u64,
+    /// Simulated duration per cell (warmup included; the scenario's
+    /// `warmup_s` is excluded from statistics as usual).
+    pub duration: SimDuration,
+    /// Worker threads (0 or 1 = serial). Affects wall-clock only, never
+    /// results.
+    pub jobs: usize,
+}
+
+/// A progress tick, emitted once per finished cell from whichever worker
+/// finished it. `finished` counts completions, so ticks arrive with
+/// `finished` strictly increasing but cells in arbitrary order.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Cells finished so far (including this one).
+    pub finished: usize,
+    /// Total cells in the sweep (`qps.len() × reps`).
+    pub total: usize,
+    /// The finished cell's offered load.
+    pub offered_qps: f64,
+    /// The finished cell's master seed.
+    pub seed: u64,
+}
+
+/// One aggregated row: all replications of one QPS point.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Offered load.
+    pub offered_qps: f64,
+    /// Replications aggregated.
+    pub reps: usize,
+    /// Achieved post-warmup throughput across replications.
+    pub achieved_qps: MeanCi,
+    /// Mean latency (seconds) across replications.
+    pub mean: MeanCi,
+    /// Median latency across replications.
+    pub p50: MeanCi,
+    /// 95th-percentile latency across replications.
+    pub p95: MeanCi,
+    /// 99th-percentile latency across replications.
+    pub p99: MeanCi,
+    /// Worst single latency over all replications, seconds.
+    pub max_s: f64,
+    /// Completed requests summed over replications.
+    pub completed: u64,
+    /// Timed-out requests summed over replications.
+    pub timeouts: u64,
+}
+
+/// The aggregated result of one sweep, plus the parameters that produced
+/// it (so the serialized table is self-describing).
+#[derive(Debug, Clone)]
+pub struct SweepTable {
+    /// Simulated duration per cell, seconds.
+    pub duration_s: f64,
+    /// Replications per point.
+    pub reps: usize,
+    /// Base seed.
+    pub base_seed: u64,
+    /// One row per QPS point, in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepTable {
+    /// Serializes the table as CSV: one header line, one row per QPS
+    /// point, latencies in milliseconds, fixed-width float formatting
+    /// (byte-stable for identical inputs).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "offered_qps,reps,achieved_qps,achieved_qps_ci95,mean_ms,mean_ms_ci95,\
+             p50_ms,p50_ms_ci95,p95_ms,p95_ms_ci95,p99_ms,p99_ms_ci95,max_ms,completed,timeouts\n",
+        );
+        for r in &self.rows {
+            let ms = |c: &MeanCi| format!("{:.6},{:.6}", c.mean * 1e3, c.half_width * 1e3);
+            out.push_str(&format!(
+                "{:.3},{},{:.3},{:.3},{},{},{},{},{:.6},{},{}\n",
+                r.offered_qps,
+                r.reps,
+                r.achieved_qps.mean,
+                r.achieved_qps.half_width,
+                ms(&r.mean),
+                ms(&r.p50),
+                ms(&r.p95),
+                ms(&r.p99),
+                r.max_s * 1e3,
+                r.completed,
+                r.timeouts,
+            ));
+        }
+        out
+    }
+
+    /// Serializes the table as pretty JSON (schema documented in
+    /// EXPERIMENTS.md; key order and float formatting are deterministic).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let ci = |c: &MeanCi| {
+                    serde_json::json!({
+                        "mean": c.mean,
+                        "ci95": c.half_width,
+                    })
+                };
+                serde_json::json!({
+                    "offered_qps": r.offered_qps,
+                    "reps": r.reps,
+                    "achieved_qps": ci(&r.achieved_qps),
+                    "latency_s": {
+                        "mean": ci(&r.mean),
+                        "p50": ci(&r.p50),
+                        "p95": ci(&r.p95),
+                        "p99": ci(&r.p99),
+                        "max": r.max_s,
+                    },
+                    "completed": r.completed,
+                    "timeouts": r.timeouts,
+                })
+            })
+            .collect();
+        let table = serde_json::json!({
+            "duration_s": self.duration_s,
+            "reps": self.reps,
+            "base_seed": self.base_seed,
+            "rows": serde_json::Value::Array(rows),
+        });
+        serde_json::to_string_pretty(&table).expect("sweep table serializes")
+    }
+}
+
+/// Aggregates the replications of one QPS point into a row. Folds in
+/// replication order — deterministic regardless of completion order.
+fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
+    let pick = |f: &dyn Fn(&RunResult) -> f64| -> Vec<f64> { reps.iter().map(f).collect() };
+    SweepRow {
+        offered_qps,
+        reps: reps.len(),
+        achieved_qps: mean_ci95(&pick(&|r| r.achieved_qps)),
+        mean: mean_ci95(&pick(&|r| r.latency.mean)),
+        p50: mean_ci95(&pick(&|r| r.latency.p50)),
+        p95: mean_ci95(&pick(&|r| r.latency.p95)),
+        p99: mean_ci95(&pick(&|r| r.latency.p99)),
+        max_s: reps.iter().map(|r| r.latency.max).fold(0.0, f64::max),
+        completed: reps.iter().map(|r| r.completed).sum(),
+        timeouts: reps.iter().map(|r| r.timeouts).sum(),
+    }
+}
+
+/// Runs the full `qps × reps` grid of `spec` over `cfg` and aggregates.
+///
+/// Each cell re-scales the scenario to its offered load
+/// ([`ScenarioConfig::with_offered_qps`]) and re-seeds it ([`seed_for`]),
+/// then runs [`uqsim_core::run_one`]. `progress` is invoked once per
+/// finished cell, possibly from worker threads (hence `Sync`).
+///
+/// # Errors
+///
+/// If any cell's scenario fails to build, every cell still runs, then the
+/// error of the lowest-indexed failing cell is returned.
+pub fn run_scenario_sweep(
+    cfg: &ScenarioConfig,
+    spec: &SweepSpec,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> SimResult<SweepTable> {
+    let reps = spec.reps.max(1);
+    // One re-scaled scenario per QPS point, shared read-only by its cells.
+    let scaled: Vec<ScenarioConfig> = spec.qps.iter().map(|&q| cfg.with_offered_qps(q)).collect();
+    let total = scaled.len() * reps;
+    let finished = AtomicUsize::new(0);
+    let results: Vec<RunResult> = try_run_indexed(spec.jobs, total, |i| {
+        let (qi, rep) = (i / reps, i % reps);
+        let seed = seed_for(spec.base_seed, rep);
+        let out = run_one(&scaled[qi], seed, spec.duration);
+        progress(Progress {
+            finished: finished.fetch_add(1, Ordering::Relaxed) + 1,
+            total,
+            offered_qps: spec.qps[qi],
+            seed,
+        });
+        out
+    })?;
+    let rows = spec
+        .qps
+        .iter()
+        .enumerate()
+        .map(|(qi, &q)| aggregate(q, &results[qi * reps..(qi + 1) * reps]))
+        .collect();
+    Ok(SweepTable {
+        duration_s: spec.duration.as_secs_f64(),
+        reps,
+        base_seed: spec.base_seed,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qps_range_is_inclusive_and_tolerant() {
+        assert_eq!(
+            parse_qps_spec("1000:2000:250").unwrap(),
+            vec![1000.0, 1250.0, 1500.0, 1750.0, 2000.0]
+        );
+        // hi not on the grid: stop below it.
+        assert_eq!(parse_qps_spec("100:250:100").unwrap(), vec![100.0, 200.0]);
+        // single-point range and single-value list both work.
+        assert_eq!(parse_qps_spec("500:500:1").unwrap(), vec![500.0]);
+        assert_eq!(parse_qps_spec("500").unwrap(), vec![500.0]);
+    }
+
+    #[test]
+    fn qps_spec_rejects_nonsense() {
+        for bad in ["", "a:b:c", "10:5:1", "0:10:1", "10:20:0", "1,-2", "x,y"] {
+            assert!(parse_qps_spec(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_decorrelated() {
+        assert_eq!(seed_for(42, 0), 42);
+        assert_eq!(seed_for(42, 3), seed_for(42, 3));
+        let seeds: Vec<u64> = (0..16).map(|r| seed_for(42, r)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "collision in {seeds:?}");
+    }
+
+    fn tiny_spec(jobs: usize) -> SweepSpec {
+        SweepSpec {
+            qps: vec![500.0, 1500.0],
+            reps: 3,
+            base_seed: 42,
+            duration: SimDuration::from_millis(300),
+            jobs,
+        }
+    }
+
+    #[test]
+    fn sweep_output_is_jobs_invariant() {
+        let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO).unwrap();
+        let serial = run_scenario_sweep(&cfg, &tiny_spec(1), &|_| {}).unwrap();
+        for jobs in [2, 4, 8] {
+            let parallel = run_scenario_sweep(&cfg, &tiny_spec(jobs), &|_| {}).unwrap();
+            assert_eq!(serial.to_csv(), parallel.to_csv(), "jobs={jobs} CSV drift");
+            assert_eq!(
+                serial.to_json(),
+                parallel.to_json(),
+                "jobs={jobs} JSON drift"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_reports_every_cell_once() {
+        let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO).unwrap();
+        let ticks = AtomicUsize::new(0);
+        let table = run_scenario_sweep(&cfg, &tiny_spec(4), &|p| {
+            assert!(p.finished <= p.total && p.total == 6);
+            ticks.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        assert_eq!(ticks.load(Ordering::Relaxed), 6);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].reps, 3);
+        assert!(table.rows[1].achieved_qps.mean > table.rows[0].achieved_qps.mean);
+    }
+
+    #[test]
+    fn replications_disagree_enough_to_give_a_width() {
+        let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO).unwrap();
+        let table = run_scenario_sweep(&cfg, &tiny_spec(2), &|_| {}).unwrap();
+        // Stochastic replications of a queueing sim at distinct seeds
+        // essentially never agree to the last bit.
+        assert!(table.rows[0].mean.half_width > 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! A minimal scoped thread pool for coarse-grained, CPU-bound task batches.
+//!
+//! This is the repository's vendored stand-in for an external thread-pool
+//! crate (rayon/crossbeam are unavailable in the offline build environment;
+//! see the workspace `vendor/` policy in DESIGN.md). It supplies exactly
+//! what the µqSim sweep runner needs and nothing more:
+//!
+//! * **Scoped borrows** — tasks may borrow from the caller's stack
+//!   (configs, load tables); everything is built on [`std::thread::scope`],
+//!   so no `'static` bounds and no `unsafe`.
+//! * **Dynamic work claiming** — workers claim the next unstarted task from
+//!   a shared atomic cursor, so long and short tasks load-balance the same
+//!   way a work-stealing deque would for an indexed batch, without the
+//!   per-worker queues (batch items here are whole simulator runs lasting
+//!   milliseconds to minutes, so queue-management overhead is irrelevant).
+//! * **Ordered, jobs-independent results** — results land in the slot of
+//!   the task that produced them. `run(tasks)` returns `Vec<T>` in task
+//!   order regardless of worker count or scheduling, which is what makes
+//!   the sweep engine's aggregated output byte-identical at any `--jobs`.
+//! * **Panic propagation** — a panicking task does not abort the batch
+//!   mid-flight: remaining tasks still execute, then the payload of the
+//!   panic from the lowest-indexed panicking task is re-raised in the
+//!   caller (deterministic choice, again independent of scheduling).
+//!
+//! # Examples
+//!
+//! ```
+//! let inputs = vec![1u64, 2, 3, 4, 5];
+//! let pool = minipool::Pool::new(4);
+//! // Borrow `inputs` from the enclosing scope — no 'static, no Arc.
+//! let squares = pool.map(&inputs, |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of usable worker threads on this machine
+/// ([`std::thread::available_parallelism`], falling back to 1).
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// `Pool` itself holds no OS threads: each [`Pool::run`] call spawns up to
+/// `jobs` scoped workers for the duration of that batch and joins them
+/// before returning. For the intended workload — batches of independent
+/// discrete-event simulator runs — thread spawn cost (microseconds) is
+/// noise against task cost (milliseconds to minutes), and the scoped
+/// design is what lets tasks borrow the caller's data safely.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// Creates a pool that runs batches on up to `jobs` worker threads.
+    /// `jobs == 0` is treated as 1. With `jobs == 1` batches run inline on
+    /// the caller's thread (no threads spawned), giving exactly serial
+    /// semantics.
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// A pool sized to [`available_jobs`].
+    pub fn with_available_jobs() -> Self {
+        Pool::new(available_jobs())
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every task, returning results in task order.
+    ///
+    /// Results are independent of the worker count and of scheduling: task
+    /// `i`'s result is always element `i`. If any task panics, every other
+    /// task still runs to completion, and then the panic payload of the
+    /// lowest-indexed panicking task is resumed on the caller's thread.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let slots: Vec<Mutex<Option<F>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+
+        let worker = || {
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed twice");
+                // Catch so one panicking run cannot tear down siblings that
+                // are mid-flight; the payload is re-raised by the caller.
+                let outcome = catch_unwind(AssertUnwindSafe(task));
+                *results[i].lock().expect("result slot poisoned") = Some(outcome);
+            }
+        };
+
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
+
+        let mut out = Vec::with_capacity(n);
+        for slot in results {
+            let outcome = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited before finishing a claimed task");
+            match outcome {
+                Ok(v) => out.push(v),
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element of `items` in parallel, preserving
+    /// order. Sugar over [`Pool::run`] for the borrow-a-slice case.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let f = &f;
+        self.run((0..items.len()).map(|i| move || f(&items[i])).collect())
+    }
+
+    /// Runs `f` for every index in `0..n` in parallel, preserving order.
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let f = &f;
+        self.run((0..n).map(|i| move || f(i)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_preserve_task_order_at_any_width() {
+        let serial: Vec<usize> = Pool::new(1).map_indexed(64, |i| i * 3);
+        for jobs in [2, 3, 8, 64, 200] {
+            let parallel = Pool::new(jobs).map_indexed(64, |i| i * 3);
+            assert_eq!(serial, parallel, "jobs={jobs} reordered results");
+        }
+    }
+
+    #[test]
+    fn tasks_borrow_from_the_callers_scope() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = AtomicU64::new(0);
+        let out = Pool::new(4).map(&data, |&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+            x + 1
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(total.load(Ordering::Relaxed), 4950);
+    }
+
+    #[test]
+    fn zero_jobs_behaves_as_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+        assert_eq!(Pool::new(0).map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out: Vec<u8> = Pool::new(8).run(Vec::<fn() -> u8>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        assert_eq!(Pool::new(32).map_indexed(2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_to_caller() {
+        let outcome = catch_unwind(|| {
+            Pool::new(4).map_indexed(8, |i| {
+                if i == 5 {
+                    panic!("task 5 exploded");
+                }
+                i
+            })
+        });
+        let payload = outcome.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("<non-str payload>");
+        assert!(msg.contains("task 5 exploded"), "payload was: {msg}");
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_deterministically() {
+        for jobs in [1, 2, 8] {
+            let outcome = catch_unwind(|| {
+                Pool::new(jobs).map_indexed(16, |i| {
+                    if i % 3 == 2 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+            });
+            let payload = outcome.expect_err("panic must propagate");
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert_eq!(msg, "boom at 2", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn other_tasks_complete_despite_a_panic() {
+        let done = AtomicU64::new(0);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            Pool::new(3).map_indexed(10, |i| {
+                if i == 0 {
+                    panic!("early");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert_eq!(done.load(Ordering::Relaxed), 9, "non-panicking tasks ran");
+    }
+}
