@@ -9,29 +9,43 @@
 
 use crate::power_experiment::{run as power_run, PowerRunConfig, PowerRunResult};
 use crate::RunOpts;
+use uqsim_core::telemetry::TelemetryWindow;
 use uqsim_core::time::SimDuration;
 use uqsim_core::SimResult;
 
 /// Results per decision interval: `(interval_s, simulated, noisy)`.
 pub type Result = Vec<(f64, PowerRunResult, PowerRunResult)>;
 
+/// Prints the trace on the telemetry sampler's time axis (`r.tail`),
+/// joining each window with the power manager's decision at the same
+/// instant for the frequency and violation columns.
 fn print_trace(label: &str, r: &PowerRunResult, stride: usize) {
     println!("## {label}");
     println!(
-        "{:>9} {:>9} {:>10} {:>10} {:>9}",
-        "time_s", "p99_ms", "f_nginx", "f_mc", "violated"
+        "{:>9} {:>9} {:>9} {:>10} {:>10} {:>9}",
+        "time_s", "p99_ms", "qps", "f_nginx", "f_mc", "violated"
     );
-    for e in r.trace.iter().step_by(stride.max(1)) {
-        if e.samples == 0 {
+    for w in r.tail.iter().step_by(stride.max(1)) {
+        if w.count == 0 {
             continue;
         }
+        let decision = r.trace.iter().find(|e| e.time == w.end);
+        let (f_nginx, f_mc, violated) = match decision {
+            Some(e) => (
+                e.freqs_ghz.first().copied().unwrap_or(0.0),
+                e.freqs_ghz.get(1).copied().unwrap_or(0.0),
+                e.violated,
+            ),
+            None => (0.0, 0.0, false),
+        };
         println!(
-            "{:>9.1} {:>9.3} {:>10.1} {:>10.1} {:>9}",
-            e.time.as_secs_f64(),
-            e.e2e_p99 * 1e3,
-            e.freqs_ghz.first().copied().unwrap_or(0.0),
-            e.freqs_ghz.get(1).copied().unwrap_or(0.0),
-            if e.violated { "YES" } else { "" }
+            "{:>9.1} {:>9.3} {:>9.0} {:>10.1} {:>10.1} {:>9}",
+            w.end.as_secs_f64(),
+            w.p99_s * 1e3,
+            w.throughput,
+            f_nginx,
+            f_mc,
+            if violated { "YES" } else { "" }
         );
     }
     println!(
@@ -44,15 +58,15 @@ fn print_trace(label: &str, r: &PowerRunResult, stride: usize) {
     );
 }
 
-/// Converged tail over the second half of the run, seconds.
+/// Converged p99 tail over the second half of the run's non-empty sampler
+/// windows, seconds.
 pub fn converged_tail(r: &PowerRunResult) -> f64 {
-    let active: Vec<&uqsim_power::PowerTraceEntry> =
-        r.trace.iter().filter(|e| e.samples > 0).collect();
+    let active: Vec<&TelemetryWindow> = r.tail.iter().filter(|w| w.count > 0).collect();
     if active.is_empty() {
         return 0.0;
     }
     let half = &active[active.len() / 2..];
-    half.iter().map(|e| e.e2e_p99).sum::<f64>() / half.len() as f64
+    half.iter().map(|w| w.p99_s).sum::<f64>() / half.len() as f64
 }
 
 /// Runs the experiment.

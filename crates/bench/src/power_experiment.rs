@@ -5,6 +5,7 @@
 use uqsim_apps::noise::NoiseProfile;
 use uqsim_apps::scenarios::{two_tier, TwoTierConfig};
 use uqsim_core::client::{ArrivalProcess, RateSchedule};
+use uqsim_core::telemetry::{TelemetryConfig, TelemetryWindow};
 use uqsim_core::time::SimDuration;
 use uqsim_core::SimResult;
 use uqsim_power::{PowerManager, PowerManagerConfig, PowerTraceEntry, TraceHandle};
@@ -50,6 +51,9 @@ impl Default for PowerRunConfig {
 pub struct PowerRunResult {
     /// The per-interval decision trace (Fig. 16).
     pub trace: Vec<PowerTraceEntry>,
+    /// The telemetry sampler's windowed latency series at the decision
+    /// interval — the time axis Fig. 16 is plotted on.
+    pub tail: Vec<TelemetryWindow>,
     /// Fraction of non-empty intervals violating QoS (Table III).
     pub violation_rate: f64,
     /// Mean per-tier frequency over the run, GHz.
@@ -90,9 +94,16 @@ pub fn run(cfg: &PowerRunConfig) -> SimResult<PowerRunResult> {
         ..PowerManagerConfig::default()
     });
     sim.add_controller(Box::new(manager));
+    // Sample windowed latency with the telemetry layer at the decision
+    // interval; the exported trace's time axis comes from these windows.
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(cfg.interval),
+        ..TelemetryConfig::default()
+    });
     sim.run_for(cfg.duration);
     let energy = sim.cluster_energy_j();
-    Ok(summarize(&trace, energy))
+    let tail = sim.telemetry_windows().to_vec();
+    Ok(summarize(&trace, tail, energy))
 }
 
 /// Runs the same scenario with *no* power management (all cores at the
@@ -117,7 +128,7 @@ pub fn run_baseline(cfg: &PowerRunConfig) -> SimResult<f64> {
     Ok(sim.cluster_energy_j())
 }
 
-fn summarize(trace: &TraceHandle, energy_j: f64) -> PowerRunResult {
+fn summarize(trace: &TraceHandle, tail: Vec<TelemetryWindow>, energy_j: f64) -> PowerRunResult {
     let entries = trace.entries();
     let counted: Vec<&PowerTraceEntry> = entries.iter().filter(|e| e.samples > 0).collect();
     let tiers = counted.first().map(|e| e.freqs_ghz.len()).unwrap_or(0);
@@ -127,6 +138,7 @@ fn summarize(trace: &TraceHandle, energy_j: f64) -> PowerRunResult {
     PowerRunResult {
         violation_rate: trace.violation_rate(),
         trace: entries,
+        tail,
         mean_freqs_ghz,
         energy_j,
     }

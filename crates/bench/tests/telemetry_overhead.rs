@@ -1,0 +1,126 @@
+//! Telemetry overhead regression tests.
+//!
+//! Two layers: an always-on check that telemetry *observes without
+//! perturbing* — the simulation trajectory (completions, latency
+//! percentiles) is bit-identical with telemetry on and off — plus a
+//! wall-clock engine-speed floor against the recorded
+//! `BENCH_telemetry.json` baseline, gated behind `UQSIM_ENFORCE_BENCH=1`
+//! because absolute events/second only means something on the machine
+//! class the baseline was recorded on (CI sets the variable; laptops
+//! should not).
+
+use std::time::Instant;
+use uqsim_apps::scenarios::{two_tier, TwoTierConfig};
+use uqsim_core::telemetry::TelemetryConfig;
+use uqsim_core::time::SimDuration;
+use uqsim_core::Simulator;
+
+const QPS: f64 = 20_000.0;
+const SIM_SECS: f64 = 1.0;
+
+fn build() -> Simulator {
+    two_tier(&TwoTierConfig::at_qps(QPS)).expect("scenario builds")
+}
+
+/// Telemetry must be a pure observer: enabling the full stack (sampler,
+/// self-profiling, breakdowns) must not change a single completion or
+/// latency sample. Sampler ticks are extra *events*, but they only read
+/// state, so the trajectory every other event takes is unchanged.
+#[test]
+fn telemetry_does_not_perturb_the_simulation() {
+    let mut plain = build();
+    plain.run_for(SimDuration::from_secs_f64(SIM_SECS));
+
+    let mut instrumented = build();
+    instrumented.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        breakdown_capacity: 100_000,
+        self_profile: true,
+    });
+    instrumented.run_for(SimDuration::from_secs_f64(SIM_SECS));
+
+    assert_eq!(plain.generated(), instrumented.generated());
+    assert_eq!(plain.completed(), instrumented.completed());
+    assert_eq!(plain.timeouts(), instrumented.timeouts());
+    assert_eq!(
+        plain.latency_summary(),
+        instrumented.latency_summary(),
+        "latency distribution drifted under telemetry"
+    );
+    // The only event-count difference is the sampler's own ticks.
+    let extra = instrumented.events_processed() - plain.events_processed();
+    let expected_ticks = (SIM_SECS / 0.010) as u64;
+    assert!(
+        extra <= expected_ticks + 2,
+        "telemetry added {extra} events, expected at most {} sampler ticks",
+        expected_ticks + 2
+    );
+}
+
+/// Loose, noise-proof sanity bound that runs everywhere: the decomposition
+/// hooks on the disabled path are `Option::is_none` checks, so a run with
+/// telemetry disabled must not be dramatically slower than one with the
+/// full stack enabled (they do the same simulation work).
+#[test]
+fn disabled_telemetry_is_not_slower_than_enabled() {
+    // Warm both paths once so neither measurement pays first-touch costs.
+    let mut warm = build();
+    warm.run_for(SimDuration::from_millis(100));
+
+    let start = Instant::now();
+    let mut off = build();
+    off.run_for(SimDuration::from_secs_f64(SIM_SECS));
+    let off_wall = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut on = build();
+    on.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        self_profile: true,
+        ..TelemetryConfig::default()
+    });
+    on.run_for(SimDuration::from_secs_f64(SIM_SECS));
+    let on_wall = start.elapsed().as_secs_f64();
+
+    // 3x headroom: this guards against pathological regressions (e.g. a
+    // hook doing real work on the disabled path), not percentage points.
+    assert!(
+        off_wall < on_wall * 3.0,
+        "telemetry-disabled run ({off_wall:.3}s) is much slower than enabled ({on_wall:.3}s)"
+    );
+}
+
+/// Engine-speed floor against the recorded baseline, enforced only where
+/// the baseline is comparable. The constant mirrors the `telemetry_off`
+/// mode of `BENCH_telemetry.json` (regenerate with
+/// `cargo run --release -p uqsim-bench --bin bench_telemetry`); the 0.95
+/// factor is the ISSUE's "within 5%" acceptance bound.
+#[test]
+fn engine_speed_with_telemetry_disabled_meets_baseline() {
+    if std::env::var_os("UQSIM_ENFORCE_BENCH").is_none() {
+        eprintln!("UQSIM_ENFORCE_BENCH not set; skipping absolute engine-speed check");
+        return;
+    }
+    // Keep in sync with BENCH_telemetry.json "telemetry_off".events_per_sec.
+    const BASELINE_EVENTS_PER_SEC: f64 = 3_332_458.0;
+
+    // Best of three, same protocol as the bench binary.
+    let mut best = f64::MAX;
+    let mut events = 0;
+    for _ in 0..3 {
+        let mut sim = build();
+        let start = Instant::now();
+        sim.run_for(SimDuration::from_secs_f64(SIM_SECS));
+        let wall = start.elapsed().as_secs_f64();
+        if wall < best {
+            best = wall;
+            events = sim.events_processed();
+        }
+    }
+    let events_per_sec = events as f64 / best;
+    assert!(
+        events_per_sec >= 0.95 * BASELINE_EVENTS_PER_SEC,
+        "engine speed {events_per_sec:.0} ev/s fell below 95% of the \
+         recorded {BASELINE_EVENTS_PER_SEC:.0} ev/s baseline"
+    );
+}

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
+//!           [--metrics-out <dir>] [--sample-interval <secs>]
+//! uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>]
+//!           [--seed <n>] [--no-ansi]
 //! uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>]
 //!             [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]
 //! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]
@@ -18,7 +21,15 @@
 //! converts a single-file scenario into that layout.
 //!
 //! `run` executes the scenario and prints a latency/throughput summary
-//! (machine-readable with `--json`). `sweep --config` runs the scenario
+//! (machine-readable with `--json`). With `--metrics-out <dir>` it enables
+//! the telemetry layer (periodic sampler + self-profiling) and writes
+//! `metrics.prom` (Prometheus text), `metrics.csv` (long-form
+//! `t_s,metric,label,value` time series), and `metrics.json` (full
+//! telemetry dump) into the directory. `top` is a live terminal view: it
+//! steps the simulation one sampler interval at a time and redraws a
+//! per-instance utilization / queue-depth / thread-occupancy table plus
+//! the latest windowed latency percentiles, like `top(1)` for the
+//! simulated cluster. `sweep --config` runs the scenario
 //! across a QPS grid × seed replications on the [`uqsim_runner`] thread
 //! pool and emits an aggregated CSV (or `--json`) table with 95%
 //! confidence intervals; its output is byte-identical at any `--jobs`
@@ -33,16 +44,53 @@
 //! builds without running. `example` prints a complete scenario file to
 //! start from; more elaborate ones ship under `crates/cli/configs/`.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use uqsim_core::config::ScenarioConfig;
+use uqsim_core::telemetry::TelemetryConfig;
 use uqsim_core::time::SimDuration;
 
 const EXAMPLE: &str = include_str!("../configs/quickstart.json");
 
+/// Heap allocations made by this process. `uqsim-core` forbids `unsafe`
+/// and so cannot count allocations itself; the binary installs this
+/// counting wrapper around the system allocator and hands the counter to
+/// the self-profiler via [`uqsim_core::telemetry::set_alloc_probe`].
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every method delegates to `System` unchanged; the only addition
+// is a relaxed atomic increment, which cannot violate allocator contracts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json]\n  \
+        "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json] \
+         [--metrics-out <dir>] [--sample-interval <secs>]\n  \
+         uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>] \
+         [--seed <n>] [--no-ansi]\n  \
          uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>] \
          [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]\n  \
          uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
@@ -64,6 +112,7 @@ fn load(path: &Path) -> Result<ScenarioConfig, uqsim_core::SimError> {
 }
 
 fn main() -> ExitCode {
+    uqsim_core::telemetry::set_alloc_probe(|| ALLOCATIONS.load(Ordering::Relaxed));
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("example") => {
@@ -234,6 +283,8 @@ fn main() -> ExitCode {
             let mut duration = 5.0f64;
             let mut json = false;
             let mut seed = None;
+            let mut metrics_out = None;
+            let mut sample_interval = 0.1f64;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -255,10 +306,92 @@ fn main() -> ExitCode {
                         json = true;
                         i += 1;
                     }
+                    "--metrics-out" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        metrics_out = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
+                    "--sample-interval" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        if v <= 0.0 {
+                            return usage();
+                        }
+                        sample_interval = v;
+                        i += 2;
+                    }
                     _ => return usage(),
                 }
             }
-            match run(Path::new(path), duration, seed, json) {
+            match run(
+                Path::new(path),
+                duration,
+                seed,
+                json,
+                metrics_out.as_deref(),
+                sample_interval,
+            ) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("top") => {
+            let mut config = None;
+            let mut duration = 10.0f64;
+            let mut interval = 1.0f64;
+            let mut seed = None;
+            let mut ansi = true;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--config" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        config = Some(v.clone());
+                        i += 2;
+                    }
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--interval" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                            return usage();
+                        };
+                        if v <= 0.0 {
+                            return usage();
+                        }
+                        interval = v;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = Some(v);
+                        i += 2;
+                    }
+                    "--no-ansi" => {
+                        ansi = false;
+                        i += 1;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let Some(config) = config else {
+                return usage();
+            };
+            match top(Path::new(&config), duration, interval, seed, ansi) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -275,12 +408,21 @@ fn run(
     duration_s: f64,
     seed: Option<u64>,
     json: bool,
+    metrics_out: Option<&Path>,
+    sample_interval_s: f64,
 ) -> Result<(), uqsim_core::SimError> {
     let mut cfg = load(path)?;
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
     let mut sim = cfg.build()?;
+    if metrics_out.is_some() {
+        sim.enable_telemetry(TelemetryConfig {
+            sample_interval: Some(SimDuration::from_secs_f64(sample_interval_s)),
+            self_profile: true,
+            ..TelemetryConfig::default()
+        });
+    }
     sim.run_for(SimDuration::from_secs_f64(duration_s));
     let s = sim.latency_summary();
     let measured_span = duration_s - cfg.warmup_s;
@@ -321,7 +463,153 @@ fn run(
         );
         println!("engine: {} events processed", sim.events_processed());
     }
+    if let Some(dir) = metrics_out {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("metrics.prom"), sim.metrics_prometheus())?;
+        std::fs::write(
+            dir.join("metrics.csv"),
+            sim.metrics_csv().expect("sampler is enabled"),
+        )?;
+        std::fs::write(
+            dir.join("metrics.json"),
+            serde_json::to_string_pretty(&sim.metrics_json()).expect("metrics serialize"),
+        )?;
+        eprintln!(
+            "wrote metrics.prom, metrics.csv, metrics.json to {}",
+            dir.display()
+        );
+    }
     Ok(())
+}
+
+/// `top(1)` for the simulated cluster: steps the simulation one sampler
+/// interval at a time and redraws per-instance utilization, queue depth,
+/// and thread occupancy plus the latest windowed latency percentiles.
+/// With ANSI enabled each frame overdraws the previous one; `--no-ansi`
+/// appends frames instead (useful for piping to a file).
+fn top(
+    path: &Path,
+    duration_s: f64,
+    interval_s: f64,
+    seed: Option<u64>,
+    ansi: bool,
+) -> Result<(), uqsim_core::SimError> {
+    let mut cfg = load(path)?;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let mut sim = cfg.build()?;
+    let interval = SimDuration::from_secs_f64(interval_s);
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(interval),
+        self_profile: true,
+        ..TelemetryConfig::default()
+    });
+    let deadline = sim.now() + SimDuration::from_secs_f64(duration_s);
+    while sim.now() < deadline {
+        let step = interval.min(deadline - sim.now());
+        sim.run_for(step);
+        if ansi {
+            // Clear the screen and home the cursor before each frame.
+            print!("\x1b[2J\x1b[H");
+        }
+        print_top_frame(&sim, interval_s);
+    }
+    Ok(())
+}
+
+/// Renders one `uqsim top` frame from the latest sampler tick.
+fn print_top_frame(sim: &uqsim_core::sim::Simulator, interval_s: f64) {
+    println!(
+        "uqsim top — t={:.3}s  (sampler interval {interval_s}s)",
+        sim.now().as_secs_f64()
+    );
+    if let Some(p) = sim.self_profile().last() {
+        let allocs = p
+            .allocs_per_sim_s
+            .map(|a| format!(", {a:.0} allocs/sim-s"))
+            .unwrap_or_default();
+        println!(
+            "engine: {} events total, {:.0} events/wall-s, heap {}{allocs}",
+            p.events_processed, p.events_per_wall_s, p.event_heap
+        );
+    }
+    println!(
+        "in flight: {} requests, {} jobs;  completed {} / generated {} ({} timeouts)",
+        sim.live_requests(),
+        sim.live_jobs(),
+        sim.completed(),
+        sim.generated(),
+        sim.timeouts()
+    );
+    if let Some(w) = sim.telemetry_windows().last() {
+        println!(
+            "window: {} done, {:.0} qps, p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms",
+            w.count,
+            w.throughput,
+            w.p50_s * 1e3,
+            w.p95_s * 1e3,
+            w.p99_s * 1e3
+        );
+    }
+    let Some(series) = sim.telemetry_series() else {
+        return;
+    };
+    println!();
+    println!(
+        "{:<24} {:>6} {:>7} {:>5} {:>5}",
+        "INSTANCE", "UTIL", "QDEPTH", "RUN", "BLK"
+    );
+    for def in series.defs() {
+        if def.metric != "instance_queue_depth" {
+            continue;
+        }
+        let Some((_, name)) = &def.label else {
+            continue;
+        };
+        let get = |metric| series.latest(metric, Some(name.as_str())).unwrap_or(0.0);
+        println!(
+            "{name:<24} {:>5.1}% {:>7} {:>5} {:>5}",
+            get("instance_utilization") * 100.0,
+            get("instance_queue_depth") as u64,
+            get("threads_running") as u64,
+            get("threads_blocked") as u64
+        );
+    }
+    println!();
+    println!("{:<24} {:>8} {:>6}", "MACHINE", "NET-UTIL", "NETQ");
+    for def in series.defs() {
+        if def.metric != "network_utilization" {
+            continue;
+        }
+        let Some((_, name)) = &def.label else {
+            continue;
+        };
+        let get = |metric| series.latest(metric, Some(name.as_str())).unwrap_or(0.0);
+        println!(
+            "{name:<24} {:>7.1}% {:>6}",
+            get("network_utilization") * 100.0,
+            get("net_queue_depth") as u64
+        );
+    }
+    let pools: Vec<&String> = series
+        .defs()
+        .iter()
+        .filter(|d| d.metric == "pool_free")
+        .filter_map(|d| d.label.as_ref().map(|(_, v)| v))
+        .collect();
+    if !pools.is_empty() {
+        println!();
+        println!("{:<32} {:>6} {:>8}", "POOL", "FREE", "WAITERS");
+        for name in pools {
+            let get = |metric| series.latest(metric, Some(name.as_str())).unwrap_or(0.0);
+            println!(
+                "{name:<32} {:>6} {:>8}",
+                get("pool_free") as u64,
+                get("pool_waiters") as u64
+            );
+        }
+    }
 }
 
 /// The parallel grid sweep: `Q` QPS points × `K` seed replications fanned

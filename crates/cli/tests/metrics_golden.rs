@@ -1,0 +1,58 @@
+//! Golden-file test for the Prometheus metrics export.
+//!
+//! The snapshot pins the exact text `metrics_prometheus()` produces for
+//! the quickstart scenario at a fixed seed and duration. The export is
+//! built entirely from simulated state (no wall-clock channels), so the
+//! bytes must be stable across machines and runs; any drift means either
+//! the exporter's format or the simulation itself changed. Regenerate
+//! after an intentional change with:
+//!
+//! ```text
+//! UQSIM_BLESS=1 cargo test -p uqsim-cli --test metrics_golden
+//! ```
+
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::telemetry::TelemetryConfig;
+use uqsim_core::time::SimDuration;
+
+const QUICKSTART: &str = include_str!("../configs/quickstart.json");
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/quickstart_metrics.prom"
+);
+
+fn quickstart_prometheus() -> String {
+    let cfg = ScenarioConfig::from_json(QUICKSTART).expect("bundled config parses");
+    let mut sim = cfg.build().expect("bundled config builds");
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        ..TelemetryConfig::default()
+    });
+    // Past the 0.5 s quickstart warmup, so the since-warmup utilization
+    // gauges cover a non-empty measured window.
+    sim.run_for(SimDuration::from_millis(1500));
+    sim.metrics_prometheus()
+}
+
+#[test]
+fn quickstart_prometheus_matches_golden() {
+    let produced = quickstart_prometheus();
+    if std::env::var_os("UQSIM_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &produced).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/quickstart_metrics.prom");
+    assert_eq!(
+        produced, golden,
+        "Prometheus export drifted from the golden snapshot; if the \
+         change is intentional, regenerate with UQSIM_BLESS=1 (see the \
+         module docs)"
+    );
+}
+
+/// The export is deterministic: two identical runs produce identical
+/// bytes (the property the golden test depends on).
+#[test]
+fn prometheus_export_is_deterministic() {
+    assert_eq!(quickstart_prometheus(), quickstart_prometheus());
+}

@@ -519,7 +519,15 @@ impl ScenarioBuilder {
             tracing: None,
             traces: Vec::new(),
             span_log: None,
+            telemetry: None,
+            util_checkpoints: Vec::new(),
         };
+        // A one-shot utilization checkpoint at the warmup boundary, so
+        // `*_utilization_since(warmup_at)` works whether or not the
+        // periodic sampler is enabled. Scheduled unconditionally to keep
+        // event counts identical across telemetry on/off runs.
+        sim.events
+            .schedule(warmup_at, EventKind::TelemetrySample { recurring: false });
 
         // Kick off the clients: one pending arrival per open-loop client,
         // one per user for closed-loop clients.

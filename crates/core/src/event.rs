@@ -87,6 +87,15 @@ pub enum EventKind {
         /// Which controller.
         controller: ControllerId,
     },
+    /// A telemetry sampling point. The one-shot form (`recurring: false`)
+    /// only records a utilization checkpoint (the builder schedules one at
+    /// the warmup boundary); the recurring form is the periodic sampler
+    /// tick that closes a latency window, snapshots the gauge series, and
+    /// reschedules itself (see [`crate::telemetry`]).
+    TelemetrySample {
+        /// Whether this tick reschedules itself.
+        recurring: bool,
+    },
     /// Stop the simulation when popped.
     Stop,
 }

@@ -53,6 +53,14 @@ pub struct Request {
     pub live_jobs: u32,
     /// Set when the client-side timeout fired before completion.
     pub timed_out: bool,
+    /// Latency-decomposition frontier: everything before `mark` has already
+    /// been attributed to a component. Advanced by
+    /// `Simulator::attribute_latency`; starts at `submitted`.
+    pub mark: SimTime,
+    /// Nanoseconds attributed to each [`crate::telemetry::LatencyComponent`]
+    /// so far. Because every charge advances `mark` to "now", the entries
+    /// telescope: on completion they sum exactly to `completed - submitted`.
+    pub components_ns: [u64; crate::telemetry::LatencyComponent::COUNT],
 }
 
 /// A live job: one request visiting one path node.
@@ -74,6 +82,10 @@ pub struct Job {
     pub instance: Option<InstanceId>,
     /// Thread executing this job (set on dispatch routing).
     pub thread: Option<ThreadId>,
+    /// When the job entered its current wait/service state: set on enqueue
+    /// (read at dispatch for per-stage queue-wait telemetry) and on dispatch
+    /// (read at `StageDone` for per-stage service-time telemetry).
+    pub state_since: SimTime,
 }
 
 /// A generation-checked recycling arena.
@@ -197,6 +209,8 @@ impl RequestArena {
             nodes: vec![NodeRuntime::default(); node_count],
             live_jobs: 0,
             timed_out: false,
+            mark: submitted,
+            components_ns: [0; crate::telemetry::LatencyComponent::COUNT],
         });
         RequestId::new(slot, generation)
     }
@@ -247,6 +261,7 @@ impl JobArena {
             stage_cursor: 0,
             instance: None,
             thread: None,
+            state_since: SimTime::ZERO,
         });
         JobId::new(slot, generation)
     }

@@ -94,6 +94,7 @@ pub mod run;
 pub mod service;
 pub mod sim;
 pub mod stage;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -101,5 +102,8 @@ pub use builder::{ExecSpec, ScenarioBuilder};
 pub use error::{SimError, SimResult};
 pub use run::{run_one, RunResult};
 pub use sim::Simulator;
+pub use telemetry::{
+    LatencyComponent, MetricsRegistry, MetricsSnapshot, StreamingHistogram, TelemetryConfig,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::{AuditReport, TraceAuditor, TraceLog};

@@ -4,6 +4,7 @@
 //! 2×10-core Xeon E5-2660 v3, DVFS 1.2–2.6 GHz).
 
 use crate::dist::Distribution;
+use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
 
 /// Who a core is dedicated to. The paper pins every thread/process to a
@@ -37,6 +38,23 @@ pub struct Core {
     pub busy_ns: u64,
     /// Accumulated dynamic energy, joules (cubic-in-frequency model).
     pub dyn_energy_j: f64,
+}
+
+/// A snapshot of the cluster's accumulated busy-nanosecond counters at one
+/// instant. The `busy_ns` accumulators only ever grow, so utilization over
+/// an interval `[checkpoint, now]` is `(busy_now - busy_checkpoint) /
+/// (cores · (now - checkpoint))`. The builder records one checkpoint at
+/// the warmup boundary and the telemetry sampler records one per tick,
+/// which is what lets `instance_utilization_since` exclude warmup without
+/// retro-computing anything.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtilCheckpoint {
+    /// When the checkpoint was taken.
+    pub t: SimTime,
+    /// Per-instance busy nanoseconds, summed over each instance's cores.
+    pub inst_busy_ns: Vec<u64>,
+    /// Per-machine busy nanoseconds, summed over each machine's irq cores.
+    pub irq_busy_ns: Vec<u64>,
 }
 
 /// DVFS capability of a machine.

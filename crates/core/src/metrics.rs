@@ -209,6 +209,12 @@ impl WindowedRecorder {
 
     /// Advances window boundaries up to `now`, closing any elapsed windows
     /// (empty ones included, so the series has no gaps).
+    ///
+    /// [`record`](WindowedRecorder::record) calls this itself, which keeps
+    /// the series gap-free *between* completions; the simulator additionally
+    /// calls it when a run deadline fires, so idle time at the *end* of a
+    /// run shows up as explicit count-0 windows instead of silently
+    /// truncating the time axis.
     pub fn advance_to(&mut self, now: SimTime) {
         while now >= self.current_start + self.width {
             let end = self.current_start + self.width;
@@ -320,6 +326,24 @@ mod tests {
         assert_eq!(series[2].latency.count, 0);
         assert_eq!(series[3].latency.count, 1);
         assert!((series[0].throughput - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advance_to_emits_trailing_empty_windows() {
+        let mut w = WindowedRecorder::new(SimDuration::from_secs(1));
+        w.record(SimTime::from_secs_f64(0.5), SimDuration::from_millis(1));
+        // A long idle stretch after the last completion must still close
+        // windows — with zero counts — up to the advance point.
+        w.advance_to(SimTime::from_secs_f64(3.7));
+        let series = w.finished();
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].latency.count, 1);
+        assert_eq!(series[1].latency.count, 0);
+        assert_eq!(series[2].latency.count, 0);
+        assert_eq!(series[2].end, SimTime::from_secs_f64(3.0));
+        // Idempotent: advancing to the same instant adds nothing.
+        w.advance_to(SimTime::from_secs_f64(3.7));
+        assert_eq!(w.finished().len(), 3);
     }
 
     #[test]

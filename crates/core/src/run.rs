@@ -31,6 +31,7 @@
 use crate::config::ScenarioConfig;
 use crate::error::SimResult;
 use crate::metrics::LatencySummary;
+use crate::telemetry::{MetricsSnapshot, TelemetryConfig};
 use crate::time::SimDuration;
 
 /// A tiny self-contained scenario (one machine, one two-stage service, one
@@ -102,6 +103,9 @@ pub struct RunResult {
     pub latency: LatencySummary,
     /// Events the engine processed — the wall-clock cost proxy.
     pub events_processed: u64,
+    /// Utilization and latency-decomposition summary (decomposition-only
+    /// telemetry; see [`TelemetryConfig::default`]).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Builds `cfg` with its seed replaced by `seed`, runs it for `duration`
@@ -118,6 +122,7 @@ pub struct RunResult {
 pub fn run_one(cfg: &ScenarioConfig, seed: u64, duration: SimDuration) -> SimResult<RunResult> {
     let cfg = cfg.with_seed(seed);
     let mut sim = cfg.build()?;
+    sim.enable_telemetry(TelemetryConfig::default());
     sim.run_for(duration);
     let latency = sim.latency_summary();
     let warmup = SimDuration::from_secs_f64(cfg.warmup_s);
@@ -132,6 +137,7 @@ pub fn run_one(cfg: &ScenarioConfig, seed: u64, duration: SimDuration) -> SimRes
         achieved_qps: latency.count as f64 / measured,
         latency,
         events_processed: sim.events_processed(),
+        metrics: sim.metrics_snapshot(),
     })
 }
 

@@ -212,6 +212,12 @@ pub struct Simulator {
     /// Span/event recorder (see [`crate::trace`]); `None` keeps every
     /// hot-path hook to a single branch.
     pub(crate) span_log: Option<Box<TraceLog>>,
+    /// Live-telemetry state (see [`crate::telemetry`]); `None` keeps every
+    /// hot-path hook to a single branch, same discipline as `span_log`.
+    pub(crate) telemetry: Option<Box<crate::telemetry::TelemetryState>>,
+    /// Busy-counter checkpoints backing the `*_utilization_since` queries.
+    /// One is recorded at the warmup boundary and one per sampler tick.
+    pub(crate) util_checkpoints: Vec<crate::machine::UtilCheckpoint>,
 }
 
 /// Request-tracing configuration.
@@ -585,6 +591,12 @@ impl Simulator {
     }
 
     /// Mean core utilization of an instance since time zero.
+    ///
+    /// **Deprecated in spirit**: averaging from time zero folds the warmup
+    /// ramp into the number, which skews short runs. Prefer
+    /// [`Simulator::instance_utilization_since`] with the warmup boundary
+    /// (or any checkpointed time); this wrapper is kept for callers that
+    /// genuinely want the whole-run average.
     pub fn instance_utilization(&self, instance: InstanceId) -> f64 {
         let inst = &self.instances[instance.index()];
         if self.now == SimTime::ZERO || inst.cores.is_empty() {
@@ -596,6 +608,9 @@ impl Simulator {
     }
 
     /// Mean irq-core utilization of a machine since time zero.
+    ///
+    /// **Deprecated in spirit**: see [`Simulator::instance_utilization`] —
+    /// prefer [`Simulator::network_utilization_since`] to exclude warmup.
     pub fn network_utilization(&self, machine: MachineId) -> f64 {
         let m = &self.machines[machine.index()];
         if self.now == SimTime::ZERO || m.irq_cores.is_empty() {
@@ -662,7 +677,32 @@ impl Simulator {
             }
             EventKind::RequestTimeout { request } => self.on_request_timeout(request),
             EventKind::ControllerTick { controller } => self.on_controller_tick(controller),
-            EventKind::Stop => self.stopped = true,
+            EventKind::TelemetrySample { recurring } => self.on_telemetry_sample(recurring),
+            EventKind::Stop => {
+                // Close windowed-latency windows up to the stop time so
+                // trailing idle periods appear as explicit count=0 windows
+                // instead of silently truncating the time axis.
+                if let Some(w) = &mut self.windowed {
+                    w.advance_to(self.now);
+                }
+                self.stopped = true;
+            }
+        }
+    }
+
+    /// Charges the request's not-yet-attributed time `[mark, now]` to
+    /// `component` and advances the frontier to now. Consecutive charges
+    /// telescope, so on completion the components sum exactly to
+    /// `completed - submitted`. A single branch when telemetry is off.
+    #[inline]
+    fn attribute_latency(&mut self, rid: RequestId, component: crate::telemetry::LatencyComponent) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        if let Some(req) = self.requests.get_mut(rid) {
+            let dt = (self.now - req.mark).as_nanos();
+            req.mark = self.now;
+            req.components_ns[component as usize] += dt;
         }
     }
 
@@ -738,6 +778,9 @@ impl Simulator {
     /// Writes a request onto its (free) client connection: creates the root
     /// job and sends it over the network.
     fn launch_request(&mut self, rid: RequestId, conn_id: ConnectionId) {
+        // Time between generation and hitting the wire is client-side
+        // connection wait (coordinated-omission territory).
+        self.attribute_latency(rid, crate::telemetry::LatencyComponent::ClientWait);
         self.conns[conn_id.index()].busy = true;
         let ty = {
             let req = self.requests.get_mut(rid).expect("request exists");
@@ -763,7 +806,9 @@ impl Simulator {
     }
 
     fn on_deliver_to_client(&mut self, rid: RequestId) {
-        let (latency, conn_id, live_jobs, client, timed_out, ty) = {
+        // The final leg (last node exit → client) is network time.
+        self.attribute_latency(rid, crate::telemetry::LatencyComponent::Network);
+        let (latency, conn_id, live_jobs, client, timed_out, ty, submitted, components) = {
             let req = self.requests.get(rid).expect("completing request exists");
             (
                 self.now - req.submitted,
@@ -772,9 +817,16 @@ impl Simulator {
                 req.client,
                 req.timed_out,
                 req.ty,
+                req.submitted,
+                req.components_ns,
             )
         };
         debug_assert_eq!(live_jobs, 0, "request completed with live jobs");
+        debug_assert!(
+            self.telemetry.is_none() || components.iter().sum::<u64>() == latency.as_nanos(),
+            "latency decomposition does not telescope: {components:?} vs {} ns",
+            latency.as_nanos()
+        );
         if timed_out {
             // Already accounted as a timeout error; exclude from latency.
             self.completed_after_timeout += 1;
@@ -797,6 +849,9 @@ impl Simulator {
                 measured,
                 t: self.now,
             });
+        }
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            tel.on_completion(self.now, submitted, components, latency, timed_out);
         }
         self.requests.free(rid);
 
@@ -1039,6 +1094,14 @@ impl Simulator {
                 });
             }
         }
+        // The hop that arrives is network time; when the *last* fan-in copy
+        // fires, the wait since the previous arrival was synchronization.
+        let comp = if fired && fan_in > 1 {
+            crate::telemetry::LatencyComponent::FanInSync
+        } else {
+            crate::telemetry::LatencyComponent::Network
+        };
+        self.attribute_latency(rid, comp);
         if !fired {
             self.jobs.free(job_id);
             return;
@@ -1080,6 +1143,7 @@ impl Simulator {
             j.exec_path = exec_idx;
             j.stage_cursor = 0;
             j.instance = Some(inst_id);
+            j.state_since = self.now;
         }
         let first_stage = self.services[inst_service.index()].paths[exec_idx].stages[0].index();
         let conn_key = conn.expect("jobs always travel on a connection");
@@ -1191,9 +1255,27 @@ impl Simulator {
             machine.cores[core_idx].dyn_energy_j +=
                 dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
             for &j in &jobs {
-                let job = self.jobs.get_mut(j).expect("queued job exists");
-                job.thread = Some(ThreadId::from_raw(t as u32));
-                job.instance = Some(inst_id);
+                let (rid, enqueued) = {
+                    let job = self.jobs.get_mut(j).expect("queued job exists");
+                    job.thread = Some(ThreadId::from_raw(t as u32));
+                    job.instance = Some(inst_id);
+                    let enqueued = job.state_since;
+                    job.state_since = self.now;
+                    (job.request, enqueued)
+                };
+                // Inlined attribute_latency: `inst` holds a borrow of
+                // self.instances, so only disjoint fields are touchable here.
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    if let Some(req) = self.requests.get_mut(rid) {
+                        let dt = (self.now - req.mark).as_nanos();
+                        req.mark = self.now;
+                        req.components_ns
+                            [crate::telemetry::LatencyComponent::QueueWait as usize] += dt;
+                    }
+                    if self.now >= tel.warmup_at {
+                        tel.stage_queue_wait[i][stage_idx].record((self.now - enqueued).as_nanos());
+                    }
+                }
             }
             inst.threads[t].running = Some(Batch {
                 stage: StageId::from_raw(stage_idx as u32),
@@ -1247,21 +1329,31 @@ impl Simulator {
 
         let sid = self.instances[i].service.index();
         for &job_id in &batch.jobs {
-            let (cursor, exec_path, conn, rid, node) = {
+            let (cursor, exec_path, conn, rid, node, svc_start) = {
                 let job = self.jobs.get_mut(job_id).expect("batch job exists");
                 debug_assert_eq!(
                     self.services[sid].paths[job.exec_path].stages[job.stage_cursor], batch.stage,
                     "job was batched at a stage it is not at"
                 );
                 job.stage_cursor += 1;
+                let svc_start = job.state_since;
+                job.state_since = self.now;
                 (
                     job.stage_cursor,
                     job.exec_path,
                     job.conn,
                     job.request,
                     job.node,
+                    svc_start,
                 )
             };
+            self.attribute_latency(rid, crate::telemetry::LatencyComponent::Service);
+            if let Some(tel) = self.telemetry.as_deref_mut() {
+                if self.now >= tel.warmup_at {
+                    tel.stage_service[i][batch.stage.index()]
+                        .record((self.now - svc_start).as_nanos());
+                }
+            }
             let stages = &self.services[sid].paths[exec_path].stages;
             if cursor < stages.len() {
                 let next_stage_id = stages[cursor];
@@ -1550,7 +1642,13 @@ impl Simulator {
             }
             if let Some((job, c)) = self.pools[pid.index()].release(conn_id) {
                 self.conns[c.index()].busy = true;
-                self.jobs.get_mut(job).expect("waiting job exists").conn = Some(c);
+                let rid = {
+                    let j = self.jobs.get_mut(job).expect("waiting job exists");
+                    j.conn = Some(c);
+                    j.request
+                };
+                // Time spent waiting for a pooled connection is blocking.
+                self.attribute_latency(rid, crate::telemetry::LatencyComponent::Blocking);
                 if let Some(log) = self.span_log.as_deref_mut() {
                     log.record(TraceEvent::PoolGrant {
                         pool: pid,

@@ -224,6 +224,22 @@ impl StageSpec {
         }
     }
 
+    /// The stage name sanitized for use as a metric label value: ASCII
+    /// alphanumerics lowercased, everything else mapped to `_`. Keeps the
+    /// Prometheus/CSV exports free of quoting surprises.
+    pub fn metric_label(&self) -> String {
+        self.name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
+            .collect()
+    }
+
     /// Validates the stage.
     ///
     /// # Errors

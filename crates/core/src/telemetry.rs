@@ -1,0 +1,1689 @@
+//! Live telemetry: streaming histograms, latency decomposition, periodic
+//! sampling, self-profiling, and Prometheus/CSV/JSON export.
+//!
+//! This is the observability layer on top of the raw recorders in
+//! [`crate::metrics`]. It is organized as three channels:
+//!
+//! 1. **Aggregates** — a [`MetricsRegistry`] snapshot of counters, gauges,
+//!    and summaries assembled on demand from the simulator's accumulators
+//!    and from bounded-memory [`StreamingHistogram`]s (HDR-style log-linear
+//!    buckets, mergeable, no per-sample storage).
+//! 2. **Time series** — a periodic sampler event
+//!    ([`crate::event::EventKind::TelemetrySample`]) that, at a fixed
+//!    simulated interval, closes a windowed-latency summary
+//!    ([`TelemetryWindow`]) and snapshots per-instance queue depth,
+//!    utilization, thread occupancy, connection-pool saturation, and
+//!    network-irq utilization into a [`SeriesSet`].
+//! 3. **Self-profiling** — wall-clock engine statistics (events per
+//!    wall-clock second, event-heap size, allocations per sim-second) kept
+//!    strictly separate from the deterministic channels so exports stay
+//!    byte-reproducible across machines.
+//!
+//! The whole layer follows the span-log discipline: the simulator holds an
+//! `Option<Box<TelemetryState>>`, every hot-path hook is a single
+//! `is_none()` branch when disabled, and nothing is allocated until
+//! [`Simulator::enable_telemetry`] is called.
+//!
+//! # Latency decomposition
+//!
+//! Each live request carries an *attribution frontier* (`mark`): at every
+//! event that advances the request, the elapsed `[mark, now]` interval is
+//! charged to the [`LatencyComponent`] of the event that closed it and the
+//! frontier moves to `now`. Because the charges telescope from submission
+//! to completion, the components sum to the end-to-end latency **exactly**
+//! (integer nanoseconds, no rounding). The attribution is critical-path
+//! biased: when branches run in parallel, whichever branch's event fires
+//! next advances the shared frontier, so sibling work overlapping it is
+//! folded into the component of the event that happened to close each
+//! interval. Fan-in synchronization stalls (the wait for the slowest
+//! sibling at a merge node) are charged to
+//! [`LatencyComponent::FanInSync`].
+
+use crate::event::EventKind;
+use crate::ids::{InstanceId, MachineId};
+use crate::machine::UtilCheckpoint;
+use crate::metrics::LatencySummary;
+use crate::sim::Simulator;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+// ---------------------------------------------------------------------
+// Streaming histogram
+// ---------------------------------------------------------------------
+
+/// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per power of two,
+/// bounding the relative quantile error at 1/32 ≈ 3.1%.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS;
+
+/// Bucket index for a nanosecond value. Pure integer bit arithmetic — no
+/// floating point — so bucketing is identical on every platform, which the
+/// byte-stable Prometheus golden test relies on.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_BUCKETS {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - u64::from(SUB_BITS);
+        (shift * SUB_BUCKETS + SUB_BUCKETS + ((v >> shift) & (SUB_BUCKETS - 1))) as usize
+    }
+}
+
+/// Largest value contained in bucket `idx` (inclusive).
+fn bucket_upper(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB_BUCKETS {
+        idx
+    } else {
+        let octave = (idx - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (idx - SUB_BUCKETS) % SUB_BUCKETS;
+        ((SUB_BUCKETS + sub + 1) << octave) - 1
+    }
+}
+
+/// A bounded-memory, mergeable, HDR-style log-linear histogram over
+/// nanosecond values.
+///
+/// Values below 32 ns get exact unit buckets; above that, each power of
+/// two is split into 32 linear sub-buckets, so any reported quantile `q̂`
+/// satisfies `q ≤ q̂ ≤ q · (1 + 1/32)` where `q` is the exact nearest-rank
+/// quantile. Memory is proportional to the log of the largest recorded
+/// value (≤ 1920 buckets for the full `u64` range), independent of sample
+/// count — this is what replaces sort-the-whole-sample-vec percentiles on
+/// hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_core::telemetry::StreamingHistogram;
+///
+/// let mut h = StreamingHistogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile_ns(0.50);
+/// assert!((500..=516).contains(&p50), "p50 within bucket resolution: {p50}");
+/// assert_eq!(h.max_ns(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    /// Bucket counts, grown lazily to the highest touched bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            counts: Vec::new(),
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one nanosecond value.
+    pub fn record(&mut self, ns: u64) {
+        let idx = bucket_index(ns);
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Records a value given in seconds (clamped at zero, rounded to the
+    /// nearest nanosecond).
+    pub fn record_secs(&mut self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9).round() as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all recorded values, nanoseconds.
+    pub fn sum_ns(&self) -> u128 {
+        self.sum_ns
+    }
+
+    /// Smallest recorded value, nanoseconds (0 when empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value, nanoseconds (0 when empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean of recorded values, seconds (0 when empty).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1e9
+        }
+    }
+
+    /// Nearest-rank quantile, nanoseconds: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest value, clamped to the
+    /// recorded maximum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// [`Self::quantile_ns`] in seconds.
+    pub fn quantile_secs(&self, q: f64) -> f64 {
+        self.quantile_ns(q) as f64 / 1e9
+    }
+
+    /// Merges another histogram into this one (element-wise bucket sums).
+    /// Merging is commutative and associative, so per-shard histograms can
+    /// be combined in any order with identical results.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Latency decomposition
+// ---------------------------------------------------------------------
+
+/// The component an interval of a request's end-to-end latency is
+/// attributed to. Discriminant values index `components_ns` arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LatencyComponent {
+    /// Waiting for a free client connection before launch.
+    ClientWait = 0,
+    /// Wire flight, transmission, and receive-side interrupt processing.
+    Network = 1,
+    /// Sitting in a stage queue waiting for a worker thread and core.
+    QueueWait = 2,
+    /// Being serviced by a stage batch (includes context-switch overhead).
+    Service = 3,
+    /// Waiting for a pooled connection to a downstream service.
+    Blocking = 4,
+    /// Waiting at a fan-in node for the slowest sibling branch.
+    FanInSync = 5,
+}
+
+impl LatencyComponent {
+    /// Number of components.
+    pub const COUNT: usize = 6;
+
+    /// All components in discriminant order.
+    pub const ALL: [LatencyComponent; Self::COUNT] = [
+        LatencyComponent::ClientWait,
+        LatencyComponent::Network,
+        LatencyComponent::QueueWait,
+        LatencyComponent::Service,
+        LatencyComponent::Blocking,
+        LatencyComponent::FanInSync,
+    ];
+
+    /// Stable snake_case name, used as the Prometheus/CSV label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyComponent::ClientWait => "client_wait",
+            LatencyComponent::Network => "network",
+            LatencyComponent::QueueWait => "queue_wait",
+            LatencyComponent::Service => "service",
+            LatencyComponent::Blocking => "blocking",
+            LatencyComponent::FanInSync => "fan_in_sync",
+        }
+    }
+}
+
+impl Serialize for LatencyComponent {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for LatencyComponent {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| serde::Error::custom("expected component name string"))?;
+        LatencyComponent::ALL
+            .into_iter()
+            .find(|c| c.name() == s)
+            .ok_or_else(|| serde::Error::custom(format!("unknown latency component {s:?}")))
+    }
+}
+
+/// The full latency decomposition of one completed request. The component
+/// nanoseconds sum to `completed - submitted` exactly (telescoping
+/// frontier charges; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestBreakdown {
+    /// When the client generated the request.
+    pub submitted: SimTime,
+    /// When the response reached the client.
+    pub completed: SimTime,
+    /// Nanoseconds attributed to each component, indexed by
+    /// [`LatencyComponent`] discriminant.
+    pub components_ns: [u64; LatencyComponent::COUNT],
+}
+
+impl RequestBreakdown {
+    /// Sum of the component attributions, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.components_ns.iter().sum()
+    }
+
+    /// End-to-end latency, nanoseconds.
+    pub fn e2e_ns(&self) -> u64 {
+        (self.completed - self.submitted).as_nanos()
+    }
+}
+
+// Manual impl: the vendored serde stand-in has no derive support for
+// fixed-size arrays.
+impl Serialize for RequestBreakdown {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("submitted", self.submitted.to_value());
+        m.insert("completed", self.completed.to_value());
+        m.insert("components_ns", self.components_ns[..].to_value());
+        serde::Value::Object(m)
+    }
+}
+
+/// Aggregate latency-decomposition totals over measured (post-warmup,
+/// non-timed-out) completions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComponentTotals {
+    /// Measured requests aggregated.
+    pub requests: u64,
+    /// Total nanoseconds per component, indexed by [`LatencyComponent`].
+    pub totals_ns: [u64; LatencyComponent::COUNT],
+}
+
+impl ComponentTotals {
+    /// Mean seconds per request spent in `c` (0 when no requests).
+    pub fn mean_s(&self, c: LatencyComponent) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.totals_ns[c as usize] as f64 / self.requests as f64 / 1e9
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and sampler state
+// ---------------------------------------------------------------------
+
+/// What [`Simulator::enable_telemetry`] turns on.
+///
+/// The default is decomposition-only: per-request latency attribution and
+/// streaming histograms, no periodic sampler, no retained per-request
+/// breakdowns, no wall-clock profiling — the cheapest useful setting, and
+/// what [`crate::run::run_one`] uses so sweeps carry decomposition columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Simulated interval between sampler ticks; `None` disables the
+    /// time-series channel entirely.
+    pub sample_interval: Option<SimDuration>,
+    /// Retain up to this many per-request [`RequestBreakdown`]s.
+    pub breakdown_capacity: usize,
+    /// Collect wall-clock self-profiling samples at each sampler tick.
+    pub self_profile: bool,
+}
+
+/// One closed sampler window: the latency summary over completions in the
+/// `sample_interval` ending at `end`. Matches what a
+/// [`crate::metrics::WindowedRecorder`] of the same width produces for the
+/// same run — empty windows are emitted with `count = 0` so time axes are
+/// gap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TelemetryWindow {
+    /// Window end (the tick time); the window covers the preceding interval.
+    pub end: SimTime,
+    /// Completions in the window.
+    pub count: u64,
+    /// Median latency, seconds (0 when empty).
+    pub p50_s: f64,
+    /// 95th-percentile latency, seconds (0 when empty).
+    pub p95_s: f64,
+    /// 99th-percentile latency, seconds (0 when empty).
+    pub p99_s: f64,
+    /// Completions per second over the window.
+    pub throughput: f64,
+}
+
+/// Identity of one gauge series in a [`SeriesSet`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SeriesDef {
+    /// Metric name, e.g. `instance_utilization`.
+    pub metric: &'static str,
+    /// Optional `(label_name, label_value)` pair, e.g. `("instance", "api0")`.
+    pub label: Option<(&'static str, String)>,
+}
+
+/// A set of gauge time series sampled at the same ticks: one shared time
+/// axis, one value column per series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct SeriesSet {
+    defs: Vec<SeriesDef>,
+    times_ns: Vec<u64>,
+    values: Vec<Vec<f64>>,
+}
+
+impl SeriesSet {
+    pub(crate) fn new(defs: Vec<SeriesDef>) -> Self {
+        let n = defs.len();
+        SeriesSet {
+            defs,
+            times_ns: Vec::new(),
+            values: vec![Vec::new(); n],
+        }
+    }
+
+    pub(crate) fn push_row(&mut self, t: SimTime, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.defs.len(), "series row width mismatch");
+        self.times_ns.push(t.as_nanos());
+        for (col, &v) in self.values.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// The series definitions, in column order.
+    pub fn defs(&self) -> &[SeriesDef] {
+        &self.defs
+    }
+
+    /// The shared time axis, nanoseconds.
+    pub fn times_ns(&self) -> &[u64] {
+        &self.times_ns
+    }
+
+    /// All samples of the series at column `idx`.
+    pub fn column(&self, idx: usize) -> &[f64] {
+        &self.values[idx]
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// True if no ticks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+
+    /// The most recent sample of the series named `metric` with the given
+    /// label value (`None` matches unlabeled series).
+    pub fn latest(&self, metric: &str, label: Option<&str>) -> Option<f64> {
+        let idx = self.defs.iter().position(|d| {
+            d.metric == metric && d.label.as_ref().map(|(_, v)| v.as_str()) == label
+        })?;
+        self.values[idx].last().copied()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Self-profiling
+// ---------------------------------------------------------------------
+
+/// One wall-clock self-profiling sample, taken at a sampler tick. These
+/// describe the *simulator's* performance (not the simulated system's) and
+/// are intentionally excluded from the deterministic exports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SelfProfileSample {
+    /// Simulated time of the tick.
+    pub sim_time: SimTime,
+    /// Wall-clock seconds since telemetry was enabled.
+    pub wall_s: f64,
+    /// Total events processed so far.
+    pub events_processed: u64,
+    /// Events processed per wall-clock second since the previous tick.
+    pub events_per_wall_s: f64,
+    /// Pending events in the heap at the tick.
+    pub event_heap: usize,
+    /// Requests in flight at the tick.
+    pub live_requests: usize,
+    /// Jobs in flight at the tick.
+    pub live_jobs: usize,
+    /// Heap allocations since the previous tick, if an allocation probe is
+    /// registered (see [`set_alloc_probe`]).
+    pub allocations: Option<u64>,
+    /// Allocations per simulated second since the previous tick.
+    pub allocs_per_sim_s: Option<f64>,
+}
+
+#[derive(Debug)]
+pub(crate) struct ProfileState {
+    start: std::time::Instant,
+    last_wall: std::time::Instant,
+    last_events: u64,
+    last_allocs: Option<u64>,
+    last_sim: SimTime,
+    pub(crate) samples: Vec<SelfProfileSample>,
+}
+
+impl ProfileState {
+    fn new(now: SimTime, events_processed: u64) -> Self {
+        let t = std::time::Instant::now();
+        ProfileState {
+            start: t,
+            last_wall: t,
+            last_events: events_processed,
+            last_allocs: read_alloc_probe(),
+            last_sim: now,
+            samples: Vec::new(),
+        }
+    }
+
+    fn sample(
+        &mut self,
+        now: SimTime,
+        events_processed: u64,
+        event_heap: usize,
+        live_requests: usize,
+        live_jobs: usize,
+    ) {
+        let t = std::time::Instant::now();
+        let wall = t.duration_since(self.last_wall).as_secs_f64().max(1e-12);
+        let d_events = events_processed.saturating_sub(self.last_events);
+        let allocs = read_alloc_probe();
+        let d_sim = (now - self.last_sim).as_secs_f64();
+        let (d_allocs, allocs_per_sim_s) = match (allocs, self.last_allocs) {
+            (Some(a), Some(b)) => {
+                let d = a.saturating_sub(b);
+                let rate = (d_sim > 0.0).then(|| d as f64 / d_sim);
+                (Some(d), rate)
+            }
+            _ => (None, None),
+        };
+        self.samples.push(SelfProfileSample {
+            sim_time: now,
+            wall_s: t.duration_since(self.start).as_secs_f64(),
+            events_processed,
+            events_per_wall_s: d_events as f64 / wall,
+            event_heap,
+            live_requests,
+            live_jobs,
+            allocations: d_allocs,
+            allocs_per_sim_s,
+        });
+        self.last_wall = t;
+        self.last_events = events_processed;
+        self.last_allocs = allocs;
+        self.last_sim = now;
+    }
+}
+
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Registers a process-wide allocation counter for self-profiling.
+///
+/// `uqsim-core` forbids `unsafe` code, so it cannot install a counting
+/// global allocator itself; a binary that does (the CLI) calls this once
+/// with a function returning its cumulative allocation count. The first
+/// registration wins; later calls are ignored.
+pub fn set_alloc_probe(probe: fn() -> u64) {
+    let _ = ALLOC_PROBE.set(probe);
+}
+
+pub(crate) fn read_alloc_probe() -> Option<u64> {
+    ALLOC_PROBE.get().map(|f| f())
+}
+
+// ---------------------------------------------------------------------
+// Registry and exporters
+// ---------------------------------------------------------------------
+
+/// The value of one exported metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// A monotonically increasing integer count.
+    Counter(u64),
+    /// An instantaneous value.
+    Gauge(f64),
+    /// A quantile summary backed by a [`StreamingHistogram`].
+    Summary {
+        /// `(quantile, value_seconds)` pairs, ascending by quantile.
+        quantiles: Vec<(f64, f64)>,
+        /// Sum of all observations, seconds.
+        sum: f64,
+        /// Number of observations.
+        count: u64,
+    },
+}
+
+/// One exported metric: a name, label set, help string, and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Metric name (Prometheus conventions, `uqsim_` prefix).
+    pub name: &'static str,
+    /// `(label_name, label_value)` pairs, in emission order.
+    pub labels: Vec<(&'static str, String)>,
+    /// One-line help text.
+    pub help: &'static str,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// An ordered collection of metrics, assembled on demand by
+/// [`Simulator::metrics_registry`] and rendered by
+/// [`MetricsRegistry::to_prometheus`]. Metrics sharing a name must be
+/// pushed consecutively (Prometheus groups a family under one
+/// `# HELP`/`# TYPE` header).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a counter.
+    pub fn counter(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: u64,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            labels,
+            help,
+            value: MetricValue::Counter(value),
+        });
+    }
+
+    /// Pushes a gauge.
+    pub fn gauge(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        value: f64,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            labels,
+            help,
+            value: MetricValue::Gauge(value),
+        });
+    }
+
+    /// Pushes a p50/p95/p99 summary from a streaming histogram.
+    pub fn summary(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: Vec<(&'static str, String)>,
+        hist: &StreamingHistogram,
+    ) {
+        self.metrics.push(Metric {
+            name,
+            labels,
+            help,
+            value: MetricValue::Summary {
+                quantiles: vec![
+                    (0.5, hist.quantile_secs(0.5)),
+                    (0.95, hist.quantile_secs(0.95)),
+                    (0.99, hist.quantile_secs(0.99)),
+                ],
+                sum: hist.sum_ns() as f64 / 1e9,
+                count: hist.count(),
+            },
+        });
+    }
+
+    /// All metrics in emission order.
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// The output is deterministic: metric order is fixed by assembly
+    /// order, bucket math is pure integer arithmetic, and float formatting
+    /// uses Rust's shortest-roundtrip `Display` — so a fixed-seed run
+    /// exports byte-identical text on every platform.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut prev_name = "";
+        for m in &self.metrics {
+            if m.name != prev_name {
+                let ty = match m.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Summary { .. } => "summary",
+                };
+                out.push_str(&format!(
+                    "# HELP {} {}\n# TYPE {} {ty}\n",
+                    m.name, m.help, m.name
+                ));
+                prev_name = m.name;
+            }
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, label_str(&m.labels, None)));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", m.name, label_str(&m.labels, None)));
+                }
+                MetricValue::Summary {
+                    quantiles,
+                    sum,
+                    count,
+                } => {
+                    for (q, v) in quantiles {
+                        out.push_str(&format!(
+                            "{}{} {v}\n",
+                            m.name,
+                            label_str(&m.labels, Some(*q))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {sum}\n",
+                        m.name,
+                        label_str(&m.labels, None)
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {count}\n",
+                        m.name,
+                        label_str(&m.labels, None)
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Renders a `{a="x",b="y"}` label block (empty string when no labels).
+fn label_str(labels: &[(&'static str, String)], quantile: Option<f64>) -> String {
+    if labels.is_empty() && quantile.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(q) = quantile {
+        parts.push(format!("quantile=\"{q}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Quotes a CSV field if it contains a delimiter, quote, or newline.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The compact per-run telemetry summary threaded into sweep tables: mean
+/// utilizations (measured since the warmup boundary) and mean latency
+/// decomposition. Plain `Copy` data, cheap to aggregate across
+/// replications.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Mean per-instance core utilization since warmup, averaged over
+    /// instances.
+    pub instance_utilization: f64,
+    /// Mean irq-core utilization since warmup, averaged over machines that
+    /// have irq cores.
+    pub network_utilization: f64,
+    /// Measured requests in the decomposition aggregates (0 when the
+    /// telemetry layer is disabled).
+    pub decomposed_requests: u64,
+    /// Mean seconds per request per [`LatencyComponent`], in discriminant
+    /// order.
+    pub component_mean_s: [f64; LatencyComponent::COUNT],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            instance_utilization: 0.0,
+            network_utilization: 0.0,
+            decomposed_requests: 0,
+            component_mean_s: [0.0; LatencyComponent::COUNT],
+        }
+    }
+}
+
+// Manual impls: the vendored serde stand-in has no derive support for
+// fixed-size arrays.
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("instance_utilization", self.instance_utilization.to_value());
+        m.insert("network_utilization", self.network_utilization.to_value());
+        m.insert("decomposed_requests", self.decomposed_requests.to_value());
+        m.insert("component_mean_s", self.component_mean_s[..].to_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for MetricsSnapshot {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected MetricsSnapshot object"))?;
+        let f = |key: &str| -> Result<f64, serde::Error> {
+            obj.get(key)
+                .and_then(serde::Value::as_f64)
+                .ok_or_else(|| serde::Error::custom(format!("missing field {key}")))
+        };
+        let means: Vec<f64> = obj
+            .get("component_mean_s")
+            .map(Deserialize::from_value)
+            .transpose()?
+            .unwrap_or_default();
+        let mut component_mean_s = [0.0; LatencyComponent::COUNT];
+        for (slot, v) in component_mean_s.iter_mut().zip(means) {
+            *slot = v;
+        }
+        Ok(MetricsSnapshot {
+            instance_utilization: f("instance_utilization")?,
+            network_utilization: f("network_utilization")?,
+            decomposed_requests: obj
+                .get("decomposed_requests")
+                .and_then(serde::Value::as_u64)
+                .ok_or_else(|| serde::Error::custom("missing field decomposed_requests"))?,
+            component_mean_s,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulator-side state
+// ---------------------------------------------------------------------
+
+/// All telemetry state, boxed behind an `Option` on the simulator so the
+/// disabled cost is one pointer and one branch per hook.
+#[derive(Debug)]
+pub(crate) struct TelemetryState {
+    pub(crate) cfg: TelemetryConfig,
+    pub(crate) warmup_at: SimTime,
+    pub(crate) comp_totals: ComponentTotals,
+    pub(crate) comp_hist: [StreamingHistogram; LatencyComponent::COUNT],
+    pub(crate) e2e_hist: StreamingHistogram,
+    pub(crate) breakdowns: Vec<RequestBreakdown>,
+    /// `[instance][stage]` queue-wait histograms (post-warmup).
+    pub(crate) stage_queue_wait: Vec<Vec<StreamingHistogram>>,
+    /// `[instance][stage]` per-job service-interval histograms (post-warmup).
+    pub(crate) stage_service: Vec<Vec<StreamingHistogram>>,
+    /// Latency samples of the currently open sampler window.
+    pub(crate) window_buf: Vec<f64>,
+    pub(crate) windows: Vec<TelemetryWindow>,
+    pub(crate) series: SeriesSet,
+    pub(crate) prev_inst_busy: Vec<u64>,
+    pub(crate) prev_irq_busy: Vec<u64>,
+    pub(crate) prev_tick: SimTime,
+    pub(crate) profile: Option<ProfileState>,
+}
+
+impl TelemetryState {
+    /// Records a completing request: retains its breakdown (up to
+    /// capacity), buffers the windowed sample, and — for measured
+    /// completions — feeds the decomposition aggregates.
+    pub(crate) fn on_completion(
+        &mut self,
+        now: SimTime,
+        submitted: SimTime,
+        components_ns: [u64; LatencyComponent::COUNT],
+        latency: SimDuration,
+        timed_out: bool,
+    ) {
+        if self.breakdowns.len() < self.cfg.breakdown_capacity {
+            self.breakdowns.push(RequestBreakdown {
+                submitted,
+                completed: now,
+                components_ns,
+            });
+        }
+        if timed_out {
+            return;
+        }
+        // The sampler window mirrors WindowedRecorder: every non-timed-out
+        // completion counts, warmup included.
+        if self.cfg.sample_interval.is_some() {
+            self.window_buf.push(latency.as_secs_f64());
+        }
+        if now < self.warmup_at {
+            return;
+        }
+        self.comp_totals.requests += 1;
+        for (i, &ns) in components_ns.iter().enumerate() {
+            self.comp_totals.totals_ns[i] += ns;
+            self.comp_hist[i].record(ns);
+        }
+        self.e2e_hist.record(latency.as_nanos());
+    }
+}
+
+impl Simulator {
+    /// Enables the telemetry layer. Call before [`Simulator::run_for`];
+    /// decomposition starts from the requests generated after this call
+    /// (in-flight requests are still attributed correctly — the component
+    /// sums stay exact — but their pre-enable intervals collapse into the
+    /// first post-enable charge).
+    ///
+    /// With `cfg.sample_interval` set, a recurring
+    /// [`EventKind::TelemetrySample`] event snapshots the gauge series and
+    /// closes a [`TelemetryWindow`] at each tick.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        let warmup_at = SimTime::ZERO + self.cfg.warmup;
+        let mut defs = vec![
+            SeriesDef {
+                metric: "live_requests",
+                label: None,
+            },
+            SeriesDef {
+                metric: "live_jobs",
+                label: None,
+            },
+            SeriesDef {
+                metric: "event_heap",
+                label: None,
+            },
+        ];
+        for inst in &self.instances {
+            for metric in [
+                "instance_queue_depth",
+                "instance_utilization",
+                "threads_running",
+                "threads_blocked",
+            ] {
+                defs.push(SeriesDef {
+                    metric,
+                    label: Some(("instance", inst.name.clone())),
+                });
+            }
+        }
+        for m in &self.machines {
+            for metric in ["network_utilization", "net_queue_depth"] {
+                defs.push(SeriesDef {
+                    metric,
+                    label: Some(("machine", m.spec.name.clone())),
+                });
+            }
+        }
+        for p in &self.pools {
+            let label = format!(
+                "{}->{}",
+                self.instances[p.up_instance.index()].name,
+                self.instances[p.down_instance.index()].name
+            );
+            for metric in ["pool_free", "pool_waiters"] {
+                defs.push(SeriesDef {
+                    metric,
+                    label: Some(("pool", label.clone())),
+                });
+            }
+        }
+        let stage_hists: Vec<Vec<StreamingHistogram>> = self
+            .instances
+            .iter()
+            .map(|i| vec![StreamingHistogram::new(); self.services[i.service.index()].stages.len()])
+            .collect();
+        let state = TelemetryState {
+            cfg,
+            warmup_at,
+            comp_totals: ComponentTotals::default(),
+            comp_hist: std::array::from_fn(|_| StreamingHistogram::new()),
+            e2e_hist: StreamingHistogram::new(),
+            breakdowns: Vec::new(),
+            stage_queue_wait: stage_hists.clone(),
+            stage_service: stage_hists,
+            window_buf: Vec::new(),
+            windows: Vec::new(),
+            series: SeriesSet::new(defs),
+            prev_inst_busy: self.inst_busy_sums(),
+            prev_irq_busy: self.irq_busy_sums(),
+            prev_tick: self.now,
+            profile: cfg
+                .self_profile
+                .then(|| ProfileState::new(self.now, self.events_processed)),
+        };
+        self.telemetry = Some(Box::new(state));
+        self.push_util_checkpoint();
+        if let Some(interval) = cfg.sample_interval {
+            assert!(
+                interval > SimDuration::ZERO,
+                "sample interval must be positive"
+            );
+            self.events.schedule(
+                self.now + interval,
+                EventKind::TelemetrySample { recurring: true },
+            );
+        }
+    }
+
+    /// True if [`Simulator::enable_telemetry`] has been called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Accumulated busy nanoseconds per instance (sum over its cores).
+    fn inst_busy_sums(&self) -> Vec<u64> {
+        self.instances
+            .iter()
+            .map(|inst| {
+                let m = &self.machines[inst.machine.index()];
+                inst.cores.iter().map(|&c| m.cores[c].busy_ns).sum()
+            })
+            .collect()
+    }
+
+    /// Accumulated busy nanoseconds per machine (sum over its irq cores).
+    fn irq_busy_sums(&self) -> Vec<u64> {
+        self.machines
+            .iter()
+            .map(|m| m.irq_cores.iter().map(|&c| m.cores[c].busy_ns).sum())
+            .collect()
+    }
+
+    /// Pushes a utilization checkpoint at the current time (deduplicated:
+    /// at most one per instant).
+    pub(crate) fn push_util_checkpoint(&mut self) {
+        if self.util_checkpoints.last().map(|cp| cp.t) == Some(self.now) {
+            return;
+        }
+        let cp = UtilCheckpoint {
+            t: self.now,
+            inst_busy_ns: self.inst_busy_sums(),
+            irq_busy_ns: self.irq_busy_sums(),
+        };
+        self.util_checkpoints.push(cp);
+    }
+
+    /// Handles a [`EventKind::TelemetrySample`] event. The one-shot
+    /// (`recurring == false`) variant only records a utilization
+    /// checkpoint (scheduled at the warmup boundary by the builder, so the
+    /// since-warmup utilization getters have an exact baseline); the
+    /// recurring variant is the sampler tick.
+    pub(crate) fn on_telemetry_sample(&mut self, recurring: bool) {
+        self.push_util_checkpoint();
+        if !recurring {
+            return;
+        }
+        let now = self.now;
+        let inst_busy = self.inst_busy_sums();
+        let irq_busy = self.irq_busy_sums();
+        let event_heap = self.events.len();
+        let live_requests = self.requests.live();
+        let live_jobs = self.jobs.live();
+        let events_processed = self.events_processed;
+
+        let Some(tel) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let interval = tel
+            .cfg
+            .sample_interval
+            .expect("recurring sample without an interval");
+
+        // Close the latency window over completions since the last tick.
+        let summary = LatencySummary::from_samples(&tel.window_buf);
+        tel.windows.push(TelemetryWindow {
+            end: now,
+            count: summary.count as u64,
+            p50_s: summary.p50,
+            p95_s: summary.p95,
+            p99_s: summary.p99,
+            throughput: summary.count as f64 / interval.as_secs_f64(),
+        });
+        tel.window_buf.clear();
+
+        // Gauge row, in SeriesSet column order (see enable_telemetry).
+        let span_ns = (now - tel.prev_tick).as_nanos().max(1) as f64;
+        let mut row = Vec::with_capacity(tel.series.defs().len());
+        row.push(live_requests as f64);
+        row.push(live_jobs as f64);
+        row.push(event_heap as f64);
+        for (i, inst) in self.instances.iter().enumerate() {
+            let depth: usize = inst
+                .queue_sets
+                .iter()
+                .flatten()
+                .map(crate::queue::StageQueue::len)
+                .sum();
+            let ncores = inst.cores.len().max(1) as f64;
+            let util =
+                inst_busy[i].saturating_sub(tel.prev_inst_busy[i]) as f64 / (span_ns * ncores);
+            let running = inst.threads.iter().filter(|t| t.running.is_some()).count();
+            let blocked = inst.threads.iter().filter(|t| t.block_depth > 0).count();
+            row.push(depth as f64);
+            row.push(util);
+            row.push(running as f64);
+            row.push(blocked as f64);
+        }
+        for (mi, m) in self.machines.iter().enumerate() {
+            let nirq = m.irq_cores.len().max(1) as f64;
+            let util = irq_busy[mi].saturating_sub(tel.prev_irq_busy[mi]) as f64 / (span_ns * nirq);
+            let in_service = m.net_slots.iter().filter(|s| s.is_some()).count();
+            row.push(util);
+            row.push((m.net_queue.len() + in_service) as f64);
+        }
+        for p in &self.pools {
+            row.push(p.free_count() as f64);
+            row.push(p.waiter_count() as f64);
+        }
+        tel.series.push_row(now, &row);
+        tel.prev_inst_busy = inst_busy;
+        tel.prev_irq_busy = irq_busy;
+        tel.prev_tick = now;
+
+        if let Some(p) = &mut tel.profile {
+            p.sample(now, events_processed, event_heap, live_requests, live_jobs);
+        }
+
+        self.events.schedule(
+            now + interval,
+            EventKind::TelemetrySample { recurring: true },
+        );
+    }
+
+    /// Mean core utilization of an instance over `[since, now]`.
+    ///
+    /// Busy time is read against the utilization checkpoint nearest below
+    /// `since` (the warmup boundary and every sampler tick record one), so
+    /// pass the warmup deadline to exclude warm-up skew. Note that busy
+    /// nanoseconds accrue up front when a batch starts service, so a
+    /// short interval ending mid-batch can read slightly above 1.0.
+    pub fn instance_utilization_since(&self, instance: InstanceId, since: SimTime) -> f64 {
+        let inst = &self.instances[instance.index()];
+        if inst.cores.is_empty() || since >= self.now {
+            return 0.0;
+        }
+        let m = &self.machines[inst.machine.index()];
+        let busy_now: u64 = inst.cores.iter().map(|&c| m.cores[c].busy_ns).sum();
+        let (t0, busy0) = self
+            .util_checkpoints
+            .iter()
+            .rev()
+            .find(|cp| cp.t <= since)
+            .map(|cp| (cp.t, cp.inst_busy_ns[instance.index()]))
+            .unwrap_or((SimTime::ZERO, 0));
+        let span = (self.now - t0).as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        busy_now.saturating_sub(busy0) as f64 / (span as f64 * inst.cores.len() as f64)
+    }
+
+    /// Mean irq-core utilization of a machine over `[since, now]`; see
+    /// [`Simulator::instance_utilization_since`] for checkpoint semantics.
+    pub fn network_utilization_since(&self, machine: MachineId, since: SimTime) -> f64 {
+        let m = &self.machines[machine.index()];
+        if m.irq_cores.is_empty() || since >= self.now {
+            return 0.0;
+        }
+        let busy_now: u64 = m.irq_cores.iter().map(|&c| m.cores[c].busy_ns).sum();
+        let (t0, busy0) = self
+            .util_checkpoints
+            .iter()
+            .rev()
+            .find(|cp| cp.t <= since)
+            .map(|cp| (cp.t, cp.irq_busy_ns[machine.index()]))
+            .unwrap_or((SimTime::ZERO, 0));
+        let span = (self.now - t0).as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        busy_now.saturating_sub(busy0) as f64 / (span as f64 * m.irq_cores.len() as f64)
+    }
+
+    /// The closed sampler windows (empty slice when the sampler is off).
+    pub fn telemetry_windows(&self) -> &[TelemetryWindow] {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.windows.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The sampled gauge series, if the sampler is enabled.
+    pub fn telemetry_series(&self) -> Option<&SeriesSet> {
+        self.telemetry.as_deref().map(|t| &t.series)
+    }
+
+    /// Retained per-request latency breakdowns (empty slice when telemetry
+    /// is disabled or `breakdown_capacity` is 0).
+    pub fn latency_breakdowns(&self) -> &[RequestBreakdown] {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.breakdowns.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Aggregate latency-decomposition totals over measured completions.
+    pub fn latency_component_totals(&self) -> ComponentTotals {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.comp_totals)
+            .unwrap_or_default()
+    }
+
+    /// Wall-clock self-profiling samples (empty unless
+    /// [`TelemetryConfig::self_profile`] was set).
+    pub fn self_profile(&self) -> &[SelfProfileSample] {
+        self.telemetry
+            .as_deref()
+            .and_then(|t| t.profile.as_ref())
+            .map(|p| p.samples.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The compact per-run summary threaded into sweep tables.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let since = (SimTime::ZERO + self.cfg.warmup).min(self.now);
+        let n_inst = self.instances.len();
+        let instance_utilization = if n_inst == 0 {
+            0.0
+        } else {
+            (0..n_inst)
+                .map(|i| self.instance_utilization_since(InstanceId::from_raw(i as u32), since))
+                .sum::<f64>()
+                / n_inst as f64
+        };
+        let irq_machines: Vec<usize> = (0..self.machines.len())
+            .filter(|&m| !self.machines[m].irq_cores.is_empty())
+            .collect();
+        let network_utilization = if irq_machines.is_empty() {
+            0.0
+        } else {
+            irq_machines
+                .iter()
+                .map(|&m| self.network_utilization_since(MachineId::from_raw(m as u32), since))
+                .sum::<f64>()
+                / irq_machines.len() as f64
+        };
+        let (decomposed_requests, component_mean_s) = match self.telemetry.as_deref() {
+            Some(t) => (
+                t.comp_totals.requests,
+                std::array::from_fn(|i| t.comp_totals.mean_s(LatencyComponent::ALL[i])),
+            ),
+            None => (0, [0.0; LatencyComponent::COUNT]),
+        };
+        MetricsSnapshot {
+            instance_utilization,
+            network_utilization,
+            decomposed_requests,
+            component_mean_s,
+        }
+    }
+
+    /// Assembles the full metrics registry: run counters, per-entity
+    /// gauges, and — when telemetry is enabled — latency summaries backed
+    /// by the streaming histograms.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let since = (SimTime::ZERO + self.cfg.warmup).min(self.now);
+        reg.counter(
+            "uqsim_requests_generated_total",
+            "Requests generated by all clients.",
+            vec![],
+            self.generated,
+        );
+        reg.counter(
+            "uqsim_requests_completed_total",
+            "Requests whose response reached the client.",
+            vec![],
+            self.completed,
+        );
+        reg.counter(
+            "uqsim_request_timeouts_total",
+            "Requests whose client-side timeout fired.",
+            vec![],
+            self.timeouts,
+        );
+        reg.counter(
+            "uqsim_events_processed_total",
+            "Events the simulation engine has processed.",
+            vec![],
+            self.events_processed,
+        );
+        reg.gauge(
+            "uqsim_sim_time_seconds",
+            "Current simulated time.",
+            vec![],
+            self.now.as_secs_f64(),
+        );
+        reg.gauge(
+            "uqsim_live_requests",
+            "Requests currently in flight.",
+            vec![],
+            self.requests.live() as f64,
+        );
+        reg.gauge(
+            "uqsim_live_jobs",
+            "Jobs currently in flight.",
+            vec![],
+            self.jobs.live() as f64,
+        );
+        for (i, inst) in self.instances.iter().enumerate() {
+            reg.gauge(
+                "uqsim_instance_utilization",
+                "Mean core utilization of the instance since warmup.",
+                vec![("instance", inst.name.clone())],
+                self.instance_utilization_since(InstanceId::from_raw(i as u32), since),
+            );
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            reg.gauge(
+                "uqsim_instance_queue_depth",
+                "Jobs currently queued at the instance.",
+                vec![("instance", inst.name.clone())],
+                self.instance_queue_depth(InstanceId::from_raw(i as u32)) as f64,
+            );
+        }
+        for (mi, m) in self.machines.iter().enumerate() {
+            reg.gauge(
+                "uqsim_network_utilization",
+                "Mean irq-core utilization of the machine since warmup.",
+                vec![("machine", m.spec.name.clone())],
+                self.network_utilization_since(MachineId::from_raw(mi as u32), since),
+            );
+        }
+        for p in &self.pools {
+            let label = format!(
+                "{}->{}",
+                self.instances[p.up_instance.index()].name,
+                self.instances[p.down_instance.index()].name
+            );
+            reg.gauge(
+                "uqsim_pool_free",
+                "Free connections in the pool.",
+                vec![("pool", label)],
+                p.free_count() as f64,
+            );
+        }
+        for p in &self.pools {
+            let label = format!(
+                "{}->{}",
+                self.instances[p.up_instance.index()].name,
+                self.instances[p.down_instance.index()].name
+            );
+            reg.gauge(
+                "uqsim_pool_waiters",
+                "Jobs blocked waiting for a pool connection.",
+                vec![("pool", label)],
+                p.waiter_count() as f64,
+            );
+        }
+        let Some(tel) = self.telemetry.as_deref() else {
+            return reg;
+        };
+        reg.summary(
+            "uqsim_e2e_latency_seconds",
+            "End-to-end latency over measured completions.",
+            vec![],
+            &tel.e2e_hist,
+        );
+        for c in LatencyComponent::ALL {
+            reg.summary(
+                "uqsim_latency_component_seconds",
+                "Per-request latency attributed to each component.",
+                vec![("component", c.name().to_string())],
+                &tel.comp_hist[c as usize],
+            );
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            let svc = &self.services[inst.service.index()];
+            for (s, spec) in svc.stages.iter().enumerate() {
+                reg.summary(
+                    "uqsim_stage_queue_wait_seconds",
+                    "Time jobs spent queued before each stage.",
+                    vec![
+                        ("instance", inst.name.clone()),
+                        ("stage", spec.metric_label()),
+                    ],
+                    &tel.stage_queue_wait[i][s],
+                );
+            }
+        }
+        for (i, inst) in self.instances.iter().enumerate() {
+            let svc = &self.services[inst.service.index()];
+            for (s, spec) in svc.stages.iter().enumerate() {
+                reg.summary(
+                    "uqsim_stage_service_seconds",
+                    "Per-job service interval of each stage.",
+                    vec![
+                        ("instance", inst.name.clone()),
+                        ("stage", spec.metric_label()),
+                    ],
+                    &tel.stage_service[i][s],
+                );
+            }
+        }
+        reg
+    }
+
+    /// [`Simulator::metrics_registry`] rendered as Prometheus text.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics_registry().to_prometheus()
+    }
+
+    /// The long-form time-series CSV (`t_s,metric,label,value`), or `None`
+    /// when the sampler is disabled. Rows are tick-major: the windowed
+    /// latency summary of each tick, then every gauge series at that tick.
+    pub fn metrics_csv(&self) -> Option<String> {
+        let tel = self.telemetry.as_deref()?;
+        tel.cfg.sample_interval?;
+        let mut out = String::from("t_s,metric,label,value\n");
+        let n_ticks = tel.series.len().min(tel.windows.len());
+        for k in 0..n_ticks {
+            let w = &tel.windows[k];
+            let t = w.end.as_secs_f64();
+            out.push_str(&format!("{t:.9},windowed_count,,{}\n", w.count));
+            out.push_str(&format!(
+                "{t:.9},windowed_throughput_qps,,{}\n",
+                w.throughput
+            ));
+            out.push_str(&format!("{t:.9},windowed_p50_seconds,,{}\n", w.p50_s));
+            out.push_str(&format!("{t:.9},windowed_p95_seconds,,{}\n", w.p95_s));
+            out.push_str(&format!("{t:.9},windowed_p99_seconds,,{}\n", w.p99_s));
+            for (col, def) in tel.series.defs().iter().enumerate() {
+                let label = def
+                    .label
+                    .as_ref()
+                    .map(|(_, v)| csv_field(v))
+                    .unwrap_or_default();
+                out.push_str(&format!(
+                    "{t:.9},{},{label},{}\n",
+                    def.metric,
+                    tel.series.column(col)[k]
+                ));
+            }
+        }
+        Some(out)
+    }
+
+    /// The full telemetry state as JSON: run counters, latency summary,
+    /// utilization, decomposition means, sampler windows, gauge series,
+    /// and self-profiling samples.
+    pub fn metrics_json(&self) -> serde_json::Value {
+        let since = (SimTime::ZERO + self.cfg.warmup).min(self.now);
+        let tel = self.telemetry.as_deref();
+        let decomposition = match tel {
+            Some(t) => {
+                let mut map = serde_json::Map::new();
+                for c in LatencyComponent::ALL {
+                    map.insert(
+                        c.name().to_string(),
+                        serde_json::json!({
+                            "mean_s": t.comp_totals.mean_s(c),
+                            "total_s": t.comp_totals.totals_ns[c as usize] as f64 / 1e9,
+                            "p99_s": t.comp_hist[c as usize].quantile_secs(0.99),
+                        }),
+                    );
+                }
+                serde_json::Value::Object(map)
+            }
+            None => serde_json::Value::Null,
+        };
+        let instances: Vec<serde_json::Value> = self
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let id = InstanceId::from_raw(i as u32);
+                serde_json::json!({
+                    "name": inst.name,
+                    "utilization": self.instance_utilization_since(id, since),
+                    "queue_depth": self.instance_queue_depth(id),
+                })
+            })
+            .collect();
+        let machines: Vec<serde_json::Value> = self
+            .machines
+            .iter()
+            .enumerate()
+            .map(|(mi, m)| {
+                serde_json::json!({
+                    "name": m.spec.name,
+                    "network_utilization":
+                        self.network_utilization_since(MachineId::from_raw(mi as u32), since),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "run": {
+                "seed": self.cfg.seed,
+                "sim_time_s": self.now.as_secs_f64(),
+                "warmup_s": self.cfg.warmup.as_secs_f64(),
+                "generated": self.generated,
+                "completed": self.completed,
+                "timeouts": self.timeouts,
+                "events_processed": self.events_processed,
+            },
+            "latency": self.latency_summary(),
+            "snapshot": self.metrics_snapshot(),
+            "decomposition": decomposition,
+            "utilization": { "instances": instances, "machines": machines },
+            "windows": tel.map(|t| &t.windows),
+            "series": tel.map(|t| &t.series),
+            "self_profile": self.self_profile(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_continuous_at_octave_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(64), 64);
+        assert_eq!(bucket_index(65), 64, "two values per bucket in octave 1");
+        // Indices never decrease.
+        let mut prev = 0;
+        for v in 0..100_000u64 {
+            let i = bucket_index(v);
+            assert!(i >= prev, "bucket index regressed at {v}");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bounds_its_bucket() {
+        for idx in 0..500 {
+            let upper = bucket_upper(idx);
+            assert_eq!(bucket_index(upper), idx, "upper of {idx} maps back");
+            assert_eq!(
+                bucket_index(upper + 1),
+                idx + 1,
+                "upper of {idx} is the last value"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_within_resolution() {
+        let mut h = StreamingHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5000u64), (0.95, 9500), (0.99, 9900)] {
+            let est = h.quantile_ns(q);
+            assert!(est >= exact, "q{q}: {est} < exact {exact}");
+            assert!(
+                est <= exact + exact / 32 + 1,
+                "q{q}: {est} above resolution bound for {exact}"
+            );
+        }
+        assert_eq!(h.quantile_ns(1.0), 10_000);
+        assert_eq!(h.max_ns(), 10_000);
+        assert_eq!(h.min_ns(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = StreamingHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.99), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.mean_secs(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        for v in [1u64, 40, 40, 2000, 1 << 40] {
+            a.record(v);
+        }
+        for v in [7u64, 7, 555] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 8);
+    }
+
+    #[test]
+    fn record_secs_rounds_to_nanos() {
+        let mut h = StreamingHistogram::new();
+        h.record_secs(1e-9 * 1.6);
+        h.record_secs(-5.0);
+        assert_eq!(h.max_ns(), 2);
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn component_names_are_stable() {
+        let names: Vec<&str> = LatencyComponent::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "client_wait",
+                "network",
+                "queue_wait",
+                "service",
+                "blocking",
+                "fan_in_sync"
+            ]
+        );
+        for (i, c) in LatencyComponent::ALL.iter().enumerate() {
+            assert_eq!(*c as usize, i, "discriminants index the arrays");
+        }
+    }
+
+    #[test]
+    fn registry_renders_prometheus_families() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("uqsim_x_total", "X events.", vec![], 3);
+        reg.gauge("uqsim_g", "A gauge.", vec![("inst", "a\"b".into())], 0.5);
+        let mut h = StreamingHistogram::new();
+        h.record(10);
+        reg.summary("uqsim_s_seconds", "A summary.", vec![], &h);
+        let text = reg.to_prometheus();
+        assert!(text.contains(
+            "# HELP uqsim_x_total X events.\n# TYPE uqsim_x_total counter\nuqsim_x_total 3\n"
+        ));
+        assert!(text.contains("uqsim_g{inst=\"a\\\"b\"} 0.5\n"));
+        assert!(text.contains("uqsim_s_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("uqsim_s_seconds_sum 0.00000001\n"));
+        assert!(text.contains("uqsim_s_seconds_count 1\n"));
+    }
+
+    #[test]
+    fn series_set_latest_matches_pushed_rows() {
+        let mut s = SeriesSet::new(vec![
+            SeriesDef {
+                metric: "a",
+                label: None,
+            },
+            SeriesDef {
+                metric: "b",
+                label: Some(("instance", "x".into())),
+            },
+        ]);
+        s.push_row(SimTime::from_nanos(10), &[1.0, 2.0]);
+        s.push_row(SimTime::from_nanos(20), &[3.0, 4.0]);
+        assert_eq!(s.latest("a", None), Some(3.0));
+        assert_eq!(s.latest("b", Some("x")), Some(4.0));
+        assert_eq!(s.latest("b", Some("y")), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn csv_field_quotes_delimiters() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+    }
+}

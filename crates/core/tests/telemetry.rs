@@ -1,0 +1,227 @@
+//! Integration tests of the telemetry layer: streaming-histogram accuracy
+//! against exact percentiles (proptest), merge algebra, the telescoping
+//! latency-decomposition invariant on trace-audited runs, sampler-window
+//! equivalence with [`WindowedRecorder`], and gap-free window series over
+//! trailing idle time.
+
+use proptest::prelude::*;
+use uqsim_core::client::{ArrivalProcess, RateSchedule};
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::run::EXAMPLE_SCENARIO;
+use uqsim_core::telemetry::{StreamingHistogram, TelemetryConfig};
+use uqsim_core::time::SimDuration;
+
+/// Exact nearest-rank quantile over sorted integer samples — the reference
+/// the streaming histogram is measured against.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+fn hist_of(samples: &[u64]) -> StreamingHistogram {
+    let mut h = StreamingHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    /// The streaming estimate never under-reports a quantile and
+    /// over-reports by at most one sub-bucket width (1/32 relative, +1 ns
+    /// integer slack) — the histogram's documented resolution contract.
+    #[test]
+    fn streaming_quantiles_track_exact(
+        samples in proptest::collection::vec(0u64..2_000_000_000, 1..400),
+    ) {
+        let h = hist_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min_ns(), sorted[0]);
+        prop_assert_eq!(h.max_ns(), *sorted.last().unwrap());
+        prop_assert_eq!(h.sum_ns(), sorted.iter().map(|&s| s as u128).sum::<u128>());
+        for q in [0.5, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile_ns(q);
+            prop_assert!(
+                est >= exact,
+                "q{q}: estimate {est} under exact {exact}"
+            );
+            prop_assert!(
+                est <= exact + exact / 32 + 1,
+                "q{q}: estimate {est} beyond resolution of exact {exact}"
+            );
+        }
+    }
+
+    /// Merging is commutative, associative, and identical to having
+    /// recorded the concatenated sample streams into one histogram — the
+    /// property that makes per-shard histograms aggregable in any order.
+    #[test]
+    fn streaming_merge_algebra(
+        a in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        b in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+        c in proptest::collection::vec(0u64..1_000_000_000, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must be commutative");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must be associative");
+
+        let concatenated: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(
+            &ab,
+            &hist_of(&concatenated),
+            "merge must equal recording the union"
+        );
+    }
+}
+
+/// Runs `cfg` for `secs` with full telemetry and span tracing, asserts the
+/// trace audit is clean, and checks the telescoping invariant: for *every*
+/// retained request the component attributions sum to the end-to-end
+/// latency exactly (the ISSUE's 1 ns acceptance bound, met with 0 ns
+/// error by construction).
+fn assert_decomposition_telescopes(cfg: &ScenarioConfig, secs: f64, min_requests: usize) {
+    let mut sim = cfg.build().expect("config builds");
+    sim.enable_telemetry(TelemetryConfig {
+        breakdown_capacity: 1_000_000,
+        ..TelemetryConfig::default()
+    });
+    sim.enable_span_tracing(4_000_000);
+    sim.run_for(SimDuration::from_secs_f64(secs));
+    let report = sim.audit_trace().expect("tracing enabled");
+    assert!(report.is_clean(), "violations: {:#?}", report.violations);
+    let breakdowns = sim.latency_breakdowns();
+    assert!(
+        breakdowns.len() >= min_requests,
+        "only {} breakdowns retained",
+        breakdowns.len()
+    );
+    for b in breakdowns {
+        assert_eq!(
+            b.total_ns(),
+            b.e2e_ns(),
+            "decomposition does not telescope: {b:?}"
+        );
+    }
+}
+
+#[test]
+fn decomposition_sums_to_e2e_on_audited_single_tier_run() {
+    let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    assert_decomposition_telescopes(&cfg, 1.0, 500);
+}
+
+#[test]
+fn decomposition_sums_to_e2e_on_audited_two_tier_run() {
+    // The bundled two-tier scenario exercises connection pools (Blocking)
+    // and multi-node request paths (per-hop Network charges).
+    let text = include_str!("../../cli/configs/two_tier.json");
+    let cfg = ScenarioConfig::from_json(text).unwrap();
+    assert_decomposition_telescopes(&cfg, 1.0, 500);
+}
+
+#[test]
+fn decomposition_sums_to_e2e_on_audited_social_network_run() {
+    // The bundled social-network scenario adds fan-out/fan-in (FanInSync)
+    // and blocking RPC threads.
+    let text = include_str!("../../cli/configs/social_network.json");
+    let cfg = ScenarioConfig::from_json(text).unwrap();
+    assert_decomposition_telescopes(&cfg, 1.0, 1_000);
+}
+
+/// The acceptance criterion tying the new sampler to the pre-existing
+/// [`WindowedRecorder`]: with the sampler interval equal to the recorder
+/// window width, both views of the same run must report bitwise-identical
+/// per-window counts and percentiles.
+#[test]
+fn telemetry_windows_match_windowed_recorder() {
+    let mut cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    cfg.window_s = Some(0.05);
+    let mut sim = cfg.build().unwrap();
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_secs_f64(0.05)),
+        ..TelemetryConfig::default()
+    });
+    sim.run_for(SimDuration::from_secs(1));
+    let tw = sim.telemetry_windows();
+    let ws = sim.window_series().expect("window collection enabled");
+    // The recorder closes its final window when the run deadline fires,
+    // one event the sampler tick at the same instant loses to; compare
+    // the common prefix.
+    let n = tw.len().min(ws.len());
+    assert!(n >= 15, "only {n} comparable windows");
+    for k in 0..n {
+        assert_eq!(tw[k].end, ws[k].end, "window {k} end");
+        assert_eq!(
+            tw[k].count as usize, ws[k].latency.count,
+            "window {k} count"
+        );
+        assert_eq!(tw[k].p50_s, ws[k].latency.p50, "window {k} p50");
+        assert_eq!(tw[k].p95_s, ws[k].latency.p95, "window {k} p95");
+        assert_eq!(tw[k].p99_s, ws[k].latency.p99, "window {k} p99");
+        assert_eq!(tw[k].throughput, ws[k].throughput, "window {k} throughput");
+    }
+}
+
+/// A run whose load stops well before the deadline must still produce a
+/// gap-free window series all the way to the deadline, with explicit
+/// count-0 windows over the idle tail — in both the windowed recorder and
+/// the telemetry sampler.
+#[test]
+fn idle_tail_emits_trailing_empty_windows() {
+    let mut cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    cfg.window_s = Some(0.1);
+    // Deterministic arrivals that effectively stop at t=0.25s (the 0.01
+    // qps tail means the next arrival lands 100 simulated seconds out).
+    cfg.clients[0].arrivals = ArrivalProcess::Uniform {
+        schedule: RateSchedule {
+            segments: vec![(0.0, 2000.0), (0.25, 0.01)],
+        },
+    };
+    let mut sim = cfg.build().unwrap();
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_secs_f64(0.1)),
+        ..TelemetryConfig::default()
+    });
+    sim.run_for(SimDuration::from_secs(1));
+
+    let ws = sim.window_series().expect("window collection enabled");
+    assert_eq!(ws.len(), 10, "series must reach the deadline without gaps");
+    assert!(
+        ws[0].latency.count > 0,
+        "load phase produced no completions"
+    );
+    for w in &ws[5..] {
+        assert_eq!(
+            w.latency.count, 0,
+            "idle window ending at {:?} has completions",
+            w.end
+        );
+    }
+    // Windows tile the time axis: each starts where the previous ended.
+    for pair in ws.windows(2) {
+        assert_eq!(pair[0].end, pair[1].start);
+    }
+
+    // The sampler ticks at 0.1s..0.9s (the 1.0s tick loses to the stop
+    // event) and must show the same idle tail.
+    let tw = sim.telemetry_windows();
+    assert_eq!(tw.len(), 9);
+    for w in &tw[5..] {
+        assert_eq!(w.count, 0, "idle sampler window at {:?}", w.end);
+    }
+}

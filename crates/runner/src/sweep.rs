@@ -139,6 +139,14 @@ pub struct SweepRow {
     pub completed: u64,
     /// Timed-out requests summed over replications.
     pub timeouts: u64,
+    /// Mean post-warmup instance utilization across replications.
+    pub instance_util: MeanCi,
+    /// Mean post-warmup network (irq-core) utilization across replications.
+    pub network_util: MeanCi,
+    /// Mean milliseconds per request spent in each latency component
+    /// (discriminant order of [`uqsim_core::LatencyComponent`]), averaged
+    /// over replications.
+    pub components_ms: [f64; uqsim_core::LatencyComponent::COUNT],
 }
 
 /// The aggregated result of one sweep, plus the parameters that produced
@@ -162,12 +170,14 @@ impl SweepTable {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "offered_qps,reps,achieved_qps,achieved_qps_ci95,mean_ms,mean_ms_ci95,\
-             p50_ms,p50_ms_ci95,p95_ms,p95_ms_ci95,p99_ms,p99_ms_ci95,max_ms,completed,timeouts\n",
+             p50_ms,p50_ms_ci95,p95_ms,p95_ms_ci95,p99_ms,p99_ms_ci95,max_ms,completed,timeouts,\
+             instance_util,network_util,client_wait_ms,network_ms,queue_wait_ms,service_ms,\
+             blocking_ms,fan_in_sync_ms\n",
         );
         for r in &self.rows {
             let ms = |c: &MeanCi| format!("{:.6},{:.6}", c.mean * 1e3, c.half_width * 1e3);
             out.push_str(&format!(
-                "{:.3},{},{:.3},{:.3},{},{},{},{},{:.6},{},{}\n",
+                "{:.3},{},{:.3},{:.3},{},{},{},{},{:.6},{},{},{:.4},{:.4}",
                 r.offered_qps,
                 r.reps,
                 r.achieved_qps.mean,
@@ -179,7 +189,13 @@ impl SweepTable {
                 r.max_s * 1e3,
                 r.completed,
                 r.timeouts,
+                r.instance_util.mean,
+                r.network_util.mean,
             ));
+            for c in r.components_ms {
+                out.push_str(&format!(",{c:.6}"));
+            }
+            out.push('\n');
         }
         out
     }
@@ -197,6 +213,16 @@ impl SweepTable {
                         "ci95": c.half_width,
                     })
                 };
+                let components: serde_json::Value = serde_json::Value::Object({
+                    let mut m = serde_json::Map::new();
+                    for (c, ms) in uqsim_core::LatencyComponent::ALL
+                        .iter()
+                        .zip(r.components_ms)
+                    {
+                        m.insert(c.name(), serde_json::json!(ms / 1e3));
+                    }
+                    m
+                });
                 serde_json::json!({
                     "offered_qps": r.offered_qps,
                     "reps": r.reps,
@@ -210,6 +236,11 @@ impl SweepTable {
                     },
                     "completed": r.completed,
                     "timeouts": r.timeouts,
+                    "utilization": {
+                        "instance": ci(&r.instance_util),
+                        "network": ci(&r.network_util),
+                    },
+                    "latency_components_s": components,
                 })
             })
             .collect();
@@ -238,6 +269,21 @@ fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
         max_s: reps.iter().map(|r| r.latency.max).fold(0.0, f64::max),
         completed: reps.iter().map(|r| r.completed).sum(),
         timeouts: reps.iter().map(|r| r.timeouts).sum(),
+        instance_util: mean_ci95(&pick(&|r| r.metrics.instance_utilization)),
+        network_util: mean_ci95(&pick(&|r| r.metrics.network_utilization)),
+        components_ms: {
+            let mut ms = [0.0; uqsim_core::LatencyComponent::COUNT];
+            if !reps.is_empty() {
+                for (i, slot) in ms.iter_mut().enumerate() {
+                    *slot = reps
+                        .iter()
+                        .map(|r| r.metrics.component_mean_s[i] * 1e3)
+                        .sum::<f64>()
+                        / reps.len() as f64;
+                }
+            }
+            ms
+        },
     }
 }
 
