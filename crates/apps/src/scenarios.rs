@@ -88,6 +88,7 @@ fn service_node(
         link,
         block_thread_until: None,
         pin_thread_of: None,
+        fan_in_policy: Default::default(),
     }
 }
 

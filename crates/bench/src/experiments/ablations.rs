@@ -273,6 +273,7 @@ fn build_lb_with_machines(
         link,
         block_thread_until: None,
         pin_thread_of: None,
+        fan_in_policy: Default::default(),
     };
     let nodes = vec![
         mk(
@@ -382,6 +383,7 @@ fn finish_single_mc(
         link: LinkKind::Request,
         block_thread_until: None,
         pin_thread_of: None,
+        fan_in_policy: Default::default(),
     };
     let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
     let ty = b.add_request_type(RequestType::new(

@@ -13,4 +13,5 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod retry_storm;
 pub mod table3;

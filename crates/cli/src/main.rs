@@ -2,11 +2,14 @@
 //!
 //! ```text
 //! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
-//!           [--metrics-out <dir>] [--sample-interval <secs>]
+//!           [--metrics-out <dir>] [--sample-interval <secs>] [--faults <faults.json>]
+//! uqsim chaos <scenario.json> --faults <faults.json> [--duration <secs>]
+//!             [--seed <n>] [--json] [--events <n>]
 //! uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>]
 //!           [--seed <n>] [--no-ansi]
 //! uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>]
 //!             [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]
+//!             [--faults <faults.json>]
 //! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]
 //! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
 //! uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] [--events <n>]
@@ -43,6 +46,18 @@
 //! invariants, exiting non-zero on any violation. `validate` parses and
 //! builds without running. `example` prints a complete scenario file to
 //! start from; more elaborate ones ship under `crates/cli/configs/`.
+//!
+//! `run` and `sweep --config` accept `--faults <faults.json>`: a fault
+//! plan ([`uqsim_core::FaultPlan`]) of scheduled fault windows (instance
+//! crashes, machine slowdowns, network degradation, pool leaks) plus
+//! per-client resilience policies (retries with backoff and jitter,
+//! hedging, retry budgets, circuit breakers). `chaos` runs one faulted
+//! scenario with full span tracing, audits request-outcome conservation,
+//! and prints a failure-mode report (timeline, terminal-outcome counters,
+//! resilience activity, goodput vs. achieved throughput); it exits
+//! non-zero if the audit finds violations. Faulted runs stay
+//! deterministic: the same scenario + plan + seed reproduces the same
+//! report byte-for-byte at any `--jobs` value.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::Path;
@@ -88,11 +103,14 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json] \
-         [--metrics-out <dir>] [--sample-interval <secs>]\n  \
+         [--metrics-out <dir>] [--sample-interval <secs>] [--faults <faults.json>]\n  \
+         uqsim chaos <scenario.json> --faults <faults.json> [--duration <secs>] \
+         [--seed <n>] [--json] [--events <n>]\n  \
          uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>] \
          [--seed <n>] [--no-ansi]\n  \
          uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>] \
-         [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]\n  \
+         [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>] \
+         [--faults <faults.json>]\n  \
          uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
          uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
          uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] \
@@ -285,6 +303,7 @@ fn main() -> ExitCode {
             let mut seed = None;
             let mut metrics_out = None;
             let mut sample_interval = 0.1f64;
+            let mut faults = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -323,6 +342,13 @@ fn main() -> ExitCode {
                         sample_interval = v;
                         i += 2;
                     }
+                    "--faults" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        faults = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
                     _ => return usage(),
                 }
             }
@@ -333,8 +359,68 @@ fn main() -> ExitCode {
                 json,
                 metrics_out.as_deref(),
                 sample_interval,
+                faults.as_deref(),
             ) {
                 Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("chaos") => {
+            let Some(path) = args.get(1) else {
+                return usage();
+            };
+            let mut duration = 5.0f64;
+            let mut seed = None;
+            let mut json = false;
+            let mut faults = None;
+            let mut events = 4_000_000usize;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = Some(v);
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--faults" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        faults = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
+                    "--events" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        events = v;
+                        i += 2;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let Some(faults) = faults else {
+                return usage();
+            };
+            match chaos(Path::new(path), &faults, duration, seed, json, events) {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
                 Err(e) => {
                     eprintln!("error: {e}");
                     ExitCode::FAILURE
@@ -403,6 +489,7 @@ fn main() -> ExitCode {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     path: &Path,
     duration_s: f64,
@@ -410,12 +497,17 @@ fn run(
     json: bool,
     metrics_out: Option<&Path>,
     sample_interval_s: f64,
+    faults: Option<&Path>,
 ) -> Result<(), uqsim_core::SimError> {
     let mut cfg = load(path)?;
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
     let mut sim = cfg.build()?;
+    if let Some(faults) = faults {
+        let plan = uqsim_core::FaultPlan::from_file(faults)?;
+        sim.install_faults(&plan)?;
+    }
     if metrics_out.is_some() {
         sim.enable_telemetry(TelemetryConfig {
             sample_interval: Some(SimDuration::from_secs_f64(sample_interval_s)),
@@ -427,8 +519,10 @@ fn run(
     let s = sim.latency_summary();
     let measured_span = duration_s - cfg.warmup_s;
     let throughput = s.count as f64 / measured_span.max(f64::EPSILON);
+    let goodput = (s.count as u64).saturating_sub(sim.degraded_measured()) as f64
+        / measured_span.max(f64::EPSILON);
     if json {
-        let out = serde_json::json!({
+        let mut out = serde_json::json!({
             "duration_s": duration_s,
             "warmup_s": cfg.warmup_s,
             "generated": sim.generated(),
@@ -440,6 +534,15 @@ fn run(
             },
             "events_processed": sim.events_processed(),
         });
+        if let Some(f) = sim.fault_summary() {
+            if let serde_json::Value::Object(obj) = &mut out {
+                obj.insert("goodput_qps", serde_json::json!(goodput));
+                obj.insert(
+                    "faults",
+                    serde_json::to_value(&f).expect("fault summary serializes"),
+                );
+            }
+        }
         println!(
             "{}",
             serde_json::to_string_pretty(&out).expect("summary serializes")
@@ -462,6 +565,13 @@ fn run(
             s.count
         );
         println!("engine: {} events processed", sim.events_processed());
+        if let Some(f) = sim.fault_summary() {
+            println!(
+                "faults: {} dropped, {} shed, {} timed out, {} retries, {} degraded \
+                 ({:.0} req/s goodput)",
+                f.dropped, f.shed, f.timed_out, f.retried, f.degraded, goodput
+            );
+        }
     }
     if let Some(dir) = metrics_out {
         std::fs::create_dir_all(dir)?;
@@ -480,6 +590,176 @@ fn run(
         );
     }
     Ok(())
+}
+
+/// Runs one faulted scenario with full span tracing, audits
+/// request-outcome conservation, and prints a failure-mode report: the
+/// fault timeline, terminal-outcome counters, resilience activity, and
+/// goodput vs. achieved throughput. Returns whether the audit was clean.
+///
+/// The report is deterministic: the same scenario + plan + seed prints
+/// byte-identical text on every run.
+fn chaos(
+    path: &Path,
+    faults_path: &Path,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+    events: usize,
+) -> Result<bool, uqsim_core::SimError> {
+    let mut cfg = load(path)?;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let plan = uqsim_core::FaultPlan::from_file(faults_path)?;
+    let mut sim = cfg.build()?;
+    sim.install_faults(&plan)?;
+    sim.enable_span_tracing(events);
+    sim.enable_telemetry(TelemetryConfig::default());
+    sim.run_for(SimDuration::from_secs_f64(duration_s));
+
+    let f = sim.fault_summary().expect("fault plan is installed");
+    let s = sim.latency_summary();
+    let ts = sim.timeout_latency_summary();
+    let measured = (duration_s - cfg.warmup_s).max(f64::EPSILON);
+    let achieved = s.count as f64 / measured;
+    let goodput = (s.count as u64).saturating_sub(sim.degraded_measured()) as f64 / measured;
+    let log = sim.span_log().expect("span tracing is enabled");
+    let truncated = log.dropped() > 0;
+    let report = (!truncated).then(|| sim.audit_trace().expect("span tracing is enabled"));
+    let clean = report.as_ref().is_some_and(|r| r.is_clean());
+
+    if json {
+        let out = serde_json::json!({
+            "scenario": path.display().to_string(),
+            "faults": faults_path.display().to_string(),
+            "seed": cfg.seed,
+            "duration_s": duration_s,
+            "warmup_s": cfg.warmup_s,
+            "generated": sim.generated(),
+            "completed": sim.completed(),
+            "outcomes": {
+                "dropped": f.dropped,
+                "shed": f.shed,
+                "timed_out": f.timed_out,
+                "degraded": f.degraded,
+            },
+            "resilience": {
+                "retried": f.retried,
+                "hedged": f.hedged,
+                "breaker_trips": f.breaker_trips,
+                "jobs_killed": f.jobs_killed,
+                "packets_dropped": f.packets_dropped,
+                "retransmits": f.retransmits,
+            },
+            "throughput_qps": achieved,
+            "goodput_qps": goodput,
+            "latency_s": {
+                "count": s.count, "mean": s.mean, "p50": s.p50,
+                "p95": s.p95, "p99": s.p99, "max": s.max,
+            },
+            "timeout_latency_s": { "count": ts.count, "p50": ts.p50, "p99": ts.p99 },
+            "timeline": serde_json::to_value(&f.timeline).expect("timeline serializes"),
+            "audit": if truncated {
+                serde_json::json!({ "skipped": "span log truncated; raise --events" })
+            } else {
+                let r = report.as_ref().expect("audited");
+                serde_json::json!({
+                    "clean": r.is_clean(),
+                    "violations": r.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                })
+            },
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("report serializes")
+        );
+    } else {
+        println!(
+            "chaos report: {} + {} (seed {}, {duration_s}s simulated, warmup {}s)",
+            path.display(),
+            faults_path.display(),
+            cfg.seed,
+            cfg.warmup_s
+        );
+        println!();
+        println!("timeline:");
+        if f.timeline.is_empty() {
+            println!("  (no fault windows fired)");
+        }
+        for entry in &f.timeline {
+            println!("  t={:>8.3}s  {}", entry.t_s, entry.what);
+        }
+        println!();
+        println!("outcomes:");
+        println!(
+            "  generated {}  completed {}  dropped {}  shed {}  timed out {}",
+            sim.generated(),
+            sim.completed(),
+            f.dropped,
+            f.shed,
+            f.timed_out
+        );
+        println!(
+            "  degraded responses {} (breaker sheds + quorum early-fires)",
+            f.degraded
+        );
+        println!();
+        println!("resilience:");
+        println!(
+            "  retries {}  hedges {}  breaker trips {}",
+            f.retried, f.hedged, f.breaker_trips
+        );
+        println!(
+            "  jobs killed {}  packets dropped {}  retransmits {}",
+            f.jobs_killed, f.packets_dropped, f.retransmits
+        );
+        println!();
+        println!(
+            "latency (within-deadline completions): mean {:.3}ms p50 {:.3}ms p95 {:.3}ms \
+             p99 {:.3}ms ({} samples)",
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3,
+            s.count
+        );
+        if ts.count > 0 {
+            println!(
+                "latency at timeout deadline: p50 {:.3}ms p99 {:.3}ms ({} requests)",
+                ts.p50 * 1e3,
+                ts.p99 * 1e3,
+                ts.count
+            );
+        }
+        println!(
+            "goodput: {goodput:.0} req/s of {achieved:.0} req/s achieved \
+             ({:.1}% full fidelity)",
+            100.0 * goodput / achieved.max(f64::EPSILON)
+        );
+        println!();
+        if truncated {
+            println!(
+                "audit: skipped ({} span events dropped; raise --events)",
+                log.dropped()
+            );
+        } else {
+            let r = report.as_ref().expect("audited");
+            if r.is_clean() {
+                println!(
+                    "audit: clean — every request reached exactly one terminal state \
+                     ({} spans checked)",
+                    r.spans_checked
+                );
+            } else {
+                println!("audit: {} violations", r.violations.len());
+                for v in &r.violations {
+                    println!("  {v}");
+                }
+            }
+        }
+    }
+    Ok(clean)
 }
 
 /// `top(1)` for the simulated cluster: steps the simulation one sampler
@@ -626,9 +906,17 @@ fn sweep_grid(args: &[String]) -> ExitCode {
     let mut seed = None;
     let mut json = false;
     let mut out = None;
+    let mut faults = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--faults" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                faults = Some(std::path::PathBuf::from(v));
+                i += 2;
+            }
             "--config" => {
                 let Some(v) = args.get(i + 1) else {
                     return usage();
@@ -702,12 +990,21 @@ fn sweep_grid(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let plan = match faults.map(|p| uqsim_core::FaultPlan::from_file(&p)) {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let spec = uqsim_runner::sweep::SweepSpec {
         qps,
         reps: reps.max(1),
         base_seed: seed.unwrap_or(cfg.seed),
         duration: SimDuration::from_secs_f64(duration),
         jobs: jobs.max(1),
+        faults: plan,
     };
     eprintln!(
         "sweep: {} qps points x {} reps = {} cells on {} worker(s)",

@@ -521,6 +521,14 @@ impl ScenarioBuilder {
             span_log: None,
             telemetry: None,
             util_checkpoints: Vec::new(),
+            fault: None,
+            dropped: 0,
+            shed: 0,
+            retried: 0,
+            degraded: 0,
+            degraded_measured: 0,
+            resolved_pending: 0,
+            e2e_timeout: LatencyRecorder::new(warmup_at),
         };
         // A one-shot utilization checkpoint at the warmup boundary, so
         // `*_utilization_since(warmup_at)` works whether or not the

@@ -15,7 +15,9 @@ use crate::client::{ArrivalProcess, ClientSpec, RequestMix};
 use crate::error::{SimError, SimResult};
 use crate::ids::{InstanceId, PathNodeId, RequestTypeId, ServiceId};
 use crate::machine::MachineSpec;
-use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType};
+use crate::path::{
+    FanInPolicy, InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType,
+};
 use crate::service::ServiceModel;
 use crate::sim::Simulator;
 use crate::time::SimDuration;
@@ -85,6 +87,10 @@ pub struct PathNodeConfig {
     /// Execute on the same thread as the named node.
     #[serde(default)]
     pub pin_thread_of: Option<String>,
+    /// Fan-in firing policy at this node: `{"type": "all"}` (default),
+    /// `{"type": "quorum", "k": 2}`, or `{"type": "best_effort"}`.
+    #[serde(default)]
+    pub fan_in_policy: FanInPolicy,
 }
 
 /// Target configuration for a path node.
@@ -408,20 +414,21 @@ impl ScenarioConfig {
             let id = b.add_service(s.clone());
             service_ids.insert(s.name.clone(), id);
         }
+        // Instances and pools live in `graph.json` under the Table I
+        // layout, so their dangling references get errors naming that file
+        // and the offending key — mirroring faults.json diagnostics.
+        let graph_err = |key: String, kind: &str, name: &str| SimError::Config {
+            source_name: "graph.json".to_string(),
+            detail: format!("{key}: unknown {kind} `{name}`"),
+        };
         let mut instance_ids: HashMap<String, InstanceId> = HashMap::new();
-        for i in &self.instances {
-            let svc = *service_ids
-                .get(&i.service)
-                .ok_or_else(|| SimError::UnknownEntity {
-                    kind: "service",
-                    name: i.service.clone(),
-                })?;
-            let mach = *machine_ids
-                .get(&i.machine)
-                .ok_or_else(|| SimError::UnknownEntity {
-                    kind: "machine",
-                    name: i.machine.clone(),
-                })?;
+        for (idx, i) in self.instances.iter().enumerate() {
+            let svc = *service_ids.get(&i.service).ok_or_else(|| {
+                graph_err(format!("instances[{idx}].service"), "service", &i.service)
+            })?;
+            let mach = *machine_ids.get(&i.machine).ok_or_else(|| {
+                graph_err(format!("instances[{idx}].machine"), "machine", &i.machine)
+            })?;
             let exec = match i.exec {
                 ExecConfig::Simple => ExecSpec::Simple,
                 ExecConfig::MultiThreaded {
@@ -435,19 +442,13 @@ impl ScenarioConfig {
             let id = b.add_instance(i.name.clone(), svc, mach, i.cores, exec)?;
             instance_ids.insert(i.name.clone(), id);
         }
-        for p in &self.pools {
+        for (idx, p) in self.pools.iter().enumerate() {
             let up = *instance_ids
                 .get(&p.up)
-                .ok_or_else(|| SimError::UnknownEntity {
-                    kind: "instance",
-                    name: p.up.clone(),
-                })?;
+                .ok_or_else(|| graph_err(format!("pools[{idx}].up"), "instance", &p.up))?;
             let down = *instance_ids
                 .get(&p.down)
-                .ok_or_else(|| SimError::UnknownEntity {
-                    kind: "instance",
-                    name: p.down.clone(),
-                })?;
+                .ok_or_else(|| graph_err(format!("pools[{idx}].down"), "instance", &p.down))?;
             b.add_pool(up, down, p.size)?;
         }
         let mut type_ids: HashMap<String, RequestTypeId> = HashMap::new();
@@ -597,6 +598,7 @@ fn lower_request_type(
             link,
             block_thread_until,
             pin_thread_of,
+            fan_in_policy: n.fan_in_policy,
         });
     }
     Ok(RequestType::new(
@@ -698,6 +700,61 @@ mod tests {
         let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
         cfg.clients[0].mix = vec![("nope".into(), 1.0)];
         assert!(cfg.build().is_err());
+    }
+
+    /// Asserts that `cfg.build()` fails with a `graph.json` config error whose
+    /// detail names the offending key and the dangling name.
+    fn assert_graph_err(cfg: ScenarioConfig, key: &str, name: &str) {
+        match cfg.build().unwrap_err() {
+            SimError::Config {
+                source_name,
+                detail,
+            } => {
+                assert_eq!(source_name, "graph.json");
+                assert!(detail.contains(key), "detail `{detail}` lacks key `{key}`");
+                assert!(
+                    detail.contains(name),
+                    "detail `{detail}` lacks name `{name}`"
+                );
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_instance_service_names_file_and_key() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.instances[0].service = "ghost-svc".into();
+        assert_graph_err(cfg, "instances[0].service", "ghost-svc");
+    }
+
+    #[test]
+    fn dangling_instance_machine_names_file_and_key() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.instances[0].machine = "ghost-machine".into();
+        assert_graph_err(cfg, "instances[0].machine", "ghost-machine");
+    }
+
+    #[test]
+    fn dangling_pool_up_names_file_and_key() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.pools.push(PoolConfig {
+            up: "ghost-up".into(),
+            down: "api0".into(),
+            size: 4,
+        });
+        assert_graph_err(cfg, "pools[0].up", "ghost-up");
+    }
+
+    #[test]
+    fn dangling_pool_down_names_file_and_key() {
+        let mut cfg = ScenarioConfig::from_json(&example_json()).unwrap();
+        cfg.pools.push(PoolConfig {
+            up: "api0".into(),
+            down: "ghost-down".into(),
+            size: 4,
+        });
+        assert_graph_err(cfg, "pools[0].down", "ghost-down");
     }
 
     #[test]

@@ -92,6 +92,9 @@ pub struct ConnectionPool {
     free: VecDeque<ConnectionId>,
     /// Jobs waiting for a free connection, FIFO.
     waiters: VecDeque<JobId>,
+    /// Connections removed from service by a fault (leaked / shrunk); they
+    /// are neither free nor busy until restored.
+    leaked: Vec<ConnectionId>,
 }
 
 impl ConnectionPool {
@@ -108,6 +111,7 @@ impl ConnectionPool {
             conns,
             free,
             waiters: VecDeque::new(),
+            leaked: Vec::new(),
         }
     }
 
@@ -159,6 +163,37 @@ impl ConnectionPool {
     /// Number of waiting jobs.
     pub fn waiter_count(&self) -> usize {
         self.waiters.len()
+    }
+
+    /// Removes up to `n` currently-free connections from service (a
+    /// connection-leak / pool-shrink fault). Returns how many were actually
+    /// leaked (bounded by the free count — busy connections stay busy and
+    /// return to service normally on release).
+    pub fn leak(&mut self, n: usize) -> usize {
+        let take = n.min(self.free.len());
+        for _ in 0..take {
+            let c = self.free.pop_back().expect("checked free count");
+            self.leaked.push(c);
+        }
+        take
+    }
+
+    /// Returns every leaked connection to service. Waiting jobs are handed
+    /// connections first (FIFO), mirroring [`ConnectionPool::release`]; the
+    /// returned grants must be re-sent by the caller.
+    pub fn restore_leaked(&mut self) -> Vec<(JobId, ConnectionId)> {
+        let mut grants = Vec::new();
+        while let Some(c) = self.leaked.pop() {
+            if let Some(grant) = self.release(c) {
+                grants.push(grant);
+            }
+        }
+        grants
+    }
+
+    /// Number of connections currently leaked out of service.
+    pub fn leaked_count(&self) -> usize {
+        self.leaked.len()
     }
 }
 

@@ -7,7 +7,8 @@
 //! same seed bit-for-bit reproducible.
 
 use crate::ids::{
-    ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, ThreadId,
+    ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, RequestTypeId,
+    ThreadId,
 };
 use crate::time::SimTime;
 use std::cmp::Ordering;
@@ -95,6 +96,46 @@ pub enum EventKind {
     TelemetrySample {
         /// Whether this tick reschedules itself.
         recurring: bool,
+    },
+    /// A scheduled fault transition begins (instance crash, machine
+    /// slowdown, network degradation, or pool leak). Only scheduled when a
+    /// fault plan is installed (see [`crate::fault`]).
+    FaultStart {
+        /// Index into the installed fault plan's fault list.
+        fault: usize,
+    },
+    /// A scheduled fault transition ends (restart / window close / restore).
+    FaultEnd {
+        /// Index into the installed fault plan's fault list.
+        fault: usize,
+    },
+    /// A client retry attempt fires after its backoff delay (fault plans
+    /// with a retry policy only). Re-emits a fresh request of the same type
+    /// on the same client.
+    RetryEmit {
+        /// The retrying client.
+        client: ClientId,
+        /// Request type of the failed attempt.
+        request_type: RequestTypeId,
+        /// Retry generation of the new emission (1 = first retry).
+        attempt: u32,
+        /// Payload size carried over from the failed attempt.
+        size_bytes: f64,
+    },
+    /// A hedging deadline: if `request` is still unresolved, emit a
+    /// duplicate attempt alongside it.
+    HedgeFire {
+        /// The possibly-still-running original.
+        request: RequestId,
+    },
+    /// A dropped packet's bounded retransmission fires after backoff.
+    NetRetransmit {
+        /// The job to re-send.
+        job: JobId,
+        /// Sending instance (`None` for a client hop).
+        from: Option<InstanceId>,
+        /// Destination instance.
+        dest: InstanceId,
     },
     /// Stop the simulation when popped.
     Stop,

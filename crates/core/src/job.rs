@@ -53,6 +53,29 @@ pub struct Request {
     pub live_jobs: u32,
     /// Set when the client-side timeout fired before completion.
     pub timed_out: bool,
+    /// Retry generation: 0 for an original emission, `n` for the n-th retry.
+    pub attempt: u32,
+    /// Set when a fault killed at least one of the request's jobs.
+    pub failed: bool,
+    /// Set once the client-sink fan-in fired (the response is on its way or
+    /// already delivered); a failed request with a fired sink still counts
+    /// as completed.
+    pub sink_fired: bool,
+    /// Set once the request reached a terminal outcome (completed, dropped,
+    /// or shed). A resolved request with live straggler jobs stays in the
+    /// arena until they drain.
+    pub resolved: bool,
+    /// Set when the client connection was already released early (at the
+    /// timeout deadline), so late delivery must not release it again.
+    pub conn_released: bool,
+    /// Set when a quorum/best-effort fan-in node fired before every parent
+    /// copy arrived (straggler jobs may outlive sink delivery).
+    pub early_fire: bool,
+    /// The hedged duplicate (or original) paired with this request, if any.
+    pub hedge_twin: Option<RequestId>,
+    /// Set when the hedge twin completed first; this completion is counted
+    /// but not measured.
+    pub superseded: bool,
     /// Latency-decomposition frontier: everything before `mark` has already
     /// been attributed to a component. Advanced by
     /// `Simulator::attribute_latency`; starts at `submitted`.
@@ -86,6 +109,9 @@ pub struct Job {
     /// (read at dispatch for per-stage queue-wait telemetry) and on dispatch
     /// (read at `StageDone` for per-stage service-time telemetry).
     pub state_since: SimTime,
+    /// Network retransmissions already spent on this hop (fault-injection
+    /// runs only; bounded by the network resilience policy).
+    pub net_attempts: u8,
 }
 
 /// A generation-checked recycling arena.
@@ -209,6 +235,14 @@ impl RequestArena {
             nodes: vec![NodeRuntime::default(); node_count],
             live_jobs: 0,
             timed_out: false,
+            attempt: 0,
+            failed: false,
+            sink_fired: false,
+            resolved: false,
+            conn_released: false,
+            early_fire: false,
+            hedge_twin: None,
+            superseded: false,
             mark: submitted,
             components_ns: [0; crate::telemetry::LatencyComponent::COUNT],
         });
@@ -262,6 +296,7 @@ impl JobArena {
             instance: None,
             thread: None,
             state_since: SimTime::ZERO,
+            net_attempts: 0,
         });
         JobId::new(slot, generation)
     }

@@ -82,6 +82,7 @@ pub mod controller;
 pub mod dist;
 pub mod error;
 pub mod event;
+pub mod fault;
 pub mod histogram;
 pub mod ids;
 pub mod job;
@@ -100,6 +101,7 @@ pub mod trace;
 
 pub use builder::{ExecSpec, ScenarioBuilder};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultPlan, FaultSpec, FaultSummary};
 pub use run::{run_one, RunResult};
 pub use sim::Simulator;
 pub use telemetry::{

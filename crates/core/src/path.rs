@@ -83,6 +83,42 @@ pub enum LinkKind {
     },
 }
 
+/// How a fan-in node decides it has seen enough parent copies to fire.
+///
+/// Healthy runs behave identically under every policy (all parents arrive
+/// eventually); the policies differ under partial failure, where `All`
+/// blocks forever on a dead branch while `Quorum`/`BestEffort` let the
+/// request degrade gracefully (see [`crate::fault`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum FanInPolicy {
+    /// Fire only once every parent's copy has arrived (the default, and the
+    /// paper's synchronization semantics).
+    #[default]
+    All,
+    /// Fire as soon as `k` parent copies have arrived; later copies are
+    /// absorbed without re-firing.
+    Quorum {
+        /// Copies required to fire (clamped to the node's fan-in).
+        k: u32,
+    },
+    /// Fire on the first arriving copy (equivalent to `quorum(1)`).
+    BestEffort,
+}
+
+impl FanInPolicy {
+    /// Number of parent copies required to fire for a node with the given
+    /// fan-in (always in `1..=fan_in`).
+    pub fn required(self, fan_in: usize) -> usize {
+        let fan_in = fan_in.max(1);
+        match self {
+            FanInPolicy::All => fan_in,
+            FanInPolicy::Quorum { k } => (k as usize).clamp(1, fan_in),
+            FanInPolicy::BestEffort => 1,
+        }
+    }
+}
+
 /// What the node runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
@@ -121,6 +157,10 @@ pub struct PathNodeSpec {
     /// executed the given node (continuations of blocked threads).
     #[serde(default)]
     pub pin_thread_of: Option<PathNodeId>,
+    /// Fan-in firing policy for nodes with multiple parents (ignored for
+    /// fan-in 1). Defaults to [`FanInPolicy::All`].
+    #[serde(default)]
+    pub fan_in_policy: FanInPolicy,
 }
 
 impl PathNodeSpec {
@@ -137,6 +177,7 @@ impl PathNodeSpec {
             link: LinkKind::Request,
             block_thread_until: None,
             pin_thread_of: None,
+            fan_in_policy: FanInPolicy::All,
         }
     }
 
@@ -159,6 +200,7 @@ impl PathNodeSpec {
             link: LinkKind::Reply { of: conn_node },
             block_thread_until: None,
             pin_thread_of: None,
+            fan_in_policy: FanInPolicy::All,
         }
     }
 
@@ -181,6 +223,7 @@ impl PathNodeSpec {
             link: LinkKind::ReplyToParent,
             block_thread_until: None,
             pin_thread_of: None,
+            fan_in_policy: FanInPolicy::All,
         }
     }
 
@@ -194,6 +237,7 @@ impl PathNodeSpec {
             link: LinkKind::Reply { of: root },
             block_thread_until: None,
             pin_thread_of: None,
+            fan_in_policy: FanInPolicy::All,
         }
     }
 

@@ -139,6 +139,29 @@ impl StageQueue {
         }
     }
 
+    /// Removes and returns every queued job, in deterministic (FIFO /
+    /// connection-id) order. Used when a fault drains a crashed instance's
+    /// queues.
+    pub fn drain_all(&mut self) -> Vec<JobId> {
+        match self {
+            StageQueue::Single { q } => q.drain(..).collect(),
+            StageQueue::PerConn {
+                subqueues,
+                active,
+                len,
+                ..
+            } => {
+                let mut out = Vec::with_capacity(*len);
+                for (_, sub) in subqueues.iter_mut() {
+                    out.extend(sub.drain(..));
+                }
+                active.clear();
+                *len = 0;
+                out
+            }
+        }
+    }
+
     /// Drops any empty subqueues (housekeeping for long runs with ephemeral
     /// connections). No-op for `Single`.
     pub fn compact(&mut self) {

@@ -30,6 +30,7 @@
 
 use crate::config::ScenarioConfig;
 use crate::error::SimResult;
+use crate::fault::{FaultPlan, FaultSummary};
 use crate::metrics::LatencySummary;
 use crate::telemetry::{MetricsSnapshot, TelemetryConfig};
 use crate::time::SimDuration;
@@ -81,6 +82,28 @@ pub const EXAMPLE_SCENARIO: &str = r#"{
   ]
 }"#;
 
+/// A fault plan sized for [`EXAMPLE_SCENARIO`]: the lone service instance
+/// crashes and restarts mid-run, then its machine throttles, while the
+/// client retries with a budget and a circuit breaker. Used by doc
+/// examples and smoke tests that need fault activity without a config
+/// file on disk.
+pub const EXAMPLE_FAULTS: &str = r#"{
+  "faults": [
+    { "kind": "instance_crash", "instance": "api0",
+      "at_s": 0.2, "restart_after_s": 0.15 },
+    { "kind": "machine_slowdown", "machine": "server0",
+      "at_s": 0.45, "duration_s": 0.1, "factor": 4.0 }
+  ],
+  "policy": {
+    "clients": [
+      { "client": "wrk", "max_retries": 3,
+        "backoff_base_s": 0.002, "backoff_cap_s": 0.05, "jitter": 0.5,
+        "retry_budget": { "capacity": 50.0, "fill_per_s": 25.0 },
+        "breaker": { "failure_threshold": 20, "cooldown_s": 0.05 } }
+    ]
+  }
+}"#;
+
 /// The summary one [`run_one`] call produces: everything the sweep
 /// aggregator needs, and nothing tied to the (dropped) simulator state.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,13 +122,33 @@ pub struct RunResult {
     pub timeouts: u64,
     /// Post-warmup throughput, requests/second.
     pub achieved_qps: f64,
-    /// End-to-end latency over post-warmup completions.
+    /// Post-warmup goodput, requests/second: within-deadline completions
+    /// delivered at full fidelity (degraded quorum early-fires excluded).
+    /// Equals `achieved_qps` when no faults are installed.
+    pub goodput_qps: f64,
+    /// Requests terminally dropped by an injected fault.
+    pub dropped: u64,
+    /// Requests shed at emission by an open circuit breaker.
+    pub shed: u64,
+    /// Retry emissions fired by client resilience policies.
+    pub retried: u64,
+    /// Responses delivered in degraded mode (sheds + quorum early-fires).
+    pub degraded: u64,
+    /// End-to-end latency over post-warmup completions. With a fault plan
+    /// installed these are the *goodput percentiles*: timed-out and shed
+    /// requests never enter this summary.
     pub latency: LatencySummary,
+    /// Latency of timed-out requests at their deadline — what the client
+    /// observed for its failed calls. Empty when nothing timed out.
+    pub timeout_latency: LatencySummary,
     /// Events the engine processed — the wall-clock cost proxy.
     pub events_processed: u64,
     /// Utilization and latency-decomposition summary (decomposition-only
     /// telemetry; see [`TelemetryConfig::default`]).
     pub metrics: MetricsSnapshot,
+    /// Fault-engine counters and fault-window timeline; `None` when the run
+    /// had no fault plan.
+    pub fault: Option<FaultSummary>,
 }
 
 /// Builds `cfg` with its seed replaced by `seed`, runs it for `duration`
@@ -120,13 +163,42 @@ pub struct RunResult {
 ///
 /// Propagates scenario-construction failures ([`ScenarioConfig::build`]).
 pub fn run_one(cfg: &ScenarioConfig, seed: u64, duration: SimDuration) -> SimResult<RunResult> {
+    run_one_faulted(cfg, None, seed, duration)
+}
+
+/// [`run_one`] with an optional fault plan installed before the clock
+/// starts. `run_one(cfg, seed, d)` is exactly
+/// `run_one_faulted(cfg, None, seed, d)`; passing `Some(plan)` schedules
+/// the plan's fault windows and arms its per-client resilience policies.
+///
+/// Determinism extends to faulted runs: identical
+/// `(cfg, plan, seed, duration)` inputs reproduce byte-identical results,
+/// on any thread, in any order — the fault engine draws from its own
+/// seed-derived RNG stream and never perturbs the simulation's other
+/// streams.
+///
+/// # Errors
+///
+/// Propagates scenario-construction failures and fault-plan references to
+/// unknown instances/machines/clients/pools
+/// ([`Simulator::install_faults`](crate::sim::Simulator::install_faults)).
+pub fn run_one_faulted(
+    cfg: &ScenarioConfig,
+    faults: Option<&FaultPlan>,
+    seed: u64,
+    duration: SimDuration,
+) -> SimResult<RunResult> {
     let cfg = cfg.with_seed(seed);
     let mut sim = cfg.build()?;
+    if let Some(plan) = faults {
+        sim.install_faults(plan)?;
+    }
     sim.enable_telemetry(TelemetryConfig::default());
     sim.run_for(duration);
     let latency = sim.latency_summary();
     let warmup = SimDuration::from_secs_f64(cfg.warmup_s);
     let measured = (duration.as_secs_f64() - cfg.warmup_s).max(f64::EPSILON);
+    let good = (latency.count as u64).saturating_sub(sim.degraded_measured());
     Ok(RunResult {
         seed,
         duration,
@@ -135,9 +207,16 @@ pub fn run_one(cfg: &ScenarioConfig, seed: u64, duration: SimDuration) -> SimRes
         completed: sim.completed(),
         timeouts: sim.timeouts(),
         achieved_qps: latency.count as f64 / measured,
+        goodput_qps: good as f64 / measured,
+        dropped: sim.dropped(),
+        shed: sim.shed(),
+        retried: sim.retried(),
+        degraded: sim.degraded(),
         latency,
+        timeout_latency: sim.timeout_latency_summary(),
         events_processed: sim.events_processed(),
         metrics: sim.metrics_snapshot(),
+        fault: sim.fault_summary(),
     })
 }
 
@@ -166,6 +245,44 @@ mod tests {
         let c = run_one(&cfg, 2, d).unwrap();
         assert_ne!(a.latency, c.latency, "different seeds should diverge");
         assert!(a.completed > 0 && a.latency.count > 0);
+    }
+
+    #[test]
+    fn unfaulted_runs_have_zero_fault_counters_and_goodput_equals_achieved() {
+        let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+        let r = run_one(&cfg, 3, SimDuration::from_millis(400)).unwrap();
+        assert_eq!(
+            (r.dropped, r.shed, r.retried, r.degraded),
+            (0, 0, 0, 0),
+            "no fault plan, no fault activity"
+        );
+        assert!(r.fault.is_none());
+        assert_eq!(r.timeout_latency.count, 0);
+        assert_eq!(r.goodput_qps, r.achieved_qps);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_and_counts_fault_activity() {
+        let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+        let plan = crate::fault::FaultPlan::from_json(EXAMPLE_FAULTS).unwrap();
+        let d = SimDuration::from_millis(700);
+        let a = run_one_faulted(&cfg, Some(&plan), 1, d).unwrap();
+        let b = run_one_faulted(&cfg, Some(&plan), 1, d).unwrap();
+        assert_eq!(a, b, "same (cfg, plan, seed) must reproduce exactly");
+        let base = run_one(&cfg, 1, d).unwrap();
+        assert!(
+            a.dropped > 0,
+            "the crash window should drop requests at the door"
+        );
+        assert!(
+            a.retried > 0,
+            "dropped requests should trigger the client retry policy"
+        );
+        assert!(a.fault.is_some());
+        assert!(
+            a.latency != base.latency,
+            "a crash plus slowdown must perturb the latency distribution"
+        );
     }
 
     #[test]

@@ -26,6 +26,7 @@ use crate::trace::{
     TraceLog, TraceMeta,
 };
 use rand::rngs::SmallRng;
+use rand::Rng;
 use std::collections::{HashMap, VecDeque};
 
 /// Global simulation parameters.
@@ -218,6 +219,26 @@ pub struct Simulator {
     /// Busy-counter checkpoints backing the `*_utilization_since` queries.
     /// One is recorded at the warmup boundary and one per sampler tick.
     pub(crate) util_checkpoints: Vec<crate::machine::UtilCheckpoint>,
+    /// Fault-injection state (see [`crate::fault`]); `None` keeps every
+    /// hot-path hook to a single branch, same discipline as `span_log`.
+    pub(crate) fault: Option<Box<crate::fault::FaultState>>,
+    /// Requests terminally dropped by a fault.
+    pub(crate) dropped: u64,
+    /// Requests shed by an open circuit breaker.
+    pub(crate) shed: u64,
+    /// Retry emissions fired by client resilience policies.
+    pub(crate) retried: u64,
+    /// Degraded completions: shed responses plus quorum early-fires.
+    pub(crate) degraded: u64,
+    /// Quorum early-fire completions inside the measurement window; these
+    /// sit in `e2e` but are excluded from goodput.
+    pub(crate) degraded_measured: u64,
+    /// Resolved requests still draining straggler jobs; excluded from the
+    /// live count the trace auditor checks conservation against.
+    pub(crate) resolved_pending: u64,
+    /// Latencies of requests at their timeout deadline (the latency the
+    /// client observed for failed calls); never mixed into `e2e`.
+    pub(crate) e2e_timeout: LatencyRecorder,
 }
 
 /// Request-tracing configuration.
@@ -389,6 +410,77 @@ impl Simulator {
         self.completed_after_timeout
     }
 
+    /// Requests terminally dropped by a fault: a crash, drain, or exhausted
+    /// retransmission killed their last in-flight branch, so no response
+    /// ever reached the client. Zero unless a fault plan is installed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Requests shed at emission by an open circuit breaker. Shed requests
+    /// complete instantly with a degraded marker and touch no simulated
+    /// resource.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    /// Retry emissions fired by client resilience policies (each is also
+    /// counted in [`Simulator::generated`]).
+    pub fn retried(&self) -> u64 {
+        self.retried
+    }
+
+    /// Responses delivered in degraded mode: breaker sheds plus completions
+    /// whose quorum/best-effort fan-in fired before every branch arrived.
+    pub fn degraded(&self) -> u64 {
+        self.degraded
+    }
+
+    /// Degraded (early-fire) completions inside the measurement window.
+    /// These are counted in the end-to-end latency summary but excluded
+    /// from goodput, so `latency.count - degraded_measured` is the exact
+    /// number of full-fidelity, within-deadline completions measured.
+    pub fn degraded_measured(&self) -> u64 {
+        self.degraded_measured
+    }
+
+    /// Latency summary of requests at their timeout deadline — the latency
+    /// the client actually observed for its failed calls. Kept strictly
+    /// separate from the success-path summary so timeouts can never improve
+    /// the reported tail.
+    pub fn timeout_latency_summary(&self) -> LatencySummary {
+        self.e2e_timeout.summary()
+    }
+
+    /// Number of client-owned connections currently holding an outstanding
+    /// request. A timed-out call releases its slot at the deadline, so after
+    /// a timeout burst this can never exceed the number of launched requests
+    /// that are still inside their deadline.
+    pub fn busy_client_connections(&self) -> usize {
+        self.conns
+            .iter()
+            .filter(|c| c.busy && matches!(c.up, crate::connection::UpEndpoint::Client(_)))
+            .count()
+    }
+
+    /// True if [`Simulator::install_faults`] has been called.
+    pub fn faults_installed(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The fault/resilience counters and fault-window timeline, or `None`
+    /// when no fault plan is installed.
+    pub fn fault_summary(&self) -> Option<crate::fault::FaultSummary> {
+        let f = self.fault.as_deref()?;
+        let mut s = f.summary_snapshot();
+        s.dropped = self.dropped;
+        s.shed = self.shed;
+        s.retried = self.retried;
+        s.degraded = self.degraded;
+        s.timed_out = self.timeouts;
+        Some(s)
+    }
+
     /// Enables request tracing: every `sample_every`-th completion is
     /// recorded (up to `capacity` traces).
     ///
@@ -479,9 +571,11 @@ impl Simulator {
         AuditCounts {
             generated: self.generated,
             completed: self.completed,
-            live_requests: self.requests.live() as u64,
+            live_requests: self.requests.live() as u64 - self.resolved_pending,
             timeouts: self.timeouts,
             measured: self.e2e.len() as u64,
+            dropped: self.dropped,
+            shed: self.shed,
         }
     }
 
@@ -678,6 +772,16 @@ impl Simulator {
             EventKind::RequestTimeout { request } => self.on_request_timeout(request),
             EventKind::ControllerTick { controller } => self.on_controller_tick(controller),
             EventKind::TelemetrySample { recurring } => self.on_telemetry_sample(recurring),
+            EventKind::FaultStart { fault } => self.on_fault_start(fault),
+            EventKind::FaultEnd { fault } => self.on_fault_end(fault),
+            EventKind::RetryEmit {
+                client,
+                request_type,
+                attempt,
+                size_bytes,
+            } => self.on_retry_emit(client, request_type, attempt, size_bytes),
+            EventKind::HedgeFire { request } => self.on_hedge_fire(request),
+            EventKind::NetRetransmit { job, from, dest } => self.on_net_retransmit(job, from, dest),
             EventKind::Stop => {
                 // Close windowed-latency windows up to the stop time so
                 // trailing idle periods appear as explicit count=0 windows
@@ -752,6 +856,12 @@ impl Simulator {
                 t: self.now,
             });
         }
+        // Fault hooks: an open breaker sheds the request before it touches
+        // any timer or connection; otherwise an optional hedge deadline is
+        // armed. A single branch when no fault plan is installed.
+        if self.fault.is_some() && self.fault_admission(rid, client) {
+            return;
+        }
         if let Some(timeout_s) = self.clients[c].spec.timeout_s {
             self.events.schedule(
                 self.now + SimDuration::from_secs_f64(timeout_s),
@@ -808,7 +918,20 @@ impl Simulator {
     fn on_deliver_to_client(&mut self, rid: RequestId) {
         // The final leg (last node exit → client) is network time.
         self.attribute_latency(rid, crate::telemetry::LatencyComponent::Network);
-        let (latency, conn_id, live_jobs, client, timed_out, ty, submitted, components) = {
+        let (
+            latency,
+            conn_id,
+            live_jobs,
+            client,
+            timed_out,
+            ty,
+            submitted,
+            components,
+            conn_released,
+            early_fire,
+            superseded,
+            hedge_twin,
+        ) = {
             let req = self.requests.get(rid).expect("completing request exists");
             (
                 self.now - req.submitted,
@@ -819,9 +942,16 @@ impl Simulator {
                 req.ty,
                 req.submitted,
                 req.components_ns,
+                req.conn_released,
+                req.early_fire,
+                req.superseded,
+                req.hedge_twin,
             )
         };
-        debug_assert_eq!(live_jobs, 0, "request completed with live jobs");
+        debug_assert!(
+            live_jobs == 0 || early_fire,
+            "request completed with live jobs"
+        );
         debug_assert!(
             self.telemetry.is_none() || components.iter().sum::<u64>() == latency.as_nanos(),
             "latency decomposition does not telescope: {components:?} vs {} ns",
@@ -830,6 +960,9 @@ impl Simulator {
         if timed_out {
             // Already accounted as a timeout error; exclude from latency.
             self.completed_after_timeout += 1;
+        } else if superseded {
+            // The hedge twin already delivered the logical response; this
+            // late copy closes the books but is not measured.
         } else {
             self.e2e.record(self.now, latency);
             self.per_type[ty.index()].record(self.now, latency);
@@ -837,10 +970,25 @@ impl Simulator {
                 w.record(self.now, latency);
             }
             self.interval_e2e.push(latency.as_secs_f64());
+            if early_fire {
+                // A quorum/best-effort fan-in answered without every
+                // branch: a degraded (but successful) response.
+                self.degraded += 1;
+                if self.now >= SimTime::ZERO + self.cfg.warmup {
+                    self.degraded_measured += 1;
+                }
+            }
+            if let Some(twin) = hedge_twin {
+                // First delivery wins the hedge race.
+                if let Some(tr) = self.requests.get_mut(twin) {
+                    tr.superseded = true;
+                }
+            }
+            self.fault_on_success(client);
         }
         self.completed += 1;
         self.maybe_trace(rid);
-        let measured = !timed_out && self.now >= SimTime::ZERO + self.cfg.warmup;
+        let measured = !timed_out && !superseded && self.now >= SimTime::ZERO + self.cfg.warmup;
         if let Some(log) = self.span_log.as_deref_mut() {
             log.record(TraceEvent::RequestCompleted {
                 request: rid,
@@ -851,21 +999,48 @@ impl Simulator {
             });
         }
         if let Some(tel) = self.telemetry.as_deref_mut() {
-            tel.on_completion(self.now, submitted, components, latency, timed_out);
+            tel.on_completion(
+                self.now,
+                submitted,
+                components,
+                latency,
+                timed_out || superseded,
+            );
         }
-        self.requests.free(rid);
-
-        // Free the connection; launch the next queued request if any.
-        let next = {
-            let conn = &mut self.conns[conn_id.index()];
-            conn.busy = false;
-            conn.pending.pop_front()
-        };
-        if let Some(next_rid) = next {
-            self.launch_request(next_rid, conn_id);
+        if live_jobs == 0 {
+            self.requests.free(rid);
+        } else {
+            // Quorum stragglers are still in flight: defer the free until
+            // the last one drains (see `try_finalize`).
+            self.requests
+                .get_mut(rid)
+                .expect("completing request exists")
+                .resolved = true;
+            self.resolved_pending += 1;
         }
 
-        // Closed-loop users reissue after a think time.
+        // Free the connection (unless the timeout already did) and launch
+        // the next queued request if any.
+        if !conn_released {
+            let next = {
+                let conn = &mut self.conns[conn_id.index()];
+                conn.busy = false;
+                conn.pending.pop_front()
+            };
+            if let Some(next_rid) = next {
+                self.launch_request(next_rid, conn_id);
+            }
+            // Closed-loop users reissue after a think time. A superseded
+            // copy must not: its hedge twin's delivery already did.
+            if !superseded {
+                self.closed_loop_reissue(client);
+            }
+        }
+    }
+
+    /// Schedules a closed-loop user's next arrival after a think time;
+    /// no-op for open-loop clients.
+    fn closed_loop_reissue(&mut self, client: ClientId) {
         let think = self.clients[client.index()]
             .spec
             .closed_loop
@@ -880,18 +1055,55 @@ impl Simulator {
     fn on_request_timeout(&mut self, rid: RequestId) {
         // The request may have completed long ago; its slot id is then
         // stale and the lookup simply misses.
-        if let Some(req) = self.requests.get_mut(rid) {
-            if !req.timed_out {
-                req.timed_out = true;
-                self.timeouts += 1;
-                if let Some(log) = self.span_log.as_deref_mut() {
-                    log.record(TraceEvent::RequestTimeout {
-                        request: rid,
-                        t: self.now,
-                    });
-                }
+        let (launched, client, conn_id, ty, attempt, size, submitted) = {
+            let Some(req) = self.requests.get_mut(rid) else {
+                return;
+            };
+            if req.timed_out || req.resolved || req.superseded {
+                return;
             }
+            req.timed_out = true;
+            let launched = req.launched.is_some();
+            if launched {
+                req.conn_released = true;
+            }
+            (
+                launched,
+                req.client,
+                req.client_conn,
+                req.ty,
+                req.attempt,
+                req.size_bytes,
+                req.submitted,
+            )
+        };
+        self.timeouts += 1;
+        // The client observed exactly the deadline for this failed call —
+        // a distinct latency outcome, never mixed into the success summary.
+        self.e2e_timeout.record(self.now, self.now - submitted);
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestTimeout {
+                request: rid,
+                t: self.now,
+            });
         }
+        if launched {
+            // The client abandons the call at the deadline: its connection
+            // slot frees immediately even though the server-side work keeps
+            // draining (the late response is discarded on arrival).
+            let conn_id = conn_id.expect("launched request has a connection");
+            let next = {
+                let conn = &mut self.conns[conn_id.index()];
+                conn.busy = false;
+                conn.pending.pop_front()
+            };
+            if let Some(next_rid) = next {
+                self.launch_request(next_rid, conn_id);
+            }
+            self.closed_loop_reissue(client);
+        }
+        // Resilience policy: a timeout is a client-observed failure.
+        self.fault_on_failure(client, ty, attempt, size);
     }
 
     /// Records a sampled trace of a completing request.
@@ -936,6 +1148,16 @@ impl Simulator {
     /// processing; same-machine hops pay only loopback latency.
     fn send_job(&mut self, job: JobId, from: Option<InstanceId>, dest: InstanceId) {
         let m = self.instances[dest.index()].machine.index();
+        // Fault: packet loss toward a degraded machine. Drawn from the
+        // dedicated fault RNG stream so fault-free runs stay byte-identical.
+        if let Some(f) = self.fault.as_deref_mut() {
+            let p = f.net_drop_p[m];
+            if p > 0.0 && f.rng.gen::<f64>() < p {
+                f.summary.packets_dropped += 1;
+                self.on_packet_dropped(job, from, dest);
+                return;
+            }
+        }
         let local = from
             .map(|f| self.instances[f.index()].machine.index() == m)
             .unwrap_or(false);
@@ -956,6 +1178,9 @@ impl Simulator {
                 delay += bytes * 8.0 / (bw_gbps * 1e9);
             }
         }
+        if let Some(f) = self.fault.as_deref() {
+            delay += f.net_added_s[m];
+        }
         self.events.schedule(
             self.now + SimDuration::from_secs_f64(delay),
             EventKind::NetDelivery {
@@ -966,6 +1191,41 @@ impl Simulator {
                 },
             },
         );
+    }
+
+    /// A degraded link dropped `job`'s packet: retransmit within the
+    /// network policy's budget, else the job dies (and its request with it,
+    /// if this was the last live branch).
+    fn on_packet_dropped(&mut self, job: JobId, from: Option<InstanceId>, dest: InstanceId) {
+        let retransmit = {
+            let f = self.fault.as_deref_mut().expect("drop implies faults");
+            match (f.net_policy, self.jobs.get_mut(job)) {
+                (Some(pol), Some(j)) if j.net_attempts < pol.retransmit_limit => {
+                    j.net_attempts += 1;
+                    f.summary.retransmits += 1;
+                    let backoff = pol.retransmit_backoff_s
+                        * f64::from(1u32 << u32::from(j.net_attempts - 1).min(16));
+                    Some(SimDuration::from_secs_f64(backoff))
+                }
+                _ => None,
+            }
+        };
+        match retransmit {
+            Some(delay) => self.events.schedule(
+                self.now + delay,
+                EventKind::NetRetransmit { job, from, dest },
+            ),
+            None => self.kill_job(job),
+        }
+    }
+
+    /// Handles [`EventKind::NetRetransmit`]: re-offers the packet to the
+    /// network (which re-rolls the drop). The job may have died in the
+    /// meantime (e.g. its instance crashed) — then the packet evaporates.
+    fn on_net_retransmit(&mut self, job: JobId, from: Option<InstanceId>, dest: InstanceId) {
+        if self.jobs.get(job).is_some() {
+            self.send_job(job, from, dest);
+        }
     }
 
     fn on_net_delivery(&mut self, packet: Packet) {
@@ -1057,26 +1317,49 @@ impl Simulator {
             .clone();
 
         // Replies release the connection that carried the original request.
-        if matches!(
+        let released_reply_conn = matches!(
             link,
             LinkKind::Reply { .. } | LinkKind::ReplyToParent | LinkKind::ReplyVia { .. }
-        ) {
+        );
+        if released_reply_conn {
             if let Some(c) = conn {
                 self.release_conn(c);
             }
         }
 
-        // Fan-in: only the last arriving copy proceeds.
+        // Fault: arrivals at a crashed instance die at the door (the reply
+        // release above still happened — the *upstream* conn frees
+        // normally).
+        if self
+            .fault
+            .as_deref()
+            .is_some_and(|f| f.instance_down[inst_id.index()])
+        {
+            self.kill_job_with(job_id, Some(released_reply_conn));
+            return;
+        }
+
+        // Fan-in: the node fires once `required` copies have arrived — all
+        // of them by default, fewer under a quorum/best-effort policy.
+        // Copies arriving after the firing are absorbed.
         let fan_in = self.request_types[ty.index()].fan_in[node.index()].max(1);
+        let required = self.request_types[ty.index()].nodes[node.index()]
+            .fan_in_policy
+            .required(fan_in);
         let (arrivals, fired) = {
             let req = self.requests.get_mut(rid).expect("job's request exists");
             let nr = &mut req.nodes[node.index()];
             nr.arrivals += 1;
-            nr.entry_conn = conn;
             let arrivals = nr.arrivals;
-            let fired = (arrivals as usize) >= fan_in;
+            let fired = (arrivals as usize) == required;
+            if (arrivals as usize) <= required {
+                nr.entry_conn = conn;
+            }
             if fired {
                 nr.enter = Some(self.now);
+                if required < fan_in {
+                    req.early_fire = true;
+                }
             } else {
                 req.live_jobs -= 1;
             }
@@ -1089,13 +1372,14 @@ impl Simulator {
                     node,
                     arrivals,
                     fan_in: fan_in as u32,
+                    required: required as u32,
                     fired,
                     t: self.now,
                 });
             }
         }
-        // The hop that arrives is network time; when the *last* fan-in copy
-        // fires, the wait since the previous arrival was synchronization.
+        // The hop that arrives is network time; when the firing fan-in copy
+        // lands, the wait since the previous arrival was synchronization.
         let comp = if fired && fan_in > 1 {
             crate::telemetry::LatencyComponent::FanInSync
         } else {
@@ -1104,6 +1388,7 @@ impl Simulator {
         self.attribute_latency(rid, comp);
         if !fired {
             self.jobs.free(job_id);
+            self.try_finalize(rid);
             return;
         }
 
@@ -1246,6 +1531,11 @@ impl Simulator {
                 svc.stages[stage_idx]
                     .service
                     .sample(&mut self.rng_service, k, batch_bytes, freq);
+            // Fault: a machine-slowdown window inflates service times.
+            let secs = match self.fault.as_deref() {
+                Some(f) => secs * f.slow_factor[m],
+                None => secs,
+            };
             let dur = SimDuration::from_secs_f64(secs) + SimDuration::from_nanos(ctx_ns);
             core.busy = true;
             core.last_thread = Some((i as u32, t as u32));
@@ -1325,6 +1615,16 @@ impl Simulator {
             .expect("running thread holds a core");
         let m = self.instances[i].machine.index();
         self.machines[m].cores[core_idx].busy = false;
+
+        // Fault: the instance crashed while this batch was in service — the
+        // work is lost. (Queued jobs were drained at crash time; arrivals
+        // die at the door.)
+        if self.fault.as_deref().is_some_and(|f| f.instance_down[i]) {
+            for &job_id in &batch.jobs {
+                self.kill_job(job_id);
+            }
+            return;
+        }
         self.instances[i].jobs_processed += batch.jobs.len() as u64;
 
         let sid = self.instances[i].service.index();
@@ -1420,6 +1720,9 @@ impl Simulator {
         for child in children {
             self.fan_out(rid, node, child, inst_id, thread, job.conn);
         }
+        // A failed or early-resolved request may have just drained its last
+        // live branch. No-op when faults and quorum policies are off.
+        self.try_finalize(rid);
     }
 
     /// Sends one fan-out copy from `parent` (just completed on
@@ -1443,11 +1746,21 @@ impl Simulator {
 
         match target {
             NodeTarget::ClientSink => {
+                let required = self.request_types[ty.index()].nodes[child.index()]
+                    .fan_in_policy
+                    .required(fan_in);
                 let (arrivals, fire) = {
                     let req = self.requests.get_mut(rid).expect("request exists");
                     let nr = &mut req.nodes[child.index()];
                     nr.arrivals += 1;
-                    (nr.arrivals, (nr.arrivals as usize) == fan_in)
+                    let fire = (nr.arrivals as usize) == required;
+                    if fire {
+                        req.sink_fired = true;
+                        if required < fan_in {
+                            req.early_fire = true;
+                        }
+                    }
+                    (nr.arrivals, fire)
                 };
                 if fan_in > 1 {
                     if let Some(log) = self.span_log.as_deref_mut() {
@@ -1456,6 +1769,7 @@ impl Simulator {
                             node: child,
                             arrivals,
                             fan_in: fan_in as u32,
+                            required: required as u32,
                             fired: fire,
                             t: self.now,
                         });
@@ -1674,6 +1988,523 @@ impl Simulator {
                     // Client connections are released in on_deliver_to_client.
                 }
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & resilience (see crate::fault)
+    // ------------------------------------------------------------------
+
+    /// Installs a fault plan: lowers names to ids (errors name `faults.json`
+    /// and the offending key), seeds the dedicated `"fault"` RNG stream, and
+    /// schedules every fault window's start/end transition.
+    ///
+    /// Call before [`Simulator::run_for`]. Installing an empty plan is valid
+    /// and changes nothing observable: no extra events, no extra RNG draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Simulator::enable_telemetry`] was already called: the
+    /// telemetry layer fixes its series columns (including the fault-gated
+    /// ones) at enable time, so faults must be installed first.
+    pub fn install_faults(
+        &mut self,
+        plan: &crate::fault::FaultPlan,
+    ) -> crate::error::SimResult<()> {
+        assert!(
+            self.telemetry.is_none(),
+            "install_faults must be called before enable_telemetry"
+        );
+        let instance_names: Vec<String> = self.instances.iter().map(|i| i.name.clone()).collect();
+        let machine_names: Vec<String> =
+            self.machines.iter().map(|m| m.spec.name.clone()).collect();
+        let client_names: Vec<String> = self.clients.iter().map(|c| c.spec.name.clone()).collect();
+        let pool_lookup = &self.pool_lookup;
+        let (schedule, client_policy) = crate::fault::lower_plan(
+            plan,
+            &instance_names,
+            &machine_names,
+            &client_names,
+            |up, down| pool_lookup.get(&(up.raw(), down.raw())).copied(),
+        )?;
+        for (idx, f) in schedule.iter().enumerate() {
+            self.events
+                .schedule(f.at, EventKind::FaultStart { fault: idx });
+            if let Some(until) = f.until {
+                self.events
+                    .schedule(until, EventKind::FaultEnd { fault: idx });
+            }
+        }
+        let rng = crate::rng::RngFactory::new(self.cfg.seed).stream("fault", 0);
+        self.fault = Some(Box::new(crate::fault::FaultState::new(
+            rng,
+            schedule,
+            self.instances.len(),
+            self.machines.len(),
+            client_policy,
+            plan.policy.network,
+        )));
+        Ok(())
+    }
+
+    fn on_fault_start(&mut self, idx: usize) {
+        let fault = match self.fault.as_deref() {
+            Some(f) => f.schedule[idx].fault,
+            None => return,
+        };
+        match fault {
+            crate::fault::LoweredFault::Crash { instance } => {
+                let i = instance.index();
+                let name = self.instances[i].name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.instance_down[i] = true;
+                    f.log(self.now, format!("instance {name} crashed"));
+                }
+                // Queued jobs die with the process. Batches already in
+                // service die at their StageDone; arrivals die at the door.
+                let mut doomed = Vec::new();
+                for set in &mut self.instances[i].queue_sets {
+                    for q in set.iter_mut() {
+                        doomed.extend(q.drain_all());
+                    }
+                }
+                // Threads blocked on now-doomed replies restart unblocked.
+                for th in &mut self.instances[i].threads {
+                    th.block_depth = 0;
+                }
+                for job in doomed {
+                    self.kill_job(job);
+                }
+            }
+            crate::fault::LoweredFault::Slowdown { machine, factor } => {
+                let m = machine.index();
+                let name = self.machines[m].spec.name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.slow_factor[m] = factor;
+                    f.log(self.now, format!("machine {name} slowed down x{factor}"));
+                }
+            }
+            crate::fault::LoweredFault::NetDegrade {
+                machine,
+                added_s,
+                drop_prob,
+            } => {
+                let m = machine.index();
+                let name = self.machines[m].spec.name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.net_added_s[m] = added_s;
+                    f.net_drop_p[m] = drop_prob;
+                    f.log(
+                        self.now,
+                        format!("network to {name} degraded (+{added_s}s, drop p={drop_prob})"),
+                    );
+                }
+            }
+            crate::fault::LoweredFault::PoolLeak { pool, leak } => {
+                let p = pool.index();
+                let leaked = self.pools[p].leak(leak);
+                let up = self.instances[self.pools[p].up_instance.index()]
+                    .name
+                    .clone();
+                let down = self.instances[self.pools[p].down_instance.index()]
+                    .name
+                    .clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.log(
+                        self.now,
+                        format!("pool {up}->{down} leaked {leaked} connections"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn on_fault_end(&mut self, idx: usize) {
+        let fault = match self.fault.as_deref() {
+            Some(f) => f.schedule[idx].fault,
+            None => return,
+        };
+        match fault {
+            crate::fault::LoweredFault::Crash { instance } => {
+                let i = instance.index();
+                let name = self.instances[i].name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.instance_down[i] = false;
+                    f.log(self.now, format!("instance {name} restarted"));
+                }
+            }
+            crate::fault::LoweredFault::Slowdown { machine, .. } => {
+                let m = machine.index();
+                let name = self.machines[m].spec.name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.slow_factor[m] = 1.0;
+                    f.log(self.now, format!("machine {name} back to full speed"));
+                }
+            }
+            crate::fault::LoweredFault::NetDegrade { machine, .. } => {
+                let m = machine.index();
+                let name = self.machines[m].spec.name.clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.net_added_s[m] = 0.0;
+                    f.net_drop_p[m] = 0.0;
+                    f.log(self.now, format!("network to {name} healthy"));
+                }
+            }
+            crate::fault::LoweredFault::PoolLeak { pool, .. } => {
+                let p = pool.index();
+                let grants = self.pools[p].restore_leaked();
+                let restored = grants.len() + self.pools[p].free_count();
+                let up = self.instances[self.pools[p].up_instance.index()]
+                    .name
+                    .clone();
+                let down = self.instances[self.pools[p].down_instance.index()]
+                    .name
+                    .clone();
+                if let Some(f) = self.fault.as_deref_mut() {
+                    f.log(
+                        self.now,
+                        format!("pool {up}->{down} restored ({restored} usable)"),
+                    );
+                }
+                // Restored connections may go straight to waiting jobs,
+                // mirroring the grant path of `release_conn`.
+                let pid = crate::ids::PoolId::from_raw(p as u32);
+                for (job, c) in grants {
+                    self.conns[c.index()].busy = true;
+                    let rid = {
+                        let j = self.jobs.get_mut(job).expect("waiting job exists");
+                        j.conn = Some(c);
+                        j.request
+                    };
+                    self.attribute_latency(rid, crate::telemetry::LatencyComponent::Blocking);
+                    if let Some(log) = self.span_log.as_deref_mut() {
+                        log.record(TraceEvent::PoolGrant {
+                            pool: pid,
+                            conn: c,
+                            job,
+                            t: self.now,
+                        });
+                    }
+                    let dest = self.pools[p].down_instance;
+                    let upi = self.pools[p].up_instance;
+                    self.send_job(job, Some(upi), dest);
+                }
+            }
+        }
+    }
+
+    /// Kills one in-flight job (crash drain, crash arrival, dead batch, or
+    /// exhausted retransmissions): frees it, releases any non-client
+    /// connection it still holds, marks the request failed, and resolves the
+    /// request as dropped once its last live branch is gone.
+    ///
+    /// `conn_released` overrides the inferred "does the job still hold its
+    /// connection" decision; the crash-arrival door passes it because the
+    /// reply release has just happened there.
+    fn kill_job_with(&mut self, job_id: JobId, conn_released: Option<bool>) {
+        let job = self.jobs.free(job_id);
+        let rid = job.request;
+        let already_released = conn_released.unwrap_or_else(|| {
+            // A job releases its (reply-link) connection when it is
+            // delivered; before delivery it still holds whatever it carries.
+            job.instance.is_some()
+                && self.requests.get(rid).is_some_and(|r| {
+                    !matches!(
+                        self.request_types[r.ty.index()].nodes[job.node.index()].link,
+                        LinkKind::Request
+                    )
+                })
+        });
+        if let Some(c) = job.conn {
+            if !already_released && !matches!(self.conns[c.index()].up, UpEndpoint::Client(_)) {
+                self.release_conn(c);
+            }
+        }
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.summary.jobs_killed += 1;
+        }
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::JobKilled {
+                job: job_id,
+                request: rid,
+                t: self.now,
+            });
+        }
+        if let Some(req) = self.requests.get_mut(rid) {
+            req.live_jobs -= 1;
+            req.failed = true;
+        }
+        self.try_finalize(rid);
+    }
+
+    fn kill_job(&mut self, job_id: JobId) {
+        self.kill_job_with(job_id, None);
+    }
+
+    /// Checks a request for final disposal after a live-jobs decrement:
+    /// frees a resolved request whose stragglers drained, or resolves a
+    /// failed request as dropped once nothing of it is left in flight.
+    /// No-op in fault-free runs (both flags stay false).
+    fn try_finalize(&mut self, rid: RequestId) {
+        let Some(req) = self.requests.get(rid) else {
+            return;
+        };
+        if req.live_jobs > 0 {
+            return;
+        }
+        if req.resolved {
+            self.requests.free(rid);
+            self.resolved_pending -= 1;
+        } else if req.failed && !req.sink_fired {
+            self.resolve_dropped(rid);
+        }
+    }
+
+    /// Resolves a request whose last in-flight branch was killed: the
+    /// client never gets a response. Releases the client connection (unless
+    /// the timeout already did) and feeds the resilience policy.
+    fn resolve_dropped(&mut self, rid: RequestId) {
+        let (client, conn, conn_released, launched, timed_out, superseded, ty, attempt, size) = {
+            let req = self.requests.get_mut(rid).expect("dropping request exists");
+            req.resolved = true;
+            (
+                req.client,
+                req.client_conn,
+                req.conn_released,
+                req.launched.is_some(),
+                req.timed_out,
+                req.superseded,
+                req.ty,
+                req.attempt,
+                req.size_bytes,
+            )
+        };
+        self.dropped += 1;
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestDropped {
+                request: rid,
+                t: self.now,
+            });
+        }
+        self.requests.free(rid);
+        if launched && !conn_released {
+            let conn_id = conn.expect("launched request has a connection");
+            let next = {
+                let c = &mut self.conns[conn_id.index()];
+                c.busy = false;
+                c.pending.pop_front()
+            };
+            if let Some(next_rid) = next {
+                self.launch_request(next_rid, conn_id);
+            }
+            self.closed_loop_reissue(client);
+        }
+        // A timed-out request already reported its failure at the deadline;
+        // a superseded hedge copy must not trigger retries of its own.
+        if !timed_out && !superseded {
+            self.fault_on_failure(client, ty, attempt, size);
+        }
+    }
+
+    /// Breaker admission + hedge arming at emission time. Returns `true`
+    /// when the request was shed (the caller must not launch it).
+    fn fault_admission(&mut self, rid: RequestId, client: ClientId) -> bool {
+        let (open, hedge) = {
+            let Some(f) = self.fault.as_deref() else {
+                return false;
+            };
+            match &f.client_policy[client.index()] {
+                Some(p) => (p.breaker_open(self.now), p.hedge_after),
+                None => return false,
+            }
+        };
+        if open {
+            self.resolve_shed(rid, client);
+            return true;
+        }
+        if let Some(h) = hedge {
+            let attempt = self.requests.get(rid).map_or(0, |r| r.attempt);
+            if attempt == 0 {
+                self.events
+                    .schedule(self.now + h, EventKind::HedgeFire { request: rid });
+            }
+        }
+        false
+    }
+
+    /// Immediately resolves `rid` as shed: the breaker refused it, the
+    /// client sees an instant degraded response, and no simulated resource
+    /// is touched.
+    fn resolve_shed(&mut self, rid: RequestId, client: ClientId) {
+        self.shed += 1;
+        self.degraded += 1;
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestShed {
+                request: rid,
+                t: self.now,
+            });
+        }
+        self.requests.free(rid);
+        // Closed-loop users observe the instant rejection and think again.
+        self.closed_loop_reissue(client);
+    }
+
+    /// Breaker bookkeeping on a client-observed success.
+    fn fault_on_success(&mut self, client: ClientId) {
+        if let Some(f) = self.fault.as_deref_mut() {
+            if let Some(p) = f.client_policy[client.index()].as_mut() {
+                p.on_success();
+            }
+        }
+    }
+
+    /// A client-observed failure (timeout or drop): feeds the breaker and
+    /// schedules a retry when the policy allows one.
+    fn fault_on_failure(
+        &mut self,
+        client: ClientId,
+        ty: crate::ids::RequestTypeId,
+        attempt: u32,
+        size_bytes: f64,
+    ) {
+        let delay = {
+            let Some(f) = self.fault.as_deref_mut() else {
+                return;
+            };
+            let crate::fault::FaultState {
+                client_policy, rng, ..
+            } = f;
+            let Some(p) = client_policy[client.index()].as_mut() else {
+                return;
+            };
+            p.on_failure(self.now, attempt, rng)
+        };
+        if let Some(delay) = delay {
+            self.events.schedule(
+                self.now + delay,
+                EventKind::RetryEmit {
+                    client,
+                    request_type: ty,
+                    attempt: attempt + 1,
+                    size_bytes,
+                },
+            );
+        }
+    }
+
+    /// Handles [`EventKind::RetryEmit`]: re-emits a failed operation as a
+    /// fresh request — same type, same payload size, bumped attempt count.
+    fn on_retry_emit(
+        &mut self,
+        client: ClientId,
+        ty: crate::ids::RequestTypeId,
+        attempt: u32,
+        size_bytes: f64,
+    ) {
+        let c = client.index();
+        let node_count = self.request_types[ty.index()].nodes.len();
+        let rid = self.requests.alloc(ty, client, self.now, node_count);
+        {
+            let req = self.requests.get_mut(rid).expect("fresh request");
+            req.size_bytes = size_bytes;
+            req.attempt = attempt;
+        }
+        self.generated += 1;
+        self.retried += 1;
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestEmitted {
+                request: rid,
+                request_type: ty,
+                client,
+                t: self.now,
+            });
+            log.record(TraceEvent::RequestRetry {
+                request: rid,
+                attempt,
+                t: self.now,
+            });
+        }
+        // The breaker may have opened between scheduling and firing.
+        if self.fault_admission(rid, client) {
+            return;
+        }
+        if let Some(timeout_s) = self.clients[c].spec.timeout_s {
+            self.events.schedule(
+                self.now + SimDuration::from_secs_f64(timeout_s),
+                EventKind::RequestTimeout { request: rid },
+            );
+        }
+        let n_conns = self.clients[c].conns.len();
+        let ci = self.clients[c].next_conn;
+        self.clients[c].next_conn = (ci + 1) % n_conns;
+        let conn_id = self.clients[c].conns[ci];
+        self.requests
+            .get_mut(rid)
+            .expect("fresh request")
+            .client_conn = Some(conn_id);
+        if self.conns[conn_id.index()].busy {
+            self.conns[conn_id.index()].pending.push_back(rid);
+        } else {
+            self.launch_request(rid, conn_id);
+        }
+    }
+
+    /// Handles [`EventKind::HedgeFire`]: the original is still outstanding
+    /// past the hedge deadline, so a duplicate is issued; the first delivery
+    /// wins and the loser is marked superseded.
+    fn on_hedge_fire(&mut self, rid: RequestId) {
+        let (client, ty, size, attempt) = {
+            let Some(req) = self.requests.get(rid) else {
+                return; // already completed or dropped
+            };
+            if req.timed_out || req.resolved || req.hedge_twin.is_some() {
+                return;
+            }
+            (req.client, req.ty, req.size_bytes, req.attempt)
+        };
+        let c = client.index();
+        let node_count = self.request_types[ty.index()].nodes.len();
+        let twin = self.requests.alloc(ty, client, self.now, node_count);
+        {
+            let t = self.requests.get_mut(twin).expect("fresh request");
+            t.size_bytes = size;
+            t.attempt = attempt;
+            t.hedge_twin = Some(rid);
+        }
+        self.requests
+            .get_mut(rid)
+            .expect("hedged request exists")
+            .hedge_twin = Some(twin);
+        self.generated += 1;
+        if let Some(f) = self.fault.as_deref_mut() {
+            f.summary.hedged += 1;
+        }
+        if let Some(log) = self.span_log.as_deref_mut() {
+            log.record(TraceEvent::RequestEmitted {
+                request: twin,
+                request_type: ty,
+                client,
+                t: self.now,
+            });
+        }
+        if let Some(timeout_s) = self.clients[c].spec.timeout_s {
+            self.events.schedule(
+                self.now + SimDuration::from_secs_f64(timeout_s),
+                EventKind::RequestTimeout { request: twin },
+            );
+        }
+        let n_conns = self.clients[c].conns.len();
+        let ci = self.clients[c].next_conn;
+        self.clients[c].next_conn = (ci + 1) % n_conns;
+        let conn_id = self.clients[c].conns[ci];
+        self.requests
+            .get_mut(twin)
+            .expect("fresh request")
+            .client_conn = Some(conn_id);
+        if self.conns[conn_id.index()].busy {
+            self.conns[conn_id.index()].pending.push_back(twin);
+        } else {
+            self.launch_request(twin, conn_id);
         }
     }
 

@@ -884,6 +884,8 @@ pub(crate) struct TelemetryState {
     pub(crate) prev_inst_busy: Vec<u64>,
     pub(crate) prev_irq_busy: Vec<u64>,
     pub(crate) prev_tick: SimTime,
+    /// Retry-emission counter at the previous tick (fault series only).
+    pub(crate) prev_retried: u64,
     pub(crate) profile: Option<ProfileState>,
 }
 
@@ -986,6 +988,22 @@ impl Simulator {
                 });
             }
         }
+        // Fault-gated series: a run with no fault plan exports exactly the
+        // same series set (and bytes) it did before the fault engine
+        // existed. Faults must be installed before telemetry is enabled
+        // (install_faults asserts this) so the column set is fixed here.
+        if self.fault.is_some() {
+            defs.push(SeriesDef {
+                metric: "retry_rate",
+                label: None,
+            });
+            for inst in &self.instances {
+                defs.push(SeriesDef {
+                    metric: "instance_fault_down",
+                    label: Some(("instance", inst.name.clone())),
+                });
+            }
+        }
         let stage_hists: Vec<Vec<StreamingHistogram>> = self
             .instances
             .iter()
@@ -1006,6 +1024,7 @@ impl Simulator {
             prev_inst_busy: self.inst_busy_sums(),
             prev_irq_busy: self.irq_busy_sums(),
             prev_tick: self.now,
+            prev_retried: self.retried,
             profile: cfg
                 .self_profile
                 .then(|| ProfileState::new(self.now, self.events_processed)),
@@ -1079,6 +1098,7 @@ impl Simulator {
         let live_requests = self.requests.live();
         let live_jobs = self.jobs.live();
         let events_processed = self.events_processed;
+        let retried = self.retried;
 
         let Some(tel) = self.telemetry.as_deref_mut() else {
             return;
@@ -1133,6 +1153,14 @@ impl Simulator {
         for p in &self.pools {
             row.push(p.free_count() as f64);
             row.push(p.waiter_count() as f64);
+        }
+        if let Some(f) = self.fault.as_deref() {
+            // Matches the fault-gated defs in enable_telemetry.
+            row.push(retried.saturating_sub(tel.prev_retried) as f64 / (span_ns / 1e9));
+            for i in 0..self.instances.len() {
+                row.push(f64::from(u8::from(f.instance_down[i])));
+            }
+            tel.prev_retried = retried;
         }
         tel.series.push_row(now, &row);
         tel.prev_inst_busy = inst_busy;
@@ -1375,6 +1403,73 @@ impl Simulator {
                 vec![("pool", label)],
                 p.waiter_count() as f64,
             );
+        }
+        // Fault families only exist when a fault plan is installed, so the
+        // Prometheus export of an unfaulted run stays byte-identical.
+        if let Some(f) = self.fault.as_deref() {
+            reg.counter(
+                "uqsim_requests_dropped_total",
+                "Requests terminally dropped by an injected fault.",
+                vec![],
+                self.dropped,
+            );
+            reg.counter(
+                "uqsim_requests_shed_total",
+                "Requests shed at emission by an open circuit breaker.",
+                vec![],
+                self.shed,
+            );
+            reg.counter(
+                "uqsim_retries_total",
+                "Retry emissions fired by client resilience policies.",
+                vec![],
+                self.retried,
+            );
+            reg.counter(
+                "uqsim_responses_degraded_total",
+                "Responses delivered in degraded mode (sheds and quorum early-fires).",
+                vec![],
+                self.degraded,
+            );
+            let s = f.summary_snapshot();
+            reg.counter(
+                "uqsim_hedges_total",
+                "Hedged duplicate attempts emitted.",
+                vec![],
+                s.hedged,
+            );
+            reg.counter(
+                "uqsim_jobs_killed_total",
+                "Jobs killed by crashes, drains, or exhausted retransmits.",
+                vec![],
+                s.jobs_killed,
+            );
+            reg.counter(
+                "uqsim_packets_dropped_total",
+                "Packet deliveries dropped by degraded links.",
+                vec![],
+                s.packets_dropped,
+            );
+            reg.counter(
+                "uqsim_retransmits_total",
+                "Packet retransmissions after a drop.",
+                vec![],
+                s.retransmits,
+            );
+            reg.counter(
+                "uqsim_breaker_trips_total",
+                "Times a client circuit breaker opened.",
+                vec![],
+                s.breaker_trips,
+            );
+            for (i, inst) in self.instances.iter().enumerate() {
+                reg.gauge(
+                    "uqsim_instance_fault_down",
+                    "1 while the instance is crashed, else 0.",
+                    vec![("instance", inst.name.clone())],
+                    f64::from(u8::from(f.instance_down[i])),
+                );
+            }
         }
         let Some(tel) = self.telemetry.as_deref() else {
             return reg;

@@ -212,7 +212,10 @@ pub enum TraceEvent {
         arrivals: u32,
         /// Parents the node waits for.
         fan_in: u32,
-        /// True when this arrival was the last one and the node fired.
+        /// Arrivals needed to fire — equals `fan_in` under the default
+        /// `all` policy, fewer under `quorum(k)` / `best_effort`.
+        required: u32,
+        /// True when this arrival reached `required` and the node fired.
         fired: bool,
         /// Arrival time.
         t: SimTime,
@@ -253,6 +256,42 @@ pub enum TraceEvent {
         /// Timeout time.
         t: SimTime,
     },
+    /// A fault killed the request's last in-flight branch; no response ever
+    /// reached the client (a terminal outcome, like `RequestCompleted`).
+    RequestDropped {
+        /// The request.
+        request: RequestId,
+        /// Drop time.
+        t: SimTime,
+    },
+    /// An open circuit breaker shed the request at emission; the client got
+    /// an instant degraded response (a terminal outcome).
+    RequestShed {
+        /// The request.
+        request: RequestId,
+        /// Shed time.
+        t: SimTime,
+    },
+    /// A resilience policy re-emitted a failed operation as this fresh
+    /// request (always directly preceded by its `RequestEmitted`).
+    RequestRetry {
+        /// The new request carrying the retry.
+        request: RequestId,
+        /// Attempt number (1 = first retry).
+        attempt: u32,
+        /// Emission time.
+        t: SimTime,
+    },
+    /// A fault killed one in-flight job (crash drain, crash arrival, dead
+    /// batch, or exhausted retransmissions).
+    JobKilled {
+        /// The killed job.
+        job: JobId,
+        /// Its owning request.
+        request: RequestId,
+        /// Kill time.
+        t: SimTime,
+    },
 }
 
 impl TraceEvent {
@@ -269,7 +308,11 @@ impl TraceEvent {
             | TraceEvent::FanIn { t, .. }
             | TraceEvent::NodeDone { t, .. }
             | TraceEvent::RequestCompleted { t, .. }
-            | TraceEvent::RequestTimeout { t, .. } => t,
+            | TraceEvent::RequestTimeout { t, .. }
+            | TraceEvent::RequestDropped { t, .. }
+            | TraceEvent::RequestShed { t, .. }
+            | TraceEvent::RequestRetry { t, .. }
+            | TraceEvent::JobKilled { t, .. } => t,
             TraceEvent::NetRx { start, .. } | TraceEvent::BatchStart { start, .. } => start,
         }
     }
@@ -629,6 +672,12 @@ pub struct AuditCounts {
     /// Completions retained by the end-to-end latency recorder (post-warmup
     /// and not timed out).
     pub measured: u64,
+    /// Requests terminally dropped by a fault
+    /// ([`Simulator::dropped`](crate::Simulator::dropped)).
+    pub dropped: u64,
+    /// Requests shed by an open circuit breaker
+    /// ([`Simulator::shed`](crate::Simulator::shed)).
+    pub shed: u64,
 }
 
 /// The auditor's findings.
@@ -693,10 +742,19 @@ impl TraceAuditor {
         }
 
         // ---- Request lifecycle and conservation -------------------------
+        // Every emitted request must reach exactly one terminal outcome:
+        // completed, dropped, or shed. Timeouts are an orthogonal flag (a
+        // timed-out request may still complete late or be dropped).
         let mut emitted: HashMap<RequestId, SimTime> = HashMap::new();
         let mut completed: HashMap<RequestId, SimTime> = HashMap::new();
+        let mut terminal: HashMap<RequestId, &'static str> = HashMap::new();
+        let mut dropped_events = 0u64;
+        let mut shed_events = 0u64;
         let mut measured_events = 0u64;
         let mut timeout_events = 0u64;
+        let mut terminal_of = |request: RequestId, kind: &'static str| -> Option<&'static str> {
+            terminal.insert(request, kind)
+        };
         for ev in log.events() {
             match ev {
                 TraceEvent::RequestEmitted { request, t, .. } => {
@@ -723,12 +781,38 @@ impl TraceAuditor {
                     if completed.insert(*request, *t).is_some() {
                         violation!("request {request} completed twice");
                     }
+                    if let Some(prev) = terminal_of(*request, "completed") {
+                        violation!("request {request} completed after terminal {prev}");
+                    }
                     if !truncated && !emitted.contains_key(request) {
                         violation!("request {request} completed but never emitted");
                     }
                     if *measured {
                         measured_events += 1;
                     }
+                }
+                TraceEvent::RequestDropped { request, .. } => {
+                    dropped_events += 1;
+                    if let Some(prev) = terminal_of(*request, "dropped") {
+                        violation!("request {request} dropped after terminal {prev}");
+                    }
+                    if !truncated && !emitted.contains_key(request) {
+                        violation!("request {request} dropped but never emitted");
+                    }
+                }
+                TraceEvent::RequestShed { request, .. } => {
+                    shed_events += 1;
+                    if let Some(prev) = terminal_of(*request, "shed") {
+                        violation!("request {request} shed after terminal {prev}");
+                    }
+                    if !truncated && !emitted.contains_key(request) {
+                        violation!("request {request} shed but never emitted");
+                    }
+                }
+                TraceEvent::RequestRetry { request, .. }
+                    if !truncated && !emitted.contains_key(request) =>
+                {
+                    violation!("retry request {request} has no emission");
                 }
                 TraceEvent::RequestTimeout { .. } => timeout_events += 1,
                 _ => {}
@@ -737,9 +821,10 @@ impl TraceAuditor {
         if !truncated {
             let e = emitted.len() as u64;
             let c = completed.len() as u64;
-            if e != c + counts.live_requests {
+            if e != c + dropped_events + shed_events + counts.live_requests {
                 violation!(
-                    "conservation: {e} emitted != {c} completed + {} in flight",
+                    "conservation: {e} emitted != {c} completed + {dropped_events} dropped + \
+                     {shed_events} shed + {} in flight",
                     counts.live_requests
                 );
             }
@@ -753,6 +838,18 @@ impl TraceAuditor {
                 violation!(
                     "completion events ({c}) disagree with completed counter ({})",
                     counts.completed
+                );
+            }
+            if dropped_events != counts.dropped {
+                violation!(
+                    "drop events ({dropped_events}) disagree with dropped counter ({})",
+                    counts.dropped
+                );
+            }
+            if shed_events != counts.shed {
+                violation!(
+                    "shed events ({shed_events}) disagree with shed counter ({})",
+                    counts.shed
                 );
             }
             if timeout_events != counts.timeouts {
@@ -771,6 +868,22 @@ impl TraceAuditor {
         }
 
         // ---- Span causality ---------------------------------------------
+        // Requests whose fan-in fired early (quorum / best-effort) have
+        // straggler branches legitimately executing after completion.
+        let early_fired: std::collections::HashSet<RequestId> = log
+            .events()
+            .iter()
+            .filter_map(|ev| match ev {
+                TraceEvent::FanIn {
+                    request,
+                    required,
+                    fan_in,
+                    fired: true,
+                    ..
+                } if required < fan_in => Some(*request),
+                _ => None,
+            })
+            .collect();
         let spans = log.spans();
         report.spans_checked = spans.len();
         for s in &spans {
@@ -795,7 +908,7 @@ impl TraceAuditor {
                 }
             }
             if let Some(&c) = completed.get(&s.request) {
-                if s.end_t > c {
+                if s.end_t > c && !early_fired.contains(&s.request) {
                     violation!(
                         "causality: request {} span ends at {} after completion at {c}",
                         s.request,
@@ -869,6 +982,7 @@ impl TraceAuditor {
                 node,
                 arrivals,
                 fan_in,
+                required,
                 fired,
                 ..
             } = ev
@@ -878,10 +992,15 @@ impl TraceAuditor {
                         "fan-in: request {request} node {node} saw arrival {arrivals} of {fan_in}"
                     );
                 }
-                if *fired != (*arrivals == *fan_in) {
+                if *required == 0 || *required > *fan_in {
+                    violation!(
+                        "fan-in: request {request} node {node} requires {required} of {fan_in}"
+                    );
+                }
+                if *fired != (*arrivals == *required) {
                     violation!(
                         "fan-in: request {request} node {node} fired={fired} at arrival \
-                         {arrivals} of {fan_in}"
+                         {arrivals} (requires {required} of {fan_in})"
                     );
                 }
                 let state = fan_state.entry((*request, *node)).or_insert((0, false));
@@ -891,7 +1010,9 @@ impl TraceAuditor {
                         state.0
                     );
                 }
-                if state.1 {
+                // Arrivals after the firing are only legitimate absorbed
+                // stragglers under an early-firing (quorum) policy.
+                if state.1 && *required == *fan_in {
                     violation!("fan-in: request {request} node {node} arrival after firing");
                 }
                 *state = (*arrivals, state.1 || *fired);
@@ -984,6 +1105,27 @@ mod tests {
             live_requests: live,
             timeouts: 0,
             measured,
+            dropped: 0,
+            shed: 0,
+        }
+    }
+
+    fn fan_in(
+        req: u32,
+        arrivals: u32,
+        fan_in: u32,
+        required: u32,
+        fired: bool,
+        at: u64,
+    ) -> TraceEvent {
+        TraceEvent::FanIn {
+            request: rid(req),
+            node: PathNodeId::from_raw(2),
+            arrivals,
+            fan_in,
+            required,
+            fired,
+            t: t(at),
         }
     }
 
@@ -1091,34 +1233,97 @@ mod tests {
     #[test]
     fn fan_in_over_arrival_detected() {
         let log = log_of(vec![
-            TraceEvent::FanIn {
-                request: rid(1),
-                node: PathNodeId::from_raw(2),
-                arrivals: 1,
-                fan_in: 2,
-                fired: false,
-                t: t(0),
-            },
-            TraceEvent::FanIn {
-                request: rid(1),
-                node: PathNodeId::from_raw(2),
-                arrivals: 2,
-                fan_in: 2,
-                fired: true,
-                t: t(5),
-            },
-            TraceEvent::FanIn {
-                request: rid(1),
-                node: PathNodeId::from_raw(2),
-                arrivals: 3,
-                fan_in: 2,
-                fired: false,
-                t: t(9),
-            },
+            fan_in(1, 1, 2, 2, false, 0),
+            fan_in(1, 2, 2, 2, true, 5),
+            fan_in(1, 3, 2, 2, false, 9),
         ]);
         let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
         assert!(
             report.violations.iter().any(|v| v.contains("fan-in")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn quorum_absorbs_stragglers_cleanly() {
+        // required=2 of fan_in=3: firing at the 2nd arrival and absorbing
+        // the 3rd is legitimate — no violation.
+        let log = log_of(vec![
+            fan_in(1, 1, 3, 2, false, 0),
+            fan_in(1, 2, 3, 2, true, 5),
+            fan_in(1, 3, 3, 2, false, 9),
+        ]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        assert!(report.is_clean(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn quorum_misfire_detected() {
+        // required=2 but the node fired at the first arrival.
+        let log = log_of(vec![fan_in(1, 1, 3, 2, true, 0)]);
+        let report = TraceAuditor::new().audit(&log, &counts(0, 0, 0, 0));
+        assert!(
+            report.violations.iter().any(|v| v.contains("fired=true")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn terminal_outcomes_are_exclusive_and_conserved() {
+        let log = log_of(vec![
+            emit(1, 0),
+            emit(2, 1),
+            emit(3, 2),
+            complete(1, 10),
+            TraceEvent::RequestDropped {
+                request: rid(2),
+                t: t(11),
+            },
+            TraceEvent::RequestShed {
+                request: rid(3),
+                t: t(12),
+            },
+        ]);
+        let mut c = counts(3, 1, 0, 1);
+        c.dropped = 1;
+        c.shed = 1;
+        let report = TraceAuditor::new().audit(&log, &c);
+        assert!(report.is_clean(), "{:?}", report.violations);
+
+        // A request both dropped and completed is a violation.
+        let log = log_of(vec![
+            emit(1, 0),
+            TraceEvent::RequestDropped {
+                request: rid(1),
+                t: t(5),
+            },
+            complete(1, 10),
+        ]);
+        let mut c = counts(1, 1, 0, 1);
+        c.dropped = 1;
+        let report = TraceAuditor::new().audit(&log, &c);
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("after terminal")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn drop_count_mismatch_detected() {
+        let log = log_of(vec![
+            emit(1, 0),
+            TraceEvent::RequestDropped {
+                request: rid(1),
+                t: t(5),
+            },
+        ]);
+        // Counter claims zero drops but the log has one.
+        let report = TraceAuditor::new().audit(&log, &counts(1, 0, 0, 0));
+        assert!(
+            report.violations.iter().any(|v| v.contains("drop events")),
             "{report:?}"
         );
     }

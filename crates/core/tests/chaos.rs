@@ -1,0 +1,205 @@
+//! Adversarial fault-injection tests: fan-out DAGs losing a parent branch
+//! mid-flight. A quorum fan-in must keep answering (degraded) when one
+//! branch is crashed, an `all` fan-in must account every half-finished
+//! request as dropped, and in both cases the trace auditor must verify the
+//! terminal-outcome conservation law event-by-event.
+
+use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
+use uqsim_core::client::ClientSpec;
+use uqsim_core::dist::Distribution;
+use uqsim_core::ids::{InstanceId, PathNodeId, ServiceId, StageId};
+use uqsim_core::machine::{DvfsSpec, MachineSpec, NetworkSpec};
+use uqsim_core::path::{
+    FanInPolicy, InstanceSelect, LinkKind, NodeTarget, PathNodeSpec, PathSelect, RequestType,
+};
+use uqsim_core::service::{ExecPath, ServiceModel};
+use uqsim_core::stage::{QueueDiscipline, ServiceTimeModel, StageSpec};
+use uqsim_core::time::SimDuration;
+use uqsim_core::{FaultPlan, FaultSpec, Simulator};
+
+fn nid(i: usize) -> PathNodeId {
+    PathNodeId::from_raw(i as u32)
+}
+
+fn service_node(
+    name: &str,
+    service: ServiceId,
+    instance: InstanceId,
+    link: LinkKind,
+    children: Vec<PathNodeId>,
+) -> PathNodeSpec {
+    PathNodeSpec {
+        name: name.into(),
+        target: NodeTarget::Service {
+            service,
+            instance: InstanceSelect::Fixed { instance },
+            exec_path: PathSelect::Fixed { index: 0 },
+        },
+        children,
+        link,
+        block_thread_until: None,
+        pin_thread_of: None,
+        fan_in_policy: Default::default(),
+    }
+}
+
+fn single_stage_service(name: &str, mean_s: f64) -> ServiceModel {
+    ServiceModel::new(
+        name,
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::exponential(mean_s), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    )
+}
+
+/// A frontend fanning out to `backends` parallel instances whose replies
+/// synchronize at a join node with the given fan-in policy.
+fn build_fanout(seed: u64, backends: usize, policy: FanInPolicy) -> Simulator {
+    let mut b = ScenarioBuilder::new(seed);
+    b.warmup(SimDuration::from_millis(100));
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 8,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(5e-6),
+        power: Default::default(),
+    });
+    let s_front = b.add_service(single_stage_service("front", 30e-6));
+    let s_back = b.add_service(single_stage_service("back", 80e-6));
+    let i_front = b
+        .add_instance("front0", s_front, m, 2, ExecSpec::Simple)
+        .unwrap();
+    let backs: Vec<InstanceId> = (0..backends)
+        .map(|k| {
+            b.add_instance(format!("back{k}"), s_back, m, 2, ExecSpec::Simple)
+                .unwrap()
+        })
+        .collect();
+
+    // 0 root → {1..=backends} → join → sink.
+    let join_id = nid(backends + 1);
+    let root = service_node(
+        "root",
+        s_front,
+        i_front,
+        LinkKind::Request,
+        (1..=backends).map(nid).collect(),
+    );
+    let mut nodes = vec![root];
+    for (k, &i_back) in backs.iter().enumerate() {
+        nodes.push(service_node(
+            &format!("back{k}"),
+            s_back,
+            i_back,
+            LinkKind::Request,
+            vec![join_id],
+        ));
+    }
+    let mut join = PathNodeSpec {
+        name: "join".into(),
+        target: NodeTarget::Service {
+            service: s_front,
+            instance: InstanceSelect::SameAsNode { node: nid(0) },
+            exec_path: PathSelect::Fixed { index: 0 },
+        },
+        children: vec![nid(backends + 2)],
+        link: LinkKind::ReplyVia {
+            entries: (1..=backends).map(|k| (nid(k), nid(k))).collect(),
+        },
+        block_thread_until: None,
+        pin_thread_of: None,
+        fan_in_policy: Default::default(),
+    };
+    join.fan_in_policy = policy;
+    nodes.push(join);
+    nodes.push(PathNodeSpec::client_sink(nid(0)));
+    let ty = b
+        .add_request_type(RequestType::new("fanout", nodes, nid(0)))
+        .unwrap();
+    b.add_client(ClientSpec::open_loop("c", 2_000.0, 64, ty), vec![i_front]);
+    b.build().unwrap()
+}
+
+fn crash_plan(instance: &str, at_s: f64, restart_after_s: Option<f64>) -> FaultPlan {
+    FaultPlan {
+        faults: vec![FaultSpec::InstanceCrash {
+            instance: instance.into(),
+            at_s,
+            restart_after_s,
+        }],
+        policy: Default::default(),
+    }
+}
+
+/// Runs the audit and asserts zero violations plus a non-trivial trace.
+fn assert_audit_clean(sim: &Simulator) {
+    let log = sim.span_log().expect("span tracing enabled");
+    assert_eq!(log.dropped(), 0, "event capacity too small for this test");
+    let report = sim.audit_trace().expect("span tracing enabled");
+    assert!(report.is_clean(), "violations: {:#?}", report.violations);
+    assert!(report.spans_checked > 0, "no stage spans correlated");
+}
+
+/// quorum(2) over three backends, one of which crashes permanently: the
+/// join keeps firing on the two survivors, so requests complete (degraded)
+/// instead of hanging or dropping, and the conservation law still audits.
+#[test]
+fn quorum_fan_in_survives_a_dead_parent_branch() {
+    let mut sim = build_fanout(31, 3, FanInPolicy::Quorum { k: 2 });
+    sim.install_faults(&crash_plan("back1", 0.3, None)).unwrap();
+    sim.enable_span_tracing(4_000_000);
+    sim.run_for(SimDuration::from_secs(1));
+
+    let f = sim.fault_summary().expect("fault plan installed");
+    // The crash really killed work on the dead branch...
+    assert!(f.jobs_killed > 100, "jobs killed {}", f.jobs_killed);
+    // ...yet no request was terminally dropped: two live parents always
+    // satisfy the quorum.
+    assert_eq!(sim.dropped(), 0, "quorum must absorb the dead branch");
+    // Completions continue through the post-crash era (0.3s..1s at 2k qps
+    // would leave far fewer completions if the join wedged at the crash).
+    assert!(sim.completed() > 1_200, "completed {}", sim.completed());
+    // Early fires are degraded responses; after the crash every completion
+    // is one, so they dominate.
+    assert!(
+        sim.degraded() > sim.completed() / 2,
+        "degraded {} of {}",
+        sim.degraded(),
+        sim.completed()
+    );
+    // Terminal-outcome conservation, then the event-by-event audit of it.
+    assert_eq!(
+        sim.generated(),
+        sim.completed() + sim.dropped() + sim.shed() + sim.live_requests() as u64
+    );
+    assert_audit_clean(&sim);
+}
+
+/// An `all` fan-in crashing one of two parents mid-flight: every request
+/// whose dead-branch copy can no longer arrive must resolve as dropped
+/// (never hang half-joined), completions must resume after the restart,
+/// and the auditor must still verify conservation event-by-event.
+#[test]
+fn crash_mid_fanout_conserves_requests_under_all_fan_in() {
+    let mut sim = build_fanout(32, 2, FanInPolicy::All);
+    sim.install_faults(&crash_plan("back0", 0.3, Some(0.3)))
+        .unwrap();
+    sim.enable_span_tracing(4_000_000);
+    sim.run_for(SimDuration::from_secs(1));
+
+    let f = sim.fault_summary().expect("fault plan installed");
+    assert!(f.jobs_killed > 100, "jobs killed {}", f.jobs_killed);
+    // Requests caught mid-fanout lost a required branch and were dropped.
+    assert!(sim.dropped() > 100, "dropped {}", sim.dropped());
+    // The restart at 0.6s revives the branch: completions from both the
+    // pre-crash and post-restart eras.
+    assert!(sim.completed() > 800, "completed {}", sim.completed());
+    assert_eq!(
+        sim.generated(),
+        sim.completed() + sim.dropped() + sim.shed() + sim.live_requests() as u64
+    );
+    assert_audit_clean(&sim);
+}

@@ -135,6 +135,59 @@ fn timeouts_fire_only_in_overload() {
 }
 
 #[test]
+fn timeout_burst_frees_every_client_connection_slot() {
+    // A finite burst (trace replay) of 300 requests at 1 ms spacing hits a
+    // server whose ~50 ms service time dwarfs the 5 ms client deadline, so
+    // essentially everything times out. Each timed-out call must release
+    // its connection slot at the deadline — not when the abandoned response
+    // eventually drains — or the 4-connection client wedges after the first
+    // four launches.
+    let spec = ClientSpec {
+        name: "burst".into(),
+        connections: 4,
+        arrivals: uqsim_core::client::ArrivalProcess::Trace {
+            timestamps: (0..300).map(|i| f64::from(i) * 1e-3).collect(),
+        },
+        mix: RequestMix::single(uqsim_core::ids::RequestTypeId::from_raw(0)),
+        request_size: Distribution::constant(512.0),
+        closed_loop: None,
+        timeout_s: Some(5e-3),
+    };
+    let mut sim = build(spec, 50e-3, 32);
+    sim.run_for(SimDuration::from_secs(3));
+
+    assert_eq!(sim.generated(), 300);
+    assert!(sim.timeouts() > 200, "timeouts {}", sim.timeouts());
+    // The server kept finishing abandoned work after the client moved on.
+    assert!(sim.completed_after_timeout() > 0);
+    // Pool-occupancy regression: after the burst drains, every client
+    // connection slot is free again and nothing is left in flight. A
+    // leaked slot would stay busy forever (the late response was already
+    // discarded, so nothing else can ever release it).
+    assert_eq!(
+        sim.busy_client_connections(),
+        0,
+        "timed-out requests leaked client connection slots"
+    );
+    assert_eq!(sim.live_requests(), 0, "requests stuck in flight");
+    // Timeouts are a distinct latency outcome, pinned at exactly the
+    // deadline; the success-path summary never sees them.
+    let t = sim.timeout_latency_summary();
+    assert!(t.count > 50, "timeout outcome samples {}", t.count);
+    assert!(
+        (t.mean - 5e-3).abs() < 1e-6 && (t.max - 5e-3).abs() < 1e-6,
+        "timeout latency must sit at the deadline: mean {} max {}",
+        t.mean,
+        t.max
+    );
+    assert!(
+        sim.latency_summary().max <= 5e-3 + 1e-6,
+        "success summary contains a timed-out call: max {}",
+        sim.latency_summary().max
+    );
+}
+
+#[test]
 fn traces_record_spans_in_order() {
     let spec = ClientSpec::open_loop(
         "c",

@@ -43,6 +43,7 @@
 //!     base_seed: 42,
 //!     duration: SimDuration::from_millis(400),
 //!     jobs: 2,
+//!     faults: None,
 //! };
 //! let table = run_scenario_sweep(&cfg, &spec, &|_p| {})?;
 //! assert_eq!(table.rows.len(), 2);

@@ -12,9 +12,9 @@ use crate::stats::{mean_ci95, MeanCi};
 use crate::try_run_indexed;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use uqsim_core::config::ScenarioConfig;
-use uqsim_core::run::{run_one, RunResult};
+use uqsim_core::run::{run_one_faulted, RunResult};
 use uqsim_core::time::SimDuration;
-use uqsim_core::SimResult;
+use uqsim_core::{FaultPlan, SimResult};
 
 /// SplitMix64 finalizer (same mixing the core's RNG factory uses).
 fn splitmix64(mut z: u64) -> u64 {
@@ -99,6 +99,11 @@ pub struct SweepSpec {
     /// Worker threads (0 or 1 = serial). Affects wall-clock only, never
     /// results.
     pub jobs: usize,
+    /// Fault plan installed into every cell before its clock starts;
+    /// `None` sweeps the healthy system. The plan is part of the
+    /// determinism key: a fixed `(scenario, plan, grid, reps, base_seed,
+    /// duration)` is byte-identical at any `jobs`.
+    pub faults: Option<FaultPlan>,
 }
 
 /// A progress tick, emitted once per finished cell from whichever worker
@@ -135,10 +140,22 @@ pub struct SweepRow {
     pub p99: MeanCi,
     /// Worst single latency over all replications, seconds.
     pub max_s: f64,
+    /// Post-warmup goodput (within-deadline, full-fidelity completions per
+    /// second) across replications; equals `achieved_qps` when unfaulted.
+    pub goodput_qps: MeanCi,
     /// Completed requests summed over replications.
     pub completed: u64,
     /// Timed-out requests summed over replications.
     pub timeouts: u64,
+    /// Requests dropped by injected faults, summed over replications.
+    pub dropped: u64,
+    /// Requests shed by open circuit breakers, summed over replications.
+    pub shed: u64,
+    /// Retry emissions, summed over replications.
+    pub retried: u64,
+    /// Degraded responses (sheds + quorum early-fires), summed over
+    /// replications.
+    pub degraded: u64,
     /// Mean post-warmup instance utilization across replications.
     pub instance_util: MeanCi,
     /// Mean post-warmup network (irq-core) utilization across replications.
@@ -172,7 +189,8 @@ impl SweepTable {
             "offered_qps,reps,achieved_qps,achieved_qps_ci95,mean_ms,mean_ms_ci95,\
              p50_ms,p50_ms_ci95,p95_ms,p95_ms_ci95,p99_ms,p99_ms_ci95,max_ms,completed,timeouts,\
              instance_util,network_util,client_wait_ms,network_ms,queue_wait_ms,service_ms,\
-             blocking_ms,fan_in_sync_ms\n",
+             blocking_ms,fan_in_sync_ms,goodput_qps,goodput_qps_ci95,dropped,shed,retried,\
+             degraded\n",
         );
         for r in &self.rows {
             let ms = |c: &MeanCi| format!("{:.6},{:.6}", c.mean * 1e3, c.half_width * 1e3);
@@ -195,7 +213,15 @@ impl SweepTable {
             for c in r.components_ms {
                 out.push_str(&format!(",{c:.6}"));
             }
-            out.push('\n');
+            out.push_str(&format!(
+                ",{:.3},{:.3},{},{},{},{}\n",
+                r.goodput_qps.mean,
+                r.goodput_qps.half_width,
+                r.dropped,
+                r.shed,
+                r.retried,
+                r.degraded,
+            ));
         }
         out
     }
@@ -236,6 +262,13 @@ impl SweepTable {
                     },
                     "completed": r.completed,
                     "timeouts": r.timeouts,
+                    "goodput_qps": ci(&r.goodput_qps),
+                    "faults": {
+                        "dropped": r.dropped,
+                        "shed": r.shed,
+                        "retried": r.retried,
+                        "degraded": r.degraded,
+                    },
                     "utilization": {
                         "instance": ci(&r.instance_util),
                         "network": ci(&r.network_util),
@@ -267,8 +300,13 @@ fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
         p95: mean_ci95(&pick(&|r| r.latency.p95)),
         p99: mean_ci95(&pick(&|r| r.latency.p99)),
         max_s: reps.iter().map(|r| r.latency.max).fold(0.0, f64::max),
+        goodput_qps: mean_ci95(&pick(&|r| r.goodput_qps)),
         completed: reps.iter().map(|r| r.completed).sum(),
         timeouts: reps.iter().map(|r| r.timeouts).sum(),
+        dropped: reps.iter().map(|r| r.dropped).sum(),
+        shed: reps.iter().map(|r| r.shed).sum(),
+        retried: reps.iter().map(|r| r.retried).sum(),
+        degraded: reps.iter().map(|r| r.degraded).sum(),
         instance_util: mean_ci95(&pick(&|r| r.metrics.instance_utilization)),
         network_util: mean_ci95(&pick(&|r| r.metrics.network_utilization)),
         components_ms: {
@@ -291,8 +329,9 @@ fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
 ///
 /// Each cell re-scales the scenario to its offered load
 /// ([`ScenarioConfig::with_offered_qps`]) and re-seeds it ([`seed_for`]),
-/// then runs [`uqsim_core::run_one`]. `progress` is invoked once per
-/// finished cell, possibly from worker threads (hence `Sync`).
+/// then runs [`run_one_faulted`] with the spec's fault plan (if any).
+/// `progress` is invoked once per finished cell, possibly from worker
+/// threads (hence `Sync`).
 ///
 /// # Errors
 ///
@@ -311,7 +350,7 @@ pub fn run_scenario_sweep(
     let results: Vec<RunResult> = try_run_indexed(spec.jobs, total, |i| {
         let (qi, rep) = (i / reps, i % reps);
         let seed = seed_for(spec.base_seed, rep);
-        let out = run_one(&scaled[qi], seed, spec.duration);
+        let out = run_one_faulted(&scaled[qi], spec.faults.as_ref(), seed, spec.duration);
         progress(Progress {
             finished: finished.fetch_add(1, Ordering::Relaxed) + 1,
             total,
@@ -376,6 +415,7 @@ mod tests {
             base_seed: 42,
             duration: SimDuration::from_millis(300),
             jobs,
+            faults: None,
         }
     }
 
@@ -392,6 +432,31 @@ mod tests {
                 "jobs={jobs} JSON drift"
             );
         }
+    }
+
+    #[test]
+    fn faulted_sweep_is_jobs_invariant_and_counts_fault_activity() {
+        let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO).unwrap();
+        let plan = FaultPlan::from_json(uqsim_core::run::EXAMPLE_FAULTS).unwrap();
+        let spec = |jobs| SweepSpec {
+            qps: vec![1000.0, 2000.0],
+            reps: 2,
+            base_seed: 42,
+            duration: SimDuration::from_millis(500),
+            jobs,
+            faults: Some(plan.clone()),
+        };
+        let serial = run_scenario_sweep(&cfg, &spec(1), &|_| {}).unwrap();
+        let parallel = run_scenario_sweep(&cfg, &spec(4), &|_| {}).unwrap();
+        assert_eq!(serial.to_csv(), parallel.to_csv(), "faulted CSV drift");
+        assert_eq!(serial.to_json(), parallel.to_json(), "faulted JSON drift");
+        let r = &serial.rows[0];
+        assert!(r.dropped > 0, "crash window should drop requests");
+        assert!(r.retried > 0, "drops should trigger retries");
+        assert!(
+            r.goodput_qps.mean <= r.achieved_qps.mean,
+            "goodput can never exceed achieved throughput"
+        );
     }
 
     #[test]
