@@ -20,7 +20,9 @@ use uqsim_core::time::SimDuration;
 
 const QPS: f64 = 20_000.0;
 const SIM_SECS: f64 = 2.0;
-const REPS: usize = 3;
+// Single-vCPU CI containers show 30-50% wall-clock noise; best-of-9 gets
+// the minimum close to the true cost floor where best-of-3 often misses it.
+const REPS: usize = 9;
 
 struct Measurement {
     events_per_sec: f64,

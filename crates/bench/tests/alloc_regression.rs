@@ -1,0 +1,70 @@
+//! Allocation ratchet for the dispatch hot path.
+//!
+//! Before the event-core rewrite the engine allocated ~0.94 times per
+//! event at steady state (per-event heap boxes, cloned job vectors,
+//! rebuilt batch buffers). The ladder queue + arena/pool recycling took
+//! that to ~0.001 (see `BENCH_engine.json`). This test pins the property
+//! with two orders of magnitude of headroom: if steady-state dispatch
+//! starts allocating per event again, it fails regardless of machine
+//! speed (counts, not wall-clock, so it is noise-immune and runs
+//! unconditionally — no `UQSIM_ENFORCE_BENCH` gate).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use uqsim_apps::scenarios::{two_tier, TwoTierConfig};
+use uqsim_core::time::SimDuration;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: every method delegates to `System` unchanged; the only addition
+// is a relaxed atomic increment, which cannot violate allocator contracts.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Pre-rewrite steady state was ~0.944 allocations/event; post-rewrite is
+/// ~0.001. The ratchet sits well below the old number and well above the
+/// new one, so real regressions trip it and arena-growth jitter does not.
+const MAX_ALLOCS_PER_EVENT: f64 = 0.05;
+
+#[test]
+fn steady_state_dispatch_does_not_allocate_per_event() {
+    let mut sim = two_tier(&TwoTierConfig::at_qps(5_000.0)).expect("scenario builds");
+    // Warm arenas, queues, and pools past first-touch growth.
+    sim.run_for(SimDuration::from_secs_f64(0.5));
+    let ev0 = sim.events_processed();
+    let a0 = ALLOCATIONS.load(Ordering::Relaxed);
+    sim.run_for(SimDuration::from_secs_f64(1.0));
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - a0;
+    let events = sim.events_processed() - ev0;
+    assert!(
+        events > 10_000,
+        "scenario too small to measure: {events} events"
+    );
+    let per_event = allocs as f64 / events as f64;
+    assert!(
+        per_event < MAX_ALLOCS_PER_EVENT,
+        "steady-state dispatch allocates {per_event:.4} times per event \
+         ({allocs} allocations over {events} events); the ratchet is \
+         {MAX_ALLOCS_PER_EVENT} — the hot path has started heap-allocating again"
+    );
+}

@@ -1,0 +1,73 @@
+//! Byte-identity gate across worker counts for every bundled config.
+//!
+//! `sweep --config` must emit identical bytes at `--jobs 1` and
+//! `--jobs 4` — results are keyed by (qps point, replication), never by
+//! completion order — and that must hold for each scenario shipped under
+//! `configs/`, with and without a fault plan installed. This complements
+//! `sweep_determinism.rs`, which pins the quickstart output *shape*; here
+//! the concern is that no bundled topology (multi-instance pools,
+//! fan-out DAGs) smuggles scheduling nondeterminism into the results.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Every scenario config bundled with the CLI (fault plans excluded).
+const CONFIGS: [&str; 3] = ["quickstart.json", "two_tier.json", "social_network.json"];
+
+fn config_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("configs")
+        .join(name)
+}
+
+/// Runs a short sweep of `config` on `jobs` workers, optionally faulted.
+fn sweep(config: &str, jobs: usize, faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_uqsim"));
+    cmd.arg("sweep")
+        .arg("--config")
+        .arg(config_path(config))
+        .args(["--qps", "500:1000:500", "--reps", "2", "--duration", "0.8"])
+        .args(["--jobs", &jobs.to_string()]);
+    if let Some(f) = faults {
+        cmd.arg("--faults").arg(config_path(f));
+    }
+    cmd.output().expect("uqsim binary runs")
+}
+
+fn assert_jobs_invariant(config: &str, faults: Option<&str>) {
+    let serial = sweep(config, 1, faults);
+    assert!(
+        serial.status.success(),
+        "{config}: serial sweep failed: {serial:?}"
+    );
+    let parallel = sweep(config, 4, faults);
+    assert!(
+        parallel.status.success(),
+        "{config}: parallel sweep failed: {parallel:?}"
+    );
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "{config}: table bytes drifted between --jobs 1 and --jobs 4 (faults: {faults:?})"
+    );
+    // Sanity: the table is not trivially empty (header + one row per point).
+    let text = String::from_utf8(serial.stdout).expect("output is UTF-8");
+    assert!(
+        text.lines().count() >= 3,
+        "{config}: expected header + 2 qps rows, got:\n{text}"
+    );
+}
+
+#[test]
+fn every_bundled_config_is_byte_identical_across_jobs() {
+    for config in CONFIGS {
+        assert_jobs_invariant(config, None);
+    }
+}
+
+#[test]
+fn faulted_sweep_is_byte_identical_across_jobs() {
+    // The bundled fault plan names quickstart's instances, so it only
+    // applies to that scenario; fault-path determinism for the other
+    // topologies is covered by the core crate's property tests.
+    assert_jobs_invariant("quickstart.json", Some("quickstart_faults.json"));
+}

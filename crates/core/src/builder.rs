@@ -24,7 +24,6 @@ use crate::rng::RngFactory;
 use crate::service::ServiceModel;
 use crate::sim::{ClientRt, ExecModel, InstanceRt, MachineRt, SimConfig, Simulator, ThreadRt};
 use crate::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Execution-model choice for a deployed instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -320,6 +319,7 @@ impl ScenarioBuilder {
                 let irq_cores: Vec<usize> = (0..spec.network.irq_cores).collect();
                 let net_slots = vec![None; irq_cores.len()];
                 MachineRt {
+                    max_ghz: spec.dvfs.max_ghz(),
                     spec: spec.clone(),
                     cores,
                     irq_cores,
@@ -373,10 +373,12 @@ impl ScenarioBuilder {
             let set_count = if shared { 1 } else { thread_count };
             let queue_sets = (0..set_count)
                 .map(|_| {
-                    svc.stages
-                        .iter()
-                        .map(|s| StageQueue::new(s.queue))
-                        .collect()
+                    crate::queue::StageQueueSet::new(
+                        svc.stages
+                            .iter()
+                            .map(|s| StageQueue::new(s.queue))
+                            .collect(),
+                    )
                 })
                 .collect();
             let threads = (0..thread_count)
@@ -389,12 +391,22 @@ impl ScenarioBuilder {
                 .collect();
             let stage_agg = vec![Default::default(); svc.stages.len()];
             let stage_samples = vec![Vec::new(); svc.stages.len()];
+            assert!(
+                thread_count <= 64,
+                "instance {}: at most 64 threads (idle bitmask)",
+                def.name
+            );
             instances.push(InstanceRt {
                 name: def.name.clone(),
                 service: def.service,
                 machine: def.machine,
                 cores,
                 exec,
+                idle_mask: if thread_count == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << thread_count) - 1
+                },
                 threads,
                 queue_sets,
                 shared_queues: shared,
@@ -410,7 +422,7 @@ impl ScenarioBuilder {
         // --- connections: pools ---------------------------------------
         let mut conns: Vec<Connection> = Vec::new();
         let mut pools: Vec<ConnectionPool> = Vec::new();
-        let mut pool_lookup = HashMap::new();
+        let mut pool_lookup = crate::fasthash::FastMap::default();
         for (pi, def) in self.pools.iter().enumerate() {
             let pid = PoolId::from_raw(pi as u32);
             let up_threads = instances[def.up.index()].threads.len();
@@ -431,7 +443,7 @@ impl ScenarioBuilder {
                     id
                 })
                 .collect();
-            pools.push(ConnectionPool::new(def.up, def.down, member_ids));
+            pools.push(ConnectionPool::new(def.up, def.down, member_ids, &conns));
             pool_lookup.insert((def.up.raw(), def.down.raw()), pid);
         }
 
@@ -496,13 +508,14 @@ impl ScenarioBuilder {
             conns,
             pools,
             pool_lookup,
-            eph_free: HashMap::new(),
+            eph_free: crate::fasthash::FastMap::default(),
             request_types: self.request_types.clone(),
             unblocks_thread,
             rr_instance,
             clients,
             requests: RequestArena::new(),
             jobs: JobArena::new(),
+            batch_pool: Vec::new(),
             controllers: Vec::new(),
             e2e: LatencyRecorder::new(warmup_at),
             per_type: vec![LatencyRecorder::new(warmup_at); self.request_types.len()],

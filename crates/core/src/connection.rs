@@ -88,13 +88,24 @@ pub struct ConnectionPool {
     pub down_instance: InstanceId,
     /// All member connections.
     pub conns: Vec<ConnectionId>,
-    /// Currently free member connections.
-    free: VecDeque<ConnectionId>,
+    /// Currently free member connections, each paired with its (immutable)
+    /// upstream thread binding so `acquire` can scan for a preferred thread
+    /// without dereferencing the global connection table per element.
+    free: VecDeque<(ConnectionId, ThreadId)>,
     /// Jobs waiting for a free connection, FIFO.
     waiters: VecDeque<JobId>,
     /// Connections removed from service by a fault (leaked / shrunk); they
     /// are neither free nor busy until restored.
-    leaked: Vec<ConnectionId>,
+    leaked: Vec<(ConnectionId, ThreadId)>,
+}
+
+/// Upstream thread binding of a pooled connection (pools only connect
+/// instances, never clients).
+fn up_thread(conn_table: &[Connection], c: ConnectionId) -> ThreadId {
+    match conn_table[c.index()].up {
+        UpEndpoint::Instance { thread, .. } => thread,
+        UpEndpoint::Client(_) => unreachable!("pooled connections originate from instances"),
+    }
 }
 
 impl ConnectionPool {
@@ -103,8 +114,12 @@ impl ConnectionPool {
         up_instance: InstanceId,
         down_instance: InstanceId,
         conns: Vec<ConnectionId>,
+        conn_table: &[Connection],
     ) -> Self {
-        let free = conns.iter().copied().collect();
+        let free = conns
+            .iter()
+            .map(|&c| (c, up_thread(conn_table, c)))
+            .collect();
         ConnectionPool {
             up_instance,
             down_instance,
@@ -118,34 +133,29 @@ impl ConnectionPool {
     /// Acquires a free connection, preferring one whose upstream endpoint is
     /// bound to `prefer_thread` (so the reply returns to the sending
     /// worker). Returns `None` when the pool is exhausted.
-    pub fn acquire(
-        &mut self,
-        prefer_thread: ThreadId,
-        conn_table: &[Connection],
-    ) -> Option<ConnectionId> {
+    pub fn acquire(&mut self, prefer_thread: ThreadId) -> Option<ConnectionId> {
         if self.free.is_empty() {
             return None;
         }
         let pos = self
             .free
             .iter()
-            .position(|&c| {
-                matches!(
-                    conn_table[c.index()].up,
-                    UpEndpoint::Instance { thread, .. } if thread == prefer_thread
-                )
-            })
+            .position(|&(_, thread)| thread == prefer_thread)
             .unwrap_or(0);
-        self.free.remove(pos)
+        self.free.remove(pos).map(|(c, _)| c)
     }
 
     /// Returns a connection to the pool. If jobs are waiting, hands the
     /// connection to the first waiter instead and returns it.
-    pub fn release(&mut self, conn: ConnectionId) -> Option<(JobId, ConnectionId)> {
+    pub fn release(
+        &mut self,
+        conn: ConnectionId,
+        up_thread: ThreadId,
+    ) -> Option<(JobId, ConnectionId)> {
         if let Some(job) = self.waiters.pop_front() {
             Some((job, conn))
         } else {
-            self.free.push_back(conn);
+            self.free.push_back((conn, up_thread));
             None
         }
     }
@@ -172,8 +182,8 @@ impl ConnectionPool {
     pub fn leak(&mut self, n: usize) -> usize {
         let take = n.min(self.free.len());
         for _ in 0..take {
-            let c = self.free.pop_back().expect("checked free count");
-            self.leaked.push(c);
+            let entry = self.free.pop_back().expect("checked free count");
+            self.leaked.push(entry);
         }
         take
     }
@@ -183,8 +193,8 @@ impl ConnectionPool {
     /// returned grants must be re-sent by the caller.
     pub fn restore_leaked(&mut self) -> Vec<(JobId, ConnectionId)> {
         let mut grants = Vec::new();
-        while let Some(c) = self.leaked.pop() {
-            if let Some(grant) = self.release(c) {
+        while let Some((c, th)) = self.leaked.pop() {
+            if let Some(grant) = self.release(c, th) {
                 grants.push(grant);
             }
         }
@@ -254,15 +264,16 @@ mod tests {
             InstanceId::from_raw(0),
             InstanceId::from_raw(1),
             vec![cid(0), cid(1), cid(2)],
+            &table,
         );
         // Prefer thread 1 → gets conn 1 even though conn 0 is first.
-        let got = pool.acquire(ThreadId::from_raw(1), &table).unwrap();
+        let got = pool.acquire(ThreadId::from_raw(1)).unwrap();
         assert_eq!(got, cid(1));
         // Next prefer-1 gets conn 2 (also thread 1 upstream).
-        assert_eq!(pool.acquire(ThreadId::from_raw(1), &table).unwrap(), cid(2));
+        assert_eq!(pool.acquire(ThreadId::from_raw(1)).unwrap(), cid(2));
         // Exhausted preference falls back to front of free list.
-        assert_eq!(pool.acquire(ThreadId::from_raw(1), &table).unwrap(), cid(0));
-        assert!(pool.acquire(ThreadId::from_raw(1), &table).is_none());
+        assert_eq!(pool.acquire(ThreadId::from_raw(1)).unwrap(), cid(0));
+        assert!(pool.acquire(ThreadId::from_raw(1)).is_none());
     }
 
     #[test]
@@ -272,26 +283,35 @@ mod tests {
             InstanceId::from_raw(0),
             InstanceId::from_raw(1),
             vec![cid(0)],
+            &table,
         );
-        let got = pool.acquire(ThreadId::from_raw(0), &table).unwrap();
+        let got = pool.acquire(ThreadId::from_raw(0)).unwrap();
         pool.enqueue_waiter(jid(42));
         pool.enqueue_waiter(jid(43));
         assert_eq!(pool.waiter_count(), 2);
         // Release: conn is handed to job 42, not returned to the free list.
-        assert_eq!(pool.release(got), Some((jid(42), cid(0))));
+        assert_eq!(
+            pool.release(got, ThreadId::from_raw(0)),
+            Some((jid(42), cid(0)))
+        );
         assert_eq!(pool.free_count(), 0);
-        assert_eq!(pool.release(got), Some((jid(43), cid(0))));
+        assert_eq!(
+            pool.release(got, ThreadId::from_raw(0)),
+            Some((jid(43), cid(0)))
+        );
         // No waiters left: goes back to the free list.
-        assert_eq!(pool.release(got), None);
+        assert_eq!(pool.release(got, ThreadId::from_raw(0)), None);
         assert_eq!(pool.free_count(), 1);
     }
 
     #[test]
     fn pool_counts() {
+        let table = vec![conn(0, 0), conn(1, 1)];
         let mut pool = ConnectionPool::new(
             InstanceId::from_raw(0),
             InstanceId::from_raw(1),
             vec![cid(0), cid(1)],
+            &table,
         );
         assert_eq!(pool.free_count(), 2);
         assert_eq!(pool.waiter_count(), 0);

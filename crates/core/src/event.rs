@@ -5,6 +5,40 @@
 //! event from a priority queue (Fig. 2 of the paper). Ties in time are broken
 //! by a monotonically increasing sequence number, which makes runs with the
 //! same seed bit-for-bit reproducible.
+//!
+//! # The ladder queue
+//!
+//! [`EventQueue`] is a calendar/ladder queue (Tang et al.) rather than a
+//! binary heap: queueing simulations schedule near-monotonic timestamps, so
+//! almost every operation is an O(1) bucket push or a `Vec::pop`, versus the
+//! O(log n) sift (and its cache misses) a heap pays per event. The structure
+//! has three tiers, earliest first:
+//!
+//! 1. **bottom** — a small `Vec` sorted *descending* by `(time, seq)`;
+//!    `pop()` is `Vec::pop` from the back. New events that land inside
+//!    bottom's time window are insertion-sorted (binary search + short
+//!    memmove — bottom stays small by construction).
+//! 2. **rungs** — a stack of bucket arrays. Each rung splits a time span
+//!    into `RUNG_BUCKETS` fixed-width buckets; scheduling into a rung is
+//!    an O(1) push into `bucket[(t - start) / width]`. When bottom drains,
+//!    the next non-empty bucket of the finest rung is sorted and becomes
+//!    the new bottom. A bucket holding more than `REFINE_LIMIT` events is
+//!    not sorted wholesale: it is re-split into a finer rung (width divided
+//!    by the bucket count), which keeps bottom — and therefore the cost of
+//!    insertion-sorting into it — bounded regardless of how many events
+//!    share a window.
+//! 3. **top** — an unsorted overflow `Vec` for events beyond every rung
+//!    (far-future faults, timeouts, the `Stop` sentinel). When the rest of
+//!    the structure drains, top is re-bucketed into a fresh rung whose
+//!    width adapts to the observed `[min, max]` span.
+//!
+//! The total order is exactly `(time, seq)` — identical to the old
+//! `BinaryHeap` ordering — so replacing the container cannot move goldens:
+//! routing between tiers looks only at `time`, every tier orders equal
+//! times by `seq`, and the tier boundaries (`bot_end`, rung frontiers) are
+//! maintained so that every event in an earlier tier precedes every event
+//! in a later one. Bucket storage is recycled through spare pools, so a
+//! steady-state schedule/pop cycle performs no heap allocation.
 
 use crate::ids::{
     ClientId, ControllerId, CoreId, InstanceId, JobId, MachineId, RequestId, RequestTypeId,
@@ -12,7 +46,6 @@ use crate::ids::{
 };
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Where a network packet is headed once processed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +68,49 @@ pub struct Packet {
     pub local: bool,
 }
 
+/// Payload of [`EventKind::DvfsSet`], boxed to keep the hot event variants
+/// cache-dense (frequency changes are rare control-plane events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DvfsChange {
+    /// Target machine.
+    pub machine: MachineId,
+    /// Target core; `None` applies to every core of the machine.
+    pub core: Option<CoreId>,
+    /// New frequency in GHz (snapped to the machine's allowed levels).
+    pub freq_ghz: f64,
+}
+
+/// Payload of [`EventKind::RetryEmit`], boxed to keep the hot event
+/// variants cache-dense (retries only fire under fault plans).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetrySpec {
+    /// The retrying client.
+    pub client: ClientId,
+    /// Request type of the failed attempt.
+    pub request_type: RequestTypeId,
+    /// Retry generation of the new emission (1 = first retry).
+    pub attempt: u32,
+    /// Payload size carried over from the failed attempt.
+    pub size_bytes: f64,
+}
+
+/// Payload of [`EventKind::NetRetransmit`], boxed to keep the hot event
+/// variants cache-dense (retransmits only fire on faulted links).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetransmitSpec {
+    /// The job to re-send.
+    pub job: JobId,
+    /// Sending instance (`None` for a client hop).
+    pub from: Option<InstanceId>,
+    /// Destination instance.
+    pub dest: InstanceId,
+}
+
 /// All event kinds the simulator understands.
+///
+/// The hot variants (`NetDeliver*`, `StageDone`) are kept to a 12-byte
+/// payload so [`ScheduledEvent`] stays compact; rare control-plane variants
+/// box their payload. A compile-time test pins the size.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EventKind {
     /// An open-loop client emits its next request.
@@ -43,19 +118,30 @@ pub enum EventKind {
         /// The client that fires.
         client: ClientId,
     },
+    /// A packet finished its wire flight and arrives directly at the
+    /// destination instance (loopback traffic, or a machine without
+    /// interrupt-processing cores).
+    NetDeliver {
+        /// The job being carried.
+        job: JobId,
+        /// The instance it enters.
+        instance: InstanceId,
+    },
     /// A packet finished its wire flight and arrives at the destination
-    /// machine's network-processing service (or directly at the instance if
-    /// network processing is disabled on that machine).
-    NetDelivery {
-        /// The packet in flight.
-        packet: Packet,
+    /// machine's network-processing service (cross-machine traffic on a
+    /// machine with interrupt-processing cores).
+    NetEnqueue {
+        /// The job being carried.
+        job: JobId,
+        /// The instance it is ultimately headed for.
+        instance: InstanceId,
     },
     /// An interrupt-handling core on `machine` finished processing a packet.
     NetDone {
         /// Machine whose network service completed work.
         machine: MachineId,
         /// Index into the network service's in-service slots.
-        slot: usize,
+        slot: u32,
     },
     /// A worker thread finished the service time of its current stage batch.
     StageDone {
@@ -75,14 +161,7 @@ pub enum EventKind {
         request: RequestId,
     },
     /// Set the DVFS frequency of one core or a whole machine.
-    DvfsSet {
-        /// Target machine.
-        machine: MachineId,
-        /// Target core; `None` applies to every core of the machine.
-        core: Option<CoreId>,
-        /// New frequency in GHz (snapped to the machine's allowed levels).
-        freq_ghz: f64,
-    },
+    DvfsSet(Box<DvfsChange>),
     /// A registered controller (e.g. the power manager) takes a decision.
     ControllerTick {
         /// Which controller.
@@ -102,26 +181,17 @@ pub enum EventKind {
     /// fault plan is installed (see [`crate::fault`]).
     FaultStart {
         /// Index into the installed fault plan's fault list.
-        fault: usize,
+        fault: u32,
     },
     /// A scheduled fault transition ends (restart / window close / restore).
     FaultEnd {
         /// Index into the installed fault plan's fault list.
-        fault: usize,
+        fault: u32,
     },
     /// A client retry attempt fires after its backoff delay (fault plans
     /// with a retry policy only). Re-emits a fresh request of the same type
     /// on the same client.
-    RetryEmit {
-        /// The retrying client.
-        client: ClientId,
-        /// Request type of the failed attempt.
-        request_type: RequestTypeId,
-        /// Retry generation of the new emission (1 = first retry).
-        attempt: u32,
-        /// Payload size carried over from the failed attempt.
-        size_bytes: f64,
-    },
+    RetryEmit(Box<RetrySpec>),
     /// A hedging deadline: if `request` is still unresolved, emit a
     /// duplicate attempt alongside it.
     HedgeFire {
@@ -129,14 +199,7 @@ pub enum EventKind {
         request: RequestId,
     },
     /// A dropped packet's bounded retransmission fires after backoff.
-    NetRetransmit {
-        /// The job to re-send.
-        job: JobId,
-        /// Sending instance (`None` for a client hop).
-        from: Option<InstanceId>,
-        /// Destination instance.
-        dest: InstanceId,
-    },
+    NetRetransmit(Box<RetransmitSpec>),
     /// Stop the simulation when popped.
     Stop,
 }
@@ -156,7 +219,8 @@ impl Eq for ScheduledEvent {}
 
 impl Ord for ScheduledEvent {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        // Reversed: `BinaryHeap` is a max-heap; the reference-queue tests
+        // (and any heap-based consumer) want earliest first.
         other
             .time
             .cmp(&self.time)
@@ -170,7 +234,33 @@ impl PartialOrd for ScheduledEvent {
     }
 }
 
-/// The pending-event priority queue.
+/// Buckets per rung. A power of two keeps the index math cheap; 256 gives
+/// each refinement step a 256x width reduction, so even a nanosecond-dense
+/// cluster under a multi-second span is fully refined in a few steps.
+const RUNG_BUCKETS: usize = 256;
+
+/// A bucket moved into bottom with more events than this is re-split into
+/// a finer rung instead of sorted, bounding the size of bottom and hence
+/// the memmove cost of insertion-sorting into it.
+const REFINE_LIMIT: usize = 64;
+
+/// One rung of the ladder: a fixed span split into equal-width buckets.
+/// Buckets `[cur..]` are still pending; earlier ones have been drained.
+#[derive(Debug)]
+struct Rung {
+    /// Time (ns) of the start of bucket 0.
+    start: u64,
+    /// Bucket width in ns (>= 1).
+    width: u64,
+    /// Exclusive end of the rung's span (saturating).
+    end: u64,
+    /// Next bucket to drain.
+    cur: usize,
+    buckets: Vec<Vec<ScheduledEvent>>,
+}
+
+/// The pending-event priority queue (a ladder queue; see the module docs
+/// for the structure and the ordering argument).
 ///
 /// # Examples
 ///
@@ -183,11 +273,43 @@ impl PartialOrd for ScheduledEvent {
 /// q.schedule(SimTime::from_nanos(10), EventKind::Stop);
 /// assert_eq!(q.pop().unwrap().time, SimTime::from_nanos(10));
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<ScheduledEvent>,
-    next_seq: u64,
-    scheduled_total: u64,
+    /// Sorted descending by `(time, seq)`; `pop` takes from the back.
+    bottom: Vec<ScheduledEvent>,
+    /// Exclusive upper bound (ns) of bottom's time window: new events
+    /// strictly below it are insertion-sorted into bottom.
+    bot_end: u64,
+    /// Coarsest rung first; `rungs.last()` is the finest (earliest) span.
+    rungs: Vec<Rung>,
+    /// Unsorted far-future overflow (beyond every rung).
+    top: Vec<ScheduledEvent>,
+    top_min: u64,
+    top_max: u64,
+    len: usize,
+    /// Next sequence number; doubles as the total-scheduled counter.
+    seq: u64,
+    /// Recycled bucket storage, so steady state allocates nothing.
+    spare_buckets: Vec<Vec<ScheduledEvent>>,
+    /// Recycled rung bucket arrays.
+    spare_rungs: Vec<Vec<Vec<ScheduledEvent>>>,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self {
+            bottom: Vec::new(),
+            bot_end: 0,
+            rungs: Vec::new(),
+            top: Vec::new(),
+            top_min: u64::MAX,
+            top_max: 0,
+            len: 0,
+            seq: 0,
+            spare_buckets: Vec::new(),
+            spare_rungs: Vec::new(),
+        }
+    }
 }
 
 impl EventQueue {
@@ -199,41 +321,177 @@ impl EventQueue {
     /// Schedules `kind` at `time`. Events at equal times fire in the order
     /// they were scheduled.
     pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.scheduled_total += 1;
-        self.heap.push(ScheduledEvent { time, seq, kind });
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        let ev = ScheduledEvent { time, seq, kind };
+        let t = time.as_nanos();
+        if self.len == 1 {
+            // Empty-queue fast path: the event can only go to bottom.
+            // `bot_end` may only grow — the (event-empty) rungs above it
+            // keep their frontiers, and routing below a frontier would
+            // strand events in already-drained buckets.
+            if t >= self.bot_end {
+                self.bot_end = t.saturating_add(1);
+            }
+            self.bottom.push(ev);
+            return;
+        }
+        if t < self.bot_end {
+            // Descending order: equal-time events keep insertion order
+            // because the new event (largest seq) goes in front of them.
+            let pos = self.bottom.partition_point(|e| e.time > time);
+            self.bottom.insert(pos, ev);
+            return;
+        }
+        for r in self.rungs.iter_mut().rev() {
+            if t < r.end {
+                let idx = ((t - r.start) / r.width) as usize;
+                debug_assert!(
+                    idx >= r.cur && idx < RUNG_BUCKETS,
+                    "bucket routing invariant"
+                );
+                r.buckets[idx].push(ev);
+                return;
+            }
+        }
+        self.top_min = self.top_min.min(t);
+        self.top_max = self.top_max.max(t);
+        self.top.push(ev);
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<ScheduledEvent> {
-        self.heap.pop()
+        if self.bottom.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        let ev = self.bottom.pop()?;
+        self.len -= 1;
+        Some(ev)
     }
 
-    /// Time of the earliest pending event.
+    /// Refills bottom from the finest rung (refining oversized buckets),
+    /// anchoring a fresh rung from top when the ladder is empty. On return
+    /// bottom is non-empty (callers check `len > 0` first).
+    #[cold]
+    fn refill(&mut self) {
+        debug_assert!(self.bottom.is_empty());
+        loop {
+            let Some(r) = self.rungs.last_mut() else {
+                // Ladder empty: re-bucket top into a rung sized to the
+                // observed span. `top_min >= bot_end` because everything
+                // routed to top was at/above every boundary below it.
+                debug_assert!(!self.top.is_empty(), "refill called on drained queue");
+                let start = self.top_min;
+                let width = (self.top_max - self.top_min) / RUNG_BUCKETS as u64 + 1;
+                let mut rung = self.new_rung(start, width);
+                for ev in self.top.drain(..) {
+                    let idx = ((ev.time.as_nanos() - start) / width) as usize;
+                    rung.buckets[idx].push(ev);
+                }
+                self.top_min = u64::MAX;
+                self.top_max = 0;
+                self.bot_end = start;
+                self.rungs.push(rung);
+                continue;
+            };
+            while r.cur < RUNG_BUCKETS && r.buckets[r.cur].is_empty() {
+                r.cur += 1;
+            }
+            if r.cur == RUNG_BUCKETS {
+                let dead = self.rungs.pop().expect("rung exists");
+                self.spare_rungs.push(dead.buckets);
+                continue;
+            }
+            let bucket_start = r.start + r.cur as u64 * r.width;
+            let spare = self.spare_buckets.pop().unwrap_or_default();
+            let mut b = std::mem::replace(&mut r.buckets[r.cur], spare);
+            r.cur += 1;
+            let width = r.width;
+            if b.len() > REFINE_LIMIT && width > 1 {
+                // Too dense to sort into bottom: split this bucket into a
+                // finer rung (its frontier equals `bot_end`, so routing
+                // stays consistent).
+                let fine = width.div_ceil(RUNG_BUCKETS as u64);
+                let mut rung = self.new_rung(bucket_start, fine);
+                for ev in b.drain(..) {
+                    let idx = (((ev.time.as_nanos() - bucket_start) / fine) as usize)
+                        .min(RUNG_BUCKETS - 1);
+                    rung.buckets[idx].push(ev);
+                }
+                self.spare_buckets.push(b);
+                self.rungs.push(rung);
+                continue;
+            }
+            b.sort_unstable_by(|a, z| z.time.cmp(&a.time).then_with(|| z.seq.cmp(&a.seq)));
+            self.spare_buckets
+                .push(std::mem::replace(&mut self.bottom, b));
+            self.bot_end = bucket_start.saturating_add(width);
+            return;
+        }
+    }
+
+    fn new_rung(&mut self, start: u64, width: u64) -> Rung {
+        let buckets = self
+            .spare_rungs
+            .pop()
+            .unwrap_or_else(|| (0..RUNG_BUCKETS).map(|_| Vec::new()).collect());
+        debug_assert!(buckets.iter().all(Vec::is_empty));
+        Rung {
+            start,
+            width,
+            end: start.saturating_add(width.saturating_mul(RUNG_BUCKETS as u64)),
+            cur: 0,
+            buckets,
+        }
+    }
+
+    /// Time of the earliest pending event. Scans the whole structure when
+    /// bottom is empty — a cold diagnostic accessor, not a hot-path one.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        if let Some(e) = self.bottom.last() {
+            return Some(e.time);
+        }
+        let mut best: Option<SimTime> = None;
+        let events = self
+            .rungs
+            .iter()
+            .flat_map(|r| r.buckets[r.cur..].iter().flatten())
+            .chain(self.top.iter());
+        for e in events {
+            best = Some(match best {
+                Some(b) if b <= e.time => b,
+                _ => e.time,
+            });
+        }
+        best
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Total events ever scheduled (a simulator throughput statistic).
+    /// Identical to the next sequence number, since every scheduled event
+    /// consumes exactly one.
     pub fn scheduled_total(&self) -> u64 {
-        self.scheduled_total
+        self.seq
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BinaryHeap;
 
     fn stop_at(q: &mut EventQueue, ns: u64) {
         q.schedule(SimTime::from_nanos(ns), EventKind::Stop);
@@ -293,6 +551,18 @@ mod tests {
     }
 
     #[test]
+    fn peek_reaches_into_rungs_and_top() {
+        let mut q = EventQueue::new();
+        // Drain once so later schedules route into rungs/top rather than
+        // the bottom fast path.
+        stop_at(&mut q, 5);
+        assert_eq!(q.pop().unwrap().time.as_nanos(), 5);
+        stop_at(&mut q, 1_000_000);
+        stop_at(&mut q, 2_000_000_000);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(1_000_000)));
+    }
+
+    #[test]
     fn counts_scheduled_events() {
         let mut q = EventQueue::new();
         for i in 0..5 {
@@ -309,6 +579,22 @@ mod tests {
         assert!(q.peek_time().is_none());
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn hot_variants_stay_compact() {
+        // The whole point of boxing the rare variants: a scheduled event is
+        // two cache lines' worth of bottom entries, not three.
+        assert!(
+            std::mem::size_of::<EventKind>() <= 16,
+            "EventKind grew to {} bytes",
+            std::mem::size_of::<EventKind>()
+        );
+        assert!(
+            std::mem::size_of::<ScheduledEvent>() <= 32,
+            "ScheduledEvent grew to {} bytes",
+            std::mem::size_of::<ScheduledEvent>()
+        );
     }
 
     // Property: for any interleaving of schedule times, pops are sorted by
@@ -329,5 +615,105 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 1000);
+    }
+
+    /// A min-ordered `BinaryHeap` of [`ScheduledEvent`] — the exact
+    /// structure the ladder queue replaced — used as the ordering oracle.
+    #[derive(Default)]
+    struct ReferenceQueue {
+        heap: BinaryHeap<ScheduledEvent>,
+        seq: u64,
+    }
+
+    impl ReferenceQueue {
+        fn schedule(&mut self, time: SimTime, kind: EventKind) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(ScheduledEvent { time, seq, kind });
+        }
+    }
+
+    // Differential property: the ladder queue and the reference heap see
+    // identical schedule/pop interleavings — near-monotonic bursts,
+    // equal-time ties, and far-future outliers (faults/timeouts/Stop) —
+    // and must produce identical pop sequences.
+    #[test]
+    fn matches_reference_heap_on_random_interleavings() {
+        use rand::Rng;
+        for trial in 0..40u64 {
+            let mut rng = crate::rng::RngFactory::new(trial).stream("evq-diff", 0);
+            let mut ladder = EventQueue::new();
+            let mut reference = ReferenceQueue::default();
+            let mut now: u64 = 0;
+            let mut next_client: u32 = 0;
+            for _step in 0..2000 {
+                let roll: f64 = rng.gen();
+                if roll < 0.55 {
+                    // Near-future event, coarse grid to force time ties.
+                    let t = now + rng.gen_range(0u64..50) * 10;
+                    let kind = EventKind::ClientArrival {
+                        client: ClientId::from_raw(next_client),
+                    };
+                    next_client += 1;
+                    ladder.schedule(SimTime::from_nanos(t), kind.clone());
+                    reference.schedule(SimTime::from_nanos(t), kind);
+                } else if roll < 0.65 {
+                    // Far-future outlier (timeout / fault / Stop territory).
+                    let t = now + rng.gen_range(1_000_000u64..2_000_000_000);
+                    ladder.schedule(SimTime::from_nanos(t), EventKind::Stop);
+                    reference.schedule(SimTime::from_nanos(t), EventKind::Stop);
+                } else {
+                    // Pop a burst, advancing "now" like the run loop does.
+                    for _ in 0..rng.gen_range(1..8) {
+                        let got = ladder.pop();
+                        let want = reference.heap.pop();
+                        assert_eq!(got, want, "trial {trial} diverged");
+                        if let Some(e) = &got {
+                            assert!(e.time.as_nanos() >= now, "time went backwards");
+                            now = e.time.as_nanos();
+                        }
+                    }
+                }
+                assert_eq!(ladder.len(), reference.heap.len());
+            }
+            // Drain both completely.
+            loop {
+                let got = ladder.pop();
+                let want = reference.heap.pop();
+                assert_eq!(got, want, "trial {trial} diverged in drain");
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // The refinement path: thousands of events packed under a span with a
+    // single far outlier forces wide buckets that must re-split.
+    #[test]
+    fn refines_dense_buckets_under_wide_spans() {
+        use rand::Rng;
+        let mut rng = crate::rng::RngFactory::new(7).stream("evq-dense", 0);
+        let mut ladder = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        // Far outlier first, so the anchored rung spans ~2s.
+        ladder.schedule(SimTime::from_nanos(2_000_000_000), EventKind::Stop);
+        reference.schedule(SimTime::from_nanos(2_000_000_000), EventKind::Stop);
+        for i in 0..5000u32 {
+            let t = rng.gen_range(0..1_000_000);
+            let kind = EventKind::ClientArrival {
+                client: ClientId::from_raw(i),
+            };
+            ladder.schedule(SimTime::from_nanos(t), kind.clone());
+            reference.schedule(SimTime::from_nanos(t), kind);
+        }
+        loop {
+            let got = ladder.pop();
+            let want = reference.heap.pop();
+            assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
     }
 }

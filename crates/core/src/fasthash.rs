@@ -1,0 +1,108 @@
+//! A minimal non-cryptographic hasher for small integer keys.
+//!
+//! The simulator's connection-routing maps (`pool_lookup`, `eph_free`) are
+//! keyed by `(u32, u32)` instance pairs and sit on the per-request send
+//! path. The std `HashMap` default (SipHash) costs more than the rest of
+//! the lookup combined; this multiply–rotate hasher is a few cycles and
+//! plenty good for non-adversarial integer keys.
+//!
+//! Determinism note: nothing iterates these maps, so hash order never
+//! reaches any output — swapping the hasher cannot move goldens.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply–rotate hasher over the written words.
+#[derive(Debug, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// Odd multiplier with high bit entropy (2^64 / φ, the Fibonacci-hashing
+/// constant).
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(29) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // One final avalanche so low output bits depend on all input bits
+        // (HashMap uses the low bits for bucket selection).
+        let mut h = self.state;
+        h ^= h >> 32;
+        h = h.wrapping_mul(K);
+        h ^ (h >> 29)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `HashMap` with the fast integer hasher.
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                m.insert((a, b), (a as u64) << 32 | b as u64);
+            }
+        }
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                assert_eq!(m.get(&(a, b)), Some(&((a as u64) << 32 | b as u64)));
+            }
+        }
+        assert_eq!(m.len(), 2500);
+    }
+
+    #[test]
+    fn pair_keys_spread_across_low_bits() {
+        // Sequential (u32, u32) keys must not collapse onto a few buckets.
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FastHasher> = Default::default();
+        let mut low7 = std::collections::HashSet::new();
+        for a in 0..32u32 {
+            for b in 0..32u32 {
+                low7.insert(bh.hash_one((a, b)) & 0x7f);
+            }
+        }
+        assert!(
+            low7.len() > 100,
+            "only {} distinct low-bit patterns",
+            low7.len()
+        );
+    }
+}

@@ -121,17 +121,23 @@ pub struct Job {
 /// `None`.
 #[derive(Debug)]
 pub struct Arena<T> {
-    slots: Vec<Option<T>>,
-    generations: Vec<u32>,
+    // Generation and value share a slot so a lookup touches one cache line,
+    // not two parallel vectors.
+    slots: Vec<Slot<T>>,
     free: Vec<u32>,
     live: usize,
+}
+
+#[derive(Debug)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
 }
 
 impl<T> Default for Arena<T> {
     fn default() -> Self {
         Arena {
             slots: Vec::new(),
-            generations: Vec::new(),
             free: Vec::new(),
             live: 0,
         }
@@ -148,33 +154,35 @@ impl<T> Arena<T> {
     pub fn alloc_with(&mut self, make: impl FnOnce(u32, u32) -> T) -> (u32, u32) {
         self.live += 1;
         if let Some(slot) = self.free.pop() {
-            let generation = self.generations[slot as usize];
-            self.slots[slot as usize] = Some(make(slot, generation));
+            let generation = self.slots[slot as usize].generation;
+            self.slots[slot as usize].value = Some(make(slot, generation));
             (slot, generation)
         } else {
             let slot = self.slots.len() as u32;
-            self.generations.push(0);
-            self.slots.push(Some(make(slot, 0)));
+            self.slots.push(Slot {
+                generation: 0,
+                value: Some(make(slot, 0)),
+            });
             (slot, 0)
         }
     }
 
     /// Returns the live value at `(slot, generation)`, or `None` if freed or
     /// recycled.
+    #[inline]
     pub fn get(&self, slot: u32, generation: u32) -> Option<&T> {
-        if self.generations.get(slot as usize) == Some(&generation) {
-            self.slots[slot as usize].as_ref()
-        } else {
-            None
+        match self.slots.get(slot as usize) {
+            Some(s) if s.generation == generation => s.value.as_ref(),
+            _ => None,
         }
     }
 
     /// Mutable variant of [`Arena::get`].
+    #[inline]
     pub fn get_mut(&mut self, slot: u32, generation: u32) -> Option<&mut T> {
-        if self.generations.get(slot as usize) == Some(&generation) {
-            self.slots[slot as usize].as_mut()
-        } else {
-            None
+        match self.slots.get_mut(slot as usize) {
+            Some(s) if s.generation == generation => s.value.as_mut(),
+            _ => None,
         }
     }
 
@@ -184,12 +192,10 @@ impl<T> Arena<T> {
     ///
     /// Panics if the id is stale or the slot already free.
     pub fn free(&mut self, slot: u32, generation: u32) -> T {
-        assert_eq!(
-            self.generations[slot as usize], generation,
-            "freeing with stale generation"
-        );
-        let v = self.slots[slot as usize].take().expect("double free");
-        self.generations[slot as usize] = generation.wrapping_add(1);
+        let s = &mut self.slots[slot as usize];
+        assert_eq!(s.generation, generation, "freeing with stale generation");
+        let v = s.value.take().expect("double free");
+        s.generation = generation.wrapping_add(1);
         self.free.push(slot);
         self.live -= 1;
         v
@@ -207,8 +213,14 @@ impl<T> Arena<T> {
 }
 
 /// Request arena with typed ids.
+///
+/// Freed requests donate their `nodes` vector to a pool so steady-state
+/// allocation reuses capacity instead of hitting the heap once per request.
 #[derive(Debug, Default)]
-pub struct RequestArena(Arena<Request>);
+pub struct RequestArena {
+    arena: Arena<Request>,
+    node_pool: Vec<Vec<NodeRuntime>>,
+}
 
 impl RequestArena {
     /// Creates an empty arena.
@@ -224,7 +236,10 @@ impl RequestArena {
         submitted: SimTime,
         node_count: usize,
     ) -> RequestId {
-        let (slot, generation) = self.0.alloc_with(|slot, generation| Request {
+        let mut nodes = self.node_pool.pop().unwrap_or_default();
+        nodes.clear();
+        nodes.resize_with(node_count, NodeRuntime::default);
+        let (slot, generation) = self.arena.alloc_with(|slot, generation| Request {
             id: RequestId::new(slot, generation),
             ty,
             client,
@@ -232,7 +247,7 @@ impl RequestArena {
             submitted,
             size_bytes: 0.0,
             launched: None,
-            nodes: vec![NodeRuntime::default(); node_count],
+            nodes,
             live_jobs: 0,
             timed_out: false,
             attempt: 0,
@@ -251,26 +266,30 @@ impl RequestArena {
 
     /// Returns the request, or `None` if completed/recycled.
     pub fn get(&self, id: RequestId) -> Option<&Request> {
-        self.0.get(id.slot, id.generation)
+        self.arena.get(id.slot, id.generation)
     }
 
     /// Mutable access.
     pub fn get_mut(&mut self, id: RequestId) -> Option<&mut Request> {
-        self.0.get_mut(id.slot, id.generation)
+        self.arena.get_mut(id.slot, id.generation)
     }
 
-    /// Frees a completed request.
+    /// Frees a completed request, reclaiming its node vector for reuse.
     ///
     /// # Panics
     ///
     /// Panics on stale ids or double free.
     pub fn free(&mut self, id: RequestId) -> Request {
-        self.0.free(id.slot, id.generation)
+        let mut req = self.arena.free(id.slot, id.generation);
+        let mut nodes = std::mem::take(&mut req.nodes);
+        nodes.clear();
+        self.node_pool.push(nodes);
+        req
     }
 
     /// Live request count.
     pub fn live(&self) -> usize {
-        self.0.live()
+        self.arena.live()
     }
 }
 

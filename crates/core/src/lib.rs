@@ -82,6 +82,7 @@ pub mod controller;
 pub mod dist;
 pub mod error;
 pub mod event;
+pub mod fasthash;
 pub mod fault;
 pub mod histogram;
 pub mod ids;

@@ -11,9 +11,10 @@
 //!   ready connection (connections served round-robin);
 //! * **single**: one job per invocation.
 
+use crate::fasthash::FastMap;
 use crate::ids::{ConnectionId, JobId};
 use crate::stage::QueueDiscipline;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
 /// A runtime queue for one stage instance.
 #[derive(Debug, Clone)]
@@ -26,7 +27,7 @@ pub enum StageQueue {
     /// Per-connection subqueues with a batching mode.
     PerConn {
         /// Jobs per connection. `BTreeMap` keeps iteration deterministic.
-        subqueues: BTreeMap<ConnectionId, VecDeque<JobId>>,
+        subqueues: FastMap<ConnectionId, VecDeque<JobId>>,
         /// Ready (non-empty) connections in arrival/rotation order.
         active: VecDeque<ConnectionId>,
         /// `Socket { batch }` or `Epoll { batch_per_conn }`.
@@ -43,7 +44,7 @@ impl StageQueue {
             QueueDiscipline::Single => StageQueue::Single { q: VecDeque::new() },
             mode @ (QueueDiscipline::Socket { .. } | QueueDiscipline::Epoll { .. }) => {
                 StageQueue::PerConn {
-                    subqueues: BTreeMap::new(),
+                    subqueues: FastMap::default(),
                     active: VecDeque::new(),
                     mode,
                     len: 0,
@@ -88,21 +89,36 @@ impl StageQueue {
 
     /// Assembles the next batch according to the discipline, removing the
     /// jobs from the queue. Returns an empty vector if nothing is queued.
+    /// Convenience wrapper around [`StageQueue::assemble_batch_into`].
     pub fn assemble_batch(&mut self) -> Vec<JobId> {
+        let mut out = Vec::new();
+        self.assemble_batch_into(&mut out);
+        out
+    }
+
+    /// Assembles the next batch into `out` (cleared first), letting the
+    /// dispatch hot path reuse one scratch vector instead of allocating a
+    /// fresh one per batch.
+    pub fn assemble_batch_into(&mut self, out: &mut Vec<JobId>) {
+        out.clear();
         match self {
-            StageQueue::Single { q } => q.pop_front().into_iter().collect(),
+            StageQueue::Single { q } => {
+                if let Some(j) = q.pop_front() {
+                    out.push(j);
+                }
+            }
             StageQueue::PerConn {
                 subqueues,
                 active,
                 mode,
                 len,
             } => {
-                let mut out = Vec::new();
                 match *mode {
                     QueueDiscipline::Epoll { batch_per_conn } => {
-                        // Harvest up to N from every active connection.
-                        let mut still_active = VecDeque::new();
-                        while let Some(conn) = active.pop_front() {
+                        // Harvest up to N from every active connection,
+                        // rotating still-busy ones to the back in place.
+                        for _ in 0..active.len() {
+                            let conn = active.pop_front().expect("counted active conn");
                             let sub = subqueues.get_mut(&conn).expect("active conn has subqueue");
                             for _ in 0..batch_per_conn {
                                 match sub.pop_front() {
@@ -111,10 +127,9 @@ impl StageQueue {
                                 }
                             }
                             if !sub.is_empty() {
-                                still_active.push_back(conn);
+                                active.push_back(conn);
                             }
                         }
-                        *active = still_active;
                     }
                     QueueDiscipline::Socket { batch } => {
                         // Drain up to N from one ready connection, rotating.
@@ -134,7 +149,6 @@ impl StageQueue {
                     QueueDiscipline::Single => unreachable!("PerConn never holds Single"),
                 }
                 *len -= out.len();
-                out
             }
         }
     }
@@ -151,11 +165,17 @@ impl StageQueue {
                 len,
                 ..
             } => {
+                // Hash-map iteration order is not deterministic; draining
+                // active connections in ascending id order reproduces the
+                // original BTreeMap key order byte for byte (a connection
+                // is active exactly when its subqueue is non-empty).
                 let mut out = Vec::with_capacity(*len);
-                for (_, sub) in subqueues.iter_mut() {
+                let mut conns: Vec<ConnectionId> = active.drain(..).collect();
+                conns.sort_unstable();
+                for conn in conns {
+                    let sub = subqueues.get_mut(&conn).expect("active conn has subqueue");
                     out.extend(sub.drain(..));
                 }
-                active.clear();
                 *len = 0;
                 out
             }
@@ -168,6 +188,85 @@ impl StageQueue {
         if let StageQueue::PerConn { subqueues, .. } = self {
             subqueues.retain(|_, q| !q.is_empty());
         }
+    }
+}
+
+/// One queue set: per-stage queues plus a non-empty bitmask so the
+/// dispatcher finds the latest ready stage with one `leading_zeros`
+/// instead of a linear scan (the scan dominated the dispatch hot path).
+///
+/// The mask is maintained by [`StageQueueSet::push`] /
+/// [`StageQueueSet::assemble_batch_into`] / [`StageQueueSet::drain_all`];
+/// all mutation goes through those methods so it cannot drift.
+#[derive(Debug, Clone)]
+pub struct StageQueueSet {
+    stages: Vec<StageQueue>,
+    /// Bit `s` set ⇔ `stages[s]` is non-empty.
+    nonempty: u64,
+}
+
+impl StageQueueSet {
+    /// Wraps per-stage queues. Stage count is capped at 64 by the mask
+    /// width; real services have a handful of stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages.len() > 64`.
+    pub fn new(stages: Vec<StageQueue>) -> Self {
+        assert!(
+            stages.len() <= 64,
+            "a service is limited to 64 stages (got {})",
+            stages.len()
+        );
+        StageQueueSet {
+            stages,
+            nonempty: 0,
+        }
+    }
+
+    /// Enqueues a job into `stage`.
+    pub fn push(&mut self, stage: usize, job: JobId, conn: ConnectionId) {
+        self.stages[stage].push(job, conn);
+        self.nonempty |= 1u64 << stage;
+    }
+
+    /// Assembles the next batch of `stage` into `out` (cleared first).
+    pub fn assemble_batch_into(&mut self, stage: usize, out: &mut Vec<JobId>) {
+        self.stages[stage].assemble_batch_into(out);
+        if self.stages[stage].is_empty() {
+            self.nonempty &= !(1u64 << stage);
+        }
+    }
+
+    /// Index of the latest (highest-index) non-empty stage, if any.
+    #[inline]
+    pub fn highest_nonempty(&self) -> Option<usize> {
+        if self.nonempty == 0 {
+            None
+        } else {
+            Some(63 - self.nonempty.leading_zeros() as usize)
+        }
+    }
+
+    /// Total queued jobs across all stages.
+    pub fn len(&self) -> usize {
+        self.stages.iter().map(StageQueue::len).sum()
+    }
+
+    /// True if no stage has queued jobs.
+    pub fn is_empty(&self) -> bool {
+        self.nonempty == 0
+    }
+
+    /// Removes and returns every queued job, stage by stage in index order
+    /// (used when a fault drains a crashed instance).
+    pub fn drain_all(&mut self) -> Vec<JobId> {
+        let mut out = Vec::new();
+        for q in &mut self.stages {
+            out.extend(q.drain_all());
+        }
+        self.nonempty = 0;
+        out
     }
 }
 

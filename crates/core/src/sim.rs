@@ -18,7 +18,6 @@ use crate::job::{JobArena, RequestArena};
 use crate::machine::{Core, MachineSpec};
 use crate::metrics::{LatencyRecorder, LatencySummary, WindowStats, WindowedRecorder};
 use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathSelect, RequestType};
-use crate::queue::StageQueue;
 use crate::service::ServiceModel;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{
@@ -27,7 +26,7 @@ use crate::trace::{
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -99,8 +98,12 @@ pub(crate) struct InstanceRt {
     pub(crate) cores: Vec<usize>,
     pub(crate) exec: ExecModel,
     pub(crate) threads: Vec<ThreadRt>,
-    /// `[queue_set][stage]`; one set shared (Simple) or one per thread.
-    pub(crate) queue_sets: Vec<Vec<StageQueue>>,
+    /// Bit t set iff `threads[t].is_idle()` (no running batch, not
+    /// blocked). Maintained at every `running`/`block_depth` transition so
+    /// the dispatcher iterates set bits instead of scanning `ThreadRt`s.
+    pub(crate) idle_mask: u64,
+    /// One set shared (Simple) or one per thread.
+    pub(crate) queue_sets: Vec<crate::queue::StageQueueSet>,
     pub(crate) shared_queues: bool,
     /// Round-robin counter for binding new connections to threads.
     pub(crate) rr_thread: usize,
@@ -140,7 +143,10 @@ pub struct StageStats {
 impl InstanceRt {
     /// Total queued jobs across all queue sets and stages.
     fn queue_depth(&self) -> usize {
-        self.queue_sets.iter().flatten().map(StageQueue::len).sum()
+        self.queue_sets
+            .iter()
+            .map(crate::queue::StageQueueSet::len)
+            .sum()
     }
 }
 
@@ -155,6 +161,9 @@ pub(crate) struct MachineRt {
     /// One in-service slot per irq core.
     pub(crate) net_slots: Vec<Option<Packet>>,
     pub(crate) net_packets: u64,
+    /// Cached `spec.dvfs.max_ghz()` (immutable after build): the energy
+    /// update reads it once per batch and per packet.
+    pub(crate) max_ghz: f64,
 }
 
 /// Runtime state of one client.
@@ -182,9 +191,9 @@ pub struct Simulator {
     pub(crate) conns: Vec<Connection>,
     pub(crate) pools: Vec<ConnectionPool>,
     /// `(up_instance, down_instance) → pool`.
-    pub(crate) pool_lookup: HashMap<(u32, u32), PoolId>,
+    pub(crate) pool_lookup: crate::fasthash::FastMap<(u32, u32), PoolId>,
     /// Free ephemeral connections per `(up_instance, down_instance)`.
-    pub(crate) eph_free: HashMap<(u32, u32), Vec<ConnectionId>>,
+    pub(crate) eph_free: crate::fasthash::FastMap<(u32, u32), Vec<ConnectionId>>,
     pub(crate) request_types: Vec<RequestType>,
     /// Per type, per node: does a job arriving at this node unblock the
     /// thread pinned by some earlier node's `block_thread_until`?
@@ -194,6 +203,10 @@ pub struct Simulator {
     pub(crate) clients: Vec<ClientRt>,
     pub(crate) requests: RequestArena,
     pub(crate) jobs: JobArena,
+    /// Recycled batch job vectors: `dispatch_instance` pops a scratch
+    /// vector here and `on_stage_done` returns it, so steady-state batch
+    /// assembly allocates nothing.
+    pub(crate) batch_pool: Vec<Vec<JobId>>,
     pub(crate) controllers: Vec<Option<Box<dyn Controller>>>,
     // Metrics.
     pub(crate) e2e: LatencyRecorder,
@@ -616,11 +629,11 @@ impl Simulator {
     ) {
         self.events.schedule(
             at,
-            EventKind::DvfsSet {
+            EventKind::DvfsSet(Box::new(crate::event::DvfsChange {
                 machine,
                 core,
                 freq_ghz,
-            },
+            })),
         );
     }
 
@@ -749,18 +762,15 @@ impl Simulator {
     fn handle(&mut self, kind: EventKind) {
         match kind {
             EventKind::ClientArrival { client } => self.on_client_arrival(client),
-            EventKind::NetDelivery { packet } => self.on_net_delivery(packet),
-            EventKind::NetDone { machine, slot } => self.on_net_done(machine, slot),
+            EventKind::NetDeliver { job, instance } => self.deliver_to_instance(job, instance),
+            EventKind::NetEnqueue { job, instance } => self.on_net_enqueue(job, instance),
+            EventKind::NetDone { machine, slot } => self.on_net_done(machine, slot as usize),
             EventKind::StageDone { instance, thread } => self.on_stage_done(instance, thread),
             EventKind::DeliverToClient { request } => self.on_deliver_to_client(request),
-            EventKind::DvfsSet {
-                machine,
-                core,
-                freq_ghz,
-            } => {
-                let m = &mut self.machines[machine.index()];
-                let snapped = m.spec.dvfs.snap(freq_ghz);
-                match core {
+            EventKind::DvfsSet(change) => {
+                let m = &mut self.machines[change.machine.index()];
+                let snapped = m.spec.dvfs.snap(change.freq_ghz);
+                match change.core {
                     Some(c) => m.cores[c.index()].freq_ghz = snapped,
                     None => {
                         for c in &mut m.cores {
@@ -772,16 +782,16 @@ impl Simulator {
             EventKind::RequestTimeout { request } => self.on_request_timeout(request),
             EventKind::ControllerTick { controller } => self.on_controller_tick(controller),
             EventKind::TelemetrySample { recurring } => self.on_telemetry_sample(recurring),
-            EventKind::FaultStart { fault } => self.on_fault_start(fault),
-            EventKind::FaultEnd { fault } => self.on_fault_end(fault),
-            EventKind::RetryEmit {
-                client,
-                request_type,
-                attempt,
-                size_bytes,
-            } => self.on_retry_emit(client, request_type, attempt, size_bytes),
+            EventKind::FaultStart { fault } => self.on_fault_start(fault as usize),
+            EventKind::FaultEnd { fault } => self.on_fault_end(fault as usize),
+            EventKind::RetryEmit(retry) => self.on_retry_emit(
+                retry.client,
+                retry.request_type,
+                retry.attempt,
+                retry.size_bytes,
+            ),
             EventKind::HedgeFire { request } => self.on_hedge_fire(request),
-            EventKind::NetRetransmit { job, from, dest } => self.on_net_retransmit(job, from, dest),
+            EventKind::NetRetransmit(rt) => self.on_net_retransmit(rt.job, rt.from, rt.dest),
             EventKind::Stop => {
                 // Close windowed-latency windows up to the stop time so
                 // trailing idle periods appear as explicit count=0 windows
@@ -872,7 +882,8 @@ impl Simulator {
         // Assign a connection round-robin; queue behind it if busy.
         let n_conns = self.clients[c].conns.len();
         let ci = self.clients[c].next_conn;
-        self.clients[c].next_conn = (ci + 1) % n_conns;
+        // Wrap without the integer divide; `next_conn` stays in range.
+        self.clients[c].next_conn = if ci + 1 == n_conns { 0 } else { ci + 1 };
         let conn_id = self.clients[c].conns[ci];
         self.requests
             .get_mut(rid)
@@ -969,7 +980,9 @@ impl Simulator {
             if let Some(w) = &mut self.windowed {
                 w.record(self.now, latency);
             }
-            self.interval_e2e.push(latency.as_secs_f64());
+            if !self.controllers.is_empty() {
+                self.interval_e2e.push(latency.as_secs_f64());
+            }
             if early_fire {
                 // A quorum/best-effort fan-in answered without every
                 // branch: a degraded (but successful) response.
@@ -1181,16 +1194,22 @@ impl Simulator {
         if let Some(f) = self.fault.as_deref() {
             delay += f.net_added_s[m];
         }
-        self.events.schedule(
-            self.now + SimDuration::from_secs_f64(delay),
-            EventKind::NetDelivery {
-                packet: Packet {
-                    job,
-                    dest: PacketDest::Instance(dest),
-                    local,
-                },
-            },
-        );
+        // The delivery route is static per (sender, dest): loopback traffic
+        // and machines without interrupt cores bypass the network service,
+        // so the choice is made here and the delivery event stays compact.
+        let kind = if local || self.machines[m].irq_cores.is_empty() {
+            EventKind::NetDeliver {
+                job,
+                instance: dest,
+            }
+        } else {
+            EventKind::NetEnqueue {
+                job,
+                instance: dest,
+            }
+        };
+        self.events
+            .schedule(self.now + SimDuration::from_secs_f64(delay), kind);
     }
 
     /// A degraded link dropped `job`'s packet: retransmit within the
@@ -1213,7 +1232,11 @@ impl Simulator {
         match retransmit {
             Some(delay) => self.events.schedule(
                 self.now + delay,
-                EventKind::NetRetransmit { job, from, dest },
+                EventKind::NetRetransmit(Box::new(crate::event::RetransmitSpec {
+                    job,
+                    from,
+                    dest,
+                })),
             ),
             None => self.kill_job(job),
         }
@@ -1228,21 +1251,17 @@ impl Simulator {
         }
     }
 
-    fn on_net_delivery(&mut self, packet: Packet) {
-        match packet.dest {
-            PacketDest::Instance(inst) => {
-                let m = self.instances[inst.index()].machine.index();
-                if packet.local || self.machines[m].irq_cores.is_empty() {
-                    self.deliver_to_instance(packet.job, inst);
-                } else {
-                    self.machines[m].net_queue.push_back(packet);
-                    self.net_dispatch(m);
-                }
-            }
-            PacketDest::Client(_) => {
-                unreachable!("client deliveries use DeliverToClient directly")
-            }
-        }
+    /// Handles [`EventKind::NetEnqueue`]: the packet enters the machine's
+    /// network-processing service ([`EventKind::NetDeliver`] arrivals skip
+    /// this and go straight to [`Self::deliver_to_instance`]).
+    fn on_net_enqueue(&mut self, job: JobId, inst: InstanceId) {
+        let m = self.instances[inst.index()].machine.index();
+        self.machines[m].net_queue.push_back(Packet {
+            job,
+            dest: PacketDest::Instance(inst),
+            local: false,
+        });
+        self.net_dispatch(m);
     }
 
     fn net_dispatch(&mut self, m: usize) {
@@ -1262,7 +1281,7 @@ impl Simulator {
             let rx = machine.spec.network.rx_time.sample(&mut self.rng_network);
             let dur = SimDuration::from_secs_f64(rx);
             machine.cores[core].busy_ns += dur.as_nanos();
-            let max_ghz = machine.spec.dvfs.max_ghz();
+            let max_ghz = machine.max_ghz;
             let freq = machine.cores[core].freq_ghz;
             machine.cores[core].dyn_energy_j +=
                 dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
@@ -1270,7 +1289,7 @@ impl Simulator {
                 self.now + dur,
                 EventKind::NetDone {
                     machine: MachineId::from_raw(m as u32),
-                    slot,
+                    slot: slot as u32,
                 },
             );
             if let Some(log) = self.span_log.as_deref_mut() {
@@ -1312,15 +1331,28 @@ impl Simulator {
             (j.request, j.node, j.conn)
         };
         let ty = self.requests.get(rid).expect("job's request exists").ty;
-        let link = self.request_types[ty.index()].nodes[node.index()]
-            .link
-            .clone();
 
-        // Replies release the connection that carried the original request.
-        let released_reply_conn = matches!(
-            link,
-            LinkKind::Reply { .. } | LinkKind::ReplyToParent | LinkKind::ReplyVia { .. }
-        );
+        // One pass over the node spec: every field the delivery path needs,
+        // copied out under a single borrow instead of four indexed lookups.
+        let (released_reply_conn, fan_in, required, exec_select, pin) = {
+            let rt = &self.request_types[ty.index()];
+            let spec = &rt.nodes[node.index()];
+            let fan_in = rt.fan_in[node.index()].max(1);
+            let exec_select = match spec.target {
+                NodeTarget::Service { exec_path, .. } => exec_path,
+                NodeTarget::ClientSink => unreachable!("sinks never execute on instances"),
+            };
+            (
+                matches!(
+                    spec.link,
+                    LinkKind::Reply { .. } | LinkKind::ReplyToParent | LinkKind::ReplyVia { .. }
+                ),
+                fan_in,
+                spec.fan_in_policy.required(fan_in),
+                exec_select,
+                spec.pin_thread_of,
+            )
+        };
         if released_reply_conn {
             if let Some(c) = conn {
                 self.release_conn(c);
@@ -1342,10 +1374,6 @@ impl Simulator {
         // Fan-in: the node fires once `required` copies have arrived — all
         // of them by default, fewer under a quorum/best-effort policy.
         // Copies arriving after the firing are absorbed.
-        let fan_in = self.request_types[ty.index()].fan_in[node.index()].max(1);
-        let required = self.request_types[ty.index()].nodes[node.index()]
-            .fan_in_policy
-            .required(fan_in);
         let (arrivals, fired) = {
             let req = self.requests.get_mut(rid).expect("job's request exists");
             let nr = &mut req.nodes[node.index()];
@@ -1394,20 +1422,14 @@ impl Simulator {
 
         // Choose the intra-service execution path.
         let inst_service = self.instances[inst_id.index()].service;
-        let exec_idx = match self.request_types[ty.index()].nodes[node.index()].target {
-            NodeTarget::Service {
-                exec_path: PathSelect::Fixed { index },
-                ..
-            } => index,
-            NodeTarget::Service {
-                exec_path: PathSelect::Probabilistic,
-                ..
-            } => self.services[inst_service.index()].choose_path(&mut self.rng_path),
-            NodeTarget::ClientSink => unreachable!("sinks never execute on instances"),
+        let exec_idx = match exec_select {
+            PathSelect::Fixed { index } => index,
+            PathSelect::Probabilistic => {
+                self.services[inst_service.index()].choose_path(&mut self.rng_path)
+            }
         };
 
         // Route to a worker thread / queue set.
-        let pin = self.request_types[ty.index()].nodes[node.index()].pin_thread_of;
         let shared = self.instances[inst_id.index()].shared_queues;
         let thread_idx = if let Some(pn) = pin {
             self.requests.get(rid).expect("request exists").nodes[pn.index()]
@@ -1432,7 +1454,7 @@ impl Simulator {
         }
         let first_stage = self.services[inst_service.index()].paths[exec_idx].stages[0].index();
         let conn_key = conn.expect("jobs always travel on a connection");
-        self.instances[inst_id.index()].queue_sets[set][first_stage].push(job_id, conn_key);
+        self.instances[inst_id.index()].queue_sets[set].push(first_stage, job_id, conn_key);
         if let Some(log) = self.span_log.as_deref_mut() {
             log.record(TraceEvent::Enqueue {
                 job: job_id,
@@ -1446,9 +1468,13 @@ impl Simulator {
 
         // Unblock the pinned thread waiting for this reply, if any.
         if self.unblocks_thread[ty.index()][node.index()] {
-            let th = &mut self.instances[inst_id.index()].threads[thread_idx];
+            let inst = &mut self.instances[inst_id.index()];
+            let th = &mut inst.threads[thread_idx];
             if th.block_depth > 0 {
                 th.block_depth -= 1;
+            }
+            if th.is_idle() {
+                inst.idle_mask |= 1u64 << thread_idx;
             }
         }
 
@@ -1461,15 +1487,37 @@ impl Simulator {
     fn dispatch_instance(&mut self, inst_id: InstanceId) {
         let i = inst_id.index();
         loop {
+            // Every pass below ends with a full thread scan that finds
+            // nothing once the queues drain; the per-set bitmasks make
+            // "all empty" a handful of u64 loads, so check that first.
+            if self.instances[i]
+                .queue_sets
+                .iter()
+                .all(crate::queue::StageQueueSet::is_empty)
+            {
+                break;
+            }
             // Find (thread, core, stage) without mutating.
             let candidate = {
                 let inst = &self.instances[i];
                 let machine = &self.machines[inst.machine.index()];
                 let mut found = None;
-                for (t, th) in inst.threads.iter().enumerate() {
-                    if !th.is_idle() {
+                // Ascending-bit iteration visits threads in the same order
+                // as the scan it replaces, so the candidate is unchanged.
+                let mut idle = inst.idle_mask;
+                while idle != 0 {
+                    let t = idle.trailing_zeros() as usize;
+                    idle &= idle - 1;
+                    let th = &inst.threads[t];
+                    debug_assert!(th.is_idle(), "idle_mask out of sync");
+                    // Queue check first: it is one bitmask load, while the
+                    // core checks touch the (cold) machine core table. A
+                    // workless thread never reaches the core scan, and the
+                    // (thread, core, stage) produced is unchanged: a
+                    // candidate still needs idle + free core + work.
+                    let Some(stage) = inst.queue_sets[th.queue_set].highest_nonempty() else {
                         continue;
-                    }
+                    };
                     let core_idx = match inst.exec {
                         ExecModel::Simple => {
                             let c = inst.cores[t];
@@ -1486,11 +1534,8 @@ impl Simulator {
                             }
                         }
                     };
-                    let set = &inst.queue_sets[th.queue_set];
-                    if let Some(stage) = (0..set.len()).rev().find(|&s| !set[s].is_empty()) {
-                        found = Some((t, core_idx, stage));
-                        break;
-                    }
+                    found = Some((t, core_idx, stage));
+                    break;
                 }
                 found
             };
@@ -1498,24 +1543,45 @@ impl Simulator {
                 break;
             };
 
-            // Assemble the batch and start service.
+            // Assemble the batch into a pooled scratch vector (returned to
+            // the pool by `on_stage_done`) and start service.
+            let mut jobs = self.batch_pool.pop().unwrap_or_default();
             let inst = &mut self.instances[i];
             let set_idx = inst.threads[t].queue_set;
-            let jobs = inst.queue_sets[set_idx][stage_idx].assemble_batch();
+            inst.queue_sets[set_idx].assemble_batch_into(stage_idx, &mut jobs);
             debug_assert!(!jobs.is_empty(), "candidate stage had work");
             let k = jobs.len();
-            let traced_jobs = if self.span_log.is_some() {
-                jobs.clone()
-            } else {
-                Vec::new()
-            };
             let m = inst.machine.index();
-            let batch_bytes: f64 = jobs
-                .iter()
-                .filter_map(|&j| self.jobs.get(j))
-                .filter_map(|j| self.requests.get(j.request))
-                .map(|r| r.size_bytes)
-                .sum();
+            // One fused pass per job: batch bytes for the service-time
+            // model, dispatch bookkeeping, and queue-wait telemetry (two
+            // extra arena walks before the fusion).
+            let mut batch_bytes: f64 = 0.0;
+            for &j in &jobs {
+                let (rid, enqueued) = {
+                    let job = self.jobs.get_mut(j).expect("queued job exists");
+                    job.thread = Some(ThreadId::from_raw(t as u32));
+                    job.instance = Some(inst_id);
+                    let enqueued = job.state_since;
+                    job.state_since = self.now;
+                    (job.request, enqueued)
+                };
+                // Inlined attribute_latency: `inst` holds a borrow of
+                // self.instances, so only disjoint fields are touchable here.
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    if let Some(req) = self.requests.get_mut(rid) {
+                        let dt = (self.now - req.mark).as_nanos();
+                        req.mark = self.now;
+                        req.components_ns
+                            [crate::telemetry::LatencyComponent::QueueWait as usize] += dt;
+                    }
+                    if self.now >= tel.warmup_at {
+                        tel.stage_queue_wait[i][stage_idx].record((self.now - enqueued).as_nanos());
+                    }
+                }
+                if let Some(req) = self.requests.get(rid) {
+                    batch_bytes += req.size_bytes;
+                }
+            }
             let core = &mut self.machines[m].cores[core_idx];
             let freq = core.freq_ghz;
             let ctx_ns = match inst.exec {
@@ -1541,37 +1607,32 @@ impl Simulator {
             core.last_thread = Some((i as u32, t as u32));
             core.busy_ns += dur.as_nanos();
             let machine = &mut self.machines[m];
-            let max_ghz = machine.spec.dvfs.max_ghz();
+            let max_ghz = machine.max_ghz;
             machine.cores[core_idx].dyn_energy_j +=
                 dur.as_secs_f64() * machine.spec.power.dynamic_power_w(freq, max_ghz);
-            for &j in &jobs {
-                let (rid, enqueued) = {
-                    let job = self.jobs.get_mut(j).expect("queued job exists");
-                    job.thread = Some(ThreadId::from_raw(t as u32));
-                    job.instance = Some(inst_id);
-                    let enqueued = job.state_since;
-                    job.state_since = self.now;
-                    (job.request, enqueued)
-                };
-                // Inlined attribute_latency: `inst` holds a borrow of
-                // self.instances, so only disjoint fields are touchable here.
-                if let Some(tel) = self.telemetry.as_deref_mut() {
-                    if let Some(req) = self.requests.get_mut(rid) {
-                        let dt = (self.now - req.mark).as_nanos();
-                        req.mark = self.now;
-                        req.components_ns
-                            [crate::telemetry::LatencyComponent::QueueWait as usize] += dt;
-                    }
-                    if self.now >= tel.warmup_at {
-                        tel.stage_queue_wait[i][stage_idx].record((self.now - enqueued).as_nanos());
-                    }
-                }
+            // The batch's job list is only cloned if the log will actually
+            // retain the record (`record_with` skips the closure once the
+            // log is full), keeping tracing overhead flat.
+            if let Some(log) = self.span_log.as_deref_mut() {
+                let start = self.now;
+                log.record_with(|| TraceEvent::BatchStart {
+                    instance: inst_id,
+                    machine: MachineId::from_raw(m as u32),
+                    stage: StageId::from_raw(stage_idx as u32),
+                    thread: ThreadId::from_raw(t as u32),
+                    core: core_idx as u32,
+                    freq_ghz: freq,
+                    start,
+                    end: start + dur,
+                    jobs: jobs.clone(),
+                });
             }
             inst.threads[t].running = Some(Batch {
                 stage: StageId::from_raw(stage_idx as u32),
                 jobs,
             });
             inst.threads[t].held_core = Some(core_idx);
+            inst.idle_mask &= !(1u64 << t);
             inst.batches_dispatched += 1;
             inst.stage_agg[stage_idx].invocations += 1;
             inst.stage_agg[stage_idx].jobs += k as u64;
@@ -1586,19 +1647,6 @@ impl Simulator {
                     thread: ThreadId::from_raw(t as u32),
                 },
             );
-            if let Some(log) = self.span_log.as_deref_mut() {
-                log.record(TraceEvent::BatchStart {
-                    instance: inst_id,
-                    machine: MachineId::from_raw(m as u32),
-                    stage: StageId::from_raw(stage_idx as u32),
-                    thread: ThreadId::from_raw(t as u32),
-                    core: core_idx as u32,
-                    freq_ghz: freq,
-                    start: self.now,
-                    end: self.now + dur,
-                    jobs: traced_jobs,
-                });
-            }
         }
     }
 
@@ -1613,6 +1661,9 @@ impl Simulator {
             .held_core
             .take()
             .expect("running thread holds a core");
+        if self.instances[i].threads[t].block_depth == 0 {
+            self.instances[i].idle_mask |= 1u64 << t;
+        }
         let m = self.instances[i].machine.index();
         self.machines[m].cores[core_idx].busy = false;
 
@@ -1623,11 +1674,13 @@ impl Simulator {
             for &job_id in &batch.jobs {
                 self.kill_job(job_id);
             }
+            self.recycle_batch(batch);
             return;
         }
         self.instances[i].jobs_processed += batch.jobs.len() as u64;
 
         let sid = self.instances[i].service.index();
+        let set = self.instances[i].threads[t].queue_set;
         for &job_id in &batch.jobs {
             let (cursor, exec_path, conn, rid, node, svc_start) = {
                 let job = self.jobs.get_mut(job_id).expect("batch job exists");
@@ -1658,9 +1711,11 @@ impl Simulator {
             if cursor < stages.len() {
                 let next_stage_id = stages[cursor];
                 let next_stage = next_stage_id.index();
-                let set = self.instances[i].threads[t].queue_set;
-                self.instances[i].queue_sets[set][next_stage]
-                    .push(job_id, conn.expect("executing job has a connection"));
+                self.instances[i].queue_sets[set].push(
+                    next_stage,
+                    job_id,
+                    conn.expect("executing job has a connection"),
+                );
                 if let Some(log) = self.span_log.as_deref_mut() {
                     log.record(TraceEvent::Enqueue {
                         job: job_id,
@@ -1675,7 +1730,15 @@ impl Simulator {
                 self.complete_node(job_id, inst_id, thread);
             }
         }
+        self.recycle_batch(batch);
         self.dispatch_instance(inst_id);
+    }
+
+    /// Returns a finished batch's job vector to the scratch pool.
+    fn recycle_batch(&mut self, batch: Batch) {
+        let mut jobs = batch.jobs;
+        jobs.clear();
+        self.batch_pool.push(jobs);
     }
 
     /// A job finished the last stage of its node: record residency, handle
@@ -1693,7 +1756,11 @@ impl Simulator {
             nr.thread = Some(thread);
             if let Some(enter) = nr.enter {
                 let residency = self.now - enter;
-                self.interval_instance[inst_id.index()].push(residency.as_secs_f64());
+                // Interval samples only feed controller ticks; skip the
+                // push when no controller will ever drain them.
+                if !self.controllers.is_empty() {
+                    self.interval_instance[inst_id.index()].push(residency.as_secs_f64());
+                }
                 self.instance_residency[inst_id.index()].record(self.now, residency);
             }
             req.live_jobs -= 1;
@@ -1711,14 +1778,18 @@ impl Simulator {
         }
 
         let spec = &self.request_types[ty.index()].nodes[node.index()];
-        let children = spec.children.clone();
-        let blocks = spec.block_thread_until.is_some();
-        if blocks {
-            self.instances[inst_id.index()].threads[thread.index()].block_depth += 1;
+        let n_children = spec.children.len();
+        if spec.block_thread_until.is_some() {
+            let inst = &mut self.instances[inst_id.index()];
+            inst.threads[thread.index()].block_depth += 1;
+            inst.idle_mask &= !(1u64 << thread.index());
         }
 
-        for child in children {
-            self.fan_out(rid, node, child, inst_id, thread, job.conn);
+        // Iterate by index, re-reading the spec each round: `fan_out` needs
+        // `&mut self`, and this keeps the hot path free of a children clone.
+        for k in 0..n_children {
+            let child = self.request_types[ty.index()].nodes[node.index()].children[k];
+            self.fan_out(rid, ty, node, child, inst_id, thread, job.conn);
         }
         // A failed or early-resolved request may have just drained its last
         // live branch. No-op when faults and quorum policies are off.
@@ -1728,24 +1799,27 @@ impl Simulator {
     /// Sends one fan-out copy from `parent` (just completed on
     /// `sender_inst`/`sender_thread`, having entered on `parent_conn`) to
     /// `child`.
+    #[allow(clippy::too_many_arguments)]
     fn fan_out(
         &mut self,
         rid: RequestId,
+        ty: crate::ids::RequestTypeId,
         parent: PathNodeId,
         child: PathNodeId,
         sender_inst: InstanceId,
         sender_thread: ThreadId,
         parent_conn: Option<ConnectionId>,
     ) {
-        let ty = self.requests.get(rid).expect("request exists").ty;
-        let fan_in = self.request_types[ty.index()].fan_in[child.index()].max(1);
-        let (target, link) = {
-            let spec = &self.request_types[ty.index()].nodes[child.index()];
-            (spec.target.clone(), spec.link.clone())
+        let (fan_in, is_sink) = {
+            let rt = &self.request_types[ty.index()];
+            (
+                rt.fan_in[child.index()].max(1),
+                matches!(rt.nodes[child.index()].target, NodeTarget::ClientSink),
+            )
         };
 
-        match target {
-            NodeTarget::ClientSink => {
+        match is_sink {
+            true => {
                 let required = self.request_types[ty.index()].nodes[child.index()]
                     .fan_in_policy
                     .required(fan_in);
@@ -1788,44 +1862,47 @@ impl Simulator {
                     );
                 }
             }
-            NodeTarget::Service { instance, .. } => {
-                let dest = self.resolve_instance(&instance, rid, ty, child);
+            false => {
+                let dest = self.resolve_instance(rid, ty, child);
                 let job = self.jobs.alloc(rid, child);
                 self.requests
                     .get_mut(rid)
                     .expect("request exists")
                     .live_jobs += 1;
-                match link {
-                    LinkKind::Request => {
-                        self.send_request_edge(job, sender_inst, sender_thread, dest);
-                    }
-                    LinkKind::ReplyToParent => {
-                        let conn = parent_conn.unwrap_or_else(|| {
+                // Reply links reuse the connection the referenced node
+                // entered on; resolve it under shared borrows so the spec
+                // never needs cloning.
+                let reply_conn = {
+                    let spec = &self.request_types[ty.index()].nodes[child.index()];
+                    match &spec.link {
+                        LinkKind::Request => None,
+                        LinkKind::ReplyToParent => Some(parent_conn.unwrap_or_else(|| {
                             panic!("reply_to_parent from node {parent} without an entry connection")
-                        });
-                        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
-                        self.send_job(job, Some(sender_inst), dest);
+                        })),
+                        LinkKind::Reply { of } => Some(
+                            self.requests.get(rid).expect("request exists").nodes[of.index()]
+                                .entry_conn
+                                .expect("reply references an entered node"),
+                        ),
+                        LinkKind::ReplyVia { entries } => {
+                            let of = entries
+                                .iter()
+                                .find(|(p, _)| *p == parent)
+                                .unwrap_or_else(|| {
+                                    panic!("reply_via map has no entry for parent {parent}")
+                                })
+                                .1;
+                            Some(
+                                self.requests.get(rid).expect("request exists").nodes[of.index()]
+                                    .entry_conn
+                                    .expect("reply_via references an entered node"),
+                            )
+                        }
                     }
-                    LinkKind::Reply { of } => {
-                        let conn = self.requests.get(rid).expect("request exists").nodes
-                            [of.index()]
-                        .entry_conn
-                        .expect("reply references an entered node");
-                        self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
-                        self.send_job(job, Some(sender_inst), dest);
-                    }
-                    LinkKind::ReplyVia { entries } => {
-                        let of = entries
-                            .iter()
-                            .find(|(p, _)| *p == parent)
-                            .unwrap_or_else(|| {
-                                panic!("reply_via map has no entry for parent {parent}")
-                            })
-                            .1;
-                        let conn = self.requests.get(rid).expect("request exists").nodes
-                            [of.index()]
-                        .entry_conn
-                        .expect("reply_via references an entered node");
+                };
+                match reply_conn {
+                    None => self.send_request_edge(job, sender_inst, sender_thread, dest),
+                    Some(conn) => {
                         self.jobs.get_mut(job).expect("fresh job").conn = Some(conn);
                         self.send_job(job, Some(sender_inst), dest);
                     }
@@ -1836,11 +1913,14 @@ impl Simulator {
 
     fn resolve_instance(
         &mut self,
-        select: &InstanceSelect,
         rid: RequestId,
         ty: crate::ids::RequestTypeId,
         node: PathNodeId,
     ) -> InstanceId {
+        let select = match &self.request_types[ty.index()].nodes[node.index()].target {
+            NodeTarget::Service { instance, .. } => instance,
+            NodeTarget::ClientSink => unreachable!("sinks have no instance to resolve"),
+        };
         match select {
             InstanceSelect::Fixed { instance } => *instance,
             InstanceSelect::RoundRobin { instances } => {
@@ -1868,7 +1948,7 @@ impl Simulator {
     ) {
         let key = (sender_inst.raw(), dest.raw());
         if let Some(&pool_id) = self.pool_lookup.get(&key) {
-            let acquired = self.pools[pool_id.index()].acquire(sender_thread, &self.conns);
+            let acquired = self.pools[pool_id.index()].acquire(sender_thread);
             match acquired {
                 Some(conn) => {
                     self.conns[conn.index()].busy = true;
@@ -1926,8 +2006,10 @@ impl Simulator {
         }
         // Create a new connection, binding the downstream thread round-robin.
         let down_inst = &mut self.instances[dest.index()];
-        let dt = down_inst.rr_thread % down_inst.threads.len();
-        down_inst.rr_thread += 1;
+        let n = down_inst.threads.len();
+        let dt = down_inst.rr_thread;
+        debug_assert!(dt < n, "rr_thread wraps in range");
+        down_inst.rr_thread = if dt + 1 == n { 0 } else { dt + 1 };
         let id = ConnectionId::from_raw(self.conns.len() as u32);
         self.conns.push(Connection::new(
             UpEndpoint::Instance {
@@ -1954,7 +2036,13 @@ impl Simulator {
                     t: self.now,
                 });
             }
-            if let Some((job, c)) = self.pools[pid.index()].release(conn_id) {
+            let released_thread = match self.conns[conn_id.index()].up {
+                UpEndpoint::Instance { thread, .. } => thread,
+                UpEndpoint::Client(_) => {
+                    unreachable!("pooled connections originate from instances")
+                }
+            };
+            if let Some((job, c)) = self.pools[pid.index()].release(conn_id, released_thread) {
                 self.conns[c.index()].busy = true;
                 let rid = {
                     let j = self.jobs.get_mut(job).expect("waiting job exists");
@@ -2029,10 +2117,10 @@ impl Simulator {
         )?;
         for (idx, f) in schedule.iter().enumerate() {
             self.events
-                .schedule(f.at, EventKind::FaultStart { fault: idx });
+                .schedule(f.at, EventKind::FaultStart { fault: idx as u32 });
             if let Some(until) = f.until {
                 self.events
-                    .schedule(until, EventKind::FaultEnd { fault: idx });
+                    .schedule(until, EventKind::FaultEnd { fault: idx as u32 });
             }
         }
         let rng = crate::rng::RngFactory::new(self.cfg.seed).stream("fault", 0);
@@ -2064,13 +2152,17 @@ impl Simulator {
                 // service die at their StageDone; arrivals die at the door.
                 let mut doomed = Vec::new();
                 for set in &mut self.instances[i].queue_sets {
-                    for q in set.iter_mut() {
-                        doomed.extend(q.drain_all());
-                    }
+                    doomed.extend(set.drain_all());
                 }
                 // Threads blocked on now-doomed replies restart unblocked.
-                for th in &mut self.instances[i].threads {
-                    th.block_depth = 0;
+                {
+                    let inst = &mut self.instances[i];
+                    for (t, th) in inst.threads.iter_mut().enumerate() {
+                        th.block_depth = 0;
+                        if th.running.is_none() {
+                            inst.idle_mask |= 1u64 << t;
+                        }
+                    }
                 }
                 for job in doomed {
                     self.kill_job(job);
@@ -2382,12 +2474,12 @@ impl Simulator {
         if let Some(delay) = delay {
             self.events.schedule(
                 self.now + delay,
-                EventKind::RetryEmit {
+                EventKind::RetryEmit(Box::new(crate::event::RetrySpec {
                     client,
                     request_type: ty,
                     attempt: attempt + 1,
                     size_bytes,
-                },
+                })),
             );
         }
     }
@@ -2436,7 +2528,8 @@ impl Simulator {
         }
         let n_conns = self.clients[c].conns.len();
         let ci = self.clients[c].next_conn;
-        self.clients[c].next_conn = (ci + 1) % n_conns;
+        // Wrap without the integer divide; `next_conn` stays in range.
+        self.clients[c].next_conn = if ci + 1 == n_conns { 0 } else { ci + 1 };
         let conn_id = self.clients[c].conns[ci];
         self.requests
             .get_mut(rid)
@@ -2495,7 +2588,8 @@ impl Simulator {
         }
         let n_conns = self.clients[c].conns.len();
         let ci = self.clients[c].next_conn;
-        self.clients[c].next_conn = (ci + 1) % n_conns;
+        // Wrap without the integer divide; `next_conn` stays in range.
+        self.clients[c].next_conn = if ci + 1 == n_conns { 0 } else { ci + 1 };
         let conn_id = self.clients[c].conns[ci];
         self.requests
             .get_mut(twin)

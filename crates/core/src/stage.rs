@@ -172,8 +172,13 @@ impl ServiceTimeModel {
         freq_ghz: f64,
     ) -> f64 {
         debug_assert!(batch_size > 0, "empty batch");
+        // `powf` is a libm call on the dispatch hot path; the two common
+        // exponents have exact closed forms (IEEE pow(x, 1.0) == x), so
+        // only unusual alphas pay for it.
         let scale = if self.freq_alpha == 0.0 {
             1.0
+        } else if self.freq_alpha == 1.0 {
+            self.ref_freq_ghz / freq_ghz
         } else {
             (self.ref_freq_ghz / freq_ghz).powf(self.freq_alpha)
         };

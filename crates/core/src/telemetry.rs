@@ -1130,8 +1130,7 @@ impl Simulator {
             let depth: usize = inst
                 .queue_sets
                 .iter()
-                .flatten()
-                .map(crate::queue::StageQueue::len)
+                .map(crate::queue::StageQueueSet::len)
                 .sum();
             let ncores = inst.cores.len().max(1) as f64;
             let util =

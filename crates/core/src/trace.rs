@@ -348,6 +348,18 @@ impl TraceLog {
         }
     }
 
+    /// Appends the event produced by `make`, or counts a drop once the log
+    /// is full — the closure never runs in that case, so callers can defer
+    /// expensive payloads (e.g. cloning a batch's job list) until the
+    /// record is known to be retained.
+    pub(crate) fn record_with(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(make());
+        } else {
+            self.dropped += 1;
+        }
+    }
+
     /// The recorded events, in execution order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
