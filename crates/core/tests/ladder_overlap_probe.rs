@@ -1,0 +1,24 @@
+use uqsim_core::event::{EventKind, EventQueue};
+use uqsim_core::time::SimTime;
+
+#[test]
+fn refined_rung_overlap_ordering() {
+    let mut q = EventQueue::new();
+    q.schedule(SimTime::from_nanos(5), EventKind::Stop);
+    assert_eq!(q.pop().unwrap().time.as_nanos(), 5);
+    for _ in 0..70 {
+        q.schedule(SimTime::from_nanos(1000), EventKind::Stop);
+    }
+    q.schedule(SimTime::from_nanos(1150), EventKind::Stop);
+    q.schedule(SimTime::from_nanos(1000 + 25650), EventKind::Stop);
+    assert_eq!(q.pop().unwrap().time.as_nanos(), 1000);
+    q.schedule(SimTime::from_nanos(1210), EventKind::Stop);
+    let mut times = Vec::new();
+    while let Some(e) = q.pop() {
+        times.push(e.time.as_nanos());
+    }
+    println!("tail: {:?}", &times[65..]);
+    let mut sorted = times.clone();
+    sorted.sort();
+    assert_eq!(times, sorted, "pops out of order");
+}
