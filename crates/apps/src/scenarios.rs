@@ -12,6 +12,7 @@ use crate::noise::NoiseProfile;
 use crate::{memcached, mongodb, nginx, thrift};
 use uqsim_core::builder::{ExecSpec, ScenarioBuilder};
 use uqsim_core::client::{ArrivalProcess, ClientSpec, RequestMix};
+use uqsim_core::config::ScenarioConfig;
 use uqsim_core::dist::Distribution;
 use uqsim_core::ids::{InstanceId, PathNodeId, ServiceId, StageId};
 use uqsim_core::machine::MachineSpec;
@@ -1538,6 +1539,136 @@ pub fn tail_at_scale(cfg: &TailAtScaleConfig) -> SimResult<Simulator> {
         vec![i_disp],
     );
     b.build()
+}
+
+// ====================================================================
+// Pod cluster: N independent 2-tier pods (partitioned-execution fodder)
+// ====================================================================
+
+/// A cluster of `pods` independent two-machine pods, as a plain
+/// [`ScenarioConfig`] (not a built simulator) so it can feed the
+/// partitioned engine
+/// ([`uqsim_core::partition::run_partitioned`]) and the `uqsim` CLI's
+/// `--shards` flag.
+///
+/// Each pod owns a frontend machine (a `front` service instance), a
+/// backend machine (a `store` service instance), a connection pool between
+/// them, a request chain `recv → fetch → respond → sink` (with a
+/// `same_as_node` respond hop and reply links), and an open-loop Poisson
+/// client at `qps_per_pod`. Pods share service *models* but no machines,
+/// instances, pools, request types, or clients — so the must-colocate
+/// graph splits the cluster into exactly `pods` request-closed cells, one
+/// per pod. With 50+ pods this is the 100+-machine shard-scaling scenario
+/// the partition differential tests and benchmarks use.
+///
+/// # Errors
+///
+/// Propagates JSON-assembly errors from
+/// [`ScenarioConfig::from_json`] (none are expected for valid inputs).
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_apps::scenarios::pod_cluster;
+/// use uqsim_core::partition::split_cells;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = pod_cluster(4, 1500.0)?;
+/// assert_eq!(cfg.machines.len(), 8);
+/// assert_eq!(split_cells(&cfg)?.len(), 4); // one cell per pod
+/// # Ok(())
+/// # }
+/// ```
+pub fn pod_cluster(pods: usize, qps_per_pod: f64) -> SimResult<ScenarioConfig> {
+    let machine = |name: &str| {
+        format!(
+            r#"{{ "name": "{name}", "cores": 2,
+      "dvfs": {{ "levels_ghz": [2.6] }},
+      "network": {{ "irq_cores": 1,
+        "rx_time": {{ "type": "exponential", "mean": 0.0000166 }},
+        "wire_latency": {{ "type": "constant", "value": 0.00002 }} }} }}"#
+        )
+    };
+    let service = |name: &str, mean_s: f64| {
+        format!(
+            r#"{{ "name": "{name}",
+      "stages": [
+        {{ "name": "handler", "queue": {{ "type": "single" }},
+          "service": {{ "base": {{ "type": "constant", "value": 0.0 }},
+            "per_job": {{ "type": "exponential", "mean": {mean_s} }},
+            "ref_freq_ghz": 2.6, "freq_alpha": 1.0 }} }}
+      ],
+      "paths": [{{ "name": "default", "stages": [0] }}] }}"#
+        )
+    };
+    let mut machines = Vec::new();
+    let mut instances = Vec::new();
+    let mut pools = Vec::new();
+    let mut request_types = Vec::new();
+    let mut clients = Vec::new();
+    for i in 0..pods.max(1) {
+        machines.push(machine(&format!("p{i}-fe")));
+        machines.push(machine(&format!("p{i}-be")));
+        instances.push(format!(
+            r#"{{ "name": "p{i}-front", "service": "front", "machine": "p{i}-fe",
+      "cores": 1, "exec": {{ "type": "simple" }} }}"#
+        ));
+        instances.push(format!(
+            r#"{{ "name": "p{i}-store", "service": "store", "machine": "p{i}-be",
+      "cores": 1, "exec": {{ "type": "simple" }} }}"#
+        ));
+        pools.push(format!(
+            r#"{{ "up": "p{i}-front", "down": "p{i}-store", "size": 8 }}"#
+        ));
+        request_types.push(format!(
+            r#"{{ "name": "get{i}",
+      "nodes": [
+        {{ "name": "recv",
+          "target": {{ "type": "service", "service": "front",
+            "instance": {{ "type": "fixed", "name": "p{i}-front" }},
+            "exec_path": "default" }},
+          "children": ["fetch"] }},
+        {{ "name": "fetch",
+          "target": {{ "type": "service", "service": "store",
+            "instance": {{ "type": "fixed", "name": "p{i}-store" }},
+            "exec_path": "default" }},
+          "children": ["respond"] }},
+        {{ "name": "respond",
+          "target": {{ "type": "service", "service": "front",
+            "instance": {{ "type": "same_as_node", "node": "recv" }},
+            "exec_path": "default" }},
+          "children": ["sink"], "link": "reply_to_parent" }},
+        {{ "name": "sink", "target": {{ "type": "client_sink" }},
+          "link": {{ "reply": {{ "of": "recv" }} }} }}
+      ] }}"#
+        ));
+        clients.push(format!(
+            r#"{{ "name": "wrk{i}", "connections": 32,
+      "arrivals": {{ "type": "poisson",
+        "schedule": {{ "segments": [[0.0, {qps_per_pod}]] }} }},
+      "mix": [["get{i}", 1.0]], "roots": ["p{i}-front"] }}"#
+        ))
+    }
+    let json = format!(
+        r#"{{
+  "seed": 42,
+  "warmup_s": 0.1,
+  "machines": [{}],
+  "services": [{}, {}],
+  "instances": [{}],
+  "pools": [{}],
+  "request_types": [{}],
+  "clients": [{}]
+}}"#,
+        machines.join(",\n"),
+        service("front", 0.00006),
+        service("store", 0.00004),
+        instances.join(",\n"),
+        pools.join(",\n"),
+        request_types.join(",\n"),
+        clients.join(",\n"),
+    );
+    ScenarioConfig::from_json(&json)
 }
 
 #[cfg(test)]

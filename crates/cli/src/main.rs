@@ -3,16 +3,18 @@
 //! ```text
 //! uqsim run <scenario.json> [--duration <secs>] [--seed <n>] [--json]
 //!           [--metrics-out <dir>] [--sample-interval <secs>] [--faults <faults.json>]
+//!           [--shards <n>]
 //! uqsim chaos <scenario.json> --faults <faults.json> [--duration <secs>]
-//!             [--seed <n>] [--json] [--events <n>]
+//!             [--seed <n>] [--json] [--events <n>] [--shards <n>]
 //! uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>]
 //!           [--seed <n>] [--no-ansi]
 //! uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>]
 //!             [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>]
-//!             [--faults <faults.json>]
+//!             [--faults <faults.json>] [--shards <n>]
 //! uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]
 //! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
 //! uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] [--events <n>]
+//!             [--shards <n>]
 //! uqsim validate <scenario.json>
 //! uqsim split <scenario.json> <dir>
 //! uqsim example
@@ -58,6 +60,18 @@
 //! non-zero if the audit finds violations. Faulted runs stay
 //! deterministic: the same scenario + plan + seed reproduces the same
 //! report byte-for-byte at any `--jobs` value.
+//!
+//! `run`, `chaos`, `trace --config`, and `sweep --config` accept
+//! `--shards <n>`: the scenario is split into request-closed *cells*
+//! (DESIGN.md §11) and the cells execute on `n` worker threads via
+//! [`uqsim_core::run_partitioned`]. Every output — the printed summary,
+//! metrics files, Chrome trace, chaos report, sweep table — is
+//! byte-identical at any `--shards` value, so `--shards` is purely a
+//! wall-clock knob, like `--jobs` for sweeps. (The partitioned engine
+//! draws per-cell RNG streams, so its results are statistically
+//! equivalent but not bitwise equal to a run *without* `--shards`;
+//! compare partitioned runs against partitioned runs.) Partition
+//! diagnostics go to stderr, keeping stdout shard-invariant.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::Path;
@@ -103,18 +117,19 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  uqsim run <scenario.json> [--duration <secs>] [--json] \
-         [--metrics-out <dir>] [--sample-interval <secs>] [--faults <faults.json>]\n  \
+         [--metrics-out <dir>] [--sample-interval <secs>] [--faults <faults.json>] \
+         [--shards <n>]\n  \
          uqsim chaos <scenario.json> --faults <faults.json> [--duration <secs>] \
-         [--seed <n>] [--json] [--events <n>]\n  \
+         [--seed <n>] [--json] [--events <n>] [--shards <n>]\n  \
          uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>] \
          [--seed <n>] [--no-ansi]\n  \
          uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>] \
          [--jobs <n>] [--duration <secs>] [--seed <n>] [--json] [--out <file>] \
-         [--faults <faults.json>]\n  \
+         [--faults <faults.json>] [--shards <n>]\n  \
          uqsim sweep <scenario.json> --loads <qps,...> [--duration <secs>]\n  \
          uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
          uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] \
-         [--events <n>]\n  \
+         [--events <n>] [--shards <n>]\n  \
          uqsim validate <scenario.json|dir>\n  uqsim split <scenario.json> <dir>\n  uqsim example"
     );
     ExitCode::from(2)
@@ -217,6 +232,7 @@ fn main() -> ExitCode {
             let mut every = 100u64;
             let mut max = 20usize;
             let mut events = 1_000_000usize;
+            let mut shards = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -262,6 +278,16 @@ fn main() -> ExitCode {
                         events = v;
                         i += 2;
                     }
+                    "--shards" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                            return usage();
+                        };
+                        if v == 0 {
+                            return usage();
+                        }
+                        shards = Some(v);
+                        i += 2;
+                    }
                     flag if flag.starts_with("--") => return usage(),
                     _ if positional.is_none() => {
                         positional = Some(args[i].clone());
@@ -272,7 +298,17 @@ fn main() -> ExitCode {
             }
             if let Some(config) = config {
                 // Chrome trace_event export with invariant auditing.
-                match chrome_export(Path::new(&config), duration, out.as_deref(), events) {
+                let outcome = match shards {
+                    Some(shards) => chrome_export_sharded(
+                        Path::new(&config),
+                        duration,
+                        out.as_deref(),
+                        events,
+                        shards,
+                    ),
+                    None => chrome_export(Path::new(&config), duration, out.as_deref(), events),
+                };
+                match outcome {
                     Ok(true) => ExitCode::SUCCESS,
                     Ok(false) => ExitCode::FAILURE,
                     Err(e) => {
@@ -282,6 +318,10 @@ fn main() -> ExitCode {
                 }
             } else {
                 // Legacy JSON-lines sampled request traces.
+                if shards.is_some() {
+                    // Sampled JSON-lines traces have no partitioned form.
+                    return usage();
+                }
                 let Some(path) = positional else {
                     return usage();
                 };
@@ -304,6 +344,7 @@ fn main() -> ExitCode {
             let mut metrics_out = None;
             let mut sample_interval = 0.1f64;
             let mut faults = None;
+            let mut shards = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -349,18 +390,41 @@ fn main() -> ExitCode {
                         faults = Some(std::path::PathBuf::from(v));
                         i += 2;
                     }
+                    "--shards" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                            return usage();
+                        };
+                        if v == 0 {
+                            return usage();
+                        }
+                        shards = Some(v);
+                        i += 2;
+                    }
                     _ => return usage(),
                 }
             }
-            match run(
-                Path::new(path),
-                duration,
-                seed,
-                json,
-                metrics_out.as_deref(),
-                sample_interval,
-                faults.as_deref(),
-            ) {
+            let outcome = match shards {
+                Some(shards) => run_sharded(
+                    Path::new(path),
+                    duration,
+                    seed,
+                    json,
+                    metrics_out.as_deref(),
+                    sample_interval,
+                    faults.as_deref(),
+                    shards,
+                ),
+                None => run(
+                    Path::new(path),
+                    duration,
+                    seed,
+                    json,
+                    metrics_out.as_deref(),
+                    sample_interval,
+                    faults.as_deref(),
+                ),
+            };
+            match outcome {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -377,6 +441,7 @@ fn main() -> ExitCode {
             let mut json = false;
             let mut faults = None;
             let mut events = 4_000_000usize;
+            let mut shards = None;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
@@ -412,13 +477,35 @@ fn main() -> ExitCode {
                         events = v;
                         i += 2;
                     }
+                    "--shards" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                            return usage();
+                        };
+                        if v == 0 {
+                            return usage();
+                        }
+                        shards = Some(v);
+                        i += 2;
+                    }
                     _ => return usage(),
                 }
             }
             let Some(faults) = faults else {
                 return usage();
             };
-            match chaos(Path::new(path), &faults, duration, seed, json, events) {
+            let outcome = match shards {
+                Some(shards) => chaos_sharded(
+                    Path::new(path),
+                    &faults,
+                    duration,
+                    seed,
+                    json,
+                    events,
+                    shards,
+                ),
+                None => chaos(Path::new(path), &faults, duration, seed, json, events),
+            };
+            match outcome {
                 Ok(true) => ExitCode::SUCCESS,
                 Ok(false) => ExitCode::FAILURE,
                 Err(e) => {
@@ -583,6 +670,120 @@ fn run(
         std::fs::write(
             dir.join("metrics.json"),
             serde_json::to_string_pretty(&sim.metrics_json()).expect("metrics serialize"),
+        )?;
+        eprintln!(
+            "wrote metrics.prom, metrics.csv, metrics.json to {}",
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// `run --shards N`: the partitioned sibling of [`run`]. The scenario is
+/// split into request-closed cells ([`uqsim_core::run_partitioned`]) and
+/// the cells execute on `shards` worker threads; every stdout byte and
+/// every metrics file is identical at any `--shards` value. Partition
+/// diagnostics (cell count, shard count) go to stderr so stdout stays
+/// shard-invariant.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    path: &Path,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+    metrics_out: Option<&Path>,
+    sample_interval_s: f64,
+    faults: Option<&Path>,
+    shards: usize,
+) -> Result<(), uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let seed = seed.unwrap_or(cfg.seed);
+    let plan = match faults {
+        Some(p) => Some(uqsim_core::FaultPlan::from_file(p)?),
+        None => None,
+    };
+    let mut opts = uqsim_core::PartitionOptions::with_shards(shards);
+    if metrics_out.is_some() {
+        opts.telemetry.sample_interval = Some(SimDuration::from_secs_f64(sample_interval_s));
+    }
+    let run = uqsim_core::run_partitioned(
+        &cfg,
+        plan.as_ref(),
+        seed,
+        SimDuration::from_secs_f64(duration_s),
+        &opts,
+    )?;
+    eprintln!(
+        "partition: {} cell(s) on {} shard(s)",
+        run.cells.len(),
+        run.shards
+    );
+    let r = &run.result;
+    if json {
+        let mut out = serde_json::json!({
+            "duration_s": duration_s,
+            "warmup_s": cfg.warmup_s,
+            "cells": run.cells.len(),
+            "generated": r.generated,
+            "completed": r.completed,
+            "throughput_qps": r.achieved_qps,
+            "latency_s": {
+                "count": r.latency.count, "mean": r.latency.mean, "p50": r.latency.p50,
+                "p95": r.latency.p95, "p99": r.latency.p99, "max": r.latency.max,
+            },
+            "events_processed": r.events_processed,
+        });
+        if let Some(f) = &r.fault {
+            if let serde_json::Value::Object(obj) = &mut out {
+                obj.insert("goodput_qps", serde_json::json!(r.goodput_qps));
+                obj.insert(
+                    "faults",
+                    serde_json::to_value(f).expect("fault summary serializes"),
+                );
+            }
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("summary serializes")
+        );
+    } else {
+        println!("simulated {duration_s}s (warmup {}s)", cfg.warmup_s);
+        println!(
+            "requests: generated {}, completed {}",
+            r.generated, r.completed
+        );
+        println!(
+            "throughput: {:.0} req/s over the measured window",
+            r.achieved_qps
+        );
+        println!(
+            "latency: mean {:.3}ms p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms max {:.3}ms ({} samples)",
+            r.latency.mean * 1e3,
+            r.latency.p50 * 1e3,
+            r.latency.p95 * 1e3,
+            r.latency.p99 * 1e3,
+            r.latency.max * 1e3,
+            r.latency.count
+        );
+        println!("engine: {} events processed", r.events_processed);
+        if let Some(f) = &r.fault {
+            println!(
+                "faults: {} dropped, {} shed, {} timed out, {} retries, {} degraded \
+                 ({:.0} req/s goodput)",
+                f.dropped, f.shed, f.timed_out, f.retried, f.degraded, r.goodput_qps
+            );
+        }
+    }
+    if let Some(dir) = metrics_out {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("metrics.prom"), run.prometheus())?;
+        std::fs::write(
+            dir.join("metrics.csv"),
+            run.csv().expect("sampler is enabled"),
+        )?;
+        std::fs::write(
+            dir.join("metrics.json"),
+            serde_json::to_string_pretty(&run.json()).expect("metrics serialize"),
         )?;
         eprintln!(
             "wrote metrics.prom, metrics.csv, metrics.json to {}",
@@ -762,6 +963,175 @@ fn chaos(
     Ok(clean)
 }
 
+/// `chaos --shards N`: the partitioned chaos runner. The fault plan is
+/// validated against the whole scenario, split per cell, and installed in
+/// every cell; per-cell timelines, counters, audits, and latency samples
+/// are merged deterministically, so the printed report is byte-identical
+/// at any `--shards` value.
+#[allow(clippy::too_many_arguments)]
+fn chaos_sharded(
+    path: &Path,
+    faults_path: &Path,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+    events: usize,
+    shards: usize,
+) -> Result<bool, uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let seed = seed.unwrap_or(cfg.seed);
+    let plan = uqsim_core::FaultPlan::from_file(faults_path)?;
+    let mut opts = uqsim_core::PartitionOptions::with_shards(shards);
+    opts.span_tracing = Some(events);
+    let run = uqsim_core::run_partitioned(
+        &cfg,
+        Some(&plan),
+        seed,
+        SimDuration::from_secs_f64(duration_s),
+        &opts,
+    )?;
+    eprintln!(
+        "partition: {} cell(s) on {} shard(s)",
+        run.cells.len(),
+        run.shards
+    );
+    let r = &run.result;
+    let f = r.fault.as_ref().expect("fault plan is installed");
+    let s = &r.latency;
+    let ts = &r.timeout_latency;
+    let dropped_spans: u64 = run.cells.iter().map(|c| c.span_dropped).sum();
+    let truncated = dropped_spans > 0;
+    let report = (!truncated).then(|| run.audit().expect("span tracing is enabled"));
+    let clean = report.as_ref().is_some_and(|rep| rep.is_clean());
+
+    if json {
+        let out = serde_json::json!({
+            "scenario": path.display().to_string(),
+            "faults": faults_path.display().to_string(),
+            "seed": seed,
+            "duration_s": duration_s,
+            "warmup_s": cfg.warmup_s,
+            "cells": run.cells.len(),
+            "generated": r.generated,
+            "completed": r.completed,
+            "outcomes": {
+                "dropped": f.dropped,
+                "shed": f.shed,
+                "timed_out": f.timed_out,
+                "degraded": f.degraded,
+            },
+            "resilience": {
+                "retried": f.retried,
+                "hedged": f.hedged,
+                "breaker_trips": f.breaker_trips,
+                "jobs_killed": f.jobs_killed,
+                "packets_dropped": f.packets_dropped,
+                "retransmits": f.retransmits,
+            },
+            "throughput_qps": r.achieved_qps,
+            "goodput_qps": r.goodput_qps,
+            "latency_s": {
+                "count": s.count, "mean": s.mean, "p50": s.p50,
+                "p95": s.p95, "p99": s.p99, "max": s.max,
+            },
+            "timeout_latency_s": { "count": ts.count, "p50": ts.p50, "p99": ts.p99 },
+            "timeline": serde_json::to_value(&f.timeline).expect("timeline serializes"),
+            "audit": if truncated {
+                serde_json::json!({ "skipped": "span log truncated; raise --events" })
+            } else {
+                let rep = report.as_ref().expect("audited");
+                serde_json::json!({
+                    "clean": rep.is_clean(),
+                    "violations": rep.violations.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                })
+            },
+        });
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("report serializes")
+        );
+    } else {
+        println!(
+            "chaos report: {} + {} (seed {}, {duration_s}s simulated, warmup {}s)",
+            path.display(),
+            faults_path.display(),
+            seed,
+            cfg.warmup_s
+        );
+        println!();
+        println!("timeline:");
+        if f.timeline.is_empty() {
+            println!("  (no fault windows fired)");
+        }
+        for entry in &f.timeline {
+            println!("  t={:>8.3}s  {}", entry.t_s, entry.what);
+        }
+        println!();
+        println!("outcomes:");
+        println!(
+            "  generated {}  completed {}  dropped {}  shed {}  timed out {}",
+            r.generated, r.completed, f.dropped, f.shed, f.timed_out
+        );
+        println!(
+            "  degraded responses {} (breaker sheds + quorum early-fires)",
+            f.degraded
+        );
+        println!();
+        println!("resilience:");
+        println!(
+            "  retries {}  hedges {}  breaker trips {}",
+            f.retried, f.hedged, f.breaker_trips
+        );
+        println!(
+            "  jobs killed {}  packets dropped {}  retransmits {}",
+            f.jobs_killed, f.packets_dropped, f.retransmits
+        );
+        println!();
+        println!(
+            "latency (within-deadline completions): mean {:.3}ms p50 {:.3}ms p95 {:.3}ms \
+             p99 {:.3}ms ({} samples)",
+            s.mean * 1e3,
+            s.p50 * 1e3,
+            s.p95 * 1e3,
+            s.p99 * 1e3,
+            s.count
+        );
+        if ts.count > 0 {
+            println!(
+                "latency at timeout deadline: p50 {:.3}ms p99 {:.3}ms ({} requests)",
+                ts.p50 * 1e3,
+                ts.p99 * 1e3,
+                ts.count
+            );
+        }
+        println!(
+            "goodput: {:.0} req/s of {:.0} req/s achieved ({:.1}% full fidelity)",
+            r.goodput_qps,
+            r.achieved_qps,
+            100.0 * r.goodput_qps / r.achieved_qps.max(f64::EPSILON)
+        );
+        println!();
+        if truncated {
+            println!("audit: skipped ({dropped_spans} span events dropped; raise --events)");
+        } else {
+            let rep = report.as_ref().expect("audited");
+            if rep.is_clean() {
+                println!(
+                    "audit: clean — every request reached exactly one terminal state \
+                     ({} spans checked)",
+                    rep.spans_checked
+                );
+            } else {
+                println!("audit: {} violations", rep.violations.len());
+                for v in &rep.violations {
+                    println!("  {v}");
+                }
+            }
+        }
+    }
+    Ok(clean)
+}
+
 /// `top(1)` for the simulated cluster: steps the simulation one sampler
 /// interval at a time and redraws per-instance utilization, queue depth,
 /// and thread occupancy plus the latest windowed latency percentiles.
@@ -907,9 +1277,20 @@ fn sweep_grid(args: &[String]) -> ExitCode {
     let mut json = false;
     let mut out = None;
     let mut faults = None;
+    let mut shards = 0usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shards" => {
+                let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if v == 0 {
+                    return usage();
+                }
+                shards = v;
+                i += 2;
+            }
             "--faults" => {
                 let Some(v) = args.get(i + 1) else {
                     return usage();
@@ -1005,13 +1386,19 @@ fn sweep_grid(args: &[String]) -> ExitCode {
         duration: SimDuration::from_secs_f64(duration),
         jobs: jobs.max(1),
         faults: plan,
+        shards,
     };
     eprintln!(
-        "sweep: {} qps points x {} reps = {} cells on {} worker(s)",
+        "sweep: {} qps points x {} reps = {} cells on {} worker(s){}",
         spec.qps.len(),
         spec.reps,
         spec.qps.len() * spec.reps,
-        spec.jobs
+        spec.jobs,
+        if spec.shards >= 1 {
+            format!(", partitioned engine at {} shard(s) per cell", spec.shards)
+        } else {
+            String::new()
+        }
     );
     let table = match uqsim_runner::sweep::run_scenario_sweep(&cfg, &spec, &|p| {
         eprintln!(
@@ -1116,6 +1503,61 @@ fn chrome_export(
         log.dropped(),
         report.spans_checked,
         sim.completed()
+    );
+    if report.is_clean() {
+        eprintln!("audit: clean");
+    } else {
+        eprintln!("audit: {} violations", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  {v}");
+        }
+    }
+    Ok(report.is_clean())
+}
+
+/// `trace --config --shards N`: partitioned Chrome export. Per-cell
+/// traces merge with disjoint pid ranges and `c<i>:`-prefixed scope ids;
+/// the written JSON and the audit verdict are byte-identical at any
+/// `--shards` value.
+fn chrome_export_sharded(
+    path: &Path,
+    duration_s: f64,
+    out: Option<&str>,
+    events: usize,
+    shards: usize,
+) -> Result<bool, uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let mut opts = uqsim_core::PartitionOptions::with_shards(shards);
+    opts.span_tracing = Some(events);
+    let run = uqsim_core::run_partitioned(
+        &cfg,
+        None,
+        cfg.seed,
+        SimDuration::from_secs_f64(duration_s),
+        &opts,
+    )?;
+    eprintln!(
+        "partition: {} cell(s) on {} shard(s)",
+        run.cells.len(),
+        run.shards
+    );
+    let chrome = run.chrome_trace().expect("span tracing is enabled");
+    let text = serde_json::to_string_pretty(&chrome).expect("trace serializes");
+    match out {
+        Some(file) => {
+            std::fs::write(file, text)?;
+            eprintln!("wrote {file}");
+        }
+        None => println!("{text}"),
+    }
+    let dropped: u64 = run.cells.iter().map(|c| c.span_dropped).sum();
+    let report = run.audit().expect("span tracing is enabled");
+    eprintln!(
+        "trace: {} events ({} dropped), {} spans audited, {} completed requests",
+        chrome["traceEvents"].as_array().map_or(0, Vec::len),
+        dropped,
+        report.spans_checked,
+        run.result.completed
     );
     if report.is_clean() {
         eprintln!("audit: clean");

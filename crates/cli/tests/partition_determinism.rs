@@ -1,0 +1,171 @@
+//! End-to-end determinism gate for `--shards` (spec invariant **P7**,
+//! DESIGN.md §11): on a 110-machine cluster, every byte the binary emits —
+//! run summary, metrics files, Chrome trace, chaos report — must be
+//! identical at `--shards 1` and `--shards 4`. The shard count is a
+//! wall-clock knob, never a results knob.
+//!
+//! These tests drive the real binary (via `CARGO_BIN_EXE_uqsim`) against a
+//! generated [`uqsim_apps::scenarios::pod_cluster`] scenario, so they pin
+//! the output framing (results on stdout, partition diagnostics on stderr)
+//! as well as the merged bytes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// 55 pods × 2 machines = 110 machines, 55 independent cells.
+const PODS: usize = 55;
+
+/// Writes the generated pod-cluster scenario under a unique directory in
+/// the target tmpdir and returns its path.
+fn cluster_config(tag: &str) -> PathBuf {
+    let cfg = uqsim_apps::scenarios::pod_cluster(PODS, 600.0).expect("pod cluster builds");
+    let dir = std::env::temp_dir().join(format!("uqsim-partition-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("cluster.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&cfg).expect("scenario serializes"),
+    )
+    .expect("write scenario");
+    path
+}
+
+/// A fault plan that bites several distinct pods, plus a client retry
+/// policy, exercising the per-cell plan split end to end.
+fn faults_file(dir: &std::path::Path) -> PathBuf {
+    let path = dir.join("faults.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "faults": [
+    { "kind": "instance_crash", "instance": "p3-front",
+      "at_s": 0.15, "restart_after_s": 0.1 },
+    { "kind": "machine_slowdown", "machine": "p5-be",
+      "at_s": 0.2, "duration_s": 0.15, "factor": 4.0 }
+  ],
+  "policy": {
+    "clients": [
+      { "client": "wrk1", "max_retries": 2,
+        "backoff_base_s": 0.002, "backoff_cap_s": 0.05, "jitter": 0.5 }
+    ]
+  }
+}"#,
+    )
+    .expect("write faults");
+    path
+}
+
+fn uqsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uqsim"))
+        .args(args)
+        .output()
+        .expect("uqsim binary runs")
+}
+
+#[test]
+fn run_and_metrics_are_byte_identical_across_shards() {
+    let cfg = cluster_config("run");
+    let dir = cfg.parent().unwrap();
+    let mut outs = Vec::new();
+    for shards in ["1", "4"] {
+        let metrics = dir.join(format!("metrics-{shards}"));
+        let out = uqsim(&[
+            "run",
+            cfg.to_str().unwrap(),
+            "--duration",
+            "0.4",
+            "--shards",
+            shards,
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "run --shards {shards} failed: {out:?}"
+        );
+        outs.push((out.stdout, metrics));
+    }
+    let (base_stdout, base_dir) = &outs[0];
+    let (other_stdout, other_dir) = &outs[1];
+    assert_eq!(base_stdout, other_stdout, "stdout drifted across shards");
+    assert!(!base_stdout.is_empty());
+    for file in ["metrics.prom", "metrics.csv", "metrics.json"] {
+        let a = std::fs::read(base_dir.join(file)).expect(file);
+        let b = std::fs::read(other_dir.join(file)).expect(file);
+        assert_eq!(a, b, "{file} drifted across shards");
+        assert!(!a.is_empty(), "{file} is empty");
+    }
+}
+
+#[test]
+fn chrome_trace_is_byte_identical_across_shards() {
+    let cfg = cluster_config("trace");
+    let dir = cfg.parent().unwrap();
+    let mut traces = Vec::new();
+    for shards in ["1", "4"] {
+        let out_file = dir.join(format!("trace-{shards}.json"));
+        let out = uqsim(&[
+            "trace",
+            "--config",
+            cfg.to_str().unwrap(),
+            "--duration",
+            "0.3",
+            "--events",
+            "2000000",
+            "--shards",
+            shards,
+            "--out",
+            out_file.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "trace --shards {shards} failed (audit must be clean): {out:?}"
+        );
+        traces.push(std::fs::read(&out_file).expect("trace file"));
+    }
+    assert_eq!(traces[0], traces[1], "Chrome trace drifted across shards");
+    // The merged trace really covers the whole cluster: every pod's pid
+    // block appears.
+    let text = String::from_utf8(traces[0].clone()).expect("trace is UTF-8");
+    for pod in [0, PODS / 2, PODS - 1] {
+        assert!(
+            text.contains(&format!("p{pod}-fe")),
+            "pod {pod} missing from merged trace"
+        );
+    }
+}
+
+#[test]
+fn chaos_report_is_byte_identical_across_shards() {
+    let cfg = cluster_config("chaos");
+    let dir = cfg.parent().unwrap();
+    let faults = faults_file(dir);
+    let mut reports = Vec::new();
+    for shards in ["1", "4"] {
+        let out = uqsim(&[
+            "chaos",
+            cfg.to_str().unwrap(),
+            "--faults",
+            faults.to_str().unwrap(),
+            "--duration",
+            "0.5",
+            "--events",
+            "4000000",
+            "--shards",
+            shards,
+            "--json",
+        ]);
+        assert!(
+            out.status.success(),
+            "chaos --shards {shards} failed (audit must be clean): {out:?}"
+        );
+        reports.push(out.stdout);
+    }
+    assert_eq!(reports[0], reports[1], "chaos report drifted across shards");
+    let text = String::from_utf8(reports[0].clone()).expect("report is UTF-8");
+    let v: serde_json::Value = serde_json::from_str(&text).expect("chaos report is valid JSON");
+    // The plan actually bit: the crash window fired and the audit is clean.
+    assert!(!v["timeline"].as_array().unwrap().is_empty());
+    assert_eq!(v["audit"]["clean"].as_bool(), Some(true));
+    assert_eq!(v["cells"].as_u64(), Some(PODS as u64));
+}

@@ -224,6 +224,53 @@ impl Distribution {
         }
     }
 
+    /// The greatest lower bound of the distribution's support, seconds: no
+    /// sample can be smaller. The partitioned execution engine
+    /// ([`crate::partition`]) uses the wire-latency lower bound as
+    /// conservative lookahead — the minimum simulated delay any
+    /// cross-machine hop must pay — so this must be a true infimum, never
+    /// an estimate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use uqsim_core::dist::Distribution;
+    ///
+    /// assert_eq!(Distribution::constant(2e-5).lower_bound(), 2e-5);
+    /// assert_eq!(Distribution::exponential(1e-3).lower_bound(), 0.0);
+    /// assert_eq!(Distribution::uniform(1e-6, 3e-6).lower_bound(), 1e-6);
+    /// let shifted = Distribution::Shifted {
+    ///     offset: 5e-6,
+    ///     inner: Box::new(Distribution::exponential(1e-4)),
+    /// };
+    /// assert_eq!(shifted.lower_bound(), 5e-6);
+    /// ```
+    pub fn lower_bound(&self) -> f64 {
+        match self {
+            Distribution::Constant { value } => *value,
+            // The inverse-CDF samplers can return values arbitrarily close
+            // to zero (u → 1 gives -mean·ln(u) → 0), so the only safe
+            // bound is zero.
+            Distribution::Exponential { .. } => 0.0,
+            Distribution::Uniform { low, .. } => *low,
+            // exp(mu + sigma·z) with unbounded-below z: infimum zero.
+            Distribution::LogNormal { sigma, mu } => {
+                if *sigma == 0.0 {
+                    mu.exp()
+                } else {
+                    0.0
+                }
+            }
+            Distribution::Pareto { x_min, .. } => *x_min,
+            Distribution::Empirical { histogram } => histogram.min_value(),
+            Distribution::Shifted { offset, inner } => offset + inner.lower_bound(),
+            Distribution::Mixture { components } => components
+                .iter()
+                .map(|(_, d)| d.lower_bound())
+                .fold(f64::INFINITY, f64::min),
+        }
+    }
+
     /// Returns a copy with all durations multiplied by `factor` (frequency
     /// scaling). Parametric forms scale analytically; empirical histograms
     /// scale their bounds.
@@ -411,6 +458,59 @@ mod tests {
             let x = back.sample(&mut r);
             assert!((0.0..=2e-6).contains(&x), "sample {x} out of support");
         }
+    }
+
+    #[test]
+    fn lower_bound_is_never_undercut_by_samples() {
+        let h =
+            crate::histogram::Histogram::from_bins(2e-6, vec![(3e-6, 0.5), (5e-6, 0.5)]).unwrap();
+        let cases = vec![
+            Distribution::constant(4e-6),
+            Distribution::exponential(1e-3),
+            Distribution::uniform(1e-6, 3e-6),
+            Distribution::lognormal_mean_cv(2e-4, 0.5),
+            Distribution::Pareto {
+                x_min: 1e-4,
+                alpha: 3.0,
+            },
+            Distribution::Empirical { histogram: h },
+            Distribution::Shifted {
+                offset: 7e-6,
+                inner: Box::new(Distribution::exponential(1e-5)),
+            },
+            Distribution::Mixture {
+                components: vec![
+                    (0.3, Distribution::constant(9e-6)),
+                    (
+                        0.7,
+                        Distribution::Shifted {
+                            offset: 2e-6,
+                            inner: Box::new(Distribution::exponential(1e-4)),
+                        },
+                    ),
+                ],
+            },
+        ];
+        let mut r = rng();
+        for d in cases {
+            let lb = d.lower_bound();
+            assert!(lb.is_finite() && lb >= 0.0, "bad bound for {d:?}");
+            for _ in 0..20_000 {
+                let x = d.sample(&mut r);
+                assert!(x >= lb, "{d:?} sampled {x} below its lower bound {lb}");
+            }
+        }
+        // Mixture bound is the min over components; shift adds through.
+        assert_eq!(
+            Distribution::Mixture {
+                components: vec![
+                    (0.5, Distribution::constant(3e-6)),
+                    (0.5, Distribution::constant(1e-6)),
+                ],
+            }
+            .lower_bound(),
+            1e-6
+        );
     }
 
     #[test]

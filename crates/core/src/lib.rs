@@ -89,6 +89,7 @@ pub mod ids;
 pub mod job;
 pub mod machine;
 pub mod metrics;
+pub mod partition;
 pub mod path;
 pub mod queue;
 pub mod rng;
@@ -103,6 +104,7 @@ pub mod trace;
 pub use builder::{ExecSpec, ScenarioBuilder};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, FaultSpec, FaultSummary};
+pub use partition::{run_partitioned, PartitionOptions, PartitionPlan, PartitionedRun};
 pub use run::{run_one, RunResult};
 pub use sim::Simulator;
 pub use telemetry::{

@@ -1,0 +1,148 @@
+//! Barrier-free conservative synchronization clocks.
+//!
+//! Spec: DESIGN.md §11.4. Every cell publishes a monotone *clock* — a
+//! simulated time it is guaranteed never to send an event before — into a
+//! lock-free table. A cell may safely advance to its **horizon**: the
+//! minimum over its in-neighbors of `published clock + link lookahead`.
+//! There is no global barrier; each cell advances as far as its own
+//! neighborhood allows (the Chandy–Misra–Bryant null-message discipline
+//! with the null messages replaced by shared atomic clocks).
+//!
+//! While cells are request-closed the in-neighbor sets are empty and every
+//! horizon is [`SimTime::MAX`], so the clocks are inert — but they are the
+//! load-bearing contract for the v2 cross-cell protocol, and the horizon
+//! math is pinned by `horizons_follow_neighbor_clocks` in
+//! `tests/partition.rs` (spec invariant **P6**).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::time::SimTime;
+
+use super::plan::LookaheadMatrix;
+
+/// Published per-cell clocks: `clock(c)` is a promise that cell `c` will
+/// never emit an event timestamped earlier than the published value.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_core::partition::{LookaheadMatrix, ShardClocks};
+/// use uqsim_core::time::{SimDuration, SimTime};
+///
+/// let la = LookaheadMatrix::from_links(2, &[(0, 1, SimDuration::from_micros(20))]);
+/// let clocks = ShardClocks::new(2);
+/// // Cell 1 may not advance past cell 0's clock + 20us:
+/// clocks.publish(0, SimTime::from_nanos(1_000));
+/// assert_eq!(clocks.horizon(1, &la), SimTime::from_nanos(21_000));
+/// // Cell 0 has no in-links, so its horizon is unbounded:
+/// assert_eq!(clocks.horizon(0, &la), SimTime::MAX);
+/// ```
+#[derive(Debug)]
+pub struct ShardClocks {
+    clocks: Vec<AtomicU64>,
+}
+
+impl ShardClocks {
+    /// Clocks for `n` cells, all starting at time zero.
+    pub fn new(n: usize) -> Self {
+        ShardClocks {
+            clocks: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Number of cells tracked.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// `true` when no cells are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+
+    /// Publishes `cell`'s clock. Clocks are monotone: publishing an
+    /// earlier time than already published is a no-op, so a worker may
+    /// republish freely.
+    pub fn publish(&self, cell: usize, t: SimTime) {
+        self.clocks[cell].fetch_max(t.as_nanos(), Ordering::Release);
+    }
+
+    /// The last published clock of `cell`.
+    pub fn clock(&self, cell: usize) -> SimTime {
+        SimTime::from_nanos(self.clocks[cell].load(Ordering::Acquire))
+    }
+
+    /// The conservative horizon of `cell`: the earliest simulated time at
+    /// which any in-neighbor could still deliver an event, i.e.
+    /// `min over in-links (src → cell) of clock(src) + lookahead(src, cell)`,
+    /// or [`SimTime::MAX`] when the cell has no in-links. Advancing
+    /// through every event `<= horizon` can never miss a remote event —
+    /// the conservative-sync safety property (spec invariant **P6**).
+    pub fn horizon(&self, cell: usize, lookahead: &LookaheadMatrix) -> SimTime {
+        let mut h = SimTime::MAX;
+        for src in lookahead.in_neighbors(cell) {
+            let la = lookahead
+                .between(src, cell)
+                .expect("in_neighbors only yields linked cells");
+            let bound = self.clock(src).checked_add(la).unwrap_or(SimTime::MAX);
+            h = h.min(bound);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn clocks_are_monotone() {
+        let c = ShardClocks::new(1);
+        c.publish(0, SimTime::from_nanos(500));
+        c.publish(0, SimTime::from_nanos(100)); // stale republish
+        assert_eq!(c.clock(0), SimTime::from_nanos(500));
+    }
+
+    #[test]
+    fn horizon_is_min_over_in_links() {
+        let la = LookaheadMatrix::from_links(
+            3,
+            &[
+                (0, 2, SimDuration::from_nanos(10)),
+                (1, 2, SimDuration::from_nanos(1_000)),
+            ],
+        );
+        let c = ShardClocks::new(3);
+        c.publish(0, SimTime::from_nanos(90));
+        c.publish(1, SimTime::from_nanos(0));
+        // min(90 + 10, 0 + 1000) = 100.
+        assert_eq!(c.horizon(2, &la), SimTime::from_nanos(100));
+        c.publish(1, SimTime::from_nanos(40));
+        // The 0-link still binds: min(100, 1040) = 100.
+        assert_eq!(c.horizon(2, &la), SimTime::from_nanos(100));
+        c.publish(0, SimTime::from_nanos(10_000));
+        assert_eq!(c.horizon(2, &la), SimTime::from_nanos(1_040));
+    }
+
+    #[test]
+    fn unlinked_cells_have_unbounded_horizons() {
+        let la = LookaheadMatrix::unlinked(2);
+        let c = ShardClocks::new(2);
+        c.publish(0, SimTime::from_nanos(5));
+        assert_eq!(c.horizon(0, &la), SimTime::MAX);
+        assert_eq!(c.horizon(1, &la), SimTime::MAX);
+    }
+
+    #[test]
+    fn duplicate_links_keep_the_minimum_lookahead() {
+        let la = LookaheadMatrix::from_links(
+            2,
+            &[
+                (0, 1, SimDuration::from_nanos(50)),
+                (0, 1, SimDuration::from_nanos(20)),
+            ],
+        );
+        assert_eq!(la.between(0, 1), Some(SimDuration::from_nanos(20)));
+    }
+}

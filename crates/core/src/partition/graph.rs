@@ -1,0 +1,377 @@
+//! The must-colocate graph: splitting a scenario into request-closed cells.
+//!
+//! Spec: DESIGN.md §11.2 ("Ownership"). A **cell** is a connected
+//! component of the graph whose vertices are machines and clients and
+//! whose edges are every relation that can carry simulated causality:
+//!
+//! * a request type joins every machine any of its path nodes can select
+//!   (fixed targets, *all* round-robin candidates, and transitively the
+//!   nodes a `same_as_node` selector mirrors);
+//! * a client joins the machines of every request type in its mix and of
+//!   every root instance it opens connections to;
+//! * a connection pool joins the machines of its up and down instances.
+//!
+//! Machines are atomic (a machine is never split across cells), so a
+//! zero-latency intra-machine hop cannot cross a cell boundary — spec
+//! invariant **P1**, enforced by
+//! `zero_latency_intra_machine_hop_stays_in_one_cell` in
+//! `tests/partition.rs`.
+
+use std::collections::HashMap;
+
+use crate::config::{ClientConfig, InstanceSelectConfig, NodeTargetConfig, ScenarioConfig};
+use crate::error::{SimError, SimResult};
+use crate::fault::{FaultPlan, FaultSpec, PolicySpec};
+
+/// One request-closed cell of a partitioned scenario: which machines,
+/// clients, instances, pools, and request types it owns (as indices into
+/// the parent [`ScenarioConfig`]'s vectors, ascending), plus the extracted
+/// sub-scenario that runs it.
+///
+/// Cells are numbered by their smallest machine index in the parent
+/// configuration, so the cell list — and everything derived from it, seeds
+/// included — is independent of the shard count (spec invariant **P3**).
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Cell index (position in the [`split_cells`] result).
+    pub id: usize,
+    /// Machine indices owned by this cell, ascending.
+    pub machines: Vec<usize>,
+    /// Client indices owned by this cell, ascending.
+    pub clients: Vec<usize>,
+    /// Instance indices owned by this cell, ascending.
+    pub instances: Vec<usize>,
+    /// Pool indices owned by this cell, ascending.
+    pub pools: Vec<usize>,
+    /// Request-type indices owned by this cell, ascending.
+    pub request_types: Vec<usize>,
+    /// The extracted sub-scenario: the owned entities plus every service
+    /// model (services are stateless templates, cheap to share). Building
+    /// this config re-validates the cell's closure: any dangling name
+    /// would fail `ScenarioConfig::build`.
+    pub config: ScenarioConfig,
+}
+
+/// Disjoint-set forest over `machines ∪ clients`.
+struct Dsu {
+    parent: Vec<usize>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic: smaller root wins, so representatives are
+            // stable under edge insertion order.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Instance names a request type's path can select, in node order.
+fn request_type_instances(nodes: &[crate::config::PathNodeConfig]) -> Vec<&str> {
+    let mut out = Vec::new();
+    for node in nodes {
+        if let NodeTargetConfig::Service { instance, .. } = &node.target {
+            match instance {
+                InstanceSelectConfig::Fixed { name } => out.push(name.as_str()),
+                InstanceSelectConfig::RoundRobin { names } => {
+                    out.extend(names.iter().map(String::as_str));
+                }
+                // `same_as_node` mirrors a selection made by another node
+                // of the same type, so it introduces no instance that the
+                // mirrored node's own selector has not already added.
+                InstanceSelectConfig::SameAsNode { .. } => {}
+            }
+        }
+    }
+    out
+}
+
+/// Splits a scenario into request-closed cells (see module docs).
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownEntity`] when a request type, client, or
+/// pool names an instance or request type that does not exist — the same
+/// references `ScenarioConfig::build` would reject, surfaced before any
+/// cell is built.
+///
+/// # Examples
+///
+/// ```
+/// use uqsim_core::config::ScenarioConfig;
+/// use uqsim_core::partition::split_cells;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO)?;
+/// let cells = split_cells(&cfg)?;
+/// // One machine, one client, fully connected: a single cell that owns
+/// // the whole scenario.
+/// assert_eq!(cells.len(), 1);
+/// assert_eq!(cells[0].machines, vec![0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn split_cells(cfg: &ScenarioConfig) -> SimResult<Vec<CellSpec>> {
+    let n_machines = cfg.machines.len();
+    let n_clients = cfg.clients.len();
+    let client_node = |c: usize| n_machines + c;
+    let mut dsu = Dsu::new(n_machines + n_clients);
+
+    let machine_idx: HashMap<&str, usize> = cfg
+        .machines
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.name.as_str(), i))
+        .collect();
+    let instance_machine: HashMap<&str, usize> = cfg
+        .instances
+        .iter()
+        .map(|inst| {
+            let m = machine_idx
+                .get(inst.machine.as_str())
+                .copied()
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "machine",
+                    name: inst.machine.clone(),
+                })?;
+            Ok((inst.name.as_str(), m))
+        })
+        .collect::<SimResult<_>>()?;
+    let lookup_instance = |name: &str| -> SimResult<usize> {
+        instance_machine
+            .get(name)
+            .copied()
+            .ok_or_else(|| SimError::UnknownEntity {
+                kind: "instance",
+                name: name.to_string(),
+            })
+    };
+
+    // Request-type edges: all selectable machines of one type colocate.
+    let mut rt_machines: Vec<Vec<usize>> = Vec::with_capacity(cfg.request_types.len());
+    for rt in &cfg.request_types {
+        let mut machines = Vec::new();
+        for inst in request_type_instances(&rt.nodes) {
+            machines.push(lookup_instance(inst)?);
+        }
+        if let Some((&first, rest)) = machines.split_first() {
+            for &m in rest {
+                dsu.union(first, m);
+            }
+        }
+        rt_machines.push(machines);
+    }
+    let rt_idx: HashMap<&str, usize> = cfg
+        .request_types
+        .iter()
+        .enumerate()
+        .map(|(i, rt)| (rt.name.as_str(), i))
+        .collect();
+
+    // Client edges: a client colocates with its mix's types and its roots.
+    for (c, client) in cfg.clients.iter().enumerate() {
+        for (ty, _) in &client.mix {
+            let &t = rt_idx
+                .get(ty.as_str())
+                .ok_or_else(|| SimError::UnknownEntity {
+                    kind: "request type",
+                    name: ty.clone(),
+                })?;
+            for &m in &rt_machines[t] {
+                dsu.union(client_node(c), m);
+            }
+        }
+        for root in &client.roots {
+            dsu.union(client_node(c), lookup_instance(root)?);
+        }
+    }
+
+    // Pool edges: both endpoints of a connection pool colocate.
+    for pool in &cfg.pools {
+        dsu.union(lookup_instance(&pool.up)?, lookup_instance(&pool.down)?);
+    }
+
+    // Components → cells, numbered by smallest machine index.
+    let mut cell_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut cells_machines: Vec<Vec<usize>> = Vec::new();
+    for m in 0..n_machines {
+        let root = dsu.find(m);
+        let cell = *cell_of_root.entry(root).or_insert_with(|| {
+            cells_machines.push(Vec::new());
+            cells_machines.len() - 1
+        });
+        cells_machines[cell].push(m);
+    }
+    if cells_machines.is_empty() {
+        // Degenerate machine-less scenario: one cell owning everything.
+        cells_machines.push(Vec::new());
+    }
+
+    // Clients attach to their component's cell; a client whose component
+    // holds no machine (it touches no simulated resource) goes to cell 0.
+    let mut cells_clients: Vec<Vec<usize>> = vec![Vec::new(); cells_machines.len()];
+    for c in 0..n_clients {
+        let root = dsu.find(client_node(c));
+        let cell = cell_of_root.get(&root).copied().unwrap_or(0);
+        cells_clients[cell].push(c);
+    }
+
+    // Instances and pools follow their machines; request types follow
+    // their instances (or, for sink-only types, the first client that
+    // emits them, falling back to cell 0).
+    let machine_cell: Vec<usize> = (0..n_machines)
+        .map(|m| cell_of_root[&dsu.find(m)])
+        .collect();
+    let mut cells_instances: Vec<Vec<usize>> = vec![Vec::new(); cells_machines.len()];
+    for (i, inst) in cfg.instances.iter().enumerate() {
+        cells_instances[machine_cell[instance_machine[inst.name.as_str()]]].push(i);
+        let _ = inst;
+    }
+    let mut cells_pools: Vec<Vec<usize>> = vec![Vec::new(); cells_machines.len()];
+    for (p, pool) in cfg.pools.iter().enumerate() {
+        cells_pools[machine_cell[instance_machine[pool.up.as_str()]]].push(p);
+    }
+    let mut cells_rts: Vec<Vec<usize>> = vec![Vec::new(); cells_machines.len()];
+    for (t, rt) in cfg.request_types.iter().enumerate() {
+        let cell = if let Some(&m) = rt_machines[t].first() {
+            machine_cell[m]
+        } else {
+            cfg.clients
+                .iter()
+                .enumerate()
+                .find(|(_, c)| c.mix.iter().any(|(ty, _)| ty == &rt.name))
+                .map(|(c, _)| {
+                    cell_of_root
+                        .get(&dsu.find(client_node(c)))
+                        .copied()
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        };
+        cells_rts[cell].push(t);
+        let _ = rt;
+    }
+
+    // Extract one sub-scenario per cell.
+    let mut cells = Vec::with_capacity(cells_machines.len());
+    for id in 0..cells_machines.len() {
+        let pick = |indices: &[usize], from: &mut dyn FnMut(usize)| {
+            for &i in indices {
+                from(i);
+            }
+        };
+        let mut config = ScenarioConfig {
+            seed: cfg.seed,
+            warmup_s: cfg.warmup_s,
+            window_s: cfg.window_s,
+            machines: Vec::new(),
+            services: cfg.services.clone(),
+            instances: Vec::new(),
+            pools: Vec::new(),
+            request_types: Vec::new(),
+            clients: Vec::new(),
+        };
+        pick(&cells_machines[id], &mut |i| {
+            config.machines.push(cfg.machines[i].clone())
+        });
+        pick(&cells_instances[id], &mut |i| {
+            config.instances.push(cfg.instances[i].clone())
+        });
+        pick(&cells_pools[id], &mut |i| {
+            config.pools.push(cfg.pools[i].clone())
+        });
+        pick(&cells_rts[id], &mut |i| {
+            config.request_types.push(cfg.request_types[i].clone())
+        });
+        pick(&cells_clients[id], &mut |i| {
+            config.clients.push(cfg.clients[i].clone())
+        });
+        cells.push(CellSpec {
+            id,
+            machines: cells_machines[id].clone(),
+            clients: cells_clients[id].clone(),
+            instances: cells_instances[id].clone(),
+            pools: cells_pools[id].clone(),
+            request_types: cells_rts[id].clone(),
+            config,
+        });
+    }
+    Ok(cells)
+}
+
+/// Restricts a fault plan to one cell: scheduled faults stay with the cell
+/// that owns the named entity, per-client policies stay with the cell that
+/// owns the client, and the network retransmission policy (global, not
+/// entity-scoped) replicates into every cell.
+///
+/// Spec: DESIGN.md §11.5 — every [`FaultSpec`] variant names exactly one
+/// owning entity, so this routing is total and unambiguous; when a global
+/// plan is present, *every* cell installs its (possibly empty) slice so
+/// per-cell exports keep a uniform shape.
+pub fn split_fault_plan(plan: &FaultPlan, cell: &CellSpec) -> FaultPlan {
+    let instances: std::collections::HashSet<&str> = cell
+        .config
+        .instances
+        .iter()
+        .map(|i| i.name.as_str())
+        .collect();
+    let machines: std::collections::HashSet<&str> = cell
+        .config
+        .machines
+        .iter()
+        .map(|m| m.name.as_str())
+        .collect();
+    let clients: std::collections::HashSet<&str> = cell
+        .config
+        .clients
+        .iter()
+        .map(|c: &ClientConfig| c.name.as_str())
+        .collect();
+    let faults = plan
+        .faults
+        .iter()
+        .filter(|spec| match spec {
+            FaultSpec::InstanceCrash { instance, .. } => instances.contains(instance.as_str()),
+            FaultSpec::MachineSlowdown { machine, .. }
+            | FaultSpec::NetworkDegrade { machine, .. } => machines.contains(machine.as_str()),
+            FaultSpec::PoolLeak { up, .. } => instances.contains(up.as_str()),
+        })
+        .cloned()
+        .collect();
+    FaultPlan {
+        faults,
+        policy: PolicySpec {
+            clients: plan
+                .policy
+                .clients
+                .iter()
+                .filter(|p| clients.contains(p.client.as_str()))
+                .cloned()
+                .collect(),
+            network: plan.policy.network,
+        },
+    }
+}

@@ -1,0 +1,499 @@
+//! Deterministic merges of per-cell outputs.
+//!
+//! Spec: DESIGN.md §11.5. Every merge in this module is a pure function of
+//! the per-cell outputs *in cell order* — no wall-clock, no thread
+//! identity, no iteration over hash maps — so the merged run summary,
+//! Prometheus exposition, CSV, JSON dump, Chrome trace, audit report, and
+//! chaos summary are byte-identical at any shard count (spec invariant
+//! **P5**, pinned by the `shards_*_byte_identical` tests in
+//! `tests/partition.rs` and the CLI differential tests).
+
+use std::cmp::Ordering;
+
+use crate::fault::FaultSummary;
+use crate::metrics::LatencySummary;
+use crate::run::RunResult;
+use crate::telemetry::{Metric, MetricValue, MetricsRegistry, MetricsSnapshot, StreamingHistogram};
+use crate::time::SimDuration;
+use crate::trace::AuditReport;
+use serde::Value;
+use serde_json::json;
+
+use super::exec::CellOutput;
+
+/// Merges per-cell run summaries into the cluster-level [`RunResult`].
+///
+/// Counters sum; the latency summaries are **re-summarized from the
+/// concatenated raw samples** (percentiles are not mergeable from
+/// percentiles); throughput and goodput are recomputed from the merged
+/// counts over the shared measurement window. The merged result carries
+/// the *master* seed — each cell ran under its own derived
+/// [`cell_seed`](super::cell_seed).
+///
+/// # Panics
+///
+/// Panics when `cells` is empty ([`super::run_partitioned`] always
+/// produces at least one cell).
+pub fn merge_results(master_seed: u64, cells: &[CellOutput]) -> RunResult {
+    assert!(!cells.is_empty(), "cannot merge zero cells");
+    let duration = cells[0].result.duration;
+    let warmup = cells[0].result.warmup;
+    let mut samples = Vec::new();
+    let mut timeout_samples = Vec::new();
+    for c in cells {
+        samples.extend_from_slice(&c.latency_samples);
+        timeout_samples.extend_from_slice(&c.timeout_samples);
+    }
+    let latency = LatencySummary::from_samples(&samples);
+    let timeout_latency = LatencySummary::from_samples(&timeout_samples);
+    let measured = (duration.as_secs_f64() - warmup.as_secs_f64()).max(f64::EPSILON);
+    let degraded_measured: u64 = cells.iter().map(|c| c.degraded_measured).sum();
+    let good = (latency.count as u64).saturating_sub(degraded_measured);
+    let sum = |f: fn(&RunResult) -> u64| -> u64 { cells.iter().map(|c| f(&c.result)).sum() };
+    let faults: Vec<&FaultSummary> = cells
+        .iter()
+        .filter_map(|c| c.result.fault.as_ref())
+        .collect();
+    RunResult {
+        seed: master_seed,
+        duration,
+        warmup,
+        generated: sum(|r| r.generated),
+        completed: sum(|r| r.completed),
+        timeouts: sum(|r| r.timeouts),
+        achieved_qps: latency.count as f64 / measured,
+        goodput_qps: good as f64 / measured,
+        dropped: sum(|r| r.dropped),
+        shed: sum(|r| r.shed),
+        retried: sum(|r| r.retried),
+        degraded: sum(|r| r.degraded),
+        latency,
+        timeout_latency,
+        events_processed: sum(|r| r.events_processed),
+        metrics: merge_snapshots(cells),
+        fault: if faults.is_empty() {
+            None
+        } else {
+            Some(merge_fault_summaries(&faults))
+        },
+    }
+}
+
+/// Merges per-cell [`MetricsSnapshot`]s: utilizations are weighted means
+/// (instances for `instance_utilization`, irq-equipped machines for
+/// `network_utilization`, decomposed requests for the component means), so
+/// the merged snapshot equals what one simulator owning every entity would
+/// report for the same per-entity measurements.
+fn merge_snapshots(cells: &[CellOutput]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    let wavg = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let inst_w: f64 = cells.iter().map(|c| c.instances as f64).sum();
+    let irq_w: f64 = cells.iter().map(|c| c.irq_machines as f64).sum();
+    out.instance_utilization = wavg(
+        cells
+            .iter()
+            .map(|c| c.result.metrics.instance_utilization * c.instances as f64)
+            .sum(),
+        inst_w,
+    );
+    out.network_utilization = wavg(
+        cells
+            .iter()
+            .map(|c| c.result.metrics.network_utilization * c.irq_machines as f64)
+            .sum(),
+        irq_w,
+    );
+    out.decomposed_requests = cells
+        .iter()
+        .map(|c| c.result.metrics.decomposed_requests)
+        .sum();
+    let dec_w = out.decomposed_requests as f64;
+    for j in 0..out.component_mean_s.len() {
+        out.component_mean_s[j] = wavg(
+            cells
+                .iter()
+                .map(|c| {
+                    c.result.metrics.component_mean_s[j]
+                        * c.result.metrics.decomposed_requests as f64
+                })
+                .sum(),
+            dec_w,
+        );
+    }
+    out
+}
+
+/// How one canonical metric family merges across cells.
+#[derive(Clone, Copy, PartialEq)]
+enum Merge {
+    /// One unlabeled counter per cell; values sum.
+    SumCounter,
+    /// One unlabeled gauge per cell; values sum (live counts).
+    SumGauge,
+    /// Identical in every cell (sim time); take the first occurrence.
+    First,
+    /// Per-entity series with cell-disjoint label sets; concatenate in
+    /// cell order.
+    Concat,
+    /// The e2e latency summary; rebuild from the merged
+    /// [`StreamingHistogram`]s.
+    HistE2e,
+    /// Per-component latency summaries; merge histograms component-wise.
+    HistComponents,
+}
+
+/// The canonical family walk: every family `Simulator::metrics_registry`
+/// can emit, in its emission order, with its merge strategy. Walking this
+/// list (instead of any one cell's registry positionally) keeps the merge
+/// correct when a family is absent from some cells — e.g. a pool-less
+/// cell emits no `uqsim_pool_free` at all.
+const FAMILIES: &[(&str, Merge)] = &[
+    ("uqsim_requests_generated_total", Merge::SumCounter),
+    ("uqsim_requests_completed_total", Merge::SumCounter),
+    ("uqsim_request_timeouts_total", Merge::SumCounter),
+    ("uqsim_events_processed_total", Merge::SumCounter),
+    ("uqsim_sim_time_seconds", Merge::First),
+    ("uqsim_live_requests", Merge::SumGauge),
+    ("uqsim_live_jobs", Merge::SumGauge),
+    ("uqsim_instance_utilization", Merge::Concat),
+    ("uqsim_instance_queue_depth", Merge::Concat),
+    ("uqsim_network_utilization", Merge::Concat),
+    ("uqsim_pool_free", Merge::Concat),
+    ("uqsim_pool_waiters", Merge::Concat),
+    ("uqsim_requests_dropped_total", Merge::SumCounter),
+    ("uqsim_requests_shed_total", Merge::SumCounter),
+    ("uqsim_retries_total", Merge::SumCounter),
+    ("uqsim_responses_degraded_total", Merge::SumCounter),
+    ("uqsim_hedges_total", Merge::SumCounter),
+    ("uqsim_jobs_killed_total", Merge::SumCounter),
+    ("uqsim_packets_dropped_total", Merge::SumCounter),
+    ("uqsim_retransmits_total", Merge::SumCounter),
+    ("uqsim_breaker_trips_total", Merge::SumCounter),
+    ("uqsim_instance_fault_down", Merge::Concat),
+    ("uqsim_e2e_latency_seconds", Merge::HistE2e),
+    ("uqsim_latency_component_seconds", Merge::HistComponents),
+    ("uqsim_stage_queue_wait_seconds", Merge::Concat),
+    ("uqsim_stage_service_seconds", Merge::Concat),
+];
+
+/// The metrics of `reg` named `name`, in emission order.
+fn family<'a>(reg: &'a MetricsRegistry, name: &str) -> Vec<&'a Metric> {
+    reg.metrics().iter().filter(|m| m.name == name).collect()
+}
+
+/// Merges per-cell metrics registries into one cluster-level registry
+/// whose Prometheus exposition is byte-identical at any shard count.
+///
+/// The merge walks the canonical family list in registry emission order;
+/// each family takes its name/help strings from the first cell that emits
+/// it and merges values per its strategy (counters sum, live gauges sum,
+/// per-entity series concatenate in cell order, latency summaries are
+/// rebuilt from the merged underlying histograms). A family emitted by no
+/// cell is omitted, exactly as an unsharded registry omits it.
+pub fn merge_registries(cells: &[CellOutput]) -> MetricsRegistry {
+    let mut out = MetricsRegistry::new();
+    for &(name, strategy) in FAMILIES {
+        let per_cell: Vec<Vec<&Metric>> = cells.iter().map(|c| family(&c.registry, name)).collect();
+        let Some(first) = per_cell.iter().flatten().next().copied() else {
+            continue;
+        };
+        match strategy {
+            Merge::SumCounter => {
+                let mut total = 0u64;
+                for ms in per_cell.iter().flatten() {
+                    if let MetricValue::Counter(v) = ms.value {
+                        total += v;
+                    }
+                }
+                out.push(Metric {
+                    value: MetricValue::Counter(total),
+                    ..first.clone()
+                });
+            }
+            Merge::SumGauge => {
+                let mut total = 0.0f64;
+                for ms in per_cell.iter().flatten() {
+                    if let MetricValue::Gauge(v) = ms.value {
+                        total += v;
+                    }
+                }
+                out.push(Metric {
+                    value: MetricValue::Gauge(total),
+                    ..first.clone()
+                });
+            }
+            Merge::First => out.push(first.clone()),
+            Merge::Concat => {
+                for ms in per_cell.iter().flatten() {
+                    out.push((*ms).clone());
+                }
+            }
+            Merge::HistE2e => {
+                let mut merged = StreamingHistogram::new();
+                for c in cells {
+                    if let Some(h) = &c.e2e_hist {
+                        merged.merge(h);
+                    }
+                }
+                out.summary(first.name, first.help, first.labels.clone(), &merged);
+            }
+            Merge::HistComponents => {
+                // Every telemetry-enabled cell emits one summary per
+                // latency component, in the same component order.
+                let proto = per_cell
+                    .iter()
+                    .find(|ms| !ms.is_empty())
+                    .expect("first metric exists, so some cell has the family");
+                for (j, m) in proto.iter().enumerate() {
+                    let mut merged = StreamingHistogram::new();
+                    for c in cells {
+                        if let Some(hs) = &c.comp_hists {
+                            if let Some(h) = hs.get(j) {
+                                merged.merge(h);
+                            }
+                        }
+                    }
+                    out.summary(m.name, m.help, m.labels.clone(), &merged);
+                }
+            }
+        }
+    }
+    // Forward-compatibility: any family a future registry emits that this
+    // walk does not know yet is concatenated in cell order (first-seen
+    // name order) rather than silently dropped.
+    let known: Vec<&str> = FAMILIES.iter().map(|&(n, _)| n).collect();
+    let mut extra: Vec<&'static str> = Vec::new();
+    for c in cells {
+        for m in c.registry.metrics() {
+            if !known.contains(&m.name) && !extra.contains(&m.name) {
+                extra.push(m.name);
+            }
+        }
+    }
+    for name in extra {
+        for c in cells {
+            for m in family(&c.registry, name) {
+                out.push(m.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Splits a telemetry CSV body (header stripped) into per-tick blocks: a
+/// new block starts at each `windowed_count` row.
+fn tick_blocks(csv: &str) -> Vec<Vec<&str>> {
+    let mut blocks: Vec<Vec<&str>> = Vec::new();
+    for line in csv.lines().skip(1) {
+        if line.is_empty() {
+            continue;
+        }
+        let metric = line.split(',').nth(1);
+        if metric == Some("windowed_count") || blocks.is_empty() {
+            blocks.push(Vec::new());
+        }
+        blocks.last_mut().expect("just pushed").push(line);
+    }
+    blocks
+}
+
+/// Merges per-cell telemetry CSVs (`t_s,metric,label,value`) into one
+/// tick-major stream: for each sampler tick, cell 0's rows, then cell 1's,
+/// and so on. Because the windowed latency percentiles of different cells
+/// cannot be combined into one summary row, each cell's `windowed_*` rows
+/// keep their values and gain a `cell<i>` label where the unsharded CSV
+/// leaves the label empty; per-entity gauge rows pass through unchanged
+/// (entity names are cell-disjoint). Returns `None` when any cell ran
+/// without the sampler (all cells share one telemetry config, so this is
+/// all-or-nothing in practice).
+///
+/// All cells tick on the same schedule (same duration, same interval); if
+/// tick counts ever differ the merge stops at the shortest cell.
+pub fn merge_csv(cells: &[CellOutput]) -> Option<String> {
+    let mut per_cell: Vec<Vec<Vec<&str>>> = Vec::with_capacity(cells.len());
+    for c in cells {
+        per_cell.push(tick_blocks(c.csv.as_deref()?));
+    }
+    let n_ticks = per_cell.iter().map(Vec::len).min().unwrap_or(0);
+    let mut out = String::from("t_s,metric,label,value\n");
+    for k in 0..n_ticks {
+        for (i, blocks) in per_cell.iter().enumerate() {
+            for line in &blocks[k] {
+                let mut parts = line.splitn(4, ',');
+                let (t, metric, label, value) = (
+                    parts.next().unwrap_or(""),
+                    parts.next().unwrap_or(""),
+                    parts.next().unwrap_or(""),
+                    parts.next().unwrap_or(""),
+                );
+                if metric.starts_with("windowed_") && label.is_empty() {
+                    out.push_str(&format!("{t},{metric},cell{i},{value}\n"));
+                } else {
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Merges the per-cell `metrics_json` dumps under a cluster-level header:
+/// the merged run counters / latency / snapshot / fault summary from
+/// `merged`, a `partition` block recording the cell count, and the
+/// untouched per-cell dumps under `"cells"` (in cell order) for drill-down.
+pub fn merge_json(merged: &RunResult, cells: &[CellOutput]) -> Value {
+    let cell_dumps: Vec<Value> = cells.iter().map(|c| c.json.clone()).collect();
+    json!({
+        "partition": {
+            "cells": cells.len() as u64,
+        },
+        "run": {
+            "seed": merged.seed,
+            "sim_time_s": merged.duration.as_secs_f64(),
+            "warmup_s": merged.warmup.as_secs_f64(),
+            "generated": merged.generated,
+            "completed": merged.completed,
+            "timeouts": merged.timeouts,
+            "events_processed": merged.events_processed,
+        },
+        "latency": merged.latency,
+        "snapshot": merged.metrics,
+        "fault": merged.fault,
+        "cells": Value::Array(cell_dumps),
+    })
+}
+
+/// Merges per-cell Chrome traces into one canonical trace.
+///
+/// Each cell's `pid` space (machines `0..M`, plus the request-lanes
+/// pseudo-process `M`) is shifted by a running base of `machines + 1` per
+/// cell, so processes stay distinct and ordered by cell; async-span `id`s
+/// gain a `c<cell>:` prefix so span ids from different cells can never
+/// alias. Event order inside a cell is preserved; cells concatenate in
+/// cell order. Returns `None` when any cell ran without span tracing.
+pub fn merge_chrome_traces(cells: &[CellOutput]) -> Option<Value> {
+    let mut events: Vec<Value> = Vec::new();
+    let mut base = 0u64;
+    for (i, c) in cells.iter().enumerate() {
+        let trace = c.chrome.as_ref()?;
+        let arr = trace.get("traceEvents").and_then(Value::as_array)?;
+        for ev in arr {
+            let mut ev = ev.clone();
+            if let Value::Object(map) = &mut ev {
+                if let Some(pid) = map.get("pid").and_then(Value::as_u64) {
+                    map.insert("pid", Value::from(pid + base));
+                }
+                if let Some(id) = map.get("id").and_then(Value::as_str) {
+                    let prefixed = format!("c{i}:{id}");
+                    map.insert("id", Value::from(prefixed));
+                }
+            }
+            events.push(ev);
+        }
+        base += c.machines as u64 + 1;
+    }
+    Some(json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms"
+    }))
+}
+
+/// Merges per-cell audit reports: counts sum, violations and notes
+/// concatenate in cell order with a `[cell <i>]` prefix. The merged report
+/// is clean iff every per-cell report is clean. Returns `None` when any
+/// cell ran without span tracing (no log to audit).
+pub fn merge_audits(cells: &[CellOutput]) -> Option<AuditReport> {
+    let mut out = AuditReport::default();
+    for (i, c) in cells.iter().enumerate() {
+        let r = c.audit.as_ref()?;
+        out.events_checked += r.events_checked;
+        out.spans_checked += r.spans_checked;
+        out.violations
+            .extend(r.violations.iter().map(|v| format!("[cell {i}] {v}")));
+        out.notes
+            .extend(r.notes.iter().map(|n| format!("[cell {i}] {n}")));
+    }
+    Some(out)
+}
+
+/// Merges per-cell fault summaries: counters sum; timelines concatenate in
+/// cell order, then stable-sort by simulated time — so simultaneous
+/// transitions in different cells order by cell, deterministically.
+pub fn merge_fault_summaries(summaries: &[&FaultSummary]) -> FaultSummary {
+    let mut out = FaultSummary::default();
+    for s in summaries {
+        out.dropped += s.dropped;
+        out.shed += s.shed;
+        out.retried += s.retried;
+        out.hedged += s.hedged;
+        out.degraded += s.degraded;
+        out.timed_out += s.timed_out;
+        out.jobs_killed += s.jobs_killed;
+        out.packets_dropped += s.packets_dropped;
+        out.retransmits += s.retransmits;
+        out.breaker_trips += s.breaker_trips;
+        out.timeline.extend(s.timeline.iter().cloned());
+    }
+    out.timeline
+        .sort_by(|a, b| a.t_s.partial_cmp(&b.t_s).unwrap_or(Ordering::Equal));
+    out
+}
+
+/// The measurement window length shared by every cell of a partitioned
+/// run, in seconds (duration minus warmup, floored at machine epsilon).
+#[allow(dead_code)]
+fn measured_secs(duration: SimDuration, warmup: SimDuration) -> f64 {
+    (duration.as_secs_f64() - warmup.as_secs_f64()).max(f64::EPSILON)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultTimelineEntry;
+
+    #[test]
+    fn tick_blocks_split_on_windowed_count() {
+        let csv = "t_s,metric,label,value\n\
+                   0.1,windowed_count,,5\n\
+                   0.1,windowed_p50_seconds,,0.001\n\
+                   0.1,uqsim_live_requests,,3\n\
+                   0.2,windowed_count,,7\n\
+                   0.2,windowed_p50_seconds,,0.002\n";
+        let blocks = tick_blocks(csv);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].len(), 3);
+        assert_eq!(blocks[1].len(), 2);
+    }
+
+    #[test]
+    fn fault_timelines_interleave_by_time_stably() {
+        let a = FaultSummary {
+            dropped: 2,
+            timeline: vec![
+                FaultTimelineEntry {
+                    t_s: 0.1,
+                    what: "a-first".into(),
+                },
+                FaultTimelineEntry {
+                    t_s: 0.5,
+                    what: "a-second".into(),
+                },
+            ],
+            ..FaultSummary::default()
+        };
+        let b = FaultSummary {
+            dropped: 3,
+            timeline: vec![FaultTimelineEntry {
+                t_s: 0.5,
+                what: "b-first".into(),
+            }],
+            ..FaultSummary::default()
+        };
+        let m = merge_fault_summaries(&[&a, &b]);
+        assert_eq!(m.dropped, 5);
+        let order: Vec<&str> = m.timeline.iter().map(|e| e.what.as_str()).collect();
+        // Stable sort: the t=0.5 entries keep cell order (a before b).
+        assert_eq!(order, ["a-first", "a-second", "b-first"]);
+    }
+}

@@ -1,0 +1,70 @@
+//! Partitioned single-run parallelism: shard one scenario across cores.
+//!
+//! The sweep engine (`uqsim-runner`) parallelizes *across* independent
+//! simulations; this module parallelizes *inside* one big scenario. The
+//! full execution-model specification — ownership rules, message timestamp
+//! invariants, lookahead derivation, and the determinism argument — lives
+//! in `DESIGN.md §11`; the spec's invariants are referenced below and in
+//! the test suite as **P1**–**P7**.
+//!
+//! # The model in one paragraph
+//!
+//! A scenario is first split into **cells**: the connected components of
+//! the *must-colocate* graph over machines and clients (edges: every
+//! machine a request type can touch, every client's mix and roots, and
+//! both endpoints of every connection pool — see [`split_cells`]). A cell
+//! is request-closed by construction: no request, reply, pool grant, or
+//! fault effect ever crosses a cell boundary (**P1**), so each cell runs
+//! as a complete, independent [`Simulator`](crate::sim::Simulator) with
+//! its own ladder queue, arenas, RNG streams, and telemetry sampler. Cells
+//! are deterministically assigned to `K` shards (LPT bin packing, **P2**)
+//! and driven by `vendor/minipool` workers through conservative sync
+//! windows ([`ShardClocks`]); per-cell seeds derive from the master seed
+//! and the cell index alone (**P3**). Because nothing a cell computes
+//! depends on `K`, worker scheduling, or sync timing (**P4**), and every
+//! merge (the `merge` layer) is a deterministic function of per-cell outputs in
+//! cell order (**P5**), the merged run/trace/metrics/chaos outputs are
+//! **byte-identical at any shard count** — the same guarantee the sweep
+//! engine makes for `--jobs`.
+//!
+//! Cross-*cell* traffic does not exist in this version (cells are closed);
+//! the conservative-sync layer ([`ShardClocks`], [`LookaheadMatrix`])
+//! still bounds every cell's advance the CMB way — horizon = min over
+//! in-neighbors of (published clock + lookahead), with the lookahead of a
+//! link derived from the wire-latency floor
+//! ([`Distribution::lower_bound`](crate::dist::Distribution::lower_bound))
+//! that every cross-machine hop must pay (**P6**). DESIGN.md §11.6
+//! specifies the v2 cross-cell RPC protocol on top of the same clocks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use uqsim_core::config::ScenarioConfig;
+//! use uqsim_core::partition::{run_partitioned, PartitionOptions};
+//! use uqsim_core::time::SimDuration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO)?;
+//! let d = SimDuration::from_millis(400);
+//! let two = run_partitioned(&cfg, None, 7, d, &PartitionOptions::with_shards(2))?;
+//! let eight = run_partitioned(&cfg, None, 7, d, &PartitionOptions::with_shards(8))?;
+//! // The shard count affects wall-clock only, never results:
+//! assert_eq!(two.result, eight.result);
+//! # Ok(())
+//! # }
+//! ```
+
+mod clock;
+mod exec;
+mod graph;
+mod merge;
+mod plan;
+
+pub use clock::ShardClocks;
+pub use exec::{run_partitioned, CellOutput, PartitionOptions, PartitionedRun};
+pub use graph::{split_cells, split_fault_plan, CellSpec};
+pub use merge::{
+    merge_audits, merge_chrome_traces, merge_csv, merge_fault_summaries, merge_json,
+    merge_registries, merge_results,
+};
+pub use plan::{cell_seed, LookaheadMatrix, PartitionPlan};

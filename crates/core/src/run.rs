@@ -195,11 +195,24 @@ pub fn run_one_faulted(
     }
     sim.enable_telemetry(TelemetryConfig::default());
     sim.run_for(duration);
+    Ok(summarize(&sim, seed, duration, cfg.warmup_s))
+}
+
+/// Summarizes a finished simulator into a [`RunResult`]. Shared by
+/// [`run_one_faulted`] and the partitioned engine
+/// ([`crate::partition::run_partitioned`]), which must summarize each cell
+/// with byte-for-byte the same arithmetic.
+pub(crate) fn summarize(
+    sim: &crate::sim::Simulator,
+    seed: u64,
+    duration: SimDuration,
+    warmup_s: f64,
+) -> RunResult {
     let latency = sim.latency_summary();
-    let warmup = SimDuration::from_secs_f64(cfg.warmup_s);
-    let measured = (duration.as_secs_f64() - cfg.warmup_s).max(f64::EPSILON);
+    let warmup = SimDuration::from_secs_f64(warmup_s);
+    let measured = (duration.as_secs_f64() - warmup_s).max(f64::EPSILON);
     let good = (latency.count as u64).saturating_sub(sim.degraded_measured());
-    Ok(RunResult {
+    RunResult {
         seed,
         duration,
         warmup,
@@ -217,7 +230,7 @@ pub fn run_one_faulted(
         events_processed: sim.events_processed(),
         metrics: sim.metrics_snapshot(),
         fault: sim.fault_summary(),
-    })
+    }
 }
 
 #[cfg(test)]

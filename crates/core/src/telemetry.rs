@@ -690,6 +690,15 @@ impl MetricsRegistry {
         });
     }
 
+    /// Pushes an already-built [`Metric`] verbatim. Used by the partition
+    /// merge layer ([`crate::partition::merge_registries`]) to re-emit
+    /// per-cell metrics — including rebuilt [`MetricValue::Summary`] values
+    /// from merged histograms — while preserving a cell's original
+    /// name/help/label strings byte-for-byte.
+    pub fn push(&mut self, metric: Metric) {
+        self.metrics.push(metric);
+    }
+
     /// All metrics in emission order.
     pub fn metrics(&self) -> &[Metric] {
         &self.metrics
@@ -1264,6 +1273,23 @@ impl Simulator {
             .and_then(|t| t.profile.as_ref())
             .map(|p| p.samples.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// The streaming histogram behind the `uqsim_e2e_latency_seconds`
+    /// summary, or `None` when telemetry is disabled. Exposed so the
+    /// partitioned merge can fold per-cell histograms with
+    /// [`StreamingHistogram::merge`] (commutative and associative) instead
+    /// of approximating quantiles from per-cell quantiles.
+    pub fn e2e_latency_histogram(&self) -> Option<&StreamingHistogram> {
+        self.telemetry.as_deref().map(|t| &t.e2e_hist)
+    }
+
+    /// The per-component latency histograms (indexed by
+    /// [`LatencyComponent`] discriminant), or `None` when telemetry is
+    /// disabled. Same merge rationale as
+    /// [`Simulator::e2e_latency_histogram`].
+    pub fn component_latency_histograms(&self) -> Option<&[StreamingHistogram]> {
+        self.telemetry.as_deref().map(|t| t.comp_hist.as_slice())
     }
 
     /// The compact per-run summary threaded into sweep tables.

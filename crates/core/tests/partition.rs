@@ -1,0 +1,509 @@
+//! Differential tests of the partitioned execution engine against the
+//! DESIGN.md §11 execution-model spec. Each test names the spec invariant
+//! it checks (**P1**–**P7**); together they enforce the module's headline
+//! guarantee: merged outputs are byte-identical at any shard count.
+
+use proptest::prelude::*;
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::dist::Distribution;
+use uqsim_core::fault::FaultPlan;
+use uqsim_core::partition::{
+    cell_seed, run_partitioned, split_cells, LookaheadMatrix, PartitionOptions, PartitionPlan,
+    ShardClocks,
+};
+use uqsim_core::rng::RngFactory;
+use uqsim_core::run::EXAMPLE_SCENARIO;
+use uqsim_core::telemetry::TelemetryConfig;
+use uqsim_core::time::{SimDuration, SimTime};
+
+/// A cluster of `pods` independent single-machine pods. Pod 1 (when
+/// present) additionally hosts a second instance and a connection pool on
+/// its machine, so one middle cell emits the `uqsim_pool_*` metric
+/// families that every other cell lacks — the case that forces the
+/// registry merge to walk families canonically instead of positionally.
+fn cluster_json(pods: usize) -> String {
+    let mut machines = Vec::new();
+    let mut instances = Vec::new();
+    let mut pools = Vec::new();
+    let mut request_types = Vec::new();
+    let mut clients = Vec::new();
+    for i in 0..pods {
+        // Pod 1's machine needs a third core for its aux instance.
+        let cores = if i == 1 { 3 } else { 2 };
+        machines.push(format!(
+            r#"{{ "name": "m{i}", "cores": {cores},
+      "dvfs": {{ "levels_ghz": [2.6] }},
+      "network": {{ "irq_cores": 1,
+        "rx_time": {{ "type": "exponential", "mean": 0.0000166 }},
+        "wire_latency": {{ "type": "constant", "value": 0.00002 }} }} }}"#
+        ));
+        instances.push(format!(
+            r#"{{ "name": "api{i}", "service": "api", "machine": "m{i}",
+      "cores": 1, "exec": {{ "type": "simple" }} }}"#
+        ));
+        request_types.push(format!(
+            r#"{{ "name": "get{i}",
+      "nodes": [
+        {{ "name": "front",
+          "target": {{ "type": "service", "service": "api",
+            "instance": {{ "type": "fixed", "name": "api{i}" }},
+            "exec_path": "default" }},
+          "children": ["sink"] }},
+        {{ "name": "sink", "target": {{ "type": "client_sink" }},
+          "link": {{ "reply": {{ "of": "front" }} }} }}
+      ] }}"#
+        ));
+        clients.push(format!(
+            r#"{{ "name": "wrk{i}", "connections": 32,
+      "arrivals": {{ "type": "poisson",
+        "schedule": {{ "segments": [[0.0, 1500.0]] }} }},
+      "mix": [["get{i}", 1.0]], "roots": ["api{i}"] }}"#
+        ));
+        if i == 1 {
+            instances.push(format!(
+                r#"{{ "name": "aux{i}", "service": "api", "machine": "m{i}",
+      "cores": 1, "exec": {{ "type": "simple" }} }}"#
+            ));
+            pools.push(format!(
+                r#"{{ "up": "api{i}", "down": "aux{i}", "size": 4 }}"#
+            ));
+        }
+    }
+    format!(
+        r#"{{
+  "seed": 42,
+  "warmup_s": 0.1,
+  "machines": [{}],
+  "services": [
+    {{ "name": "api",
+      "stages": [
+        {{ "name": "handler", "queue": {{ "type": "single" }},
+          "service": {{ "base": {{ "type": "constant", "value": 0.0 }},
+            "per_job": {{ "type": "exponential", "mean": 0.00008 }},
+            "ref_freq_ghz": 2.6, "freq_alpha": 1.0 }} }}
+      ],
+      "paths": [{{ "name": "default", "stages": [0] }}] }}
+  ],
+  "instances": [{}],
+  "pools": [{}],
+  "request_types": [{}],
+  "clients": [{}]
+}}"#,
+        machines.join(",\n"),
+        instances.join(",\n"),
+        pools.join(",\n"),
+        request_types.join(",\n"),
+        clients.join(",\n"),
+    )
+}
+
+fn cluster(pods: usize) -> ScenarioConfig {
+    ScenarioConfig::from_json(&cluster_json(pods)).expect("cluster json parses")
+}
+
+/// A fault plan spanning three different pods of [`cluster`]: a crash in
+/// pod 0, a machine slowdown in pod 2, and a retry/breaker policy on pod
+/// 1's client — so the per-cell plan split routes every spec kind.
+fn cluster_faults() -> FaultPlan {
+    FaultPlan::from_json(
+        r#"{
+  "faults": [
+    { "kind": "instance_crash", "instance": "api0",
+      "at_s": 0.15, "restart_after_s": 0.1 },
+    { "kind": "machine_slowdown", "machine": "m2",
+      "at_s": 0.2, "duration_s": 0.08, "factor": 4.0 }
+  ],
+  "policy": {
+    "clients": [
+      { "client": "wrk1", "max_retries": 2,
+        "backoff_base_s": 0.002, "backoff_cap_s": 0.05, "jitter": 0.5 }
+    ]
+  }
+}"#,
+    )
+    .expect("fault json parses")
+}
+
+/// Options that turn on every output channel, so the differential tests
+/// compare everything the engine can export.
+fn full_options(shards: usize) -> PartitionOptions {
+    PartitionOptions {
+        shards,
+        telemetry: TelemetryConfig {
+            sample_interval: Some(SimDuration::from_millis(50)),
+            ..TelemetryConfig::default()
+        },
+        span_tracing: Some(1 << 16),
+        sync_windows: 8,
+    }
+}
+
+// ---------------------------------------------------------------------
+// P1: ownership and request closure
+// ---------------------------------------------------------------------
+
+/// **P1** — independent pods split into one cell each, and colocation
+/// edges (here: a connection pool) keep entities together.
+#[test]
+fn cells_split_by_colocation_edges() {
+    let cfg = cluster(4);
+    let cells = split_cells(&cfg).unwrap();
+    assert_eq!(cells.len(), 4, "one cell per pod");
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(cell.machines, vec![i], "cells number by machine index");
+        assert_eq!(cell.config.machines.len(), 1);
+        assert_eq!(cell.config.clients.len(), 1);
+    }
+    // Pod 1 owns the aux instance and the pool; nobody else has any.
+    assert_eq!(cells[1].config.instances.len(), 2);
+    assert_eq!(cells[1].config.pools.len(), 1);
+    assert!(cells[0].config.pools.is_empty());
+}
+
+/// **P1** — a machine is atomic: a zero-latency intra-machine hop (two
+/// instances of one request chain on the same machine, loopback latency
+/// zero) can never cross a cell boundary, because both endpoints live on
+/// one machine and machines never split.
+#[test]
+fn zero_latency_intra_machine_hop_stays_in_one_cell() {
+    let cfg = ScenarioConfig::from_json(
+        r#"{
+  "seed": 1, "warmup_s": 0.05,
+  "machines": [
+    { "name": "solo", "cores": 2,
+      "dvfs": { "levels_ghz": [2.6] },
+      "network": { "irq_cores": 1,
+        "rx_time": { "type": "constant", "value": 0.0 },
+        "wire_latency": { "type": "constant", "value": 0.0 },
+        "loopback_latency": { "type": "constant", "value": 0.0 } } },
+    { "name": "other", "cores": 2,
+      "dvfs": { "levels_ghz": [2.6] },
+      "network": { "irq_cores": 1,
+        "rx_time": { "type": "constant", "value": 0.0 },
+        "wire_latency": { "type": "constant", "value": 0.00002 } } }
+  ],
+  "services": [
+    { "name": "api",
+      "stages": [
+        { "name": "handler", "queue": { "type": "single" },
+          "service": { "base": { "type": "constant", "value": 0.0 },
+            "per_job": { "type": "exponential", "mean": 0.00005 },
+            "ref_freq_ghz": 2.6, "freq_alpha": 1.0 } }
+      ],
+      "paths": [{ "name": "default", "stages": [0] }] }
+  ],
+  "instances": [
+    { "name": "a", "service": "api", "machine": "solo",
+      "cores": 1, "exec": { "type": "simple" } },
+    { "name": "b", "service": "api", "machine": "solo",
+      "cores": 1, "exec": { "type": "simple" } },
+    { "name": "c", "service": "api", "machine": "other",
+      "cores": 1, "exec": { "type": "simple" } }
+  ],
+  "pools": [],
+  "request_types": [
+    { "name": "chain",
+      "nodes": [
+        { "name": "first",
+          "target": { "type": "service", "service": "api",
+            "instance": { "type": "fixed", "name": "a" },
+            "exec_path": "default" },
+          "children": ["second"] },
+        { "name": "second",
+          "target": { "type": "service", "service": "api",
+            "instance": { "type": "fixed", "name": "b" },
+            "exec_path": "default" },
+          "children": ["sink"] },
+        { "name": "sink", "target": { "type": "client_sink" },
+          "link": { "reply": { "of": "first" } } }
+      ] },
+    { "name": "lone",
+      "nodes": [
+        { "name": "front",
+          "target": { "type": "service", "service": "api",
+            "instance": { "type": "fixed", "name": "c" },
+            "exec_path": "default" },
+          "children": ["sink"] },
+        { "name": "sink", "target": { "type": "client_sink" },
+          "link": { "reply": { "of": "front" } } }
+      ] }
+  ],
+  "clients": [
+    { "name": "w1", "connections": 8,
+      "arrivals": { "type": "poisson",
+        "schedule": { "segments": [[0.0, 500.0]] } },
+      "mix": [["chain", 1.0]], "roots": ["a"] },
+    { "name": "w2", "connections": 8,
+      "arrivals": { "type": "poisson",
+        "schedule": { "segments": [[0.0, 500.0]] } },
+      "mix": [["lone", 1.0]], "roots": ["c"] }
+  ]
+}"#,
+    )
+    .unwrap();
+    let cells = split_cells(&cfg).unwrap();
+    assert_eq!(cells.len(), 2, "\"solo\" and \"other\" are separate cells");
+    let solo = &cells[0];
+    // Both endpoints of the zero-latency hop — and the request type that
+    // contains it — belong to the single cell owning machine "solo".
+    assert_eq!(solo.config.instances.len(), 2);
+    assert_eq!(solo.config.request_types.len(), 1);
+    assert_eq!(solo.config.request_types[0].name, "chain");
+}
+
+// ---------------------------------------------------------------------
+// P2/P3: placement determinism and K-independent numbering/seeding
+// ---------------------------------------------------------------------
+
+/// **P2** — LPT assignment is a pure function of `(cfg, shards)` and
+/// spreads equal-weight cells evenly.
+#[test]
+fn lpt_assignment_is_deterministic_and_balanced() {
+    let cfg = cluster(8);
+    let a = PartitionPlan::new(&cfg, 3).unwrap();
+    let b = PartitionPlan::new(&cfg, 3).unwrap();
+    assert_eq!(a.assignment, b.assignment, "assignment must be pure");
+    assert!(a.assignment.iter().all(|&s| s < 3));
+    let mut load = [0u64; 3];
+    let weights = a.weights();
+    for (cell, &shard) in a.assignment.iter().enumerate() {
+        load[shard] += weights[cell];
+    }
+    let spread = load.iter().max().unwrap() - load.iter().min().unwrap();
+    let max_w = *weights.iter().max().unwrap();
+    assert!(
+        spread <= max_w,
+        "LPT never leaves shards more than one cell-weight apart: {load:?}"
+    );
+}
+
+/// **P3** — the cell list (and hence numbering) is identical at any shard
+/// count; only the assignment changes.
+#[test]
+fn cell_numbering_is_shard_independent() {
+    let cfg = cluster(5);
+    let one = PartitionPlan::new(&cfg, 1).unwrap();
+    let eight = PartitionPlan::new(&cfg, 8).unwrap();
+    let machines = |p: &PartitionPlan| {
+        p.cells
+            .iter()
+            .map(|c| c.machines.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(machines(&one), machines(&eight));
+    assert_eq!(one.cells.len(), 5);
+}
+
+/// **P3** — the master-seed → cell-seed mapping is frozen. These literals
+/// are load-bearing: changing the derivation re-seeds every partitioned
+/// golden, so it must be deliberate and show up here.
+#[test]
+fn cell_seed_derivation_is_pinned() {
+    // The derivation: first draw of the factory's ("cell", i) stream.
+    use rand::Rng;
+    for (master, cell) in [(42u64, 0u64), (42, 1), (7, 0), (7, 3)] {
+        let expected: u64 = RngFactory::new(master).stream("cell", cell).gen();
+        assert_eq!(cell_seed(master, cell), expected);
+    }
+    // And the frozen values themselves:
+    assert_eq!(cell_seed(42, 0), 6103144817593345708);
+    assert_eq!(cell_seed(42, 1), 13026359202090660146);
+    assert_eq!(cell_seed(7, 0), 612300986710873840);
+}
+
+// ---------------------------------------------------------------------
+// P4: chunked advancement ≡ single-shot
+// ---------------------------------------------------------------------
+
+/// **P4** — advancing through paused horizons and finishing with
+/// `run_until` reproduces a single-shot `run_until` exactly. (Horizons are
+/// odd nanosecond counts so no event collides with a chunk boundary.)
+#[test]
+fn chunked_advance_matches_single_shot() {
+    let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    let deadline = SimTime::from_nanos(400_000_001);
+
+    let mut single = cfg.build().unwrap();
+    single.run_until(deadline);
+
+    let mut chunked = cfg.build().unwrap();
+    for boundary in [50_000_003u64, 133_333_337, 250_000_001, 399_999_999] {
+        chunked.run_until_paused(SimTime::from_nanos(boundary));
+    }
+    chunked.run_until(deadline);
+
+    assert_eq!(single.generated(), chunked.generated());
+    assert_eq!(single.completed(), chunked.completed());
+    assert_eq!(single.timeouts(), chunked.timeouts());
+    assert_eq!(single.latency_summary(), chunked.latency_summary());
+    assert_eq!(single.events_processed(), chunked.events_processed());
+}
+
+// ---------------------------------------------------------------------
+// P6: lookahead and conservative horizons
+// ---------------------------------------------------------------------
+
+/// **P6** — a cell's horizon is the minimum over in-neighbors of
+/// `published clock + link lookahead`, unbounded with no in-links.
+#[test]
+fn horizons_follow_neighbor_clocks() {
+    let la = LookaheadMatrix::from_links(
+        3,
+        &[
+            (0, 2, SimDuration::from_micros(20)),
+            (1, 2, SimDuration::from_micros(50)),
+        ],
+    );
+    let clocks = ShardClocks::new(3);
+    assert_eq!(clocks.horizon(0, &la), SimTime::MAX, "no in-links");
+    assert_eq!(
+        clocks.horizon(2, &la),
+        SimTime::from_nanos(20_000),
+        "both neighbor clocks at zero: min lookahead binds"
+    );
+    clocks.publish(0, SimTime::from_nanos(100_000));
+    assert_eq!(
+        clocks.horizon(2, &la),
+        SimTime::from_nanos(50_000),
+        "cell 1's unpublished clock now binds"
+    );
+    clocks.publish(1, SimTime::from_nanos(100_000));
+    assert_eq!(clocks.horizon(2, &la), SimTime::from_nanos(120_000));
+}
+
+/// **P6** — the lookahead of a cross-cell link is the wire-latency floor:
+/// `Distribution::lower_bound` of the destination's wire-latency
+/// distribution, which samples can never undercut.
+#[test]
+fn lookahead_floor_is_wire_latency_lower_bound() {
+    let cfg = cluster(2);
+    let wire = &cfg.machines[0].network.wire_latency;
+    assert_eq!(wire.lower_bound(), 0.00002);
+    // The shifted form keeps a positive floor too:
+    let shifted = Distribution::Shifted {
+        offset: 15e-6,
+        inner: Box::new(Distribution::exponential(5e-6)),
+    };
+    assert!(shifted.lower_bound() >= 15e-6);
+}
+
+// ---------------------------------------------------------------------
+// P5/P7: deterministic merges, byte-identical at any shard count
+// ---------------------------------------------------------------------
+
+/// **P7** — the headline guarantee, unfaulted: every merged output is
+/// byte-identical at shard counts 1, 2, 4, and 8.
+#[test]
+fn shards_never_change_results_unfaulted() {
+    let cfg = cluster(6);
+    let d = SimDuration::from_millis(300);
+    let base = run_partitioned(&cfg, None, 9, d, &full_options(1)).unwrap();
+    let base_prom = base.prometheus();
+    let base_csv = base.csv().expect("sampler on");
+    let base_json = serde_json::to_string_pretty(&base.json()).unwrap();
+    let base_trace =
+        serde_json::to_string_pretty(&base.chrome_trace().expect("tracing on")).unwrap();
+    assert!(base.result.completed > 0);
+    for shards in [2, 4, 8] {
+        let run = run_partitioned(&cfg, None, 9, d, &full_options(shards)).unwrap();
+        assert_eq!(run.result, base.result, "RunResult at shards={shards}");
+        assert_eq!(run.prometheus(), base_prom, "prometheus at shards={shards}");
+        assert_eq!(run.csv().unwrap(), base_csv, "csv at shards={shards}");
+        assert_eq!(
+            serde_json::to_string_pretty(&run.json()).unwrap(),
+            base_json,
+            "json at shards={shards}"
+        );
+        assert_eq!(
+            serde_json::to_string_pretty(&run.chrome_trace().unwrap()).unwrap(),
+            base_trace,
+            "chrome trace at shards={shards}"
+        );
+    }
+}
+
+/// **P7** — the headline guarantee under fault injection: chaos counters,
+/// timelines, and all exports stay byte-identical at any shard count.
+#[test]
+fn shards_never_change_results_faulted() {
+    let cfg = cluster(4);
+    let plan = cluster_faults();
+    let d = SimDuration::from_millis(400);
+    let base = run_partitioned(&cfg, Some(&plan), 3, d, &full_options(1)).unwrap();
+    let fault = base.result.fault.clone().expect("plan installed");
+    assert!(fault.dropped > 0, "the crash window must drop requests");
+    let base_prom = base.prometheus();
+    for shards in [2, 4] {
+        let run = run_partitioned(&cfg, Some(&plan), 3, d, &full_options(shards)).unwrap();
+        assert_eq!(run.result, base.result, "faulted result at shards={shards}");
+        assert_eq!(
+            run.result.fault.as_ref().unwrap().timeline,
+            fault.timeline,
+            "fault timeline at shards={shards}"
+        );
+        assert_eq!(
+            run.prometheus(),
+            base_prom,
+            "faulted prom at shards={shards}"
+        );
+    }
+}
+
+/// **P5** — merging a single cell is the identity for the registry (the
+/// canonical family walk and histogram rebuilds reproduce the cell's own
+/// exposition byte-for-byte).
+#[test]
+fn merge_of_one_cell_is_registry_identity() {
+    let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    let run = run_partitioned(
+        &cfg,
+        None,
+        7,
+        SimDuration::from_millis(300),
+        &full_options(2),
+    )
+    .unwrap();
+    assert_eq!(run.cells.len(), 1);
+    assert_eq!(run.prometheus(), run.cells[0].registry.to_prometheus());
+}
+
+/// **P5** — the merged audit is clean whenever every per-cell audit is
+/// clean, faulted or not.
+#[test]
+fn partitioned_audit_stays_clean() {
+    let cfg = cluster(3);
+    let plan = cluster_faults();
+    let run = run_partitioned(
+        &cfg,
+        Some(&plan),
+        11,
+        SimDuration::from_millis(300),
+        &full_options(3),
+    )
+    .unwrap();
+    let audit = run.audit().expect("span tracing on");
+    assert!(
+        audit.violations.is_empty(),
+        "merged audit must be clean: {:?}",
+        audit.violations
+    );
+    assert!(audit.events_checked > 0);
+}
+
+proptest! {
+    /// **P7**, randomized — random pod counts and master seeds, shard
+    /// counts {1, 2, 4, 8}: the merged result and Prometheus exposition
+    /// never depend on the shard count.
+    #[test]
+    fn random_topologies_are_shard_invariant(pods in 1usize..5, seed in any::<u64>()) {
+        let cfg = cluster(pods);
+        let d = SimDuration::from_millis(150);
+        let base = run_partitioned(&cfg, None, seed, d, &full_options(1)).unwrap();
+        let base_prom = base.prometheus();
+        for shards in [2usize, 4, 8] {
+            let run = run_partitioned(&cfg, None, seed, d, &full_options(shards)).unwrap();
+            prop_assert_eq!(&run.result, &base.result, "shards={}", shards);
+            prop_assert_eq!(run.prometheus(), base_prom.clone(), "shards={}", shards);
+        }
+    }
+}

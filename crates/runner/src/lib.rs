@@ -44,6 +44,7 @@
 //!     duration: SimDuration::from_millis(400),
 //!     jobs: 2,
 //!     faults: None,
+//!     shards: 0,
 //! };
 //! let table = run_scenario_sweep(&cfg, &spec, &|_p| {})?;
 //! assert_eq!(table.rows.len(), 2);

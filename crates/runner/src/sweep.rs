@@ -104,6 +104,13 @@ pub struct SweepSpec {
     /// determinism key: a fixed `(scenario, plan, grid, reps, base_seed,
     /// duration)` is byte-identical at any `jobs`.
     pub faults: Option<FaultPlan>,
+    /// Engine selection per cell: `0` runs the classic single-simulator
+    /// engine ([`run_one_faulted`]); `N ≥ 1` runs the partitioned engine
+    /// ([`uqsim_core::run_partitioned`]) at `N` shards. Partitioned
+    /// results are byte-identical at any `N ≥ 1` (spec invariant **P7**)
+    /// but use per-cell RNG streams, so they differ numerically from
+    /// `shards: 0` — pick one engine per experiment.
+    pub shards: usize,
 }
 
 /// A progress tick, emitted once per finished cell from whichever worker
@@ -350,7 +357,18 @@ pub fn run_scenario_sweep(
     let results: Vec<RunResult> = try_run_indexed(spec.jobs, total, |i| {
         let (qi, rep) = (i / reps, i % reps);
         let seed = seed_for(spec.base_seed, rep);
-        let out = run_one_faulted(&scaled[qi], spec.faults.as_ref(), seed, spec.duration);
+        let out = if spec.shards >= 1 {
+            uqsim_core::run_partitioned(
+                &scaled[qi],
+                spec.faults.as_ref(),
+                seed,
+                spec.duration,
+                &uqsim_core::PartitionOptions::with_shards(spec.shards),
+            )
+            .map(|run| run.result)
+        } else {
+            run_one_faulted(&scaled[qi], spec.faults.as_ref(), seed, spec.duration)
+        };
         progress(Progress {
             finished: finished.fetch_add(1, Ordering::Relaxed) + 1,
             total,
@@ -416,6 +434,7 @@ mod tests {
             duration: SimDuration::from_millis(300),
             jobs,
             faults: None,
+            shards: 0,
         }
     }
 
@@ -445,6 +464,7 @@ mod tests {
             duration: SimDuration::from_millis(500),
             jobs,
             faults: Some(plan.clone()),
+            shards: 0,
         };
         let serial = run_scenario_sweep(&cfg, &spec(1), &|_| {}).unwrap();
         let parallel = run_scenario_sweep(&cfg, &spec(4), &|_| {}).unwrap();
@@ -457,6 +477,29 @@ mod tests {
             r.goodput_qps.mean <= r.achieved_qps.mean,
             "goodput can never exceed achieved throughput"
         );
+    }
+
+    #[test]
+    fn partitioned_sweep_is_shard_and_jobs_invariant() {
+        let cfg = ScenarioConfig::from_json(uqsim_core::run::EXAMPLE_SCENARIO).unwrap();
+        let spec = |jobs, shards| SweepSpec {
+            shards,
+            ..tiny_spec(jobs)
+        };
+        let base = run_scenario_sweep(&cfg, &spec(1, 1), &|_| {}).unwrap();
+        for (jobs, shards) in [(1, 2), (4, 2), (2, 4)] {
+            let other = run_scenario_sweep(&cfg, &spec(jobs, shards), &|_| {}).unwrap();
+            assert_eq!(
+                base.to_csv(),
+                other.to_csv(),
+                "jobs={jobs} shards={shards} CSV drift"
+            );
+            assert_eq!(base.to_json(), other.to_json());
+        }
+        // The partitioned engine draws per-cell RNG streams, so it is a
+        // different (equally valid) statistical sample from shards: 0.
+        let classic = run_scenario_sweep(&cfg, &spec(1, 0), &|_| {}).unwrap();
+        assert_ne!(base.to_csv(), classic.to_csv());
     }
 
     #[test]
