@@ -1,7 +1,9 @@
 //! Telemetry overhead benchmark: engine events/second on the mid-size
 //! two-tier scenario with telemetry fully disabled, with the sampler at a
-//! 10 ms interval, and with the sampler at a 1 ms interval. Emits the
-//! JSON recorded as `BENCH_telemetry.json` at the repository root.
+//! 10 ms interval, with the sampler at a 1 ms interval, and with the
+//! sampler plus streaming critical-path attribution (the `uqsim why`
+//! configuration). Emits the JSON recorded as `BENCH_telemetry.json` at
+//! the repository root.
 //!
 //! ```text
 //! cargo run --release -p uqsim-bench --bin bench_telemetry > BENCH_telemetry.json
@@ -76,6 +78,10 @@ fn main() {
     let off = measure(None);
     let ms10 = measure(Some(sampler(SimDuration::from_millis(10))));
     let ms1 = measure(Some(sampler(SimDuration::from_millis(1))));
+    let crit = measure(Some(TelemetryConfig {
+        critpath: true,
+        ..sampler(SimDuration::from_millis(10))
+    }));
     println!("{{");
     println!(
         "  \"benchmark\": \"telemetry overhead, two_tier at {QPS:.0} qps, {SIM_SECS}s simulated, best of {REPS}\","
@@ -84,15 +90,20 @@ fn main() {
     println!("  \"modes\": [");
     println!("{},", entry("telemetry_off", &off));
     println!("{},", entry("sampler_10ms", &ms10));
-    println!("{}", entry("sampler_1ms", &ms1));
+    println!("{},", entry("sampler_1ms", &ms1));
+    println!("{}", entry("sampler_10ms_critpath", &crit));
     println!("  ],");
     println!(
         "  \"overhead_10ms_vs_off\": {:.4},",
         1.0 - ms10.events_per_sec / off.events_per_sec
     );
     println!(
-        "  \"overhead_1ms_vs_off\": {:.4}",
+        "  \"overhead_1ms_vs_off\": {:.4},",
         1.0 - ms1.events_per_sec / off.events_per_sec
+    );
+    println!(
+        "  \"overhead_critpath_vs_off\": {:.4}",
+        1.0 - crit.events_per_sec / off.events_per_sec
     );
     println!("}}");
 }

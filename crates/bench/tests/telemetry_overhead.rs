@@ -23,9 +23,10 @@ fn build() -> Simulator {
 }
 
 /// Telemetry must be a pure observer: enabling the full stack (sampler,
-/// self-profiling, breakdowns) must not change a single completion or
-/// latency sample. Sampler ticks are extra *events*, but they only read
-/// state, so the trajectory every other event takes is unchanged.
+/// self-profiling, breakdowns, critical-path attribution) must not change
+/// a single completion or latency sample. Sampler ticks are extra
+/// *events*, but they only read state, so the trajectory every other event
+/// takes is unchanged.
 #[test]
 fn telemetry_does_not_perturb_the_simulation() {
     let mut plain = build();
@@ -36,6 +37,7 @@ fn telemetry_does_not_perturb_the_simulation() {
         sample_interval: Some(SimDuration::from_millis(10)),
         breakdown_capacity: 100_000,
         self_profile: true,
+        critpath: true,
     });
     instrumented.run_for(SimDuration::from_secs_f64(SIM_SECS));
 

@@ -121,6 +121,8 @@ fn usage() -> ExitCode {
          [--shards <n>]\n  \
          uqsim chaos <scenario.json> --faults <faults.json> [--duration <secs>] \
          [--seed <n>] [--json] [--events <n>] [--shards <n>]\n  \
+         uqsim why --config <scenario.json> [--faults <faults.json>] [--duration <secs>] \
+         [--seed <n>] [--json] [--events <n>] [--shards <n>] [--out <dir>]\n  \
          uqsim top --config <scenario.json> [--duration <secs>] [--interval <secs>] \
          [--seed <n>] [--no-ansi]\n  \
          uqsim sweep --config <scenario.json> --qps <lo:hi:step|a,b,..> [--reps <k>] \
@@ -514,6 +516,109 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("why") => {
+            let mut config = None;
+            let mut faults = None;
+            let mut duration = 5.0f64;
+            let mut seed = None;
+            let mut json = false;
+            let mut events = 4_000_000usize;
+            let mut shards = None;
+            let mut out = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--config" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        config = Some(v.clone());
+                        i += 2;
+                    }
+                    "--faults" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        faults = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
+                    "--duration" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        duration = v;
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = Some(v);
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    "--events" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        events = v;
+                        i += 2;
+                    }
+                    "--shards" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) else {
+                            return usage();
+                        };
+                        if v == 0 {
+                            return usage();
+                        }
+                        shards = Some(v);
+                        i += 2;
+                    }
+                    "--out" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        out = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let Some(config) = config else {
+                return usage();
+            };
+            let outcome = match shards {
+                Some(shards) => why_sharded(
+                    Path::new(&config),
+                    faults.as_deref(),
+                    duration,
+                    seed,
+                    json,
+                    shards,
+                    out.as_deref(),
+                ),
+                None => why(
+                    Path::new(&config),
+                    faults.as_deref(),
+                    duration,
+                    seed,
+                    json,
+                    events,
+                    out.as_deref(),
+                ),
+            };
+            match outcome {
+                Ok(true) => ExitCode::SUCCESS,
+                Ok(false) => ExitCode::FAILURE,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("top") => {
             let mut config = None;
             let mut duration = 10.0f64;
@@ -816,7 +921,10 @@ fn chaos(
     let mut sim = cfg.build()?;
     sim.install_faults(&plan)?;
     sim.enable_span_tracing(events);
-    sim.enable_telemetry(TelemetryConfig::default());
+    sim.enable_telemetry(TelemetryConfig {
+        critpath: true,
+        ..TelemetryConfig::default()
+    });
     sim.run_for(SimDuration::from_secs_f64(duration_s));
 
     let f = sim.fault_summary().expect("fault plan is installed");
@@ -827,8 +935,19 @@ fn chaos(
     let goodput = (s.count as u64).saturating_sub(sim.degraded_measured()) as f64 / measured;
     let log = sim.span_log().expect("span tracing is enabled");
     let truncated = log.dropped() > 0;
+    if truncated {
+        eprintln!(
+            "warning: span log truncated ({} events dropped at capacity {events}); \
+             audit skipped — raise --events",
+            log.dropped()
+        );
+    }
     let report = (!truncated).then(|| sim.audit_trace().expect("span tracing is enabled"));
     let clean = report.as_ref().is_some_and(|r| r.is_clean());
+    let critpath = sim
+        .critpath_profile()
+        .map(|p| p.report())
+        .filter(|r| r.requests > 0);
 
     if json {
         let out = serde_json::json!({
@@ -861,6 +980,7 @@ fn chaos(
             },
             "timeout_latency_s": { "count": ts.count, "p50": ts.p50, "p99": ts.p99 },
             "timeline": serde_json::to_value(&f.timeline).expect("timeline serializes"),
+            "critpath": critpath.as_ref().map(|r| r.to_json()),
             "audit": if truncated {
                 serde_json::json!({ "skipped": "span log truncated; raise --events" })
             } else {
@@ -939,6 +1059,9 @@ fn chaos(
             100.0 * goodput / achieved.max(f64::EPSILON)
         );
         println!();
+        if let Some(rep) = &critpath {
+            print_tail_attribution(rep);
+        }
         if truncated {
             println!(
                 "audit: skipped ({} span events dropped; raise --events)",
@@ -1001,8 +1124,25 @@ fn chaos_sharded(
     let ts = &r.timeout_latency;
     let dropped_spans: u64 = run.cells.iter().map(|c| c.span_dropped).sum();
     let truncated = dropped_spans > 0;
+    if truncated {
+        for c in &run.cells {
+            if c.span_dropped > 0 {
+                eprintln!(
+                    "warning: cell {} span log truncated ({} events dropped at \
+                     capacity {events}); audit skipped — raise --events",
+                    c.cell, c.span_dropped
+                );
+            }
+        }
+    }
     let report = (!truncated).then(|| run.audit().expect("span tracing is enabled"));
     let clean = report.as_ref().is_some_and(|rep| rep.is_clean());
+    let critpath = run
+        .result
+        .critpath
+        .as_ref()
+        .map(|p| p.report())
+        .filter(|rep| rep.requests > 0);
 
     if json {
         let out = serde_json::json!({
@@ -1036,6 +1176,7 @@ fn chaos_sharded(
             },
             "timeout_latency_s": { "count": ts.count, "p50": ts.p50, "p99": ts.p99 },
             "timeline": serde_json::to_value(&f.timeline).expect("timeline serializes"),
+            "critpath": critpath.as_ref().map(|rep| rep.to_json()),
             "audit": if truncated {
                 serde_json::json!({ "skipped": "span log truncated; raise --events" })
             } else {
@@ -1111,6 +1252,9 @@ fn chaos_sharded(
             100.0 * r.goodput_qps / r.achieved_qps.max(f64::EPSILON)
         );
         println!();
+        if let Some(rep) = &critpath {
+            print_tail_attribution(rep);
+        }
         if truncated {
             println!("audit: skipped ({dropped_spans} span events dropped; raise --events)");
         } else {
@@ -1130,6 +1274,255 @@ fn chaos_sharded(
         }
     }
     Ok(clean)
+}
+
+/// Prints the chaos report's tail-attribution section: where the
+/// p99+-band requests spent their critical path, and which `(site, kind)`
+/// components grew the most from the median cohort to the tail — the
+/// direct answer to "which fault inflated the tail, and through what
+/// mechanism". Deterministic: share-ranked with `(site, kind)` tie-breaks.
+fn print_tail_attribution(rep: &uqsim_core::CpcReport) {
+    println!("tail attribution (critical path):");
+    if let Some(top) = rep.top_p99() {
+        println!(
+            "  p99+ cohort spends {:.1}% of its critical path in {} {}",
+            top.p99_share * 100.0,
+            top.site,
+            top.kind.name()
+        );
+    }
+    let mut any = false;
+    for row in rep.ranked_by_diff().into_iter().take(3) {
+        // Half a percentage point keeps sub-noise rows out of the report.
+        if row.diff_share < 0.005 {
+            break;
+        }
+        any = true;
+        println!(
+            "  {} {}: {:.1}% of the median cohort's path -> {:.1}% of the tail's \
+             (+{:.1} pts)",
+            row.site,
+            row.kind.name(),
+            row.p50_share * 100.0,
+            row.p99_share * 100.0,
+            row.diff_share * 100.0
+        );
+    }
+    if !any {
+        println!("  (no component grows from the median cohort to the tail)");
+    }
+    println!();
+}
+
+/// `uqsim why`: critical-path extraction and tail-latency attribution.
+///
+/// Runs the scenario (optionally faulted) with both streaming critical-path
+/// accumulation and full span tracing, cross-checks the streaming profile
+/// against an independent replay of the recorded trace, audits the trace,
+/// and prints the cohort/differential attribution report. Fails (non-zero
+/// exit) when the span log truncated — a truncated stream would silently
+/// under-attribute — when the audit finds violations, or when streaming and
+/// replayed attribution disagree.
+#[allow(clippy::too_many_arguments)]
+fn why(
+    path: &Path,
+    faults: Option<&Path>,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+    events: usize,
+    out: Option<&Path>,
+) -> Result<bool, uqsim_core::SimError> {
+    let mut cfg = load(path)?;
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let mut sim = cfg.build()?;
+    if let Some(faults) = faults {
+        let plan = uqsim_core::FaultPlan::from_file(faults)?;
+        sim.install_faults(&plan)?;
+    }
+    sim.enable_span_tracing(events);
+    sim.enable_telemetry(TelemetryConfig {
+        critpath: true,
+        ..TelemetryConfig::default()
+    });
+    sim.run_for(SimDuration::from_secs_f64(duration_s));
+
+    let log = sim.span_log().expect("span tracing is enabled");
+    if log.dropped() > 0 {
+        eprintln!(
+            "error: span log truncated ({} events dropped at capacity {events}); \
+             attribution would be incomplete — raise --events",
+            log.dropped()
+        );
+        return Ok(false);
+    }
+    let audit = sim.audit_trace().expect("span tracing is enabled");
+    if !audit.is_clean() {
+        eprintln!(
+            "error: trace audit found {} violation(s); refusing to attribute",
+            audit.violations.len()
+        );
+        for v in &audit.violations {
+            eprintln!("  {v}");
+        }
+        return Ok(false);
+    }
+    let streaming = sim
+        .critpath_profile()
+        .expect("critpath telemetry is enabled");
+    let replayed = match uqsim_core::CpcProfile::from_trace(log, &sim.trace_meta()) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return Ok(false);
+        }
+    };
+    if replayed != streaming {
+        eprintln!(
+            "error: streaming and trace-replayed attribution disagree; \
+             this is an engine bug — please report it"
+        );
+        return Ok(false);
+    }
+    eprintln!(
+        "why: {} span events replayed, {} spans audited, streaming == replay",
+        log.len(),
+        audit.spans_checked
+    );
+    emit_why(
+        path,
+        faults,
+        cfg.seed,
+        duration_s,
+        cfg.warmup_s,
+        json,
+        &streaming,
+        out,
+    )?;
+    Ok(true)
+}
+
+/// `why --shards N`: the partitioned attribution runner. Each cell streams
+/// its own bounded-memory profile; the merged profile — and therefore
+/// every rendered output — is byte-identical at any `--shards` value
+/// (cell decomposition depends on the scenario, not the worker count).
+#[allow(clippy::too_many_arguments)]
+fn why_sharded(
+    path: &Path,
+    faults: Option<&Path>,
+    duration_s: f64,
+    seed: Option<u64>,
+    json: bool,
+    shards: usize,
+    out: Option<&Path>,
+) -> Result<bool, uqsim_core::SimError> {
+    let cfg = load(path)?;
+    let seed = seed.unwrap_or(cfg.seed);
+    let plan = match faults {
+        Some(p) => Some(uqsim_core::FaultPlan::from_file(p)?),
+        None => None,
+    };
+    let opts = uqsim_core::PartitionOptions::with_shards(shards);
+    let run = uqsim_core::run_partitioned(
+        &cfg,
+        plan.as_ref(),
+        seed,
+        SimDuration::from_secs_f64(duration_s),
+        &opts,
+    )?;
+    eprintln!(
+        "partition: {} cell(s) on {} shard(s)",
+        run.cells.len(),
+        run.shards
+    );
+    let profile = run
+        .result
+        .critpath
+        .as_ref()
+        .expect("partitioned runs stream critpath profiles");
+    emit_why(
+        path,
+        faults,
+        seed,
+        duration_s,
+        cfg.warmup_s,
+        json,
+        profile,
+        out,
+    )?;
+    Ok(true)
+}
+
+/// Renders an attribution profile to stdout (text, or the full report JSON
+/// with `--json`) and, with `--out <dir>`, writes the machine-readable
+/// artifact set: `critpath.txt`, `critpath.csv`, `critpath.json`,
+/// `critpath.folded` (flame-graph folded stacks), and `critpath.prom`
+/// (Prometheus `uqsim_critpath_*` exposition). All renderings are
+/// deterministic functions of the profile.
+#[allow(clippy::too_many_arguments)]
+fn emit_why(
+    path: &Path,
+    faults: Option<&Path>,
+    seed: u64,
+    duration_s: f64,
+    warmup_s: f64,
+    json: bool,
+    profile: &uqsim_core::CpcProfile,
+    out: Option<&Path>,
+) -> Result<(), uqsim_core::SimError> {
+    let report = profile.report();
+    if json {
+        let mut doc = report.to_json();
+        if let serde_json::Value::Object(obj) = &mut doc {
+            obj.insert(
+                "scenario".to_string(),
+                serde_json::json!(path.display().to_string()),
+            );
+            obj.insert(
+                "faults".to_string(),
+                serde_json::json!(faults.map(|f| f.display().to_string())),
+            );
+            obj.insert("seed".to_string(), serde_json::json!(seed));
+            obj.insert("duration_s".to_string(), serde_json::json!(duration_s));
+            obj.insert("warmup_s".to_string(), serde_json::json!(warmup_s));
+        }
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("report serializes")
+        );
+    } else {
+        println!(
+            "why: {}{} (seed {seed}, {duration_s}s simulated, warmup {warmup_s}s)",
+            path.display(),
+            faults
+                .map(|f| format!(" + {}", f.display()))
+                .unwrap_or_default()
+        );
+        println!();
+        print!("{}", report.to_text());
+    }
+    if let Some(dir) = out {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join("critpath.txt"), report.to_text())?;
+        std::fs::write(dir.join("critpath.csv"), report.to_csv())?;
+        std::fs::write(
+            dir.join("critpath.json"),
+            serde_json::to_string_pretty(&report.to_json()).expect("report serializes"),
+        )?;
+        std::fs::write(dir.join("critpath.folded"), profile.to_folded())?;
+        std::fs::write(
+            dir.join("critpath.prom"),
+            profile.registry().to_prometheus(),
+        )?;
+        eprintln!(
+            "wrote critpath.txt, critpath.csv, critpath.json, critpath.folded, \
+             critpath.prom to {}",
+            dir.display()
+        );
+    }
+    Ok(())
 }
 
 /// `top(1)` for the simulated cluster: steps the simulation one sampler
@@ -1512,6 +1905,14 @@ fn chrome_export(
             eprintln!("  {v}");
         }
     }
+    if log.dropped() > 0 {
+        eprintln!(
+            "error: span log truncated ({} events dropped at capacity {events}); \
+             the trace is incomplete — raise --events",
+            log.dropped()
+        );
+        return Ok(false);
+    }
     Ok(report.is_clean())
 }
 
@@ -1566,6 +1967,18 @@ fn chrome_export_sharded(
         for v in &report.violations {
             eprintln!("  {v}");
         }
+    }
+    if dropped > 0 {
+        for c in &run.cells {
+            if c.span_dropped > 0 {
+                eprintln!(
+                    "error: cell {} span log truncated ({} events dropped at \
+                     capacity {events}); the trace is incomplete — raise --events",
+                    c.cell, c.span_dropped
+                );
+            }
+        }
+        return Ok(false);
     }
     Ok(report.is_clean())
 }
@@ -1649,6 +2062,48 @@ mod tests {
             assert!(ev["ph"].as_str().is_some(), "event without ph: {ev}");
             assert!(ev["pid"].as_u64().is_some(), "event without pid: {ev}");
         }
+    }
+
+    /// The PR's acceptance scenario: under the bundled retry-storm fault
+    /// plan, the p99-cohort's top critical-path contributor must be the
+    /// faulted backend tier's queueing (or retry) component — attribution
+    /// points at the fault, not at healthy services.
+    #[test]
+    fn social_network_retry_storm_attributes_tail_to_faulted_tier() {
+        let cfg =
+            ScenarioConfig::from_json(include_str!("../configs/social_network.json")).unwrap();
+        let plan =
+            uqsim_core::FaultPlan::from_json(include_str!("../configs/social_network_faults.json"))
+                .unwrap();
+        let result = uqsim_core::run::run_one_faulted(
+            &cfg,
+            Some(&plan),
+            cfg.seed,
+            SimDuration::from_secs(3),
+        )
+        .unwrap();
+        assert!(result.retried > 0, "retry storm produced no retries");
+        let report = result
+            .critpath
+            .expect("run_one_faulted streams a critpath profile")
+            .report();
+        let top = report.top_p99().expect("profile is non-empty");
+        assert!(
+            matches!(
+                top.kind,
+                uqsim_core::EdgeKind::QueueWait | uqsim_core::EdgeKind::RetryBackoff
+            ),
+            "top p99 contributor is {} {}, expected queue_wait/retry_backoff",
+            top.site,
+            top.kind.name()
+        );
+        assert!(
+            ["user", "post", "media"]
+                .iter()
+                .any(|b| top.site.starts_with(b)),
+            "top p99 contributor {} is not on the faulted backend tier",
+            top.site
+        );
     }
 
     #[test]

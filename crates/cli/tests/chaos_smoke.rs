@@ -132,21 +132,33 @@ fn faulted_sweep_is_byte_identical_across_jobs() {
     let text = String::from_utf8(serial.stdout).expect("CSV is UTF-8");
     let lines: Vec<&str> = text.lines().collect();
     assert!(
-        lines[0].ends_with("goodput_qps,goodput_qps_ci95,dropped,shed,retried,degraded"),
-        "fault columns missing from header: {}",
+        lines[0].ends_with(
+            "goodput_qps,goodput_qps_ci95,dropped,shed,retried,degraded,\
+             critpath_top,critpath_top_share"
+        ),
+        "fault/attribution columns missing from header: {}",
         lines[0]
     );
     // The crash window inside the measurement interval must register in at
-    // least one row's fault counters (the trailing four columns).
+    // least one row's fault counters (the four columns before the two
+    // attribution columns).
     let activity: u64 = lines[1..]
         .iter()
         .map(|row| {
             let cells: Vec<&str> = row.split(',').collect();
-            cells[cells.len() - 4..]
+            cells[cells.len() - 6..cells.len() - 2]
                 .iter()
                 .map(|c| c.parse::<u64>().expect("fault counters are integers"))
                 .sum::<u64>()
         })
         .sum();
     assert!(activity > 0, "no fault activity in any sweep row:\n{text}");
+    // Every row names a top tail contributor with a sane share.
+    for row in &lines[1..] {
+        let cells: Vec<&str> = row.split(',').collect();
+        let top = cells[cells.len() - 2];
+        let share: f64 = cells[cells.len() - 1].parse().expect("share is numeric");
+        assert!(!top.is_empty(), "row without a critpath_top: {row}");
+        assert!((0.0..=1.0).contains(&share), "share out of range: {row}");
+    }
 }

@@ -56,3 +56,61 @@ fn quickstart_prometheus_matches_golden() {
 fn prometheus_export_is_deterministic() {
     assert_eq!(quickstart_prometheus(), quickstart_prometheus());
 }
+
+const CSV_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/quickstart_metrics.csv"
+);
+
+fn quickstart_csv() -> String {
+    let cfg = ScenarioConfig::from_json(QUICKSTART).expect("bundled config parses");
+    let mut sim = cfg.build().expect("bundled config builds");
+    sim.enable_telemetry(TelemetryConfig {
+        sample_interval: Some(SimDuration::from_millis(10)),
+        ..TelemetryConfig::default()
+    });
+    sim.run_for(SimDuration::from_millis(1500));
+    sim.metrics_csv().expect("sampler is enabled")
+}
+
+/// Pins the `metrics_csv` row/label ordering contract (see the
+/// `Simulator::metrics_csv` docs): per tick, the five unlabeled
+/// `windowed_*` rows in fixed order, then every gauge series in
+/// configuration order. Regenerate with `UQSIM_BLESS=1`.
+#[test]
+fn quickstart_metrics_csv_matches_golden() {
+    let produced = quickstart_csv();
+    if std::env::var_os("UQSIM_BLESS").is_some() {
+        std::fs::write(CSV_GOLDEN_PATH, &produced).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/quickstart_metrics.csv");
+    assert_eq!(
+        produced, golden,
+        "metrics CSV drifted from the golden snapshot; if the change is \
+         intentional, regenerate with UQSIM_BLESS=1 (see the module docs)"
+    );
+}
+
+/// The partitioned merge of a single-cell run must be the byte-identity:
+/// the two merge paths (single-run vs partitioned) may only diverge when
+/// there is more than one windowed summary to keep apart.
+#[test]
+fn single_cell_partitioned_csv_is_passthrough() {
+    let cfg = ScenarioConfig::from_json(QUICKSTART).expect("bundled config parses");
+    let mut opts = uqsim_core::PartitionOptions::with_shards(1);
+    opts.telemetry.sample_interval = Some(SimDuration::from_millis(10));
+    let run =
+        uqsim_core::run_partitioned(&cfg, None, cfg.seed, SimDuration::from_millis(1500), &opts)
+            .expect("partitioned run succeeds");
+    assert_eq!(
+        run.cells.len(),
+        1,
+        "quickstart is a single request-closed cell"
+    );
+    assert_eq!(
+        run.csv().expect("sampler on"),
+        run.cells[0].csv.clone().expect("sampler on"),
+        "single-cell merge_csv is not a pass-through"
+    );
+}

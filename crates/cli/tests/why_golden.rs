@@ -1,0 +1,109 @@
+//! End-to-end gates for `uqsim why`, the critical-path attribution
+//! report.
+//!
+//! Three properties are pinned, driving the real binary (via
+//! `CARGO_BIN_EXE_uqsim`) so the report framing is covered too:
+//!
+//! 1. **Golden report** — the full text report for the faulted quickstart
+//!    scenario at a fixed seed is byte-stable. Regenerate after an
+//!    intentional change with:
+//!
+//!    ```text
+//!    UQSIM_BLESS=1 cargo test -p uqsim-cli --test why_golden
+//!    ```
+//!
+//! 2. **Shard invariance** — `why --shards 1` and `why --shards 4` print
+//!    byte-identical stdout (spec invariant P7 extended to attribution).
+//!
+//! 3. **Truncation refusal** — when the span log overflows, `why` exits
+//!    non-zero with a clear stderr message instead of attributing from an
+//!    incomplete stream.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/quickstart_why.txt"
+);
+
+/// Runs from the crate root with *relative* config paths so the report
+/// header — which echoes them — is byte-identical on any checkout.
+fn why(extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uqsim"))
+        .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .args([
+            "why",
+            "--config",
+            "configs/quickstart.json",
+            "--faults",
+            "configs/quickstart_faults.json",
+            "--duration",
+            "4",
+        ])
+        .args(extra)
+        .output()
+        .expect("uqsim binary runs")
+}
+
+#[test]
+fn why_report_matches_golden() {
+    let out = why(&[]);
+    assert!(
+        out.status.success(),
+        "why failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let produced = String::from_utf8(out.stdout).expect("report is UTF-8");
+    if std::env::var_os("UQSIM_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &produced).expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/quickstart_why.txt");
+    assert_eq!(
+        produced, golden,
+        "why report drifted from the golden snapshot; if the change is \
+         intentional, regenerate with UQSIM_BLESS=1 (see the module docs)"
+    );
+}
+
+#[test]
+fn why_json_is_byte_deterministic() {
+    let a = why(&["--json"]);
+    let b = why(&["--json"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(
+        a.stdout, b.stdout,
+        "identical why invocations produced different bytes"
+    );
+}
+
+#[test]
+fn why_attribution_is_shard_invariant() {
+    let one = why(&["--shards", "1"]);
+    assert!(
+        one.status.success(),
+        "why --shards 1 failed: {}",
+        String::from_utf8_lossy(&one.stderr)
+    );
+    let four = why(&["--shards", "4"]);
+    assert!(four.status.success());
+    assert_eq!(
+        one.stdout, four.stdout,
+        "attribution bytes drifted between --shards 1 and --shards 4"
+    );
+}
+
+#[test]
+fn why_refuses_truncated_span_stream() {
+    let out = why(&["--events", "100"]);
+    assert!(
+        !out.status.success(),
+        "why must exit non-zero when the span log truncates"
+    );
+    let stderr = String::from_utf8(out.stderr).expect("stderr is UTF-8");
+    assert!(
+        stderr.contains("truncated") && stderr.contains("--events"),
+        "truncation message missing or unclear:\n{stderr}"
+    );
+}

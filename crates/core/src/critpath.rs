@@ -1,0 +1,1238 @@
+//! Critical-path extraction and tail-latency attribution.
+//!
+//! µqSim's telescoping latency decomposition (see [`crate::telemetry`])
+//! charges every not-yet-attributed interval `[mark, now]` of a request's
+//! life to exactly one component, advancing a shared per-request frontier.
+//! Because concurrent fan-out branches share that frontier, whichever
+//! branch's event fires next is the one that advances it — the sequence of
+//! charges **is** the request's critical path through its span DAG, and the
+//! segment durations telescope to the end-to-end latency with 0 ns error.
+//!
+//! This module aggregates those per-request critical paths into a
+//! **critical-path contribution (CPC) profile**: for every *site* (client,
+//! instance, stage, or connection pool) and *edge kind*
+//! ([`EdgeKind`]: queue wait, service, network, blocking, fan-in sync,
+//! client wait, retry backoff), how many nanoseconds of critical-path time
+//! it contributed — overall, and split by end-to-end latency cohort (the
+//! p50 band vs the p99+ band), so a differential "tail vs median" report
+//! can rank which sites *shift* under load or faults.
+//!
+//! Two acquisition modes produce byte-identical profiles:
+//!
+//! * **Streaming** ([`TelemetryConfig::critpath`](crate::telemetry::TelemetryConfig)):
+//!   each charge pushes a `(site, kind, ns)` segment onto the live request;
+//!   measured completions fold their segments into dense per-latency-bucket
+//!   accumulators. Bounded memory, non-perturbing (no extra events, no RNG
+//!   draws — completions are bit-identical with the mode on or off).
+//! * **Post-hoc** ([`CpcProfile::from_trace`]): replay a recorded span
+//!   [`TraceLog`] through the same frontier state machine. Every charge the
+//!   simulator made corresponds to exactly one logged event at the same
+//!   timestamp in the same order, so the replay reproduces the streaming
+//!   profile exactly — `uqsim why` cross-asserts the two.
+//!
+//! Profiles merge exactly (element-wise `u64` sums, commutative and
+//! associative), so per-partition-cell profiles combine cell-order
+//! deterministically into a byte-identical result at any `--shards` count
+//! (invariant P7 of DESIGN.md §11).
+
+use crate::ids::{ClientId, InstanceId, JobId, PoolId, RequestId};
+use crate::telemetry::{bucket_index, LatencyComponent, MetricsRegistry, StreamingHistogram};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceLog, TraceMeta};
+use serde_json::{json, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// Edge kinds and sites
+// ---------------------------------------------------------------------
+
+/// What kind of critical-path edge a segment is: the six telescoping
+/// [`LatencyComponent`]s plus `RetryBackoff` (a retry request's client-side
+/// launch delay, split out so retry storms are attributable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EdgeKind {
+    /// Waiting for a free client connection before launch.
+    ClientWait = 0,
+    /// Wire flight, transmission, and receive-side interrupt processing.
+    Network = 1,
+    /// Sitting in a stage queue waiting for a worker thread and core.
+    QueueWait = 2,
+    /// Being serviced by a stage batch (includes context-switch overhead).
+    Service = 3,
+    /// Waiting for a pooled connection to a downstream service.
+    Blocking = 4,
+    /// Waiting at a fan-in node for the slowest sibling branch.
+    FanInSync = 5,
+    /// A retry's client-side launch delay (the `ClientWait` of a request
+    /// re-emitted by a resilience policy; hedges stay `ClientWait`).
+    RetryBackoff = 6,
+}
+
+impl EdgeKind {
+    /// Number of edge kinds.
+    pub const COUNT: usize = 7;
+
+    /// All kinds in discriminant order.
+    pub const ALL: [EdgeKind; Self::COUNT] = [
+        EdgeKind::ClientWait,
+        EdgeKind::Network,
+        EdgeKind::QueueWait,
+        EdgeKind::Service,
+        EdgeKind::Blocking,
+        EdgeKind::FanInSync,
+        EdgeKind::RetryBackoff,
+    ];
+
+    /// Stable snake_case name (Prometheus/CSV/folded-stack label value).
+    pub fn name(self) -> &'static str {
+        match self {
+            EdgeKind::ClientWait => "client_wait",
+            EdgeKind::Network => "network",
+            EdgeKind::QueueWait => "queue_wait",
+            EdgeKind::Service => "service",
+            EdgeKind::Blocking => "blocking",
+            EdgeKind::FanInSync => "fan_in_sync",
+            EdgeKind::RetryBackoff => "retry_backoff",
+        }
+    }
+
+    /// The edge kind a plain latency-component charge maps to.
+    pub fn from_component(c: LatencyComponent) -> Self {
+        match c {
+            LatencyComponent::ClientWait => EdgeKind::ClientWait,
+            LatencyComponent::Network => EdgeKind::Network,
+            LatencyComponent::QueueWait => EdgeKind::QueueWait,
+            LatencyComponent::Service => EdgeKind::Service,
+            LatencyComponent::Blocking => EdgeKind::Blocking,
+            LatencyComponent::FanInSync => EdgeKind::FanInSync,
+        }
+    }
+}
+
+/// Where a critical-path segment was spent. Resolved to a display label
+/// (globally unique across partition cells) when a profile is snapshotted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CritSite {
+    /// Client-side (connection wait, final delivery leg).
+    Client(ClientId),
+    /// Arrival/fan-in at an instance (network and sync edges).
+    Instance(InstanceId),
+    /// One stage of one instance (queue-wait and service edges).
+    Stage(InstanceId, u32),
+    /// A connection pool (blocking edges).
+    Pool(PoolId),
+}
+
+/// One critical-path segment buffered on a live request: `ns` nanoseconds
+/// of `kind` time spent at `site`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CritSeg {
+    /// Where the time was spent.
+    pub site: CritSite,
+    /// What kind of time it was.
+    pub kind: EdgeKind,
+    /// Segment duration, nanoseconds (always > 0; zero-length charges are
+    /// never buffered).
+    pub ns: u64,
+}
+
+/// Resolves a site to its display label. Labels are namespaced so the four
+/// site classes never collide: clients are `client:<name>`, pools are
+/// `pool:<up>-><down>`, stages are `<instance>/<stage>`, and instance
+/// arrival sites are the bare instance name.
+fn site_label(site: CritSite, meta: &TraceMeta) -> String {
+    match site {
+        CritSite::Client(c) => match meta.clients.get(c.index()) {
+            Some(cl) => format!("client:{}", cl.name),
+            None => format!("client:{}", c.raw()),
+        },
+        CritSite::Instance(i) => match meta.instances.get(i.index()) {
+            Some(inst) => inst.name.clone(),
+            None => format!("instance{}", i.raw()),
+        },
+        CritSite::Stage(i, s) => match meta.instances.get(i.index()) {
+            Some(inst) => match inst.stages.get(s as usize) {
+                Some(stage) => format!("{}/{stage}", inst.name),
+                None => format!("{}/stage{s}", inst.name),
+            },
+            None => format!("instance{}/stage{s}", i.raw()),
+        },
+        CritSite::Pool(p) => match meta.pools.get(p.index()) {
+            Some(pool) => format!("pool:{}->{}", pool.up, pool.down),
+            None => format!("pool:{}", p.raw()),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accumulation
+// ---------------------------------------------------------------------
+
+/// Per-(site, kind) accumulator: nanoseconds and segment counts, indexed by
+/// the e2e-latency bucket of the owning request (log-linear
+/// [`bucket_index`] buckets shared with [`StreamingHistogram`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct BucketVecs {
+    ns: Vec<u64>,
+    count: Vec<u64>,
+}
+
+impl BucketVecs {
+    fn add(&mut self, bucket: usize, ns: u64) {
+        if bucket >= self.ns.len() {
+            self.ns.resize(bucket + 1, 0);
+            self.count.resize(bucket + 1, 0);
+        }
+        self.ns[bucket] += ns;
+        self.count[bucket] += 1;
+    }
+}
+
+/// The streaming accumulator: an e2e histogram plus dense per-(site, kind)
+/// bucket vectors. Bounded memory — proportional to
+/// `sites × kinds × log(max latency)`, independent of request count.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CritAccum {
+    e2e: StreamingHistogram,
+    cells: HashMap<(CritSite, EdgeKind), BucketVecs>,
+}
+
+impl CritAccum {
+    /// Folds one measured completion: the request's e2e latency picks the
+    /// cohort bucket, and every buffered segment lands in it.
+    pub(crate) fn fold(&mut self, e2e_ns: u64, segs: &[CritSeg]) {
+        let bucket = bucket_index(e2e_ns);
+        self.e2e.record(e2e_ns);
+        for s in segs {
+            self.cells
+                .entry((s.site, s.kind))
+                .or_default()
+                .add(bucket, s.ns);
+        }
+    }
+
+    /// Snapshots the accumulator into a mergeable, label-resolved
+    /// [`CpcProfile`] (entries sorted by `(site label, kind)`).
+    pub(crate) fn snapshot(&self, meta: &TraceMeta) -> CpcProfile {
+        let mut entries: Vec<CpcEntry> = self
+            .cells
+            .iter()
+            .map(|(&(site, kind), v)| CpcEntry {
+                site: site_label(site, meta),
+                kind,
+                ns: v.ns.clone(),
+                count: v.count.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.site.cmp(&b.site).then(a.kind.cmp(&b.kind)));
+        CpcProfile {
+            e2e: self.e2e.clone(),
+            entries,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The profile
+// ---------------------------------------------------------------------
+
+/// One `(site, kind)` row of a [`CpcProfile`], holding per-e2e-bucket
+/// nanosecond and segment-count vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpcEntry {
+    /// Display label of the site (globally unique across partition cells).
+    pub site: String,
+    /// Edge kind.
+    pub kind: EdgeKind,
+    ns: Vec<u64>,
+    count: Vec<u64>,
+}
+
+impl CpcEntry {
+    /// Total critical-path nanoseconds this entry contributed.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    fn range_ns(&self, lo: usize, hi_inclusive: usize) -> u64 {
+        let hi = (hi_inclusive + 1).min(self.ns.len());
+        if lo >= hi {
+            return 0;
+        }
+        self.ns[lo..hi].iter().sum()
+    }
+}
+
+/// A critical-path contribution profile: the per-request critical paths of
+/// every measured completion, aggregated per `(site, kind)` and per
+/// e2e-latency bucket. See the [module docs](self) for semantics, and
+/// [`CpcProfile::report`] for the cohort/differential analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CpcProfile {
+    e2e: StreamingHistogram,
+    entries: Vec<CpcEntry>,
+}
+
+impl CpcProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request's critical path directly: `e2e_ns` end-to-end
+    /// latency and its telescoping `(site label, kind, ns)` segments.
+    /// This is the public builder used by tests and external tooling; the
+    /// simulator's streaming mode and [`CpcProfile::from_trace`] fold
+    /// through the same per-bucket arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the segment durations sum to `e2e_ns` (the 0 ns
+    /// telescoping discipline).
+    pub fn observe(&mut self, e2e_ns: u64, segs: &[(&str, EdgeKind, u64)]) {
+        debug_assert_eq!(
+            segs.iter().map(|s| s.2).sum::<u64>(),
+            e2e_ns,
+            "critical-path segments must telescope to the e2e latency"
+        );
+        let bucket = bucket_index(e2e_ns);
+        self.e2e.record(e2e_ns);
+        for &(site, kind, ns) in segs {
+            let idx = match self
+                .entries
+                .binary_search_by(|e| e.site.as_str().cmp(site).then(e.kind.cmp(&kind)))
+            {
+                Ok(i) => i,
+                Err(i) => {
+                    self.entries.insert(
+                        i,
+                        CpcEntry {
+                            site: site.to_string(),
+                            kind,
+                            ns: Vec::new(),
+                            count: Vec::new(),
+                        },
+                    );
+                    i
+                }
+            };
+            let e = &mut self.entries[idx];
+            if bucket >= e.ns.len() {
+                e.ns.resize(bucket + 1, 0);
+                e.count.resize(bucket + 1, 0);
+            }
+            e.ns[bucket] += ns;
+            e.count[bucket] += 1;
+        }
+    }
+
+    /// Merges another profile into this one (element-wise `u64` sums).
+    /// Exactly commutative and associative, so per-cell profiles combine
+    /// order-independently — the partition layer folds cells in cell order
+    /// and gets byte-identical output at any shard count.
+    pub fn merge(&mut self, other: &CpcProfile) {
+        self.e2e.merge(&other.e2e);
+        let mut merged: Vec<CpcEntry> =
+            Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (mut a, mut b) = (
+            self.entries.drain(..).peekable(),
+            other.entries.iter().peekable(),
+        );
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(x), Some(y)) => match x.site.cmp(&y.site).then(x.kind.cmp(&y.kind)) {
+                    std::cmp::Ordering::Less => true,
+                    std::cmp::Ordering::Greater => false,
+                    std::cmp::Ordering::Equal => {
+                        let mut x = a.next().expect("peeked");
+                        let y = b.next().expect("peeked");
+                        if x.ns.len() < y.ns.len() {
+                            x.ns.resize(y.ns.len(), 0);
+                            x.count.resize(y.count.len(), 0);
+                        }
+                        for (dst, &src) in x.ns.iter_mut().zip(&y.ns) {
+                            *dst += src;
+                        }
+                        for (dst, &src) in x.count.iter_mut().zip(&y.count) {
+                            *dst += src;
+                        }
+                        merged.push(x);
+                        continue;
+                    }
+                },
+            };
+            if take_a {
+                merged.push(a.next().expect("peeked"));
+            } else {
+                merged.push(b.next().expect("peeked").clone());
+            }
+        }
+        drop(a);
+        self.entries = merged;
+    }
+
+    /// Number of measured requests folded in.
+    pub fn requests(&self) -> u64 {
+        self.e2e.count()
+    }
+
+    /// True if no request has been folded in.
+    pub fn is_empty(&self) -> bool {
+        self.e2e.is_empty()
+    }
+
+    /// The end-to-end latency histogram of the folded requests.
+    pub fn e2e(&self) -> &StreamingHistogram {
+        &self.e2e
+    }
+
+    /// The `(site, kind)` entries, sorted by `(site label, kind)`.
+    pub fn entries(&self) -> &[CpcEntry] {
+        &self.entries
+    }
+
+    /// Computes the cohort/differential report. Cohort boundaries derive
+    /// from the profile's own e2e histogram: the **p50 band** is every
+    /// latency bucket at or below the bucket holding the median, the
+    /// **p99+ band** every bucket at or above the bucket holding the 99th
+    /// percentile. Shares are a row's nanoseconds divided by the cohort's
+    /// total critical-path nanoseconds; the differential is
+    /// `p99 share − p50 share`.
+    pub fn report(&self) -> CpcReport {
+        let p50_ns = self.e2e.quantile_ns(0.50);
+        let p99_ns = self.e2e.quantile_ns(0.99);
+        let p50_hi = bucket_index(p50_ns);
+        let p99_lo = bucket_index(p99_ns);
+        let last = self.entries.iter().map(|e| e.ns.len()).max().unwrap_or(0);
+        let last = last.saturating_sub(1);
+        let overall_total: u64 = self.entries.iter().map(CpcEntry::total_ns).sum();
+        let p50_total: u64 = self.entries.iter().map(|e| e.range_ns(0, p50_hi)).sum();
+        let p99_total: u64 = self.entries.iter().map(|e| e.range_ns(p99_lo, last)).sum();
+        let share = |ns: u64, total: u64| {
+            if total == 0 {
+                0.0
+            } else {
+                ns as f64 / total as f64
+            }
+        };
+        let rows = self
+            .entries
+            .iter()
+            .map(|e| {
+                let overall = e.total_ns();
+                let p50 = e.range_ns(0, p50_hi);
+                let p99 = e.range_ns(p99_lo, last);
+                CpcRow {
+                    site: e.site.clone(),
+                    kind: e.kind,
+                    overall_ns: overall,
+                    overall_share: share(overall, overall_total),
+                    p50_ns: p50,
+                    p50_share: share(p50, p50_total),
+                    p99_ns: p99,
+                    p99_share: share(p99, p99_total),
+                    diff_share: share(p99, p99_total) - share(p50, p50_total),
+                }
+            })
+            .collect();
+        let counts = self.e2e.bucket_counts();
+        let band = |lo: usize, hi_inclusive: usize| -> u64 {
+            let hi = (hi_inclusive + 1).min(counts.len());
+            if lo >= hi {
+                0
+            } else {
+                counts[lo..hi].iter().sum()
+            }
+        };
+        CpcReport {
+            requests: self.e2e.count(),
+            p50_ns,
+            p99_ns,
+            max_ns: self.e2e.max_ns(),
+            p50_band_requests: band(0, p50_hi),
+            p99_band_requests: band(p99_lo, counts.len().saturating_sub(1)),
+            rows,
+        }
+    }
+
+    /// Folded-stack flame-graph lines (`site;kind ns`), one per entry in
+    /// `(site, kind)` order — directly consumable by inferno / flamegraph.pl
+    /// / speedscope.
+    pub fn to_folded(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!("{};{} {}\n", e.site, e.kind.name(), e.total_ns()));
+        }
+        out
+    }
+
+    /// The `uqsim_critpath_*` Prometheus families, built standalone (they
+    /// are intentionally not part of the per-run metrics registry, so
+    /// existing exports stay byte-identical when the mode is off).
+    pub fn registry(&self) -> MetricsRegistry {
+        let report = self.report();
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "uqsim_critpath_requests",
+            "Measured requests folded into the critical-path profile",
+            vec![],
+            report.requests,
+        );
+        reg.summary(
+            "uqsim_critpath_e2e_seconds",
+            "End-to-end latency of the folded requests",
+            vec![],
+            &self.e2e,
+        );
+        for r in &report.rows {
+            reg.gauge(
+                "uqsim_critpath_seconds_total",
+                "Critical-path time contributed per site and edge kind",
+                vec![
+                    ("site", r.site.clone()),
+                    ("kind", r.kind.name().to_string()),
+                ],
+                r.overall_ns as f64 / 1e9,
+            );
+        }
+        for r in &report.rows {
+            for (cohort, share) in [
+                ("overall", r.overall_share),
+                ("p50", r.p50_share),
+                ("p99", r.p99_share),
+            ] {
+                reg.gauge(
+                    "uqsim_critpath_share",
+                    "Share of cohort critical-path time per site and edge kind",
+                    vec![
+                        ("site", r.site.clone()),
+                        ("kind", r.kind.name().to_string()),
+                        ("cohort", cohort.to_string()),
+                    ],
+                    share,
+                );
+            }
+        }
+        reg
+    }
+
+    /// Reconstructs the profile post-hoc from a recorded span trace,
+    /// replaying the simulator's telescoping-frontier state machine over
+    /// the event stream (see the [module docs](self) for the event ↔ charge
+    /// correspondence).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the log was truncated (attribution from a partial stream
+    /// would silently misattribute), or if any measured request's segments
+    /// do not telescope exactly to its end-to-end latency (which would
+    /// indicate a recorder or replay bug, never a property of the
+    /// workload).
+    pub fn from_trace(log: &TraceLog, meta: &TraceMeta) -> Result<CpcProfile, String> {
+        if log.dropped() > 0 {
+            return Err(format!(
+                "span log truncated ({} events dropped): critical-path attribution \
+                 requires the complete stream — raise the trace capacity (--events)",
+                log.dropped()
+            ));
+        }
+        struct ReqState {
+            submitted: SimTime,
+            mark: SimTime,
+            client: ClientId,
+            retry: bool,
+            segs: Vec<CritSeg>,
+        }
+        struct JobState {
+            request: RequestId,
+            instance: InstanceId,
+            stage: u32,
+            in_service: bool,
+        }
+        let mut reqs: HashMap<RequestId, ReqState> = HashMap::new();
+        let mut jobs: HashMap<JobId, JobState> = HashMap::new();
+        let mut accum = CritAccum::default();
+        // Advances `rid`'s frontier to `t`, charging the elapsed interval
+        // to (site, kind). Zero-length intervals are skipped, mirroring the
+        // streaming mode. Charges against already-completed requests
+        // (quorum stragglers) or unknown ids are no-ops.
+        fn charge(
+            reqs: &mut HashMap<RequestId, ReqState>,
+            rid: RequestId,
+            t: SimTime,
+            site: CritSite,
+            kind: EdgeKind,
+        ) {
+            if let Some(r) = reqs.get_mut(&rid) {
+                let dt = (t - r.mark).as_nanos();
+                r.mark = t;
+                if dt > 0 {
+                    r.segs.push(CritSeg { site, kind, ns: dt });
+                }
+            }
+        }
+        for ev in log.events() {
+            match *ev {
+                TraceEvent::RequestEmitted {
+                    request, client, t, ..
+                } => {
+                    reqs.insert(
+                        request,
+                        ReqState {
+                            submitted: t,
+                            mark: t,
+                            client,
+                            retry: false,
+                            segs: Vec::new(),
+                        },
+                    );
+                }
+                TraceEvent::RequestRetry { request, .. } => {
+                    if let Some(r) = reqs.get_mut(&request) {
+                        r.retry = true;
+                    }
+                }
+                TraceEvent::RequestLaunched { request, t, .. } => {
+                    let (client, retry) = match reqs.get(&request) {
+                        Some(r) => (r.client, r.retry),
+                        None => continue,
+                    };
+                    let kind = if retry {
+                        EdgeKind::RetryBackoff
+                    } else {
+                        EdgeKind::ClientWait
+                    };
+                    charge(&mut reqs, request, t, CritSite::Client(client), kind);
+                }
+                TraceEvent::FanIn {
+                    request,
+                    instance: Some(i),
+                    fired,
+                    t,
+                    ..
+                } => {
+                    // Instance fan-ins are recorded only when fan_in > 1;
+                    // the firing arrival's wait is synchronization, every
+                    // other arrival's hop is network time. Sink fan-ins
+                    // (instance = None) charge nothing, exactly like the
+                    // simulator.
+                    let kind = if fired {
+                        EdgeKind::FanInSync
+                    } else {
+                        EdgeKind::Network
+                    };
+                    charge(&mut reqs, request, t, CritSite::Instance(i), kind);
+                }
+                TraceEvent::Enqueue {
+                    job,
+                    request,
+                    instance,
+                    stage,
+                    t,
+                    ..
+                } => {
+                    match jobs.get_mut(&job) {
+                        Some(j) if j.in_service => {
+                            // A stage-to-stage hand-off: the elapsed batch
+                            // service belongs to the *previous* stage.
+                            let site = CritSite::Stage(j.instance, j.stage);
+                            j.instance = instance;
+                            j.stage = stage.raw();
+                            j.in_service = false;
+                            charge(&mut reqs, request, t, site, EdgeKind::Service);
+                        }
+                        Some(j) => {
+                            j.instance = instance;
+                            j.stage = stage.raw();
+                        }
+                        None => {
+                            // First enqueue = arrival at the instance: the
+                            // hop since the frontier is network time (a
+                            // same-timestamp fan-in charge already advanced
+                            // it, making this a zero-length no-op there).
+                            jobs.insert(
+                                job,
+                                JobState {
+                                    request,
+                                    instance,
+                                    stage: stage.raw(),
+                                    in_service: false,
+                                },
+                            );
+                            charge(
+                                &mut reqs,
+                                request,
+                                t,
+                                CritSite::Instance(instance),
+                                EdgeKind::Network,
+                            );
+                        }
+                    }
+                }
+                TraceEvent::BatchStart {
+                    instance,
+                    stage,
+                    start,
+                    jobs: ref batch,
+                    ..
+                } => {
+                    // Service begins: each batched job's wait since its
+                    // frontier is queue time, charged in batch order (the
+                    // exact order the simulator charges at dispatch).
+                    for &job in batch {
+                        let Some(j) = jobs.get_mut(&job) else {
+                            continue;
+                        };
+                        j.in_service = true;
+                        let rid = j.request;
+                        charge(
+                            &mut reqs,
+                            rid,
+                            start,
+                            CritSite::Stage(instance, stage.raw()),
+                            EdgeKind::QueueWait,
+                        );
+                    }
+                }
+                TraceEvent::NodeDone {
+                    request,
+                    job,
+                    instance,
+                    t,
+                    ..
+                } => {
+                    if let Some(j) = jobs.remove(&job) {
+                        if j.in_service {
+                            charge(
+                                &mut reqs,
+                                request,
+                                t,
+                                CritSite::Stage(instance, j.stage),
+                                EdgeKind::Service,
+                            );
+                        }
+                    }
+                }
+                TraceEvent::PoolGrant {
+                    pool, request, t, ..
+                } => {
+                    charge(
+                        &mut reqs,
+                        request,
+                        t,
+                        CritSite::Pool(pool),
+                        EdgeKind::Blocking,
+                    );
+                }
+                TraceEvent::RequestCompleted {
+                    request,
+                    measured,
+                    t,
+                    ..
+                } => {
+                    let client = match reqs.get(&request) {
+                        Some(r) => r.client,
+                        None => continue,
+                    };
+                    charge(
+                        &mut reqs,
+                        request,
+                        t,
+                        CritSite::Client(client),
+                        EdgeKind::Network,
+                    );
+                    let r = reqs.remove(&request).expect("request state present");
+                    if measured {
+                        let e2e_ns = (t - r.submitted).as_nanos();
+                        let sum: u64 = r.segs.iter().map(|s| s.ns).sum();
+                        if sum != e2e_ns {
+                            return Err(format!(
+                                "critical path of request {request} does not telescope: \
+                                 segments sum to {sum} ns, end-to-end is {e2e_ns} ns"
+                            ));
+                        }
+                        accum.fold(e2e_ns, &r.segs);
+                    }
+                }
+                TraceEvent::RequestDropped { request, .. }
+                | TraceEvent::RequestShed { request, .. } => {
+                    reqs.remove(&request);
+                }
+                TraceEvent::JobKilled { job, .. } => {
+                    jobs.remove(&job);
+                }
+                _ => {}
+            }
+        }
+        Ok(accum.snapshot(meta))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report and renderings
+// ---------------------------------------------------------------------
+
+/// One row of a [`CpcReport`]: a `(site, kind)` pair with its overall,
+/// p50-band, and p99-band critical-path time and cohort shares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpcRow {
+    /// Site label.
+    pub site: String,
+    /// Edge kind.
+    pub kind: EdgeKind,
+    /// Critical-path nanoseconds over all measured requests.
+    pub overall_ns: u64,
+    /// Share of all critical-path time.
+    pub overall_share: f64,
+    /// Critical-path nanoseconds within the p50 band.
+    pub p50_ns: u64,
+    /// Share of the p50 band's critical-path time.
+    pub p50_share: f64,
+    /// Critical-path nanoseconds within the p99+ band.
+    pub p99_ns: u64,
+    /// Share of the p99+ band's critical-path time.
+    pub p99_share: f64,
+    /// `p99_share - p50_share`: positive means the site grows on the tail.
+    pub diff_share: f64,
+}
+
+/// The cohort/differential analysis of a [`CpcProfile`]
+/// (see [`CpcProfile::report`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpcReport {
+    /// Measured requests folded in.
+    pub requests: u64,
+    /// e2e p50, nanoseconds.
+    pub p50_ns: u64,
+    /// e2e p99, nanoseconds.
+    pub p99_ns: u64,
+    /// e2e maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Requests in the p50 band (e2e bucket ≤ the median's bucket).
+    pub p50_band_requests: u64,
+    /// Requests in the p99+ band (e2e bucket ≥ the p99's bucket).
+    pub p99_band_requests: u64,
+    /// Rows in `(site, kind)` order.
+    pub rows: Vec<CpcRow>,
+}
+
+impl CpcReport {
+    /// The p99-band's top contributor (ties break toward the first row in
+    /// `(site, kind)` order), or `None` on an empty profile.
+    pub fn top_p99(&self) -> Option<&CpcRow> {
+        self.rows
+            .iter()
+            .max_by(|a, b| {
+                a.p99_share
+                    .total_cmp(&b.p99_share)
+                    .then(b.site.cmp(&a.site).then(b.kind.cmp(&a.kind)))
+            })
+            .filter(|r| r.p99_ns > 0)
+    }
+
+    /// Rows ranked by differential share, descending (biggest tail
+    /// amplifier first; deterministic tie-break on `(site, kind)`).
+    pub fn ranked_by_diff(&self) -> Vec<&CpcRow> {
+        let mut rows: Vec<&CpcRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            b.diff_share
+                .total_cmp(&a.diff_share)
+                .then(a.site.cmp(&b.site).then(a.kind.cmp(&b.kind)))
+        });
+        rows
+    }
+
+    /// Rows ranked by one cohort's share, descending.
+    fn ranked_by(&self, key: impl Fn(&CpcRow) -> f64) -> Vec<&CpcRow> {
+        let mut rows: Vec<&CpcRow> = self.rows.iter().collect();
+        rows.sort_by(|a, b| {
+            key(b)
+                .total_cmp(&key(a))
+                .then(a.site.cmp(&b.site).then(a.kind.cmp(&b.kind)))
+        });
+        rows
+    }
+
+    /// Renders the human-readable attribution report (the body of
+    /// `uqsim why`). Deterministic: fixed section order, share-ranked rows
+    /// with `(site, kind)` tie-breaks, fixed-precision formatting.
+    pub fn to_text(&self) -> String {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let pct = |s: f64| s * 100.0;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "critical-path attribution — {} measured requests\n",
+            self.requests
+        ));
+        if self.requests == 0 {
+            out.push_str("(no measured completions; nothing to attribute)\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "e2e: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms\n",
+            ms(self.p50_ns),
+            ms(self.p99_ns),
+            ms(self.max_ns)
+        ));
+        out.push_str(&format!(
+            "cohorts: p50 band {} requests (e2e <= {:.3} ms), p99+ band {} requests (e2e >= {:.3} ms)\n",
+            self.p50_band_requests,
+            ms(self.p50_ns),
+            self.p99_band_requests,
+            ms(self.p99_ns)
+        ));
+        let section = |out: &mut String,
+                       title: &str,
+                       rows: Vec<&CpcRow>,
+                       share: &dyn Fn(&CpcRow) -> f64,
+                       ns: &dyn Fn(&CpcRow) -> u64| {
+            out.push_str(&format!("\n{title}\n"));
+            out.push_str(&format!(
+                "  {:<38} {:<13} {:>12} {:>8}\n",
+                "site", "kind", "ms", "share"
+            ));
+            for r in rows.into_iter().take(16) {
+                if ns(r) == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:<38} {:<13} {:>12.3} {:>7.2}%\n",
+                    r.site,
+                    r.kind.name(),
+                    ms(ns(r)),
+                    pct(share(r))
+                ));
+            }
+        };
+        section(
+            &mut out,
+            "overall",
+            self.ranked_by(|r| r.overall_share),
+            &|r| r.overall_share,
+            &|r| r.overall_ns,
+        );
+        section(
+            &mut out,
+            "p50 cohort (where a median request spends its critical path)",
+            self.ranked_by(|r| r.p50_share),
+            &|r| r.p50_share,
+            &|r| r.p50_ns,
+        );
+        section(
+            &mut out,
+            "p99+ cohort (where a tail request spends its critical path)",
+            self.ranked_by(|r| r.p99_share),
+            &|r| r.p99_share,
+            &|r| r.p99_ns,
+        );
+        out.push_str("\ntail vs median (share shift, p99+ band minus p50 band)\n");
+        for r in self.ranked_by_diff().into_iter().take(16) {
+            if r.diff_share.abs() < 1e-4 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {:>+7.2}%  {} {} (p50 {:.2}% -> p99 {:.2}%)\n",
+                pct(r.diff_share),
+                r.site,
+                r.kind.name(),
+                pct(r.p50_share),
+                pct(r.p99_share)
+            ));
+        }
+        if let Some(top) = self.top_p99() {
+            out.push_str(&format!(
+                "\ntop p99 contributor: {} {} ({:.2}% of tail critical-path time)\n",
+                top.site,
+                top.kind.name(),
+                pct(top.p99_share)
+            ));
+        }
+        out
+    }
+
+    /// CSV rows in `(site, kind)` order. Columns:
+    /// `site,kind,overall_ns,overall_share,p50_ns,p50_share,p99_ns,p99_share,diff_share`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "site,kind,overall_ns,overall_share,p50_ns,p50_share,p99_ns,p99_share,diff_share\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{}\n",
+                r.site,
+                r.kind.name(),
+                r.overall_ns,
+                r.overall_share,
+                r.p50_ns,
+                r.p50_share,
+                r.p99_ns,
+                r.p99_share,
+                r.diff_share
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering (the `uqsim why --json` payload).
+    pub fn to_json(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                json!({
+                    "site": r.site,
+                    "kind": r.kind.name(),
+                    "overall_ns": r.overall_ns,
+                    "overall_share": r.overall_share,
+                    "p50_ns": r.p50_ns,
+                    "p50_share": r.p50_share,
+                    "p99_ns": r.p99_ns,
+                    "p99_share": r.p99_share,
+                    "diff_share": r.diff_share,
+                })
+            })
+            .collect();
+        json!({
+            "requests": self.requests,
+            "e2e": {
+                "p50_ns": self.p50_ns,
+                "p99_ns": self.p99_ns,
+                "max_ns": self.max_ns,
+            },
+            "cohorts": {
+                "p50_band_requests": self.p50_band_requests,
+                "p99_band_requests": self.p99_band_requests,
+            },
+            "top_p99": self.top_p99().map(|t| json!({
+                "site": t.site, "kind": t.kind.name(), "share": t.p99_share,
+            })).unwrap_or(Value::Null),
+            "rows": rows,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Span-DAG model (the invariant the attribution rests on)
+// ---------------------------------------------------------------------
+
+/// A pure causal span DAG: spans are `[start, end]` nanosecond intervals,
+/// edges assert happens-before (`a.end <= b.start`). The critical path is
+/// the causally-ordered chain with the largest total span duration; since
+/// chain spans are pairwise disjoint and contained in the DAG's envelope,
+/// its length can never exceed the end-to-end time, with equality exactly
+/// when a chain tiles the envelope gap-free — the property the telescoping
+/// frontier decomposition realizes on every simulated request.
+#[derive(Debug, Clone, Default)]
+pub struct SpanDag {
+    spans: Vec<(u64, u64)>,
+    preds: Vec<Vec<usize>>,
+}
+
+impl SpanDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a span `[start_ns, end_ns]`, returning its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end_ns < start_ns`.
+    pub fn add_span(&mut self, start_ns: u64, end_ns: u64) -> usize {
+        assert!(end_ns >= start_ns, "span ends before it starts");
+        self.spans.push((start_ns, end_ns));
+        self.preds.push(Vec::new());
+        self.spans.len() - 1
+    }
+
+    /// Adds a causal edge `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range, `from >= to` (edges must
+    /// point forward so the insertion order is a topological order), or the
+    /// spans overlap (`from` must end before `to` starts).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(
+            from < to && to < self.spans.len(),
+            "edge must point forward"
+        );
+        assert!(
+            self.spans[from].1 <= self.spans[to].0,
+            "causal edge between overlapping spans"
+        );
+        self.preds[to].push(from);
+    }
+
+    /// End-to-end time: latest end minus earliest start (0 when empty).
+    pub fn e2e_ns(&self) -> u64 {
+        let start = self.spans.iter().map(|s| s.0).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.1).max().unwrap_or(0);
+        end - start
+    }
+
+    /// Length of the critical path: the maximum, over causally-ordered
+    /// chains, of the sum of span durations. Always `<= e2e_ns()`.
+    pub fn critical_path_ns(&self) -> u64 {
+        let mut best = vec![0u64; self.spans.len()];
+        let mut answer = 0;
+        for i in 0..self.spans.len() {
+            let dur = self.spans[i].1 - self.spans[i].0;
+            let via = self.preds[i].iter().map(|&p| best[p]).max().unwrap_or(0);
+            best[i] = dur + via;
+            answer = answer.max(best[i]);
+        }
+        answer
+    }
+
+    /// Builds a gap-free serial chain from consecutive durations (each span
+    /// starts exactly where the previous ended) — the equality case of the
+    /// critical-path bound.
+    pub fn serial_chain(durations: &[u64]) -> SpanDag {
+        let mut dag = SpanDag::new();
+        let mut t = 0u64;
+        let mut prev: Option<usize> = None;
+        for &d in durations {
+            let i = dag.add_span(t, t + d);
+            if let Some(p) = prev {
+                dag.add_edge(p, i);
+            }
+            prev = Some(i);
+            t += d;
+        }
+        dag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_kind_names_are_stable() {
+        let names: Vec<&str> = EdgeKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "client_wait",
+                "network",
+                "queue_wait",
+                "service",
+                "blocking",
+                "fan_in_sync",
+                "retry_backoff"
+            ]
+        );
+        for c in LatencyComponent::ALL {
+            assert_eq!(EdgeKind::from_component(c).name(), c.name());
+        }
+    }
+
+    #[test]
+    fn observe_and_report() {
+        let mut p = CpcProfile::new();
+        // 9 fast requests dominated by service, one slow one dominated by
+        // queue wait: the differential must point at the queue.
+        for _ in 0..9 {
+            p.observe(
+                1_000,
+                &[
+                    ("api/handler", EdgeKind::Service, 800),
+                    ("client:wrk", EdgeKind::Network, 200),
+                ],
+            );
+        }
+        p.observe(
+            100_000,
+            &[
+                ("api/handler", EdgeKind::QueueWait, 95_000),
+                ("api/handler", EdgeKind::Service, 4_000),
+                ("client:wrk", EdgeKind::Network, 1_000),
+            ],
+        );
+        assert_eq!(p.requests(), 10);
+        let report = p.report();
+        assert_eq!(report.requests, 10);
+        let top = report.top_p99().expect("non-empty");
+        assert_eq!(top.site, "api/handler");
+        assert_eq!(top.kind, EdgeKind::QueueWait);
+        let diff = report.ranked_by_diff();
+        assert_eq!(diff[0].kind, EdgeKind::QueueWait);
+        assert!(diff[0].diff_share > 0.5);
+        // Shares within each cohort sum to 1.
+        let overall: f64 = report.rows.iter().map(|r| r.overall_share).sum();
+        assert!((overall - 1.0).abs() < 1e-12, "{overall}");
+        let text = report.to_text();
+        assert!(text.contains("top p99 contributor: api/handler queue_wait"));
+        assert!(report.to_csv().starts_with("site,kind,overall_ns"));
+        assert_eq!(report.to_json()["requests"], 10u64);
+        assert!(p.to_folded().contains("api/handler;queue_wait 95000\n"));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_exact() {
+        let seg_a: &[(&str, EdgeKind, u64)] = &[
+            ("a/s0", EdgeKind::Service, 700),
+            ("client:c", EdgeKind::Network, 300),
+        ];
+        let seg_b: &[(&str, EdgeKind, u64)] = &[
+            ("b/s0", EdgeKind::QueueWait, 40_000),
+            ("client:c", EdgeKind::Network, 2_000),
+        ];
+        let mut x = CpcProfile::new();
+        x.observe(1_000, seg_a);
+        let mut y = CpcProfile::new();
+        y.observe(42_000, seg_b);
+
+        let mut xy = x.clone();
+        xy.merge(&y);
+        let mut yx = y.clone();
+        yx.merge(&x);
+        assert_eq!(xy, yx);
+
+        let mut both = CpcProfile::new();
+        both.observe(1_000, seg_a);
+        both.observe(42_000, seg_b);
+        assert_eq!(xy, both);
+    }
+
+    #[test]
+    fn empty_profile_renders() {
+        let p = CpcProfile::new();
+        let report = p.report();
+        assert_eq!(report.requests, 0);
+        assert!(report.top_p99().is_none());
+        assert!(report.to_text().contains("no measured completions"));
+        assert!(p
+            .registry()
+            .to_prometheus()
+            .contains("uqsim_critpath_requests 0"));
+    }
+
+    #[test]
+    fn span_dag_bound_and_equality() {
+        // Serial chain: equality.
+        let chain = SpanDag::serial_chain(&[10, 20, 30]);
+        assert_eq!(chain.e2e_ns(), 60);
+        assert_eq!(chain.critical_path_ns(), 60);
+
+        // Fan-out/fan-in: the long branch is the critical path, strictly
+        // below the envelope when gaps (network) separate the spans.
+        let mut dag = SpanDag::new();
+        let root = dag.add_span(0, 10);
+        let fast = dag.add_span(15, 20);
+        let slow = dag.add_span(15, 90);
+        let join = dag.add_span(95, 100);
+        dag.add_edge(root, fast);
+        dag.add_edge(root, slow);
+        dag.add_edge(fast, join);
+        dag.add_edge(slow, join);
+        assert_eq!(dag.e2e_ns(), 100);
+        assert_eq!(dag.critical_path_ns(), 10 + 75 + 5);
+        assert!(dag.critical_path_ns() <= dag.e2e_ns());
+    }
+}

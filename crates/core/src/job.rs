@@ -84,6 +84,11 @@ pub struct Request {
     /// so far. Because every charge advances `mark` to "now", the entries
     /// telescope: on completion they sum exactly to `completed - submitted`.
     pub components_ns: [u64; crate::telemetry::LatencyComponent::COUNT],
+    /// Critical-path segments, one per non-zero telescoping charge, in
+    /// charge order. Only populated while the streaming critical-path mode
+    /// ([`crate::telemetry::TelemetryConfig::critpath`]) is on; empty
+    /// otherwise.
+    pub crit: Vec<crate::critpath::CritSeg>,
 }
 
 /// A live job: one request visiting one path node.
@@ -220,6 +225,7 @@ impl<T> Arena<T> {
 pub struct RequestArena {
     arena: Arena<Request>,
     node_pool: Vec<Vec<NodeRuntime>>,
+    crit_pool: Vec<Vec<crate::critpath::CritSeg>>,
 }
 
 impl RequestArena {
@@ -239,6 +245,8 @@ impl RequestArena {
         let mut nodes = self.node_pool.pop().unwrap_or_default();
         nodes.clear();
         nodes.resize_with(node_count, NodeRuntime::default);
+        let mut crit = self.crit_pool.pop().unwrap_or_default();
+        crit.clear();
         let (slot, generation) = self.arena.alloc_with(|slot, generation| Request {
             id: RequestId::new(slot, generation),
             ty,
@@ -260,6 +268,7 @@ impl RequestArena {
             superseded: false,
             mark: submitted,
             components_ns: [0; crate::telemetry::LatencyComponent::COUNT],
+            crit,
         });
         RequestId::new(slot, generation)
     }
@@ -274,7 +283,8 @@ impl RequestArena {
         self.arena.get_mut(id.slot, id.generation)
     }
 
-    /// Frees a completed request, reclaiming its node vector for reuse.
+    /// Frees a completed request, reclaiming its node and critical-path
+    /// segment vectors for reuse.
     ///
     /// # Panics
     ///
@@ -284,6 +294,9 @@ impl RequestArena {
         let mut nodes = std::mem::take(&mut req.nodes);
         nodes.clear();
         self.node_pool.push(nodes);
+        let mut crit = std::mem::take(&mut req.crit);
+        crit.clear();
+        self.crit_pool.push(crit);
         req
     }
 

@@ -79,6 +79,7 @@ pub mod client;
 pub mod config;
 pub mod connection;
 pub mod controller;
+pub mod critpath;
 pub mod dist;
 pub mod error;
 pub mod event;
@@ -102,6 +103,7 @@ pub mod time;
 pub mod trace;
 
 pub use builder::{ExecSpec, ScenarioBuilder};
+pub use critpath::{CpcProfile, CpcReport, EdgeKind, SpanDag};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, FaultSpec, FaultSummary};
 pub use partition::{run_partitioned, PartitionOptions, PartitionPlan, PartitionedRun};

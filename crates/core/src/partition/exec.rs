@@ -52,11 +52,15 @@ pub struct PartitionOptions {
 
 impl PartitionOptions {
     /// Options for a plain `shards`-way run: default (decomposition-only)
-    /// telemetry, no span tracing, 8 sync windows.
+    /// telemetry plus the streaming critical-path profile, no span tracing,
+    /// 8 sync windows.
     pub fn with_shards(shards: usize) -> Self {
         PartitionOptions {
             shards: shards.max(1),
-            telemetry: TelemetryConfig::default(),
+            telemetry: TelemetryConfig {
+                critpath: true,
+                ..TelemetryConfig::default()
+            },
             span_tracing: None,
             sync_windows: 8,
         }

@@ -10,6 +10,7 @@
 
 use std::cmp::Ordering;
 
+use crate::critpath::CpcProfile;
 use crate::fault::FaultSummary;
 use crate::metrics::LatencySummary;
 use crate::run::RunResult;
@@ -54,6 +55,15 @@ pub fn merge_results(master_seed: u64, cells: &[CellOutput]) -> RunResult {
         .iter()
         .filter_map(|c| c.result.fault.as_ref())
         .collect();
+    // Fold per-cell CPC profiles in cell order: site labels are globally
+    // unique across cells, so the merge is a pure histogram sum and the
+    // merged profile is byte-identical at any shard count (invariant P7).
+    let mut critpath: Option<CpcProfile> = None;
+    for c in cells {
+        if let Some(p) = &c.result.critpath {
+            critpath.get_or_insert_with(CpcProfile::new).merge(p);
+        }
+    }
     RunResult {
         seed: master_seed,
         duration,
@@ -76,6 +86,7 @@ pub fn merge_results(master_seed: u64, cells: &[CellOutput]) -> RunResult {
         } else {
             Some(merge_fault_summaries(&faults))
         },
+        critpath,
     }
 }
 
@@ -307,9 +318,22 @@ fn tick_blocks(csv: &str) -> Vec<Vec<&str>> {
 /// without the sampler (all cells share one telemetry config, so this is
 /// all-or-nothing in practice).
 ///
+/// **Row/label ordering contract** (pinned by the `metrics_golden` CLI
+/// test): within each tick, rows follow
+/// [`Simulator::metrics_csv`](crate::sim::Simulator::metrics_csv) order —
+/// the five `windowed_*` summary rows, then every gauge series in its
+/// registration (configuration) order — and cells concatenate in cell
+/// order. A **single-cell** merge is the identity: its bytes equal the
+/// unsharded CSV exactly, `windowed_*` labels included, so the two merge
+/// paths only diverge when there is genuinely more than one summary to
+/// keep apart.
+///
 /// All cells tick on the same schedule (same duration, same interval); if
 /// tick counts ever differ the merge stops at the shortest cell.
 pub fn merge_csv(cells: &[CellOutput]) -> Option<String> {
+    if let [only] = cells {
+        return only.csv.clone();
+    }
     let mut per_cell: Vec<Vec<Vec<&str>>> = Vec::with_capacity(cells.len());
     for c in cells {
         per_cell.push(tick_blocks(c.csv.as_deref()?));

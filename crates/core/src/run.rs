@@ -149,6 +149,11 @@ pub struct RunResult {
     /// Fault-engine counters and fault-window timeline; `None` when the run
     /// had no fault plan.
     pub fault: Option<FaultSummary>,
+    /// Critical-path contribution profile over the measured completions
+    /// (see [`crate::critpath`]). Always `Some` for [`run_one`] /
+    /// [`run_one_faulted`] runs (the streaming mode is on by default
+    /// there); `None` when the simulator ran without it.
+    pub critpath: Option<crate::critpath::CpcProfile>,
 }
 
 /// Builds `cfg` with its seed replaced by `seed`, runs it for `duration`
@@ -193,7 +198,10 @@ pub fn run_one_faulted(
     if let Some(plan) = faults {
         sim.install_faults(plan)?;
     }
-    sim.enable_telemetry(TelemetryConfig::default());
+    sim.enable_telemetry(TelemetryConfig {
+        critpath: true,
+        ..TelemetryConfig::default()
+    });
     sim.run_for(duration);
     Ok(summarize(&sim, seed, duration, cfg.warmup_s))
 }
@@ -230,6 +238,7 @@ pub(crate) fn summarize(
         events_processed: sim.events_processed(),
         metrics: sim.metrics_snapshot(),
         fault: sim.fault_summary(),
+        critpath: sim.critpath_profile(),
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::connection::{Connection, ConnectionPool, UpEndpoint};
 use crate::controller::{ControlAction, Controller, TickStats};
+use crate::critpath::{CritSeg, CritSite, EdgeKind};
 use crate::event::{EventKind, EventQueue, Packet, PacketDest};
 use crate::ids::{
     ClientId, ConnectionId, ControllerId, InstanceId, JobId, MachineId, PathNodeId, PoolId,
@@ -21,12 +22,23 @@ use crate::path::{InstanceSelect, LinkKind, NodeTarget, PathSelect, RequestType}
 use crate::service::ServiceModel;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{
-    AuditCounts, AuditReport, InstanceMeta, MachineMeta, RequestTypeMeta, TraceAuditor, TraceEvent,
-    TraceLog, TraceMeta,
+    AuditCounts, AuditReport, ClientMeta, InstanceMeta, MachineMeta, PoolMeta, RequestTypeMeta,
+    TraceAuditor, TraceEvent, TraceLog, TraceMeta,
 };
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::collections::VecDeque;
+
+/// Where a latency charge happened, resolved lazily against the request
+/// inside `attribute_latency` (`Client` avoids a second arena lookup at the
+/// call site — the charged request's own client is meant).
+#[derive(Debug, Clone, Copy)]
+enum CritSiteRef {
+    Client,
+    Instance(InstanceId),
+    Stage(InstanceId, u32),
+    Pool(PoolId),
+}
 
 /// Global simulation parameters.
 #[derive(Debug, Clone)]
@@ -601,6 +613,21 @@ impl Simulator {
                     nodes: t.nodes.iter().map(|n| n.name.clone()).collect(),
                 })
                 .collect(),
+            pools: self
+                .pools
+                .iter()
+                .map(|p| PoolMeta {
+                    up: self.instances[p.up_instance.index()].name.clone(),
+                    down: self.instances[p.down_instance.index()].name.clone(),
+                })
+                .collect(),
+            clients: self
+                .clients
+                .iter()
+                .map(|c| ClientMeta {
+                    name: c.spec.name.clone(),
+                })
+                .collect(),
         }
     }
 
@@ -631,6 +658,18 @@ impl Simulator {
         self.span_log
             .as_deref()
             .map(|log| TraceAuditor::new().audit(log, &self.audit_counts()))
+    }
+
+    /// The streaming critical-path contribution profile accumulated so far
+    /// (label-resolved and mergeable), or `None` unless telemetry was
+    /// enabled with [`TelemetryConfig::critpath`](crate::telemetry::TelemetryConfig)
+    /// set.
+    pub fn critpath_profile(&self) -> Option<crate::critpath::CpcProfile> {
+        let tel = self.telemetry.as_deref()?;
+        if !tel.cfg.critpath {
+            return None;
+        }
+        Some(tel.crit.snapshot(&self.trace_meta()))
     }
 
     /// Starts recording per-invocation service times for every stage of
@@ -849,15 +888,45 @@ impl Simulator {
     /// `component` and advances the frontier to now. Consecutive charges
     /// telescope, so on completion the components sum exactly to
     /// `completed - submitted`. A single branch when telemetry is off.
+    ///
+    /// `site` records *where* the time was spent; when the streaming
+    /// critical-path mode is on, every non-zero charge additionally buffers
+    /// a [`CritSeg`] on the request (folded into the CPC profile at
+    /// completion).
     #[inline]
-    fn attribute_latency(&mut self, rid: RequestId, component: crate::telemetry::LatencyComponent) {
-        if self.telemetry.is_none() {
-            return;
-        }
+    fn attribute_latency(
+        &mut self,
+        rid: RequestId,
+        component: crate::telemetry::LatencyComponent,
+        site: CritSiteRef,
+    ) {
+        let crit_on = match self.telemetry.as_deref() {
+            None => return,
+            Some(t) => t.cfg.critpath,
+        };
         if let Some(req) = self.requests.get_mut(rid) {
             let dt = (self.now - req.mark).as_nanos();
             req.mark = self.now;
             req.components_ns[component as usize] += dt;
+            if crit_on && dt > 0 {
+                // A retry's launch delay is backoff, not ordinary client
+                // connection wait; hedge twins keep the plain kind.
+                let kind = if component == crate::telemetry::LatencyComponent::ClientWait
+                    && req.attempt > 0
+                    && req.hedge_twin.is_none()
+                {
+                    EdgeKind::RetryBackoff
+                } else {
+                    EdgeKind::from_component(component)
+                };
+                let site = match site {
+                    CritSiteRef::Client => CritSite::Client(req.client),
+                    CritSiteRef::Instance(i) => CritSite::Instance(i),
+                    CritSiteRef::Stage(i, s) => CritSite::Stage(i, s),
+                    CritSiteRef::Pool(p) => CritSite::Pool(p),
+                };
+                req.crit.push(CritSeg { site, kind, ns: dt });
+            }
         }
     }
 
@@ -942,7 +1011,11 @@ impl Simulator {
     fn launch_request(&mut self, rid: RequestId, conn_id: ConnectionId) {
         // Time between generation and hitting the wire is client-side
         // connection wait (coordinated-omission territory).
-        self.attribute_latency(rid, crate::telemetry::LatencyComponent::ClientWait);
+        self.attribute_latency(
+            rid,
+            crate::telemetry::LatencyComponent::ClientWait,
+            CritSiteRef::Client,
+        );
         self.conns[conn_id.index()].busy = true;
         let ty = {
             let req = self.requests.get_mut(rid).expect("request exists");
@@ -969,7 +1042,11 @@ impl Simulator {
 
     fn on_deliver_to_client(&mut self, rid: RequestId) {
         // The final leg (last node exit → client) is network time.
-        self.attribute_latency(rid, crate::telemetry::LatencyComponent::Network);
+        self.attribute_latency(
+            rid,
+            crate::telemetry::LatencyComponent::Network,
+            CritSiteRef::Client,
+        );
         let (
             latency,
             conn_id,
@@ -1060,6 +1137,19 @@ impl Simulator {
                 latency,
                 timed_out || superseded,
             );
+            if tel.cfg.critpath && measured {
+                // Fold the request's critical path into the CPC profile.
+                // `telemetry` and `requests` are disjoint fields, so both
+                // mutable borrows coexist.
+                if let Some(req) = self.requests.get(rid) {
+                    debug_assert_eq!(
+                        req.crit.iter().map(|s| s.ns).sum::<u64>(),
+                        latency.as_nanos(),
+                        "critical-path segments do not telescope"
+                    );
+                    tel.crit.fold(latency.as_nanos(), &req.crit);
+                }
+            }
         }
         if live_jobs == 0 {
             self.requests.free(rid);
@@ -1439,6 +1529,7 @@ impl Simulator {
                 log.record(TraceEvent::FanIn {
                     request: rid,
                     node,
+                    instance: Some(inst_id),
                     arrivals,
                     fan_in: fan_in as u32,
                     required: required as u32,
@@ -1454,7 +1545,7 @@ impl Simulator {
         } else {
             crate::telemetry::LatencyComponent::Network
         };
-        self.attribute_latency(rid, comp);
+        self.attribute_latency(rid, comp, CritSiteRef::Instance(inst_id));
         if !fired {
             self.jobs.free(job_id);
             self.try_finalize(rid);
@@ -1614,6 +1705,13 @@ impl Simulator {
                         req.mark = self.now;
                         req.components_ns
                             [crate::telemetry::LatencyComponent::QueueWait as usize] += dt;
+                        if tel.cfg.critpath && dt > 0 {
+                            req.crit.push(CritSeg {
+                                site: CritSite::Stage(inst_id, stage_idx as u32),
+                                kind: EdgeKind::QueueWait,
+                                ns: dt,
+                            });
+                        }
                     }
                     if self.now >= tel.warmup_at {
                         tel.stage_queue_wait[i][stage_idx].record((self.now - enqueued).as_nanos());
@@ -1741,7 +1839,11 @@ impl Simulator {
                     svc_start,
                 )
             };
-            self.attribute_latency(rid, crate::telemetry::LatencyComponent::Service);
+            self.attribute_latency(
+                rid,
+                crate::telemetry::LatencyComponent::Service,
+                CritSiteRef::Stage(inst_id, batch.stage.raw()),
+            );
             if let Some(tel) = self.telemetry.as_deref_mut() {
                 if self.now >= tel.warmup_at {
                     tel.stage_service[i][batch.stage.index()]
@@ -1882,6 +1984,7 @@ impl Simulator {
                         log.record(TraceEvent::FanIn {
                             request: rid,
                             node: child,
+                            instance: None,
                             arrivals,
                             fan_in: fan_in as u32,
                             required: required as u32,
@@ -2091,12 +2194,17 @@ impl Simulator {
                     j.request
                 };
                 // Time spent waiting for a pooled connection is blocking.
-                self.attribute_latency(rid, crate::telemetry::LatencyComponent::Blocking);
+                self.attribute_latency(
+                    rid,
+                    crate::telemetry::LatencyComponent::Blocking,
+                    CritSiteRef::Pool(pid),
+                );
                 if let Some(log) = self.span_log.as_deref_mut() {
                     log.record(TraceEvent::PoolGrant {
                         pool: pid,
                         conn: c,
                         job,
+                        request: rid,
                         t: self.now,
                     });
                 }
@@ -2309,12 +2417,17 @@ impl Simulator {
                         j.conn = Some(c);
                         j.request
                     };
-                    self.attribute_latency(rid, crate::telemetry::LatencyComponent::Blocking);
+                    self.attribute_latency(
+                        rid,
+                        crate::telemetry::LatencyComponent::Blocking,
+                        CritSiteRef::Pool(pid),
+                    );
                     if let Some(log) = self.span_log.as_deref_mut() {
                         log.record(TraceEvent::PoolGrant {
                             pool: pid,
                             conn: c,
                             job,
+                            request: rid,
                             t: self.now,
                         });
                     }

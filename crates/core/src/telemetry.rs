@@ -60,7 +60,7 @@ const SUB_BUCKETS: u64 = 1 << SUB_BITS;
 /// Bucket index for a nanosecond value. Pure integer bit arithmetic — no
 /// floating point — so bucketing is identical on every platform, which the
 /// byte-stable Prometheus golden test relies on.
-fn bucket_index(v: u64) -> usize {
+pub(crate) fn bucket_index(v: u64) -> usize {
     if v < SUB_BUCKETS {
         v as usize
     } else {
@@ -71,7 +71,7 @@ fn bucket_index(v: u64) -> usize {
 }
 
 /// Largest value contained in bucket `idx` (inclusive).
-fn bucket_upper(idx: usize) -> u64 {
+pub(crate) fn bucket_upper(idx: usize) -> u64 {
     let idx = idx as u64;
     if idx < SUB_BUCKETS {
         idx
@@ -234,6 +234,12 @@ impl StreamingHistogram {
         self.min_ns = self.min_ns.min(other.min_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
+
+    /// Raw bucket counts (index = [`bucket_index`]), for cohort slicing in
+    /// [`crate::critpath`].
+    pub(crate) fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -381,6 +387,12 @@ pub struct TelemetryConfig {
     pub breakdown_capacity: usize,
     /// Collect wall-clock self-profiling samples at each sampler tick.
     pub self_profile: bool,
+    /// Accumulate a streaming critical-path contribution profile
+    /// ([`crate::critpath::CpcProfile`]): every telescoping latency charge
+    /// additionally records a per-site segment, folded per e2e-latency
+    /// bucket on measured completions. Bounded memory, non-perturbing
+    /// (completions are bit-identical on vs off).
+    pub critpath: bool,
 }
 
 /// One closed sampler window: the latency summary over completions in the
@@ -896,6 +908,8 @@ pub(crate) struct TelemetryState {
     /// Retry-emission counter at the previous tick (fault series only).
     pub(crate) prev_retried: u64,
     pub(crate) profile: Option<ProfileState>,
+    /// Streaming critical-path accumulator (only fed when `cfg.critpath`).
+    pub(crate) crit: crate::critpath::CritAccum,
 }
 
 impl TelemetryState {
@@ -1037,6 +1051,7 @@ impl Simulator {
             profile: cfg
                 .self_profile
                 .then(|| ProfileState::new(self.now, self.events_processed)),
+            crit: crate::critpath::CritAccum::default(),
         };
         self.telemetry = Some(Box::new(state));
         self.push_util_checkpoint();
@@ -1552,6 +1567,15 @@ impl Simulator {
     /// The long-form time-series CSV (`t_s,metric,label,value`), or `None`
     /// when the sampler is disabled. Rows are tick-major: the windowed
     /// latency summary of each tick, then every gauge series at that tick.
+    ///
+    /// **Row/label ordering contract** (pinned by the `metrics_golden` CLI
+    /// test): each tick emits exactly five `windowed_*` rows with an empty
+    /// label, in the fixed order `count`, `throughput_qps`, `p50_seconds`,
+    /// `p95_seconds`, `p99_seconds`, followed by every gauge series in its
+    /// registration order — the order entities appear in the scenario
+    /// configuration — labeled with the entity name. The partitioned merge
+    /// ([`merge_csv`](crate::partition::merge_csv)) preserves this
+    /// per-cell ordering and is the byte-identity for single-cell runs.
     pub fn metrics_csv(&self) -> Option<String> {
         let tel = self.telemetry.as_deref()?;
         tel.cfg.sample_interval?;

@@ -189,6 +189,8 @@ pub enum TraceEvent {
         conn: ConnectionId,
         /// The job that had been waiting.
         job: JobId,
+        /// The waiting job's owning request.
+        request: RequestId,
         /// Grant time.
         t: SimTime,
     },
@@ -208,6 +210,9 @@ pub enum TraceEvent {
         request: RequestId,
         /// The join node.
         node: PathNodeId,
+        /// The instance the copy arrived at, or `None` when the join is the
+        /// client sink (the response leaves the service mesh there).
+        instance: Option<InstanceId>,
         /// Copies arrived so far, including this one.
         arrivals: u32,
         /// Parents the node waits for.
@@ -495,6 +500,10 @@ pub struct TraceMeta {
     pub instances: Vec<InstanceMeta>,
     /// One entry per request type.
     pub request_types: Vec<RequestTypeMeta>,
+    /// One entry per connection pool.
+    pub pools: Vec<PoolMeta>,
+    /// One entry per client.
+    pub clients: Vec<ClientMeta>,
 }
 
 /// Display metadata for one machine.
@@ -524,6 +533,22 @@ pub struct RequestTypeMeta {
     pub name: String,
     /// Node names, in node-id order.
     pub nodes: Vec<String>,
+}
+
+/// Display metadata for one connection pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolMeta {
+    /// Upstream (acquiring) instance name.
+    pub up: String,
+    /// Downstream (target) instance name.
+    pub down: String,
+}
+
+/// Display metadata for one client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientMeta {
+    /// Client name.
+    pub name: String,
 }
 
 fn ts_us(t: SimTime) -> f64 {
@@ -1133,6 +1158,7 @@ mod tests {
         TraceEvent::FanIn {
             request: rid(req),
             node: PathNodeId::from_raw(2),
+            instance: Some(InstanceId::from_raw(0)),
             arrivals,
             fan_in,
             required,
@@ -1426,6 +1452,8 @@ mod tests {
                 name: "get".into(),
                 nodes: vec!["svc".into(), "client_sink".into()],
             }],
+            pools: vec![],
+            clients: vec![ClientMeta { name: "wrk".into() }],
         };
         let log = log_of(vec![
             emit(1, 1_000),

@@ -1,0 +1,61 @@
+//! Integration tests of critical-path attribution: the streaming
+//! (in-sim) fold and the post-hoc trace replay must produce *identical*
+//! CPC profiles — the correspondence that lets `uqsim why` validate its
+//! own bookkeeping on every run — both on a clean run and under a fault
+//! plan with retries, crashes, and slowdowns in play.
+
+use uqsim_core::config::ScenarioConfig;
+use uqsim_core::critpath::CpcProfile;
+use uqsim_core::fault::FaultPlan;
+use uqsim_core::run::{EXAMPLE_FAULTS, EXAMPLE_SCENARIO};
+use uqsim_core::telemetry::TelemetryConfig;
+use uqsim_core::time::SimDuration;
+
+const SPAN_CAPACITY: usize = 4_000_000;
+
+fn streaming_and_replayed(faults: Option<&str>) -> (CpcProfile, CpcProfile) {
+    let cfg = ScenarioConfig::from_json(EXAMPLE_SCENARIO).unwrap();
+    let mut sim = cfg.build().unwrap();
+    if let Some(text) = faults {
+        let plan = FaultPlan::from_json(text).unwrap();
+        sim.install_faults(&plan).unwrap();
+    }
+    sim.enable_span_tracing(SPAN_CAPACITY);
+    sim.enable_telemetry(TelemetryConfig {
+        critpath: true,
+        ..TelemetryConfig::default()
+    });
+    sim.run_for(SimDuration::from_secs(2));
+
+    let log = sim.span_log().expect("span tracing is on");
+    assert_eq!(log.dropped(), 0, "span log truncated; raise SPAN_CAPACITY");
+    let replayed = CpcProfile::from_trace(log, &sim.trace_meta())
+        .expect("replay telescopes on a complete trace");
+    let streaming = sim.critpath_profile().expect("critpath telemetry is on");
+    (streaming, replayed)
+}
+
+/// Clean run: the bounded-memory streaming fold and the full trace replay
+/// agree bit-for-bit, and both saw real traffic.
+#[test]
+fn streaming_equals_replay_on_clean_run() {
+    let (streaming, replayed) = streaming_and_replayed(None);
+    assert!(streaming.requests() > 0, "no requests measured");
+    assert_eq!(
+        streaming, replayed,
+        "streaming and trace-replayed CPC profiles disagree"
+    );
+}
+
+/// Faulted run: crashes, a machine slowdown, and client retries exercise
+/// the retry_backoff / blocking edge kinds; the two folds must still
+/// agree exactly.
+#[test]
+fn streaming_equals_replay_under_faults() {
+    let (streaming, replayed) = streaming_and_replayed(Some(EXAMPLE_FAULTS));
+    assert!(streaming.requests() > 0, "no requests measured");
+    assert_eq!(
+        streaming, replayed,
+        "streaming and trace-replayed CPC profiles disagree under faults"
+    );
+}

@@ -171,6 +171,12 @@ pub struct SweepRow {
     /// (discriminant order of [`uqsim_core::LatencyComponent`]), averaged
     /// over replications.
     pub components_ms: [f64; uqsim_core::LatencyComponent::COUNT],
+    /// The p99+-cohort's top critical-path contributor as `site kind`
+    /// (e.g. `backend/handler queue_wait`), from the replications' merged
+    /// attribution profile; empty when no replication carried a profile.
+    pub critpath_top: String,
+    /// That contributor's share of the p99+ cohort's critical-path time.
+    pub critpath_top_share: f64,
 }
 
 /// The aggregated result of one sweep, plus the parameters that produced
@@ -197,7 +203,7 @@ impl SweepTable {
              p50_ms,p50_ms_ci95,p95_ms,p95_ms_ci95,p99_ms,p99_ms_ci95,max_ms,completed,timeouts,\
              instance_util,network_util,client_wait_ms,network_ms,queue_wait_ms,service_ms,\
              blocking_ms,fan_in_sync_ms,goodput_qps,goodput_qps_ci95,dropped,shed,retried,\
-             degraded\n",
+             degraded,critpath_top,critpath_top_share\n",
         );
         for r in &self.rows {
             let ms = |c: &MeanCi| format!("{:.6},{:.6}", c.mean * 1e3, c.half_width * 1e3);
@@ -221,13 +227,15 @@ impl SweepTable {
                 out.push_str(&format!(",{c:.6}"));
             }
             out.push_str(&format!(
-                ",{:.3},{:.3},{},{},{},{}\n",
+                ",{:.3},{:.3},{},{},{},{},{},{:.4}\n",
                 r.goodput_qps.mean,
                 r.goodput_qps.half_width,
                 r.dropped,
                 r.shed,
                 r.retried,
                 r.degraded,
+                r.critpath_top,
+                r.critpath_top_share,
             ));
         }
         out
@@ -281,6 +289,10 @@ impl SweepTable {
                         "network": ci(&r.network_util),
                     },
                     "latency_components_s": components,
+                    "critpath": {
+                        "top": r.critpath_top,
+                        "top_p99_share": r.critpath_top_share,
+                    },
                 })
             })
             .collect();
@@ -298,6 +310,25 @@ impl SweepTable {
 /// replication order — deterministic regardless of completion order.
 fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
     let pick = |f: &dyn Fn(&RunResult) -> f64| -> Vec<f64> { reps.iter().map(f).collect() };
+    // Merge the replications' attribution profiles (rep order; the merge
+    // is commutative, so the order only matters for determinism) and name
+    // the p99-cohort's dominant contributor.
+    let mut merged: Option<uqsim_core::CpcProfile> = None;
+    for r in reps {
+        if let Some(p) = &r.critpath {
+            merged
+                .get_or_insert_with(uqsim_core::CpcProfile::new)
+                .merge(p);
+        }
+    }
+    let mut critpath_top = String::new();
+    let mut critpath_top_share = 0.0;
+    if let Some(report) = merged.map(|p| p.report()) {
+        if let Some(row) = report.top_p99() {
+            critpath_top = format!("{} {}", row.site, row.kind.name());
+            critpath_top_share = row.p99_share;
+        }
+    }
     SweepRow {
         offered_qps,
         reps: reps.len(),
@@ -329,6 +360,8 @@ fn aggregate(offered_qps: f64, reps: &[RunResult]) -> SweepRow {
             }
             ms
         },
+        critpath_top,
+        critpath_top_share,
     }
 }
 
