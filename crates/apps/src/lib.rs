@@ -36,5 +36,6 @@ pub mod memcached;
 pub mod mongodb;
 pub mod nginx;
 pub mod noise;
+pub mod roles;
 pub mod scenarios;
 pub mod thrift;

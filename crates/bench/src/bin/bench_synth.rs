@@ -1,0 +1,107 @@
+//! Generated-cluster scale benchmark: generates the bundled
+//! DeathStarBench-class spec (`crates/cli/configs/gen_dsb.json`, ~339
+//! services / ~1107 instances across 30 replicas) and measures both
+//! generation cost and partitioned-engine throughput on the result.
+//! Emits the JSON recorded as `BENCH_synth.json` at the repository root.
+//!
+//! ```text
+//! cargo run --release -p uqsim-bench --bin bench_synth > BENCH_synth.json
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+use uqsim_core::partition::{run_partitioned, PartitionOptions};
+use uqsim_core::time::SimDuration;
+use uqsim_synth::{summarize, GenSpec};
+
+const SIM_SECS: f64 = 1.0;
+// Single-vCPU CI containers show 30-50% wall-clock noise; best-of keeps
+// the minimum close to the true cost floor.
+const REPS: usize = 3;
+
+struct Measurement {
+    events_per_sec: f64,
+    events: u64,
+    completed: u64,
+    wall_s: f64,
+}
+
+/// Runs the generated cluster once per rep at `shards` and keeps the
+/// fastest rep (the usual microbenchmark convention).
+fn measure(spec: &GenSpec, shards: usize) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..REPS {
+        let cfg = spec.generate(spec.seed).expect("spec generates");
+        let start = Instant::now();
+        let run = run_partitioned(
+            &cfg,
+            None,
+            spec.seed,
+            SimDuration::from_secs_f64(SIM_SECS),
+            &PartitionOptions::with_shards(shards),
+        )
+        .expect("generated cluster runs");
+        let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+        let m = Measurement {
+            events_per_sec: run.result.events_processed as f64 / wall_s,
+            events: run.result.events_processed,
+            completed: run.result.completed,
+            wall_s,
+        };
+        if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one rep ran")
+}
+
+fn entry(name: &str, m: &Measurement) -> String {
+    format!(
+        "    {{ \"mode\": \"{name}\", \"events_per_sec\": {:.0}, \"events\": {}, \
+         \"completed\": {}, \"wall_s\": {:.4} }}",
+        m.events_per_sec, m.events, m.completed, m.wall_s
+    )
+}
+
+fn main() {
+    let spec_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../cli/configs/gen_dsb.json");
+    let spec = GenSpec::from_file(&spec_path).expect("bundled gen spec parses");
+
+    // Generation cost, best of REPS (generation is deterministic, so the
+    // output is identical each rep; only the wall clock varies).
+    let mut gen_wall_s = f64::INFINITY;
+    let mut cfg = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let c = spec.generate(spec.seed).expect("spec generates");
+        gen_wall_s = gen_wall_s.min(start.elapsed().as_secs_f64());
+        cfg = Some(c);
+    }
+    let s = summarize(&cfg.expect("at least one generation ran"));
+
+    let one = measure(&spec, 1);
+    let four = measure(&spec, 4);
+
+    println!("{{");
+    println!(
+        "  \"benchmark\": \"generated-cluster scale: gen_dsb.json, {SIM_SECS}s simulated, \
+         partitioned engine, best of {REPS}\","
+    );
+    println!("  \"command\": \"cargo run --release -p uqsim-bench --bin bench_synth\",");
+    println!("  \"spec\": \"crates/cli/configs/gen_dsb.json\",");
+    println!("  \"seed\": {},", spec.seed);
+    println!("  \"scale\": {{");
+    println!("    \"services\": {},", s.services);
+    println!("    \"instances\": {},", s.instances);
+    println!("    \"machines\": {},", s.machines);
+    println!("    \"pools\": {},", s.pools);
+    println!("    \"request_types\": {},", s.request_types);
+    println!("    \"clients\": {}", s.clients);
+    println!("  }},");
+    println!("  \"generation_wall_s\": {gen_wall_s:.4},");
+    println!("  \"runs\": [");
+    println!("{},", entry("shards_1", &one));
+    println!("{}", entry("shards_4", &four));
+    println!("  ]");
+    println!("}}");
+}

@@ -15,6 +15,7 @@
 //! uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]
 //! uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] [--events <n>]
 //!             [--shards <n>]
+//! uqsim gen --spec <gen.json> [--seed <n>] [--out <dir>] [--json]
 //! uqsim validate <scenario.json>
 //! uqsim split <scenario.json> <dir>
 //! uqsim example
@@ -72,6 +73,17 @@
 //! equivalent but not bitwise equal to a run *without* `--shards`;
 //! compare partitioned runs against partitioned runs.) Partition
 //! diagnostics go to stderr, keeping stdout shard-invariant.
+//!
+//! `gen` synthesizes a DeathStarBench-class scenario from a compact
+//! generation spec ([`uqsim_synth::GenSpec`]): layered service graphs with
+//! sampled widths and fan-outs, instance placement, pools, request DAGs,
+//! and clients. Generation is deterministic per `(spec, seed)` — `--json`
+//! output is byte-identical across runs and machines. `run`, `chaos`,
+//! `why`, and `sweep --config` accept `--gen <gen.json>` in place of a
+//! scenario path: the spec is generated on the fly (the command's `--seed`
+//! doubles as the generation seed) and then treated exactly like a
+//! hand-written scenario directory. An example spec ships at
+//! `crates/cli/configs/gen_dsb.json`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::Path;
@@ -132,7 +144,10 @@ fn usage() -> ExitCode {
          uqsim trace <scenario.json> [--duration <secs>] [--every <n>] [--max <n>]\n  \
          uqsim trace --config <scenario.json> [--out <trace.json>] [--duration <secs>] \
          [--events <n>] [--shards <n>]\n  \
-         uqsim validate <scenario.json|dir>\n  uqsim split <scenario.json> <dir>\n  uqsim example"
+         uqsim gen --spec <gen.json> [--seed <n>] [--out <dir>] [--json]\n  \
+         uqsim validate <scenario.json|dir>\n  uqsim split <scenario.json> <dir>\n  uqsim example\n\
+         \nrun, chaos, why, and sweep --config also accept --gen <gen.json> in place of a\n\
+         scenario path: the spec is generated (seed = --seed) and run like any scenario."
     );
     ExitCode::from(2)
 }
@@ -144,6 +159,69 @@ fn load(path: &Path) -> Result<ScenarioConfig, uqsim_core::SimError> {
     } else {
         ScenarioConfig::from_file(path)
     }
+}
+
+/// `--gen <spec>` support: generates the spec's scenario into a temp
+/// Table I directory and returns its path, so every command can load it
+/// exactly like a hand-written scenario directory. The command's `--seed`
+/// doubles as the generation seed (falling back to the spec's own
+/// default), keeping `(spec, seed) → scenario` reproducible from any
+/// entry point. The summary goes to stderr; stdout stays reserved for
+/// the command's own (byte-stable) output.
+fn materialize_gen(
+    spec_path: &Path,
+    seed: Option<u64>,
+) -> Result<std::path::PathBuf, uqsim_core::SimError> {
+    let spec = uqsim_synth::GenSpec::from_file(spec_path)?;
+    let seed = seed.unwrap_or(spec.seed);
+    let cfg = spec.generate(seed)?;
+    let dir = std::env::temp_dir().join(format!(
+        "uqsim-gen-{}-{}-{seed}",
+        std::process::id(),
+        spec.name
+    ));
+    cfg.write_dir(&dir)?;
+    eprintln!(
+        "generated {} seed {seed}: {} -> {}",
+        spec.name,
+        uqsim_synth::summarize(&cfg),
+        dir.display()
+    );
+    Ok(dir)
+}
+
+/// `uqsim gen`: generate a scenario from a spec, deterministically per
+/// `(spec, seed)`. `--out <dir>` writes the Table I layout the other
+/// commands load; `--json` prints the single-file scenario to stdout
+/// (byte-identical across runs — CI regenerates and `cmp`s it); with
+/// neither, the spec is validated, generated, and built, and only the
+/// summary line is printed.
+fn gen_cmd(
+    spec_path: &Path,
+    seed: Option<u64>,
+    out: Option<&Path>,
+    json: bool,
+) -> Result<(), uqsim_core::SimError> {
+    let spec = uqsim_synth::GenSpec::from_file(spec_path)?;
+    let seed = seed.unwrap_or(spec.seed);
+    let cfg = spec.generate(seed)?;
+    if let Some(dir) = out {
+        cfg.write_dir(dir)?;
+        eprintln!("wrote Table I layout to {}", dir.display());
+    }
+    if json {
+        println!("{}", cfg.to_json());
+    }
+    if out.is_none() && !json {
+        // Dry run: prove the generated scenario actually builds.
+        cfg.build()?;
+    }
+    eprintln!(
+        "generated {} seed {seed}: {}",
+        spec.name,
+        uqsim_synth::summarize(&cfg)
+    );
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -188,7 +266,56 @@ fn main() -> ExitCode {
                 }
             }
         }
-        Some("sweep") if args.iter().any(|a| a == "--config") => sweep_grid(&args[1..]),
+        Some("gen") => {
+            let mut spec_path = None;
+            let mut seed = None;
+            let mut out = None;
+            let mut json = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--spec" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        spec_path = Some(v.clone());
+                        i += 2;
+                    }
+                    "--seed" => {
+                        let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                            return usage();
+                        };
+                        seed = Some(v);
+                        i += 2;
+                    }
+                    "--out" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        out = Some(std::path::PathBuf::from(v));
+                        i += 2;
+                    }
+                    "--json" => {
+                        json = true;
+                        i += 1;
+                    }
+                    _ => return usage(),
+                }
+            }
+            let Some(spec_path) = spec_path else {
+                return usage();
+            };
+            match gen_cmd(Path::new(&spec_path), seed, out.as_deref(), json) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("sweep") if args.iter().any(|a| a == "--config" || a == "--gen") => {
+            sweep_grid(&args[1..])
+        }
         Some("sweep") => {
             let Some(path) = args.get(1) else {
                 return usage();
@@ -337,9 +464,8 @@ fn main() -> ExitCode {
             }
         }
         Some("run") => {
-            let Some(path) = args.get(1) else {
-                return usage();
-            };
+            let mut positional: Option<String> = None;
+            let mut gen_spec: Option<String> = None;
             let mut duration = 5.0f64;
             let mut json = false;
             let mut seed = None;
@@ -347,9 +473,16 @@ fn main() -> ExitCode {
             let mut sample_interval = 0.1f64;
             let mut faults = None;
             let mut shards = None;
-            let mut i = 2;
+            let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--gen" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        gen_spec = Some(v.clone());
+                        i += 2;
+                    }
                     "--duration" => {
                         let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
                             return usage();
@@ -402,12 +535,29 @@ fn main() -> ExitCode {
                         shards = Some(v);
                         i += 2;
                     }
+                    flag if flag.starts_with("--") => return usage(),
+                    _ if positional.is_none() => {
+                        positional = Some(args[i].clone());
+                        i += 1;
+                    }
                     _ => return usage(),
                 }
             }
+            let path = match (positional, gen_spec) {
+                (Some(p), None) => std::path::PathBuf::from(p),
+                (None, Some(spec)) => match materialize_gen(Path::new(&spec), seed) {
+                    Ok(dir) => dir,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => return usage(),
+            };
+            let path = path.as_path();
             let outcome = match shards {
                 Some(shards) => run_sharded(
-                    Path::new(path),
+                    path,
                     duration,
                     seed,
                     json,
@@ -417,7 +567,7 @@ fn main() -> ExitCode {
                     shards,
                 ),
                 None => run(
-                    Path::new(path),
+                    path,
                     duration,
                     seed,
                     json,
@@ -435,18 +585,24 @@ fn main() -> ExitCode {
             }
         }
         Some("chaos") => {
-            let Some(path) = args.get(1) else {
-                return usage();
-            };
+            let mut positional: Option<String> = None;
+            let mut gen_spec: Option<String> = None;
             let mut duration = 5.0f64;
             let mut seed = None;
             let mut json = false;
             let mut faults = None;
             let mut events = 4_000_000usize;
             let mut shards = None;
-            let mut i = 2;
+            let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--gen" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        gen_spec = Some(v.clone());
+                        i += 2;
+                    }
                     "--duration" => {
                         let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
                             return usage();
@@ -489,23 +645,32 @@ fn main() -> ExitCode {
                         shards = Some(v);
                         i += 2;
                     }
+                    flag if flag.starts_with("--") => return usage(),
+                    _ if positional.is_none() => {
+                        positional = Some(args[i].clone());
+                        i += 1;
+                    }
                     _ => return usage(),
                 }
             }
             let Some(faults) = faults else {
                 return usage();
             };
+            let path = match (positional, gen_spec) {
+                (Some(p), None) => std::path::PathBuf::from(p),
+                (None, Some(spec)) => match materialize_gen(Path::new(&spec), seed) {
+                    Ok(dir) => dir,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => return usage(),
+            };
+            let path = path.as_path();
             let outcome = match shards {
-                Some(shards) => chaos_sharded(
-                    Path::new(path),
-                    &faults,
-                    duration,
-                    seed,
-                    json,
-                    events,
-                    shards,
-                ),
-                None => chaos(Path::new(path), &faults, duration, seed, json, events),
+                Some(shards) => chaos_sharded(path, &faults, duration, seed, json, events, shards),
+                None => chaos(path, &faults, duration, seed, json, events),
             };
             match outcome {
                 Ok(true) => ExitCode::SUCCESS,
@@ -518,6 +683,7 @@ fn main() -> ExitCode {
         }
         Some("why") => {
             let mut config = None;
+            let mut gen_spec: Option<String> = None;
             let mut faults = None;
             let mut duration = 5.0f64;
             let mut seed = None;
@@ -528,6 +694,13 @@ fn main() -> ExitCode {
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--gen" => {
+                        let Some(v) = args.get(i + 1) else {
+                            return usage();
+                        };
+                        gen_spec = Some(v.clone());
+                        i += 2;
+                    }
                     "--config" => {
                         let Some(v) = args.get(i + 1) else {
                             return usage();
@@ -587,8 +760,16 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            let Some(config) = config else {
-                return usage();
+            let config = match (config, gen_spec) {
+                (Some(c), None) => std::path::PathBuf::from(c),
+                (None, Some(spec)) => match materialize_gen(Path::new(&spec), seed) {
+                    Ok(dir) => dir,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                _ => return usage(),
             };
             let outcome = match shards {
                 Some(shards) => why_sharded(
@@ -1662,6 +1843,7 @@ fn print_top_frame(sim: &uqsim_core::sim::Simulator, interval_s: f64) {
 /// `--jobs`.
 fn sweep_grid(args: &[String]) -> ExitCode {
     let mut config = None;
+    let mut gen_spec: Option<String> = None;
     let mut qps_spec = None;
     let mut reps = 3usize;
     let mut jobs = uqsim_runner::available_jobs();
@@ -1696,6 +1878,13 @@ fn sweep_grid(args: &[String]) -> ExitCode {
                     return usage();
                 };
                 config = Some(v.clone());
+                i += 2;
+            }
+            "--gen" => {
+                let Some(v) = args.get(i + 1) else {
+                    return usage();
+                };
+                gen_spec = Some(v.clone());
                 i += 2;
             }
             "--qps" => {
@@ -1747,8 +1936,19 @@ fn sweep_grid(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
-    let (Some(config), Some(qps_spec)) = (config, qps_spec) else {
+    let Some(qps_spec) = qps_spec else {
         return usage();
+    };
+    let config = match (config, gen_spec) {
+        (Some(c), None) => std::path::PathBuf::from(c),
+        (None, Some(spec)) => match materialize_gen(Path::new(&spec), seed) {
+            Ok(dir) => dir,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
     };
     let qps = match uqsim_runner::sweep::parse_qps_spec(&qps_spec) {
         Ok(qps) => qps,
@@ -1835,19 +2035,9 @@ fn sweep(path: &Path, loads: &[f64], duration_s: f64) -> Result<(), uqsim_core::
         "offered_qps", "achieved_qps", "mean_ms", "p50_ms", "p95_ms", "p99_ms"
     );
     for &qps in loads {
-        let mut cfg = base.clone();
-        for client in &mut cfg.clients {
-            match &mut client.arrivals {
-                uqsim_core::client::ArrivalProcess::Poisson { schedule }
-                | uqsim_core::client::ArrivalProcess::Uniform { schedule } => {
-                    for seg in &mut schedule.segments {
-                        seg.1 = qps;
-                    }
-                }
-                // Replayed traces have no rate to scale; leave them as-is.
-                uqsim_core::client::ArrivalProcess::Trace { .. } => {}
-            }
-        }
+        // `with_offered_qps` scales every client kind uniformly (schedules
+        // pinned, MMPP/session rates rescaled, traces left as-is).
+        let cfg = base.with_offered_qps(qps);
         let mut sim = cfg.build()?;
         sim.run_for(SimDuration::from_secs_f64(duration_s));
         let s = sim.latency_summary();

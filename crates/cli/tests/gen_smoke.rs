@@ -1,0 +1,88 @@
+//! End-to-end gates for the workload-synthesis surface (`uqsim gen`):
+//! the bundled DeathStarBench-class spec must hit the headline scale
+//! (≥300 services, ≥1000 instances), regenerate byte-identically per
+//! (spec, seed), run TraceAuditor-clean, and produce byte-identical
+//! output at `--shards 1` vs `--shards 4`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+use uqsim_core::partition::{run_partitioned, PartitionOptions};
+use uqsim_core::telemetry::TelemetryConfig;
+use uqsim_core::time::SimDuration;
+use uqsim_synth::{summarize, GenSpec};
+
+fn spec_path() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("configs")
+        .join("gen_dsb.json")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn gen(extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_uqsim"))
+        .args(["gen", "--spec", &spec_path()])
+        .args(extra)
+        .output()
+        .expect("uqsim binary runs")
+}
+
+/// `uqsim gen --json` is byte-identical across invocations at one seed
+/// and diverges across seeds.
+#[test]
+fn gen_json_is_deterministic_per_seed() {
+    let a = gen(&["--seed", "5", "--json"]);
+    let b = gen(&["--seed", "5", "--json"]);
+    assert!(a.status.success(), "gen failed: {a:?}");
+    assert_eq!(
+        a.stdout, b.stdout,
+        "same (spec, seed) must be byte-identical"
+    );
+    let c = gen(&["--seed", "6", "--json"]);
+    assert_ne!(a.stdout, c.stdout, "different seeds must differ");
+}
+
+/// The bundled spec reaches the paper-scale cluster the subsystem exists
+/// for: ≥300 services and ≥1000 instances, split into one cell per
+/// replica.
+#[test]
+fn bundled_spec_hits_headline_scale() {
+    let spec = GenSpec::from_file(Path::new(&spec_path())).unwrap();
+    let cfg = spec.generate(spec.seed).unwrap();
+    let s = summarize(&cfg);
+    assert!(s.services >= 300, "only {} services", s.services);
+    assert!(s.instances >= 1000, "only {} instances", s.instances);
+    let cells = uqsim_core::partition::split_cells(&cfg).unwrap();
+    assert_eq!(cells.len(), spec.replicas, "one cell per replica");
+}
+
+/// The generated cluster runs end-to-end: the merged trace audit is
+/// clean, and every output is byte-identical at shards 1 vs 4.
+#[test]
+fn generated_cluster_runs_audit_clean_and_shard_invariant() {
+    let spec = GenSpec::from_file(Path::new(&spec_path())).unwrap();
+    let cfg = spec.generate(11).unwrap();
+    let opts = |shards: usize| PartitionOptions {
+        shards,
+        telemetry: TelemetryConfig::default(),
+        span_tracing: Some(1 << 16),
+        sync_windows: 8,
+    };
+    let d = SimDuration::from_millis(350);
+    let one = run_partitioned(&cfg, None, 11, d, &opts(1)).unwrap();
+    let four = run_partitioned(&cfg, None, 11, d, &opts(4)).unwrap();
+    assert!(one.result.completed > 0, "requests must complete");
+    assert_eq!(one.result, four.result, "results at shards 1 vs 4");
+    assert_eq!(
+        one.prometheus(),
+        four.prometheus(),
+        "prometheus at shards 1 vs 4"
+    );
+    let audit = one.audit().expect("span tracing on");
+    assert!(
+        audit.violations.is_empty(),
+        "audit must be clean: {:?}",
+        audit.violations
+    );
+    assert!(audit.events_checked > 0);
+}

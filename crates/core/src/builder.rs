@@ -391,11 +391,14 @@ impl ScenarioBuilder {
                 .collect();
             let stage_agg = vec![Default::default(); svc.stages.len()];
             let stage_samples = vec![Vec::new(); svc.stages.len()];
-            assert!(
-                thread_count <= 64,
-                "instance {}: at most 64 threads (idle bitmask)",
-                def.name
-            );
+            if thread_count > 64 {
+                return Err(SimError::InvalidScenario(format!(
+                    "instance {}: {} worker threads exceed the engine's limit of \
+                     64 threads per instance (the idle-thread bitmask is one u64); \
+                     split the instance or reduce its threads/cores",
+                    def.name, thread_count
+                )));
+            }
             instances.push(InstanceRt {
                 name: def.name.clone(),
                 service: def.service,
@@ -448,6 +451,7 @@ impl ScenarioBuilder {
         }
 
         // --- connections: clients --------------------------------------
+        let factory = RngFactory::new(self.cfg.seed);
         let mut clients: Vec<ClientRt> = Vec::new();
         for (ci, def) in self.clients.iter().enumerate() {
             let mut ids = Vec::with_capacity(def.spec.connections);
@@ -462,11 +466,31 @@ impl ScenarioBuilder {
                 ));
                 ids.push(id);
             }
+            // Stateful (bursty) processes get their own "burst" rng
+            // sub-stream; typed traces resolve request-type names here,
+            // where the graph is known.
+            let mut arrival = def.spec.arrivals.runtime(&factory, ci as u64);
+            if let crate::client::ArrivalProcess::Trace { types, .. } = &def.spec.arrivals {
+                arrival.trace_types = types
+                    .iter()
+                    .map(|n| {
+                        self.request_types
+                            .iter()
+                            .position(|t| t.name == *n)
+                            .map(|i| RequestTypeId::from_raw(i as u32))
+                            .ok_or_else(|| SimError::UnknownEntity {
+                                kind: "request type",
+                                name: format!("{n} (trace of client {})", def.spec.name),
+                            })
+                    })
+                    .collect::<SimResult<Vec<_>>>()?;
+            }
             clients.push(ClientRt {
                 spec: def.spec.clone(),
                 conns: ids,
                 next_conn: 0,
                 issued: 0,
+                arrival,
             });
         }
 
@@ -491,7 +515,6 @@ impl ScenarioBuilder {
             .collect();
 
         // --- rng streams & metrics -------------------------------------
-        let factory = RngFactory::new(self.cfg.seed);
         let warmup_at = SimTime::ZERO + self.cfg.warmup;
         let n_instances = instances.len();
         let mut sim = Simulator {
@@ -556,11 +579,12 @@ impl ScenarioBuilder {
             let client = ClientId::from_raw(ci as u32);
             match sim.clients[ci].spec.closed_loop.clone() {
                 None => {
-                    if let Some(first) = sim.clients[ci]
-                        .spec
-                        .arrivals
-                        .first_arrival(&mut sim.rng_arrival)
-                    {
+                    let first = {
+                        let ClientRt { spec, arrival, .. } = &mut sim.clients[ci];
+                        spec.arrivals
+                            .first_arrival_rt(arrival, &mut sim.rng_arrival)
+                    };
+                    if let Some(first) = first {
                         sim.events
                             .schedule(SimTime::ZERO + first, EventKind::ClientArrival { client });
                     }

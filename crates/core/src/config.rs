@@ -375,16 +375,42 @@ impl ScenarioConfig {
 
     /// Returns a copy with every open-loop client's rate schedule pinned to
     /// `qps`, turning the configured schedule into a load *shape* that a
-    /// sweep re-scales per point. Trace-replay clients have no rate to
-    /// scale and are left untouched.
+    /// sweep re-scales per point. An MMPP keeps its burst structure but has
+    /// its state rates scaled so the stationary mean is `qps`; a flash
+    /// crowd has its baseline pinned (spikes stay relative multipliers); a
+    /// sessions client scales its session rate so the long-run request
+    /// rate is `qps`. Trace-replay clients have no rate to scale and are
+    /// left untouched.
     pub fn with_offered_qps(&self, qps: f64) -> Self {
         let mut cfg = self.clone();
         for client in &mut cfg.clients {
+            let mean = client.arrivals.mean_rate_qps();
             match &mut client.arrivals {
-                ArrivalProcess::Poisson { schedule } | ArrivalProcess::Uniform { schedule } => {
+                ArrivalProcess::Poisson { schedule }
+                | ArrivalProcess::Uniform { schedule }
+                | ArrivalProcess::FlashCrowd { base: schedule, .. } => {
                     for seg in &mut schedule.segments {
                         seg.1 = qps;
                     }
+                }
+                ArrivalProcess::Mmpp { states } => {
+                    let mean = mean.expect("mmpp has a stationary rate");
+                    for s in states {
+                        s.rate_qps *= qps / mean;
+                    }
+                }
+                ArrivalProcess::Sessions {
+                    session_rate_qps,
+                    requests_per_session,
+                    think_time,
+                } => {
+                    // Solve the back-to-back cycle equation for the session
+                    // rate that yields `qps` overall; when `qps` exceeds
+                    // the think-time-limited maximum, saturate (sessions
+                    // start essentially back to back).
+                    let k = requests_per_session.mean().max(1.0);
+                    let inv = (k / qps - (k - 1.0) * think_time.mean()).max(1e-9);
+                    *session_rate_qps = 1.0 / inv;
                 }
                 ArrivalProcess::Trace { .. } => {}
             }

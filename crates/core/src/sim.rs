@@ -186,6 +186,8 @@ pub(crate) struct ClientRt {
     pub(crate) next_conn: usize,
     /// Arrivals generated so far (trace-replay cursor).
     pub(crate) issued: u64,
+    /// Stateful arrival-process runtime (bursty processes, typed traces).
+    pub(crate) arrival: crate::client::ArrivalRt,
 }
 
 /// The discrete-event simulator.
@@ -943,10 +945,9 @@ impl Simulator {
         self.clients[c].issued += 1;
         if self.clients[c].spec.closed_loop.is_none() {
             let gap = {
-                let cl = &self.clients[c];
-                cl.spec
-                    .arrivals
-                    .gap_after(issued, self.now, &mut self.rng_arrival)
+                let ClientRt { spec, arrival, .. } = &mut self.clients[c];
+                spec.arrivals
+                    .gap_rt(arrival, issued, self.now, &mut self.rng_arrival)
             };
             if let Some(gap) = gap {
                 self.events
@@ -954,8 +955,12 @@ impl Simulator {
             }
         }
 
-        // Create the request.
-        let ty = self.clients[c].spec.mix.choose(&mut self.rng_path);
+        // Create the request: a typed trace dictates the type of arrival
+        // `issued`; everything else draws from the client's mix.
+        let ty = match self.clients[c].arrival.trace_type(issued) {
+            Some(ty) => ty,
+            None => self.clients[c].spec.mix.choose(&mut self.rng_path),
+        };
         let node_count = self.request_types[ty.index()].nodes.len();
         let rid = self.requests.alloc(ty, client, self.now, node_count);
         let size = self.clients[c]

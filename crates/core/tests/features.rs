@@ -145,9 +145,9 @@ fn timeout_burst_frees_every_client_connection_slot() {
     let spec = ClientSpec {
         name: "burst".into(),
         connections: 4,
-        arrivals: uqsim_core::client::ArrivalProcess::Trace {
-            timestamps: (0..300).map(|i| f64::from(i) * 1e-3).collect(),
-        },
+        arrivals: uqsim_core::client::ArrivalProcess::trace(
+            (0..300).map(|i| f64::from(i) * 1e-3).collect(),
+        ),
         mix: RequestMix::single(uqsim_core::ids::RequestTypeId::from_raw(0)),
         request_size: Distribution::constant(512.0),
         closed_loop: None,
@@ -610,9 +610,7 @@ fn trace_replay_reproduces_exact_arrivals() {
         8,
         uqsim_core::ids::RequestTypeId::from_raw(0),
     );
-    spec.arrivals = ArrivalProcess::Trace {
-        timestamps: timestamps.clone(),
-    };
+    spec.arrivals = ArrivalProcess::trace(timestamps.clone());
     let mut sim = build(spec, 10e-6, 2);
     sim.run_for(SimDuration::from_secs(2));
     assert_eq!(
@@ -629,22 +627,172 @@ fn trace_replay_reproduces_exact_arrivals() {
 #[test]
 fn trace_validation_rejects_bad_traces() {
     use uqsim_core::client::ArrivalProcess;
-    assert!(ArrivalProcess::Trace { timestamps: vec![] }
+    assert!(ArrivalProcess::trace(vec![]).validate().is_err());
+    assert!(ArrivalProcess::trace(vec![1.0, 0.5]).validate().is_err());
+    assert!(ArrivalProcess::trace(vec![-1.0]).validate().is_err());
+    assert!(ArrivalProcess::trace(vec![0.0, 0.0, 1.0])
         .validate()
-        .is_err());
-    assert!(ArrivalProcess::Trace {
-        timestamps: vec![1.0, 0.5]
+        .is_ok());
+}
+
+/// A two-request-type scenario (both served by the same instance) for
+/// typed-trace replay tests.
+fn build_two_types(spec: ClientSpec) -> Simulator {
+    let mut b = ScenarioBuilder::new(9);
+    b.warmup(SimDuration::ZERO);
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 4,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(10e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::constant(20e-6), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("svc0", s, m, 4, ExecSpec::Simple).unwrap();
+    for name in ["alpha", "beta"] {
+        let mut node = PathNodeSpec::request(name, s, i);
+        node.children = vec![PathNodeId::from_raw(1)];
+        let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+        b.add_request_type(RequestType::new(
+            name,
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
+        .unwrap();
     }
-    .validate()
-    .is_err());
-    assert!(ArrivalProcess::Trace {
-        timestamps: vec![-1.0]
-    }
-    .validate()
-    .is_err());
-    assert!(ArrivalProcess::Trace {
-        timestamps: vec![0.0, 0.0, 1.0]
-    }
-    .validate()
-    .is_ok());
+    b.add_client(spec, vec![i]);
+    b.build().unwrap()
+}
+
+#[test]
+fn typed_trace_dictates_request_types() {
+    use uqsim_core::client::ArrivalProcess;
+    // 90 arrivals: every third request is a "beta", the rest "alpha" —
+    // exactly, not in distribution.
+    let n = 90;
+    let timestamps: Vec<f64> = (0..n).map(|i| f64::from(i) * 1e-3).collect();
+    let types: Vec<String> = (0..n)
+        .map(|i| {
+            if i % 3 == 2 {
+                "beta".into()
+            } else {
+                "alpha".into()
+            }
+        })
+        .collect();
+    let mut spec = ClientSpec::open_loop(
+        "replay",
+        1.0,
+        8,
+        uqsim_core::ids::RequestTypeId::from_raw(0),
+    );
+    spec.arrivals = ArrivalProcess::Trace { timestamps, types };
+    let mut sim = build_two_types(spec);
+    sim.run_for(SimDuration::from_secs(1));
+    assert_eq!(sim.generated(), n as u64);
+    let alpha = sim.type_latency_summary(uqsim_core::ids::RequestTypeId::from_raw(0));
+    let beta = sim.type_latency_summary(uqsim_core::ids::RequestTypeId::from_raw(1));
+    assert_eq!(alpha.count, 60, "alpha count {}", alpha.count);
+    assert_eq!(beta.count, 30, "beta count {}", beta.count);
+}
+
+#[test]
+fn typed_trace_with_unknown_type_fails_to_build() {
+    use uqsim_core::client::ArrivalProcess;
+    let mut b = ScenarioBuilder::new(1);
+    let m = b.add_machine(MachineSpec {
+        name: "m".into(),
+        cores: 2,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(10e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::constant(20e-6), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b.add_instance("svc0", s, m, 2, ExecSpec::Simple).unwrap();
+    let mut node = PathNodeSpec::request("get", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
+        .unwrap();
+    let mut spec = ClientSpec::open_loop("c", 1.0, 4, ty);
+    spec.arrivals = ArrivalProcess::Trace {
+        timestamps: vec![0.0, 1e-3],
+        types: vec!["get".into(), "nonexistent".into()],
+    };
+    b.add_client(spec, vec![i]);
+    let err = b.build().unwrap_err().to_string();
+    assert!(err.contains("nonexistent"), "error names the type: {err}");
+}
+
+#[test]
+fn oversized_instance_is_a_config_error_not_a_panic() {
+    // 65 threads exceed the 64-bit idle mask; the builder must refuse with
+    // an error naming the instance instead of panicking (oversized
+    // generated scenarios surface cleanly).
+    let mut b = ScenarioBuilder::new(1);
+    let m = b.add_machine(MachineSpec {
+        name: "big".into(),
+        cores: 80,
+        dvfs: DvfsSpec::fixed(2.6),
+        network: NetworkSpec::passthrough(10e-6),
+        power: Default::default(),
+    });
+    let s = b.add_service(ServiceModel::new(
+        "svc",
+        vec![StageSpec::new(
+            "proc",
+            QueueDiscipline::Single,
+            ServiceTimeModel::per_job(Distribution::constant(20e-6), 2.6),
+        )],
+        vec![ExecPath::new("p", vec![StageId::from_raw(0)])],
+    ));
+    let i = b
+        .add_instance(
+            "wide0",
+            s,
+            m,
+            4,
+            ExecSpec::MultiThreaded {
+                threads: 65,
+                ctx_switch: SimDuration::from_micros(2),
+            },
+        )
+        .unwrap();
+    let mut node = PathNodeSpec::request("get", s, i);
+    node.children = vec![PathNodeId::from_raw(1)];
+    let sink = PathNodeSpec::client_sink(PathNodeId::from_raw(0));
+    let ty = b
+        .add_request_type(RequestType::new(
+            "get",
+            vec![node, sink],
+            PathNodeId::from_raw(0),
+        ))
+        .unwrap();
+    b.add_client(ClientSpec::open_loop("c", 100.0, 4, ty), vec![i]);
+    let err = b.build().unwrap_err().to_string();
+    assert!(
+        err.contains("wide0") && err.contains("64"),
+        "error names the instance and the limit: {err}"
+    );
 }

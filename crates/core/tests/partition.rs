@@ -506,4 +506,62 @@ proptest! {
             prop_assert_eq!(run.prometheus(), base_prom.clone(), "shards={}", shards);
         }
     }
+
+    /// **P1 + P7** over machine-generated topologies: for random
+    /// `uqsim-synth` specs, every cell of `split_cells` is request-closed
+    /// (each referenced instance, pool endpoint, and client root lives in
+    /// the cell's own sub-scenario), and the merged result and Prometheus
+    /// exposition are byte-identical at shards 1 vs 4.
+    #[test]
+    fn generated_topologies_are_closed_and_shard_invariant(
+        replicas in 1usize..3,
+        fan_max in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let mut spec = uqsim_synth::GenSpec::example();
+        spec.replicas = replicas;
+        for layer in &mut spec.layers {
+            layer.fanout = uqsim_synth::CountDist::range(1, fan_max);
+        }
+        let cfg = spec.generate(seed).unwrap();
+
+        // Request closure: the per-cell sub-scenario must resolve every
+        // name it references, i.e. build standalone.
+        let cells = split_cells(&cfg).unwrap();
+        prop_assert!(cells.len() >= replicas);
+        for cell in &cells {
+            let names: std::collections::HashSet<&str> =
+                cell.config.instances.iter().map(|i| i.name.as_str()).collect();
+            for t in &cell.config.request_types {
+                for node in &t.nodes {
+                    if let uqsim_core::config::NodeTargetConfig::Service {
+                        instance: uqsim_core::config::InstanceSelectConfig::RoundRobin { names: rr },
+                        ..
+                    } = &node.target
+                    {
+                        for n in rr {
+                            prop_assert!(names.contains(n.as_str()),
+                                "cell {} references foreign instance {}", cell.id, n);
+                        }
+                    }
+                }
+            }
+            for p in &cell.config.pools {
+                prop_assert!(names.contains(p.up.as_str()) && names.contains(p.down.as_str()));
+            }
+            for c in &cell.config.clients {
+                for r in &c.roots {
+                    prop_assert!(names.contains(r.as_str()));
+                }
+            }
+            cell.config.build().expect("cells build standalone");
+        }
+
+        // Byte-identity at shards 1 vs 4.
+        let d = SimDuration::from_millis(100);
+        let one = run_partitioned(&cfg, None, seed, d, &full_options(1)).unwrap();
+        let four = run_partitioned(&cfg, None, seed, d, &full_options(4)).unwrap();
+        prop_assert_eq!(&one.result, &four.result);
+        prop_assert_eq!(one.prometheus(), four.prometheus());
+    }
 }

@@ -424,6 +424,107 @@ pub fn run_scenario_sweep(
     })
 }
 
+/// One generated topology's aggregated sweep within a family sweep.
+#[derive(Debug, Clone)]
+pub struct FamilyRow {
+    /// The seed the topology was generated from (see [`run_family_sweep`]
+    /// for the derivation).
+    pub topology_seed: u64,
+    /// The full QPS × reps sweep over that topology.
+    pub table: SweepTable,
+}
+
+/// The result of sweeping a whole *family* of generated topologies: one
+/// [`FamilyRow`] per topology, in generation order.
+#[derive(Debug, Clone)]
+pub struct FamilyTable {
+    /// Base seed the topology seeds derive from.
+    pub base_seed: u64,
+    /// One row per topology, in seed-derivation order.
+    pub rows: Vec<FamilyRow>,
+}
+
+impl FamilyTable {
+    /// Serializes the family as CSV: the [`SweepTable::to_csv`] schema
+    /// with a leading `topology_seed` column, one header line total.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            let csv = row.table.to_csv();
+            let mut lines = csv.lines();
+            let header = lines.next().unwrap_or_default();
+            if i == 0 {
+                out.push_str(&format!("topology_seed,{header}\n"));
+            }
+            for line in lines {
+                out.push_str(&format!("{},{line}\n", row.topology_seed));
+            }
+        }
+        out
+    }
+
+    /// Serializes the family as pretty JSON: `base_seed`, `topologies`,
+    /// and one entry per topology embedding its [`SweepTable::to_json`]
+    /// value under `"table"`.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<serde_json::Value> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let table: serde_json::Value =
+                    serde_json::from_str(&r.table.to_json()).expect("sweep table JSON re-parses");
+                serde_json::json!({
+                    "topology_seed": r.topology_seed,
+                    "table": table,
+                })
+            })
+            .collect();
+        let family = serde_json::json!({
+            "base_seed": self.base_seed,
+            "topologies": self.rows.len(),
+            "rows": serde_json::Value::Array(rows),
+        });
+        serde_json::to_string_pretty(&family).expect("family table serializes")
+    }
+}
+
+/// Sweeps a family of `topologies` generated scenarios: topology `k` is
+/// built by `generate(seed_for(spec.base_seed, k))` and swept with
+/// [`run_scenario_sweep`] under the same `spec`.
+///
+/// Topology 0 therefore uses `base_seed` itself, so its scenario
+/// cross-checks against `uqsim gen --seed <base_seed>`. Reusing the base
+/// seed for both generation and the run is harmless: generation draws
+/// exclusively from the `"gen"` RNG stream, which no run-time consumer
+/// touches. Topologies run sequentially (each inner sweep already fans
+/// its cells across `spec.jobs` workers), so the output is byte-identical
+/// at any worker count; `progress` ticks restart per topology.
+///
+/// # Errors
+///
+/// The first failing generation or sweep, by topology order.
+pub fn run_family_sweep(
+    generate: &(dyn Fn(u64) -> SimResult<ScenarioConfig> + Sync),
+    topologies: usize,
+    spec: &SweepSpec,
+    progress: &(dyn Fn(Progress) + Sync),
+) -> SimResult<FamilyTable> {
+    let mut rows = Vec::with_capacity(topologies);
+    for k in 0..topologies {
+        let topology_seed = seed_for(spec.base_seed, k);
+        let cfg = generate(topology_seed)?;
+        let table = run_scenario_sweep(&cfg, spec, progress)?;
+        rows.push(FamilyRow {
+            topology_seed,
+            table,
+        });
+    }
+    Ok(FamilyTable {
+        base_seed: spec.base_seed,
+        rows,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

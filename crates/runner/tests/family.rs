@@ -1,0 +1,60 @@
+//! Family sweeps: one `SweepSpec` applied across several generated
+//! topologies, with seed derivation and jobs-invariance pinned.
+
+use uqsim_core::time::SimDuration;
+use uqsim_runner::sweep::{run_family_sweep, seed_for, SweepSpec};
+use uqsim_synth::GenSpec;
+
+fn small_spec() -> GenSpec {
+    let mut spec = GenSpec::example();
+    spec.replicas = 1;
+    spec.warmup_s = 0.0;
+    spec
+}
+
+fn sweep_spec(jobs: usize) -> SweepSpec {
+    SweepSpec {
+        qps: vec![400.0, 800.0],
+        reps: 2,
+        base_seed: 42,
+        duration: SimDuration::from_millis(120),
+        jobs,
+        faults: None,
+        shards: 1,
+    }
+}
+
+/// Topology seeds derive from the base seed via [`seed_for`] (topology 0
+/// uses the base itself), and the whole family table is byte-identical
+/// at any worker count.
+#[test]
+fn family_sweep_is_seed_derived_and_jobs_invariant() {
+    let gen_spec = small_spec();
+    let generate = |seed: u64| gen_spec.generate(seed);
+    let serial = run_family_sweep(&generate, 2, &sweep_spec(1), &|_| {}).unwrap();
+    let parallel = run_family_sweep(&generate, 2, &sweep_spec(4), &|_| {}).unwrap();
+
+    assert_eq!(serial.rows.len(), 2);
+    assert_eq!(serial.rows[0].topology_seed, 42);
+    assert_eq!(serial.rows[1].topology_seed, seed_for(42, 1));
+    assert_eq!(serial.to_json(), parallel.to_json(), "jobs must not matter");
+    assert_eq!(serial.to_csv(), parallel.to_csv(), "jobs must not matter");
+
+    // Topologies differ, so their sweeps must too.
+    assert_ne!(
+        serial.rows[0].table.to_json(),
+        serial.rows[1].table.to_json(),
+        "distinct topology seeds must produce distinct sweeps"
+    );
+
+    // One header line, then (topologies × qps points) data rows, each
+    // prefixed with its topology seed.
+    let csv = serial.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + 2 * 2);
+    assert!(lines[0].starts_with("topology_seed,offered_qps,"));
+    assert!(lines[1].starts_with("42,"));
+    for row in &serial.rows {
+        assert!(row.table.rows.iter().all(|r| r.completed > 0));
+    }
+}

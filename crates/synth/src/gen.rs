@@ -1,0 +1,380 @@
+//! Spec → scenario lowering: the deterministic topology generator.
+
+use crate::spec::GenSpec;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use uqsim_apps::roles::Role;
+use uqsim_core::client::ArrivalProcess;
+use uqsim_core::config::{
+    ClientConfig, ExecConfig, InstanceConfig, InstanceSelectConfig, LinkConfig, NodeTargetConfig,
+    PathNodeConfig, PoolConfig, RequestTypeConfig, ScenarioConfig,
+};
+use uqsim_core::dist::Distribution;
+use uqsim_core::error::SimResult;
+use uqsim_core::machine::MachineSpec;
+use uqsim_core::rng::RngFactory;
+
+/// The `RngFactory` stream label generation draws from, indexed by replica.
+/// A dedicated label guarantees adding the generator never perturbed the
+/// simulation streams ("service", "arrival", "path", ...) of any scenario.
+pub(crate) const GEN_STREAM: &str = "gen";
+
+/// One sampled service, before lowering to config structs.
+struct SvcShape {
+    /// Service (and model) name, e.g. `r0-l1-s2`.
+    name: String,
+    /// Instance names, e.g. `r0-l1-s2-i0`.
+    instances: Vec<String>,
+    /// Cores per instance (from the layer).
+    cores: usize,
+    /// Worker threads per instance (0 = simple execution).
+    threads: usize,
+}
+
+impl GenSpec {
+    /// Generates the scenario for `seed`. Deterministic: identical
+    /// `(spec, seed)` inputs produce identical output on any machine —
+    /// `generate(s).to_json()` is byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`uqsim_core::error::SimError::Config`] if the spec is
+    /// invalid.
+    pub fn generate(&self, seed: u64) -> SimResult<ScenarioConfig> {
+        self.validate()?;
+        let factory = RngFactory::new(seed);
+        let mut cfg = ScenarioConfig {
+            seed,
+            warmup_s: self.warmup_s,
+            window_s: None,
+            machines: Vec::new(),
+            services: Vec::new(),
+            instances: Vec::new(),
+            pools: Vec::new(),
+            request_types: Vec::new(),
+            clients: Vec::new(),
+        };
+        for r in 0..self.replicas {
+            // Each replica draws from its own stream: inserting or removing
+            // a replica never reshapes its siblings.
+            let mut rng = factory.stream(GEN_STREAM, r as u64);
+            self.generate_replica(r, &mut rng, &mut cfg);
+        }
+        Ok(cfg)
+    }
+
+    /// Samples one replica's shape and appends its machines, services,
+    /// instances, pools, request types, and clients to `cfg`.
+    fn generate_replica(&self, r: usize, rng: &mut SmallRng, cfg: &mut ScenarioConfig) {
+        // --- shape: services and instances per layer -------------------
+        let mut layers: Vec<Vec<SvcShape>> = Vec::with_capacity(self.layers.len());
+        for (l, layer) in self.layers.iter().enumerate() {
+            let count = layer.services.sample(rng);
+            let mut svcs = Vec::with_capacity(count);
+            for s in 0..count {
+                let name = format!("r{r}-l{l}-s{s}");
+                let n_inst = layer.instances_per_service.sample(rng);
+                let instances = (0..n_inst).map(|i| format!("{name}-i{i}")).collect();
+                svcs.push(SvcShape {
+                    name,
+                    instances,
+                    cores: layer.cores_per_instance,
+                    threads: layer.threads_per_instance,
+                });
+            }
+            layers.push(svcs);
+        }
+
+        // --- edges: sampled fan-out, then orphan repair ----------------
+        // edges[l][s] lists the layer-(l+1) services that service (l, s)
+        // calls. Every next-layer service is guaranteed at least one
+        // parent, so the whole replica stays reachable from layer 0 (and
+        // `split_cells`' request closure covers it in one cell).
+        let mut edges: Vec<Vec<Vec<usize>>> = Vec::new();
+        for l in 0..layers.len().saturating_sub(1) {
+            let down = layers[l + 1].len();
+            let mut per_svc: Vec<Vec<usize>> = Vec::with_capacity(layers[l].len());
+            for _ in 0..layers[l].len() {
+                let f = self.layers[l].fanout.sample(rng).min(down);
+                per_svc.push(choose_distinct(rng, down, f));
+            }
+            let mut orphaned: Vec<bool> = vec![true; down];
+            for children in &per_svc {
+                for &c in children {
+                    orphaned[c] = false;
+                }
+            }
+            for (c, _) in orphaned.iter().enumerate().filter(|(_, o)| **o) {
+                let parent = sample_range(rng, 0, layers[l].len() - 1);
+                per_svc[parent].push(c);
+            }
+            edges.push(per_svc);
+        }
+
+        // --- service models and instances ------------------------------
+        let first_new = cfg.instances.len();
+        for (l, svcs) in layers.iter().enumerate() {
+            let role = self.layers[l].role;
+            for svc in svcs {
+                cfg.services.push(role.service_model(&svc.name));
+                for inst in &svc.instances {
+                    cfg.instances.push(InstanceConfig {
+                        name: inst.clone(),
+                        service: svc.name.clone(),
+                        machine: String::new(), // placed below
+                        cores: svc.cores,
+                        exec: if svc.threads == 0 {
+                            ExecConfig::Simple
+                        } else {
+                            ExecConfig::MultiThreaded {
+                                threads: svc.threads,
+                                ctx_switch_s: 0.0,
+                            }
+                        },
+                    });
+                }
+            }
+        }
+
+        // --- placement: deterministic first-fit onto replica machines --
+        // Generated machines are testbed-style Xeons; 4 of `machine_cores`
+        // serve network IRQs, the rest host instances.
+        let usable = self.machine_cores - 4;
+        let mut remaining: Vec<usize> = Vec::new();
+        for inst in cfg.instances[first_new..].iter_mut() {
+            let slot = match remaining.iter().position(|&free| free >= inst.cores) {
+                Some(m) => m,
+                None => {
+                    let name = format!("r{r}-m{}", remaining.len());
+                    cfg.machines
+                        .push(MachineSpec::xeon(name, self.machine_cores));
+                    remaining.push(usable);
+                    remaining.len() - 1
+                }
+            };
+            remaining[slot] -= inst.cores;
+            inst.machine = format!("r{r}-m{slot}");
+        }
+
+        // --- pools: one per (caller instance, callee instance) edge ----
+        if self.pool_size > 0 {
+            for (l, per_svc) in edges.iter().enumerate() {
+                for (s, children) in per_svc.iter().enumerate() {
+                    for &c in children {
+                        for up in &layers[l][s].instances {
+                            for down in &layers[l + 1][c].instances {
+                                cfg.pools.push(PoolConfig {
+                                    up: up.clone(),
+                                    down: down.clone(),
+                                    size: self.pool_size,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // --- request types: one tree per front-end service -------------
+        let roles: Vec<Role> = self.layers.iter().map(|l| l.role).collect();
+        for (s, front) in layers[0].iter().enumerate() {
+            let mut nodes: Vec<PathNodeConfig> = Vec::new();
+            let mut counter = 0usize;
+            let (root_entry, root_exit) =
+                emit_visit(&layers, &edges, &roles, 0, s, &mut nodes, &mut counter);
+            set_children(&mut nodes, &root_exit, vec!["sink".into()]);
+            nodes.push(PathNodeConfig {
+                name: "sink".into(),
+                target: NodeTargetConfig::ClientSink,
+                children: Vec::new(),
+                link: LinkConfig::Reply { of: root_entry },
+                block_thread_until: None,
+                pin_thread_of: None,
+                fan_in_policy: Default::default(),
+            });
+            let ty_name = format!("r{r}-t{s}");
+            cfg.request_types.push(RequestTypeConfig {
+                name: ty_name.clone(),
+                nodes,
+            });
+            // One client per front-end service: the client connection
+            // decides which root instance executes a request, so a client
+            // must only mix request types rooted at its own service.
+            cfg.clients.push(ClientConfig {
+                name: format!("r{r}-c{s}"),
+                connections: self.client.connections,
+                arrivals: self
+                    .client
+                    .arrivals
+                    .clone()
+                    .unwrap_or_else(|| ArrivalProcess::poisson(self.client.qps_per_front)),
+                mix: vec![(ty_name, 1.0)],
+                roots: front.instances.clone(),
+                request_size: Distribution::constant(512.0),
+                closed_loop: None,
+                timeout_s: self.client.timeout_s,
+            });
+        }
+    }
+}
+
+/// Materializes the visit of service `(l, s)` as path nodes, in pre-order.
+///
+/// A leaf visit is a single node running the role's leaf path. A non-leaf
+/// visit is an entry node (forwarding to each child's entry) plus a join
+/// node on the same instance that merges the children's replies via their
+/// entry connections — the idiom of the hand-written scenarios. Returns
+/// `(entry, exit)` node names; the caller wires `exit` to its own join
+/// (or to the sink for the root).
+fn emit_visit(
+    layers: &[Vec<SvcShape>],
+    edges: &[Vec<Vec<usize>>],
+    roles: &[Role],
+    l: usize,
+    s: usize,
+    nodes: &mut Vec<PathNodeConfig>,
+    counter: &mut usize,
+) -> (String, String) {
+    let svc = &layers[l][s];
+    let role = roles[l];
+    let id = *counter;
+    *counter += 1;
+    let select = InstanceSelectConfig::RoundRobin {
+        names: svc.instances.clone(),
+    };
+    let children: &[usize] = edges.get(l).map(|e| e[s].as_slice()).unwrap_or(&[]);
+    if children.is_empty() {
+        let name = format!("n{id}");
+        nodes.push(PathNodeConfig {
+            name: name.clone(),
+            target: NodeTargetConfig::Service {
+                service: svc.name.clone(),
+                instance: select,
+                exec_path: Some(role.leaf_path().into()),
+            },
+            children: Vec::new(),
+            link: LinkConfig::Request,
+            block_thread_until: None,
+            pin_thread_of: None,
+            fan_in_policy: Default::default(),
+        });
+        return (name.clone(), name);
+    }
+    let entry = format!("n{id}");
+    let join = format!("n{id}j");
+    nodes.push(PathNodeConfig {
+        name: entry.clone(),
+        target: NodeTargetConfig::Service {
+            service: svc.name.clone(),
+            instance: select,
+            exec_path: Some(role.entry_path().into()),
+        },
+        children: Vec::new(), // child entries, filled below
+        link: LinkConfig::Request,
+        block_thread_until: None,
+        pin_thread_of: None,
+        fan_in_policy: Default::default(),
+    });
+    let entry_pos = nodes.len() - 1;
+    let mut child_entries = Vec::with_capacity(children.len());
+    let mut via = Vec::with_capacity(children.len());
+    for &c in children {
+        let (ce, cx) = emit_visit(layers, edges, roles, l + 1, c, nodes, counter);
+        set_children(nodes, &cx, vec![join.clone()]);
+        via.push((cx, ce.clone()));
+        child_entries.push(ce);
+    }
+    nodes[entry_pos].children = child_entries;
+    nodes.push(PathNodeConfig {
+        name: join.clone(),
+        target: NodeTargetConfig::Service {
+            service: svc.name.clone(),
+            instance: InstanceSelectConfig::SameAsNode {
+                node: entry.clone(),
+            },
+            exec_path: Some(role.reply_path().into()),
+        },
+        children: Vec::new(), // parent join or sink, filled by caller
+        link: LinkConfig::ReplyVia { entries: via },
+        block_thread_until: None,
+        pin_thread_of: None,
+        fan_in_policy: Default::default(),
+    });
+    (entry, join)
+}
+
+/// Points the named node at `children` (node names are unique per type).
+fn set_children(nodes: &mut [PathNodeConfig], name: &str, children: Vec<String>) {
+    let node = nodes
+        .iter_mut()
+        .find(|n| n.name == name)
+        .expect("emit_visit returned an existing node");
+    node.children = children;
+}
+
+/// Uniform draw from `min..=max` using the vendored rand's `f64` draw.
+fn sample_range(rng: &mut SmallRng, min: usize, max: usize) -> usize {
+    if min >= max {
+        return min;
+    }
+    let span = (max - min + 1) as f64;
+    (min + (rng.gen::<f64>() * span) as usize).min(max)
+}
+
+/// `k` distinct draws from `0..n` (partial Fisher–Yates), returned sorted
+/// so generated children lists read in layer order.
+fn choose_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = i + sample_range(rng, 0, n - 1 - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx.sort_unstable();
+    idx
+}
+
+/// Headline sizes of a generated (or any) scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenSummary {
+    /// Distinct service models.
+    pub services: usize,
+    /// Deployed instances.
+    pub instances: usize,
+    /// Machines.
+    pub machines: usize,
+    /// Connection pools.
+    pub pools: usize,
+    /// Request types.
+    pub request_types: usize,
+    /// Clients.
+    pub clients: usize,
+}
+
+impl std::fmt::Display for GenSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} services, {} instances, {} machines, {} pools, {} request types, {} clients",
+            self.services,
+            self.instances,
+            self.machines,
+            self.pools,
+            self.request_types,
+            self.clients
+        )
+    }
+}
+
+/// Counts the headline sizes of a scenario.
+pub fn summarize(cfg: &ScenarioConfig) -> GenSummary {
+    GenSummary {
+        services: cfg.services.len(),
+        instances: cfg.instances.len(),
+        machines: cfg.machines.len(),
+        pools: cfg.pools.len(),
+        request_types: cfg.request_types.len(),
+        clients: cfg.clients.len(),
+    }
+}

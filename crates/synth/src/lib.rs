@@ -1,0 +1,48 @@
+//! # uqsim-synth
+//!
+//! Seeded workload synthesis for the µqSim reproduction: DeathStarBench-class
+//! layered microservice topologies plus the scenario plumbing to run them.
+//!
+//! The paper evaluates µqSim on hand-written applications of a few services;
+//! studying simulator *scalability* and partitioned execution needs much
+//! larger clusters than anyone wants to author by hand. This crate grows
+//! them from a compact, declarative [`GenSpec`]:
+//!
+//! * **Layers** of services with a [`Role`](uqsim_apps::roles::Role) each —
+//!   NGINX-style front ends, Thrift-style logic tiers, memcached/MongoDB
+//!   leaves — reusing the calibrated models in `uqsim-apps`.
+//! * **Sampled shape**: per-layer service counts, per-service instance
+//!   counts, and fan-out degrees drawn from [`CountDist`]s.
+//! * **Replicas**: independent copies of the sampled graph, each with its
+//!   own machines, instances, pools, request types, and clients — so
+//!   `split_cells` partitions a generated cluster into exactly one cell
+//!   per replica.
+//!
+//! Generation is **deterministic per `(spec, seed)`**: the same spec and
+//! seed always produce byte-identical scenario JSON, on any machine. All
+//! randomness comes from dedicated `RngFactory` streams (`"gen"`, indexed
+//! by replica), so generated scenarios never perturb the simulation
+//! streams of existing configs.
+//!
+//! ## Example
+//!
+//! ```
+//! use uqsim_synth::GenSpec;
+//!
+//! let spec = GenSpec::example();
+//! let cfg = spec.generate(7).unwrap();
+//! assert_eq!(cfg.to_json(), spec.generate(7).unwrap().to_json());
+//! let mut sim = cfg.build().unwrap();
+//! sim.run_for(uqsim_core::time::SimDuration::from_millis(50));
+//! assert!(sim.latency_summary().count > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod gen;
+mod spec;
+
+pub use gen::{summarize, GenSummary};
+pub use spec::{ClientGen, CountDist, GenSpec, LayerSpec};

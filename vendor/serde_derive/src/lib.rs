@@ -8,7 +8,8 @@
 //!
 //! Supported container attributes: `tag = "..."` (internally tagged
 //! enums), `rename_all = "snake_case"`, `transparent`, `try_from = "Ty"`.
-//! Supported field attributes: `default`, `default = "path"`, `skip`.
+//! Supported field attributes: `default`, `default = "path"`, `skip`,
+//! `skip_serializing_if = "path"`.
 //! Generics are not supported — the simulator never derives on generic
 //! types.
 
@@ -43,6 +44,9 @@ struct Field {
     /// Type as a space-joined token string, e.g. `Option < f64 >`.
     ty: String,
     default: DefaultKind,
+    /// `#[serde(skip_serializing_if = "path")]` — omit the field from the
+    /// serialized map when `path(&value)` is true.
+    skip_ser_if: Option<String>,
 }
 
 impl Field {
@@ -188,6 +192,14 @@ fn default_kind(attrs: &[Attr]) -> DefaultKind {
     DefaultKind::Required
 }
 
+fn skip_ser_if(attrs: &[Attr]) -> Option<String> {
+    attrs.iter().find_map(|a| {
+        (a.key == "skip_serializing_if")
+            .then(|| a.value.clone())
+            .flatten()
+    })
+}
+
 /// Reads type tokens until a comma at angle-bracket depth 0.
 fn take_type(tokens: &[TokenTree], i: &mut usize) -> String {
     let mut depth = 0i32;
@@ -239,6 +251,7 @@ fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
             name,
             ty,
             default: default_kind(&attrs),
+            skip_ser_if: skip_ser_if(&attrs),
         });
     }
     fields
@@ -260,6 +273,7 @@ fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
             name: fields.len().to_string(),
             ty,
             default: default_kind(&attrs),
+            skip_ser_if: skip_ser_if(&attrs),
         });
     }
     fields
@@ -358,10 +372,19 @@ fn gen_serialize(input: &Input) -> String {
             } else {
                 let mut s = String::from("let mut map = ::serde::Map::new();");
                 for f in fields.iter().filter(|f| f.default != DefaultKind::Skip) {
-                    s.push_str(&format!(
-                        " map.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));",
+                    let insert = format!(
+                        "map.insert(\"{0}\", ::serde::Serialize::to_value(&self.{0}));",
                         f.name
-                    ));
+                    );
+                    match &f.skip_ser_if {
+                        Some(path) => {
+                            s.push_str(&format!(" if !{path}(&self.{0}) {{ {insert} }}", f.name))
+                        }
+                        None => {
+                            s.push(' ');
+                            s.push_str(&insert);
+                        }
+                    }
                 }
                 s.push_str(" ::serde::Value::Object(map)");
                 s
@@ -403,10 +426,19 @@ fn gen_serialize(input: &Input) -> String {
                             b = binds.join(", ")
                         );
                         for f in fields {
-                            s.push_str(&format!(
-                                " map.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
+                            let insert = format!(
+                                "map.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
                                 f.name
-                            ));
+                            );
+                            match &f.skip_ser_if {
+                                Some(path) => {
+                                    s.push_str(&format!(" if !{path}({0}) {{ {insert} }}", f.name))
+                                }
+                                None => {
+                                    s.push(' ');
+                                    s.push_str(&insert);
+                                }
+                            }
                         }
                         s.push_str(" ::serde::Value::Object(map) }");
                         s
@@ -419,10 +451,19 @@ fn gen_serialize(input: &Input) -> String {
                             b = binds.join(", ")
                         );
                         for f in fields {
-                            s.push_str(&format!(
-                                " inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
+                            let insert = format!(
+                                "inner.insert(\"{0}\", ::serde::Serialize::to_value({0}));",
                                 f.name
-                            ));
+                            );
+                            match &f.skip_ser_if {
+                                Some(path) => {
+                                    s.push_str(&format!(" if !{path}({0}) {{ {insert} }}", f.name))
+                                }
+                                None => {
+                                    s.push(' ');
+                                    s.push_str(&insert);
+                                }
+                            }
                         }
                         s.push_str(&format!(
                             " let mut map = ::serde::Map::new(); \
